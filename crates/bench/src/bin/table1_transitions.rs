@@ -1,0 +1,46 @@
+//! Regenerates **Table I**: the state-transition table of the §IV
+//! tracking directory, printed from the *implementation* (the same
+//! [`hsc_core::tracking::plan`] function the directory executes), so the
+//! table can never drift from the simulator's behaviour.
+
+use hsc_core::tracking::{describe, DirState, PlanReq, Requester};
+use hsc_core::DirectoryMode;
+
+fn main() {
+    println!("=================================================================");
+    println!("Table I: state machine of the precise state-tracking directory");
+    println!("(rows printed from hsc_core::tracking::plan — the live protocol)");
+    println!("=================================================================");
+    for mode in [DirectoryMode::OwnerTracking, DirectoryMode::SharerTracking] {
+        println!("\n--- {mode:?} ---");
+        for state in [DirState::I, DirState::S, DirState::O] {
+            for (req, from) in legal_rows(state) {
+                println!("{}", describe(mode, state, req, from));
+            }
+        }
+    }
+    println!("\nOmitted rows (e.g. VicDirty in S) are illegal, as in the paper.");
+}
+
+fn legal_rows(state: DirState) -> Vec<(PlanReq, Requester)> {
+    let mut rows = vec![
+        (PlanReq::RdBlk, Requester::Cpu),
+        (PlanReq::RdBlk, Requester::Tcc),
+        (PlanReq::RdBlkS, Requester::Cpu),
+        (PlanReq::RdBlkM, Requester::Cpu),
+        (PlanReq::VicClean, Requester::Cpu),
+        (PlanReq::WriteThrough { retains: true }, Requester::Tcc),
+        (PlanReq::WriteThrough { retains: false }, Requester::Tcc),
+        (PlanReq::Atomic, Requester::Tcc),
+        (PlanReq::DmaRd, Requester::Dma),
+        (PlanReq::DmaWr, Requester::Dma),
+        (PlanReq::Flush, Requester::Tcc),
+    ];
+    if state == DirState::O {
+        rows.insert(3, (PlanReq::RdBlkS, Requester::CpuOwner));
+        rows.insert(5, (PlanReq::RdBlkM, Requester::CpuOwner));
+        rows.push((PlanReq::VicDirty, Requester::CpuOwner));
+        rows.push((PlanReq::VicClean, Requester::CpuOwner));
+    }
+    rows
+}

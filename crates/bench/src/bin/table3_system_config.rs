@@ -1,0 +1,30 @@
+//! Regenerates **Table III**: system configuration, printed from the live
+//! `SystemConfig::default()`.
+
+use hsc_cluster::{TICKS_PER_CPU_CYCLE, TICKS_PER_GPU_CYCLE};
+use hsc_core::SystemConfig;
+
+fn main() {
+    let s = SystemConfig::default();
+    println!("================================================================");
+    println!("Table III: system configuration (printed from SystemConfig)");
+    println!("================================================================");
+    let row = |name: &str, value: String| println!("{name:<34} {value}");
+    row("#CUs / #SIMD lanes per vector op", format!("{} / {}", s.gpu.cus, s.gpu.lanes));
+    row("#TCPs per CU", "1".to_owned());
+    row("#TCCs", "1".to_owned());
+    row("#CorePairs / #CPUs", format!("{} / {}", s.corepairs, s.corepairs * 2));
+    row("CPU freq.", format!("3.5 GHz ({TICKS_PER_CPU_CYCLE} ticks/cycle)"));
+    row("GPU freq.", format!("1.1 GHz ({TICKS_PER_GPU_CYCLE} ticks/cycle)"));
+    row(
+        "DRAM",
+        format!(
+            "{} ticks latency, {} ticks/line occupancy",
+            s.uncore.mem_ticks, s.uncore.mem_occupancy_ticks
+        ),
+    );
+    row(
+        "NoC one-way hops",
+        format!("cache↔dir {} ticks, dir↔mem {} ticks", s.network.cache_dir, s.network.dir_mem),
+    );
+}

@@ -1,0 +1,99 @@
+//! Shared harness for the figure/table-regeneration binaries.
+//!
+//! Every binary in `src/bin/` regenerates one table or figure of the
+//! paper (see DESIGN.md's per-experiment index). This library holds the
+//! sweep driver and the paper's reported aggregate values, so each binary
+//! prints its measured series next to the number it is reproducing.
+
+#![warn(missing_docs)]
+
+use hsc_core::{CoherenceConfig, Metrics, SystemConfig};
+use hsc_workloads::{run_workload_on, Workload};
+
+/// The paper's reported averages, for side-by-side printing.
+pub mod paper {
+    /// Fig. 4: average % saved cycles over the three §III optimizations.
+    pub const FIG4_AVG_SPEEDUP_PCT: f64 = 1.68;
+    /// Fig. 5: average % reduction in directory↔memory accesses.
+    pub const FIG5_AVG_MEM_REDUCTION_PCT: f64 = 50.38;
+    /// Fig. 6: average % saved cycles with state tracking (5 benchmarks).
+    pub const FIG6_AVG_SPEEDUP_PCT: f64 = 14.4;
+    /// Fig. 7: average % reduction in probes (5 benchmarks).
+    pub const FIG7_AVG_PROBE_REDUCTION_PCT: f64 = 80.3;
+}
+
+/// One measured cell of a sweep: a benchmark under one configuration.
+#[derive(Debug, Clone)]
+pub struct Cell {
+    /// Benchmark id.
+    pub workload: &'static str,
+    /// Configuration label.
+    pub config: &'static str,
+    /// Run metrics.
+    pub metrics: Metrics,
+}
+
+/// Runs `workloads × configs` on the scaled evaluation system (see
+/// `SystemConfig::scaled`) and returns every cell, configs-major per
+/// workload. The first config should be the baseline.
+#[must_use]
+pub fn sweep(
+    workloads: &[Box<dyn Workload>],
+    configs: &[(&'static str, CoherenceConfig)],
+) -> Vec<Cell> {
+    let mut cells = Vec::new();
+    for w in workloads {
+        for (name, cfg) in configs {
+            let r = run_workload_on(w.as_ref(), SystemConfig::scaled(*cfg));
+            cells.push(Cell { workload: r.workload, config: name, metrics: r.metrics });
+        }
+    }
+    cells
+}
+
+/// Percentage saved: `100 × (1 − value/base)`.
+#[must_use]
+pub fn pct_saved(base: u64, value: u64) -> f64 {
+    if base == 0 {
+        0.0
+    } else {
+        100.0 * (1.0 - value as f64 / base as f64)
+    }
+}
+
+/// Geometric-free arithmetic mean, matching the paper's "on average".
+#[must_use]
+pub fn mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        0.0
+    } else {
+        values.iter().sum::<f64>() / values.len() as f64
+    }
+}
+
+/// Prints a standard figure header.
+pub fn header(figure: &str, what: &str, paper_avg: f64) {
+    println!("================================================================");
+    println!("{figure}: {what}");
+    println!("(paper reports an average of {paper_avg:.2}% — the shape, not the");
+    println!(" absolute value, is the reproduction target; see EXPERIMENTS.md)");
+    println!("================================================================");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pct_saved_handles_zero_base() {
+        assert_eq!(pct_saved(0, 5), 0.0);
+        assert!((pct_saved(200, 100) - 50.0).abs() < 1e-9);
+        assert!(pct_saved(100, 150) < 0.0, "regressions are negative");
+    }
+
+    #[test]
+    fn mean_of_empty_is_zero() {
+        assert_eq!(mean(&[]), 0.0);
+        assert!((mean(&[1.0, 2.0, 3.0]) - 2.0).abs() < 1e-9);
+    }
+}

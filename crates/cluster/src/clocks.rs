@@ -1,0 +1,56 @@
+//! Exact clock conversion between the CPU (3.5 GHz), GPU (1.1 GHz) and the
+//! simulator's global tick.
+//!
+//! The least common multiple of the two Table III frequencies is 38.5 GHz,
+//! so with 1 tick = 1/38.5 GHz both domains convert exactly:
+//! `3.5 GHz → 11 ticks/cycle`, `1.1 GHz → 35 ticks/cycle`.
+
+/// Ticks per CPU clock cycle (3.5 GHz).
+pub const TICKS_PER_CPU_CYCLE: u64 = 11;
+
+/// Ticks per GPU clock cycle (1.1 GHz). Directory/LLC latencies in the
+/// paper's Table II are interpreted in this system-side clock.
+pub const TICKS_PER_GPU_CYCLE: u64 = 35;
+
+/// Converts CPU cycles to ticks.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(hsc_cluster::cpu_cycles(2), 22);
+/// ```
+#[must_use]
+pub fn cpu_cycles(n: u64) -> u64 {
+    n * TICKS_PER_CPU_CYCLE
+}
+
+/// Converts GPU cycles to ticks.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(hsc_cluster::gpu_cycles(2), 70);
+/// ```
+#[must_use]
+pub fn gpu_cycles(n: u64) -> u64 {
+    n * TICKS_PER_GPU_CYCLE
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frequencies_share_the_tick_exactly() {
+        // 3.5 GHz * 11 = 38.5; 1.1 GHz * 35 = 38.5.
+        assert_eq!(35 * 11, 385);
+        assert_eq!(cpu_cycles(35), gpu_cycles(11));
+    }
+
+    #[test]
+    fn conversions_scale_linearly() {
+        assert_eq!(cpu_cycles(0), 0);
+        assert_eq!(cpu_cycles(100), 1100);
+        assert_eq!(gpu_cycles(8), 280, "TCC 8-cycle access in ticks");
+    }
+}

@@ -1,0 +1,949 @@
+use hsc_mem::{Addr, CacheArray, CacheGeometry, LineAddr, LineData, Mshr, VictimBuffer};
+use hsc_noc::{AgentId, Message, MsgKind, Outbox, ProbeKind};
+use hsc_sim::{StatSet, Tick};
+
+use crate::{cpu_cycles, CoreProgram, CpuOp, MoesiState};
+
+/// Base byte address of the synthetic per-core instruction regions.
+///
+/// Placed far above any workload data so I-fetch RdBlkS traffic never
+/// aliases with data lines.
+const CODE_REGION_BASE: u64 = 0x4000_0000_0000;
+
+/// Configuration of one CorePair (Table II defaults).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CpuConfig {
+    /// L1 data cache size in bytes (per core).
+    pub l1d_bytes: u64,
+    /// L1 data cache associativity.
+    pub l1d_ways: usize,
+    /// Shared L1 instruction cache size in bytes.
+    pub l1i_bytes: u64,
+    /// Shared L1 instruction cache associativity.
+    pub l1i_ways: usize,
+    /// Shared inclusive L2 size in bytes.
+    pub l2_bytes: u64,
+    /// L2 associativity.
+    pub l2_ways: usize,
+    /// L1 access latency in CPU cycles.
+    pub l1_cycles: u64,
+    /// L2 access latency in CPU cycles.
+    pub l2_cycles: u64,
+    /// One synthetic instruction fetch is issued every this many retired
+    /// ops (exercises the RdBlkS path of §II-A).
+    pub ifetch_interval: u64,
+    /// Number of distinct code lines each core cycles through.
+    pub code_lines: u64,
+    /// MSHR capacity of the L2.
+    pub mshr_capacity: usize,
+}
+
+impl Default for CpuConfig {
+    /// Table II: 64 KB/2-way L1D, 32 KB/2-way L1I, 2 MB/8-way L2, 1-cycle
+    /// L1/L2 access latencies.
+    fn default() -> Self {
+        CpuConfig {
+            l1d_bytes: 64 * 1024,
+            l1d_ways: 2,
+            l1i_bytes: 32 * 1024,
+            l1i_ways: 2,
+            l2_bytes: 2 * 1024 * 1024,
+            l2_ways: 8,
+            l1_cycles: 1,
+            l2_cycles: 1,
+            ifetch_interval: 32,
+            code_lines: 64,
+            mshr_capacity: 16,
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct L2Line {
+    state: MoesiState,
+    data: LineData,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum TxnKind {
+    Read,
+    ReadInstr,
+    Write,
+}
+
+#[derive(Debug)]
+struct L2Txn {
+    #[allow(dead_code)]
+    kind: TxnKind,
+    waiters: Vec<usize>,
+}
+
+#[derive(Debug)]
+struct CoreCtx {
+    program: Box<dyn CoreProgram>,
+    ready_at: Tick,
+    blocked_line: Option<LineAddr>,
+    last_value: Option<u64>,
+    pending: Option<CpuOp>,
+    pending_ifetch: bool,
+    done: bool,
+    ops_since_ifetch: u64,
+    next_code_line: u64,
+    code_base: LineAddr,
+    ops_retired: u64,
+}
+
+/// A CorePair: two in-order cores, private L1Ds, a shared L1I and a
+/// shared, inclusive MOESI L2 — the unit the system-level directory sees
+/// as one `AgentId::CorePairL2`.
+///
+/// The L1s are tag-only latency filters (the L2 is inclusive and holds the
+/// authoritative data); all coherence happens at the L2:
+///
+/// * load misses send `RdBlk`, store misses/upgrades send `RdBlkM`,
+///   I-fetch misses send `RdBlkS`;
+/// * Exclusive lines silently upgrade to Modified on stores;
+/// * evictions notify the directory noisily (`VicClean` from E/S,
+///   `VicDirty` from M/O) and park the line in a victim buffer that
+///   incoming probes snoop until the directory acknowledges the victim —
+///   this closes the writeback/probe race;
+/// * downgrade probes move M→O (the dirty cache stays owner and forwards
+///   data), invalidating probes forward dirty data and invalidate.
+#[derive(Debug)]
+pub struct CorePair {
+    agent: AgentId,
+    cfg: CpuConfig,
+    cores: Vec<CoreCtx>,
+    l1d: Vec<CacheArray<()>>,
+    l1i: CacheArray<()>,
+    l2: CacheArray<L2Line>,
+    mshr: Mshr<L2Txn>,
+    victims: VictimBuffer,
+    stats: StatSet,
+}
+
+impl CorePair {
+    /// Creates CorePair number `index` running the given thread programs
+    /// (at most two — Table III has two cores per pair; fewer threads
+    /// leave cores idle).
+    ///
+    /// # Panics
+    ///
+    /// Panics if more than two programs are supplied.
+    #[must_use]
+    pub fn new(index: usize, programs: Vec<Box<dyn CoreProgram>>, cfg: CpuConfig) -> Self {
+        assert!(programs.len() <= 2, "a CorePair has two cores");
+        let cores = programs
+            .into_iter()
+            .enumerate()
+            .map(|(c, program)| CoreCtx {
+                program,
+                ready_at: Tick::ZERO,
+                blocked_line: None,
+                last_value: None,
+                pending: None,
+                pending_ifetch: false,
+                done: false,
+                ops_since_ifetch: 0,
+                next_code_line: 0,
+                code_base: Addr(CODE_REGION_BASE + ((index * 2 + c) as u64) * cfg.code_lines * 64)
+                    .line(),
+                ops_retired: 0,
+            })
+            .collect();
+        CorePair {
+            agent: AgentId::CorePairL2(index),
+            cfg,
+            cores,
+            l1d: (0..2)
+                .map(|_| CacheArray::new(CacheGeometry::new(cfg.l1d_bytes, cfg.l1d_ways)))
+                .collect(),
+            l1i: CacheArray::new(CacheGeometry::new(cfg.l1i_bytes, cfg.l1i_ways)),
+            l2: CacheArray::new(CacheGeometry::new(cfg.l2_bytes, cfg.l2_ways)),
+            mshr: Mshr::new(cfg.mshr_capacity),
+            victims: VictimBuffer::new(),
+            stats: StatSet::new(),
+        }
+    }
+
+    /// The NoC endpoint of this CorePair's L2.
+    #[must_use]
+    pub fn agent(&self) -> AgentId {
+        self.agent
+    }
+
+    /// Schedules the initial wake-up; call once before the run starts.
+    pub fn start(&mut self, out: &mut Outbox) {
+        out.wake_after(0);
+    }
+
+    /// Whether every core has retired its program and no transaction or
+    /// victim write-back is outstanding.
+    #[must_use]
+    pub fn is_done(&self) -> bool {
+        self.cores.iter().all(|c| c.done) && self.mshr.is_empty() && self.victims.is_empty()
+    }
+
+    /// Per-pair statistics (`l2.hits`, `l2.misses`, `core.ops`, …).
+    #[must_use]
+    pub fn stats(&self) -> &StatSet {
+        &self.stats
+    }
+
+    /// Total ops retired by both cores.
+    #[must_use]
+    pub fn ops_retired(&self) -> u64 {
+        self.cores.iter().map(|c| c.ops_retired).sum()
+    }
+
+    /// Direct lookup of a dirty copy of `la` (M/O in the L2 or dirty in
+    /// the victim buffer), for end-of-run memory reconstruction.
+    #[must_use]
+    pub fn peek_dirty(&self, la: LineAddr) -> Option<LineData> {
+        if let Some(line) = self.l2.get(la) {
+            if line.state.forwards_dirty() {
+                return Some(line.data);
+            }
+        }
+        self.victims.get(la).filter(|e| e.dirty).map(|e| e.data)
+    }
+
+    /// Dirty lines still held (M/O in the L2 or dirty in the victim
+    /// buffer); used to reconstruct final memory for verification.
+    pub fn dirty_lines(&self) -> Vec<(LineAddr, LineData)> {
+        self.l2
+            .iter()
+            .filter(|(_, l)| l.state.forwards_dirty())
+            .map(|(la, l)| (la, l.data))
+            .collect()
+    }
+
+    /// Handles a message delivered to this CorePair's L2.
+    pub fn on_message(&mut self, now: Tick, msg: &Message, out: &mut Outbox) {
+        debug_assert_eq!(msg.dst, self.agent);
+        match msg.kind {
+            MsgKind::Resp { data, grant } => self.on_resp(now, msg.line, data, grant, out),
+            MsgKind::UpgradeAck => self.on_upgrade_ack(now, msg.line, out),
+            MsgKind::VicAck => {
+                self.victims.release(msg.line);
+            }
+            MsgKind::Probe { kind } => self.on_probe(msg.line, kind, out),
+            ref other => panic!("CorePair {} got unexpected {}", self.agent, other.class_name()),
+        }
+    }
+
+    /// Advances both cores as far as the current tick allows.
+    pub fn on_wake(&mut self, now: Tick, out: &mut Outbox) {
+        self.step_cores(now, out);
+    }
+
+    fn on_resp(
+        &mut self,
+        now: Tick,
+        la: LineAddr,
+        data: LineData,
+        grant: hsc_noc::Grant,
+        out: &mut Outbox,
+    ) {
+        let txn = self
+            .mshr
+            .remove(la)
+            .unwrap_or_else(|| panic!("Resp for {la} without MSHR entry"));
+        self.fill_line(la, MoesiState::from_grant(grant), data, out);
+        out.send(Message::new(self.agent, AgentId::Directory, la, MsgKind::Unblock));
+        self.complete_waiters(now, la, &txn.waiters);
+        self.step_cores(now, out);
+    }
+
+    fn on_upgrade_ack(&mut self, now: Tick, la: LineAddr, out: &mut Outbox) {
+        let txn = self
+            .mshr
+            .remove(la)
+            .unwrap_or_else(|| panic!("UpgradeAck for {la} without MSHR entry"));
+        let line = self
+            .l2
+            .get_mut(la)
+            .expect("UpgradeAck implies the requester is still the owner");
+        line.state = MoesiState::Modified;
+        out.send(Message::new(self.agent, AgentId::Directory, la, MsgKind::Unblock));
+        self.complete_waiters(now, la, &txn.waiters);
+        self.step_cores(now, out);
+    }
+
+    fn complete_waiters(&mut self, now: Tick, la: LineAddr, waiters: &[usize]) {
+        let fill_lat = cpu_cycles(self.cfg.l1_cycles + self.cfg.l2_cycles);
+        for &c in waiters {
+            let core = &mut self.cores[c];
+            debug_assert_eq!(core.blocked_line, Some(la));
+            core.blocked_line = None;
+            if core.pending_ifetch {
+                // Instruction fetch completes directly: fill the L1I tag.
+                core.pending_ifetch = false;
+                core.ready_at = now + fill_lat;
+                fill_tag(&mut self.l1i, la);
+            } else {
+                // Data ops re-attempt against the freshly filled L2 (the
+                // hit path charges the access latency).
+                core.ready_at = now;
+            }
+        }
+    }
+
+    fn step_cores(&mut self, now: Tick, out: &mut Outbox) {
+        for i in 0..self.cores.len() {
+            self.step_core(i, now, out);
+        }
+        // One wake-up at the earliest future readiness.
+        let next = self
+            .cores
+            .iter()
+            .filter(|c| !c.done && c.blocked_line.is_none())
+            .map(|c| c.ready_at)
+            .filter(|&t| t > now)
+            .min();
+        if let Some(t) = next {
+            out.wake_at(t);
+        }
+    }
+
+    fn step_core(&mut self, i: usize, now: Tick, out: &mut Outbox) {
+        loop {
+            let c = &mut self.cores[i];
+            if c.done || c.blocked_line.is_some() || c.ready_at > now {
+                return;
+            }
+            // Periodic synthetic instruction fetch (RdBlkS exerciser).
+            if c.ops_since_ifetch >= self.cfg.ifetch_interval && c.pending.is_none() {
+                c.ops_since_ifetch = 0;
+                let la = LineAddr(c.code_base.0 + (c.next_code_line % self.cfg.code_lines));
+                c.next_code_line += 1;
+                self.access_ifetch(i, la, now, out);
+                continue;
+            }
+            let c = &mut self.cores[i];
+            let (op, first_attempt) = match c.pending.take() {
+                Some(op) => (op, false),
+                None => {
+                    let lv = c.last_value.take();
+                    (c.program.next_op(lv), true)
+                }
+            };
+            let c = &mut self.cores[i];
+            if first_attempt {
+                c.ops_retired += 1;
+                c.ops_since_ifetch += 1;
+            }
+            match op {
+                CpuOp::Compute(cy) => {
+                    self.stats.bump("core.compute_ops");
+                    if cy > 0 {
+                        c.ready_at = now + cpu_cycles(cy);
+                        return;
+                    }
+                }
+                CpuOp::Done => {
+                    c.done = true;
+                    self.stats.bump("core.done");
+                    return;
+                }
+                CpuOp::Load(a) => {
+                    if first_attempt {
+                        self.stats.bump("core.loads");
+                    }
+                    if self.access_load(i, a, now, out) {
+                        return; // hit with latency, or miss (blocked)
+                    }
+                }
+                CpuOp::Store(a, v) => {
+                    if first_attempt {
+                        self.stats.bump("core.stores");
+                    }
+                    if self.access_store(i, a, v, now, CpuOp::Store(a, v), out) {
+                        return;
+                    }
+                }
+                CpuOp::Atomic(a, k) => {
+                    if first_attempt {
+                        self.stats.bump("core.atomics");
+                    }
+                    if self.access_store(i, a, 0, now, CpuOp::Atomic(a, k), out) {
+                        return;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Returns `true` if the core is now waiting (hit latency or miss).
+    fn access_load(&mut self, i: usize, a: Addr, now: Tick, out: &mut Outbox) -> bool {
+        let la = a.line();
+        if let Some(line) = self.l2.get(la) {
+            let v = line.data.word_at(a);
+            let l1_hit = self.l1d[i].contains(la);
+            let lat = if l1_hit {
+                self.stats.bump("l1d.hits");
+                self.l1d[i].touch(la);
+                cpu_cycles(self.cfg.l1_cycles)
+            } else {
+                self.stats.bump("l1d.misses");
+                fill_tag(&mut self.l1d[i], la);
+                cpu_cycles(self.cfg.l1_cycles + self.cfg.l2_cycles)
+            };
+            self.stats.bump("l2.hits");
+            self.l2.touch(la);
+            let c = &mut self.cores[i];
+            c.last_value = Some(v);
+            c.ready_at = now + lat;
+            true
+        } else {
+            self.stats.bump("l2.misses");
+            self.miss(i, la, TxnKind::Read, CpuOp::Load(a), out);
+            true
+        }
+    }
+
+    /// Store/atomic path; `true` if the core is now waiting.
+    fn access_store(
+        &mut self,
+        i: usize,
+        a: Addr,
+        v: u64,
+        now: Tick,
+        op: CpuOp,
+        out: &mut Outbox,
+    ) -> bool {
+        let la = a.line();
+        let writable = self.l2.get(la).map(|l| l.state.can_write());
+        match writable {
+            Some(true) => {
+                let line = self.l2.get_mut(la).unwrap();
+                if line.state == MoesiState::Exclusive {
+                    line.state = MoesiState::Modified; // silent E→M (§II-B)
+                    self.stats.bump("l2.silent_e_to_m");
+                }
+                let c = &mut self.cores[i];
+                match op {
+                    CpuOp::Store(_, _) => {
+                        line.data.set_word_at(a, v);
+                        c.last_value = None;
+                    }
+                    CpuOp::Atomic(_, k) => {
+                        let old = line.data.apply_atomic(a, k);
+                        c.last_value = Some(old);
+                    }
+                    _ => unreachable!("access_store only handles stores/atomics"),
+                }
+                self.stats.bump("l2.hits");
+                let l1_hit = self.l1d[i].contains(la);
+                let lat = if l1_hit {
+                    self.l1d[i].touch(la);
+                    cpu_cycles(self.cfg.l1_cycles)
+                } else {
+                    fill_tag(&mut self.l1d[i], la);
+                    cpu_cycles(self.cfg.l1_cycles + self.cfg.l2_cycles)
+                };
+                self.l2.touch(la);
+                self.cores[i].ready_at = now + lat;
+                true
+            }
+            Some(false) => {
+                // Present but S/O: upgrade.
+                self.stats.bump("l2.upgrades");
+                self.miss(i, la, TxnKind::Write, op, out);
+                true
+            }
+            None => {
+                self.stats.bump("l2.misses");
+                self.miss(i, la, TxnKind::Write, op, out);
+                true
+            }
+        }
+    }
+
+    fn access_ifetch(&mut self, i: usize, la: LineAddr, now: Tick, out: &mut Outbox) {
+        if self.l1i.contains(la) {
+            self.stats.bump("l1i.hits");
+            self.l1i.touch(la);
+            self.cores[i].ready_at = now + cpu_cycles(self.cfg.l1_cycles);
+            return;
+        }
+        if self.l2.contains(la) {
+            self.stats.bump("l1i.misses");
+            self.stats.bump("l2.hits");
+            fill_tag(&mut self.l1i, la);
+            self.l2.touch(la);
+            self.cores[i].ready_at = now + cpu_cycles(self.cfg.l1_cycles + self.cfg.l2_cycles);
+            return;
+        }
+        self.stats.bump("l1i.misses");
+        self.stats.bump("l2.misses");
+        let c = &mut self.cores[i];
+        c.pending_ifetch = true;
+        c.blocked_line = Some(la);
+        let _ = now;
+        if let Some(txn) = self.mshr.get_mut(la) {
+            txn.waiters.push(i);
+        } else {
+            self.mshr
+                .alloc(la, L2Txn { kind: TxnKind::ReadInstr, waiters: vec![i] })
+                .expect("CorePair MSHR sized for max 2 outstanding ops");
+            out.send(Message::new(self.agent, AgentId::Directory, la, MsgKind::RdBlkS));
+            self.stats.bump("l2.req.RdBlkS");
+        }
+    }
+
+    fn miss(&mut self, i: usize, la: LineAddr, kind: TxnKind, op: CpuOp, out: &mut Outbox) {
+        let c = &mut self.cores[i];
+        c.pending = Some(op);
+        c.blocked_line = Some(la);
+        if let Some(txn) = self.mshr.get_mut(la) {
+            txn.waiters.push(i);
+            return;
+        }
+        self.mshr
+            .alloc(la, L2Txn { kind, waiters: vec![i] })
+            .expect("CorePair MSHR sized for max 2 outstanding ops");
+        let msg = match kind {
+            TxnKind::Read => MsgKind::RdBlk,
+            TxnKind::ReadInstr => MsgKind::RdBlkS,
+            TxnKind::Write => MsgKind::RdBlkM,
+        };
+        self.stats.bump(&format!("l2.req.{}", msg.class_name()));
+        out.send(Message::new(self.agent, AgentId::Directory, la, msg));
+    }
+
+    fn fill_line(&mut self, la: LineAddr, state: MoesiState, data: LineData, out: &mut Outbox) {
+        if let Some(line) = self.l2.get_mut(la) {
+            // Upgrade response for a line still held (S/O → M). An Owned
+            // line is *dirtier* than anything the directory can send (the
+            // stateless directory reads the possibly-stale LLC/memory for
+            // RdBlkM data): the local copy must win or earlier stores are
+            // lost. Clean S/E copies take the response data, which the
+            // probe round guarantees is the freshest in the system.
+            if !line.state.forwards_dirty() {
+                line.data = data;
+            }
+            line.state = state;
+            self.l2.touch(la);
+            return;
+        }
+        if self.l2.set_is_full(la) {
+            // Victimize, avoiding lines with in-flight transactions.
+            let mshr = &self.mshr;
+            let (vtag, _) = self
+                .l2
+                .would_evict_scored(la, |tag, _| u32::from(mshr.contains(tag)))
+                .expect("set is full, so some line must be evictable");
+            let vline = self.l2.invalidate(vtag).unwrap();
+            let dirty = vline.state.forwards_dirty();
+            let kind = if dirty {
+                self.stats.bump("l2.vic_dirty");
+                MsgKind::VicDirty { data: vline.data }
+            } else {
+                self.stats.bump("l2.vic_clean");
+                MsgKind::VicClean { data: vline.data }
+            };
+            self.victims.park(vtag, vline.data, dirty);
+            out.send(Message::new(self.agent, AgentId::Directory, vtag, kind));
+            for l1 in &mut self.l1d {
+                l1.invalidate(vtag);
+            }
+            self.l1i.invalidate(vtag);
+        }
+        self.l2.insert(la, L2Line { state, data });
+        self.l2.touch(la);
+    }
+
+    fn on_probe(&mut self, la: LineAddr, kind: ProbeKind, out: &mut Outbox) {
+        self.stats.bump("l2.probes_received");
+        let mut dirty: Option<LineData> = None;
+        let mut had_copy = false;
+        let mut was_parked = false;
+        if let Some(entry) = self.victims.get(la).copied() {
+            had_copy = true;
+            match kind {
+                ProbeKind::Invalidate => {
+                    was_parked = true;
+                    let e = self.victims.invalidate(la).unwrap();
+                    if e.dirty {
+                        dirty = Some(e.data);
+                    }
+                }
+                ProbeKind::Downgrade => {
+                    if entry.dirty {
+                        dirty = Some(entry.data);
+                        self.victims.downgrade(la);
+                    }
+                }
+            }
+        } else if let Some(line) = self.l2.get_mut(la) {
+            had_copy = true;
+            if line.state.forwards_dirty() {
+                dirty = Some(line.data);
+            }
+            match kind {
+                ProbeKind::Invalidate => {
+                    self.l2.invalidate(la);
+                    for l1 in &mut self.l1d {
+                        l1.invalidate(la);
+                    }
+                    self.l1i.invalidate(la);
+                    self.stats.bump("l2.probe_invalidations");
+                }
+                ProbeKind::Downgrade => {
+                    let line = self.l2.get_mut(la).unwrap();
+                    line.state = line.state.after_downgrade();
+                }
+            }
+        }
+        out.send(Message::new(
+            self.agent,
+            AgentId::Directory,
+            la,
+            MsgKind::ProbeAck { dirty, had_copy, was_parked },
+        ));
+    }
+}
+
+/// Fills a tag-only L1, silently dropping any displaced tag (the L2 holds
+/// the data, so L1 evictions need no protocol action).
+fn fill_tag(l1: &mut CacheArray<()>, la: LineAddr) {
+    if !l1.contains(la) {
+        let _ = l1.insert(la, ());
+    }
+    l1.touch(la);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hsc_mem::{AtomicKind, MainMemory};
+    use hsc_noc::{Action, Grant};
+    use hsc_sim::EventQueue;
+
+    /// A scripted program for tests.
+    #[derive(Debug)]
+    struct Script {
+        ops: Vec<CpuOp>,
+        idx: usize,
+        seen: Vec<Option<u64>>,
+    }
+
+    impl Script {
+        fn new(ops: Vec<CpuOp>) -> Self {
+            Script { ops, idx: 0, seen: Vec::new() }
+        }
+    }
+
+    impl CoreProgram for Script {
+        fn next_op(&mut self, last: Option<u64>) -> CpuOp {
+            self.seen.push(last);
+            let op = self.ops.get(self.idx).copied().unwrap_or(CpuOp::Done);
+            self.idx += 1;
+            op
+        }
+    }
+
+    /// Drives a single CorePair against a trivially coherent fake
+    /// directory: every RdBlk→E, RdBlkS→S, RdBlkM→M, probes never sent.
+    fn run_pair(mut pair: CorePair, limit: u64) -> (CorePair, MainMemory) {
+        let mut mem = MainMemory::new();
+        run_pair_with_mem(&mut pair, &mut mem, limit);
+        (pair, mem)
+    }
+
+    fn run_pair_with_mem(pair: &mut CorePair, mem: &mut MainMemory, limit: u64) {
+        #[derive(Debug)]
+        enum Ev {
+            Wake,
+            Msg(Message),
+        }
+        let mut q: EventQueue<Ev> = EventQueue::new();
+        q.schedule(Tick(0), Ev::Wake);
+        let hop = 10u64;
+        let mut steps = 0u64;
+        while let Some((now, ev)) = q.pop() {
+            steps += 1;
+            assert!(steps < limit, "fake-directory run exceeded {limit} events");
+            let mut out = Outbox::new(now);
+            match ev {
+                Ev::Wake => pair.on_wake(now, &mut out),
+                Ev::Msg(m) if m.dst == pair.agent() => pair.on_message(now, &m, &mut out),
+                Ev::Msg(m) => {
+                    // Fake directory.
+                    let resp = match m.kind {
+                        MsgKind::RdBlk => Some(MsgKind::Resp {
+                            data: mem.read_line(m.line),
+                            grant: Grant::Exclusive,
+                        }),
+                        MsgKind::RdBlkS => Some(MsgKind::Resp {
+                            data: mem.read_line(m.line),
+                            grant: Grant::Shared,
+                        }),
+                        MsgKind::RdBlkM => Some(MsgKind::Resp {
+                            data: mem.read_line(m.line),
+                            grant: Grant::Modified,
+                        }),
+                        MsgKind::VicDirty { data } => {
+                            mem.write_line(m.line, data);
+                            Some(MsgKind::VicAck)
+                        }
+                        MsgKind::VicClean { .. } => Some(MsgKind::VicAck),
+                        MsgKind::Unblock => None,
+                        ref k => panic!("fake directory got {}", k.class_name()),
+                    };
+                    if let Some(kind) = resp {
+                        q.schedule(
+                            now + hop,
+                            Ev::Msg(Message::new(AgentId::Directory, m.src, m.line, kind)),
+                        );
+                    }
+                }
+            }
+            for act in out.into_actions() {
+                match act {
+                    Action::Send(m) => q.schedule(now + hop, Ev::Msg(m)),
+                    Action::SendLater(t, m) => q.schedule(t + 5, Ev::Msg(m)),
+                    Action::Wake(t) => q.schedule(t, Ev::Wake),
+                }
+            }
+        }
+    }
+
+    fn pair_with(programs: Vec<Box<dyn CoreProgram>>) -> CorePair {
+        let mut cfg = CpuConfig::default();
+        // Tiny caches to exercise evictions in tests.
+        cfg.l2_bytes = 8 * 1024;
+        cfg.l1d_bytes = 1024;
+        cfg.l1i_bytes = 1024;
+        cfg.ifetch_interval = 1000; // mostly out of the way
+        CorePair::new(0, programs, cfg)
+    }
+
+    #[test]
+    fn store_then_load_round_trips_through_l2() {
+        let a = Addr(0x1000);
+        let prog = Script::new(vec![CpuOp::Store(a, 42), CpuOp::Load(a), CpuOp::Done]);
+        let (pair, _mem) = run_pair(pair_with(vec![Box::new(prog)]), 10_000);
+        assert!(pair.is_done());
+        assert_eq!(pair.stats().get("core.stores"), 1);
+        assert_eq!(pair.stats().get("core.loads"), 1);
+        // The load hit the line the store brought in as M.
+        assert!(pair.stats().get("l2.hits") >= 1);
+        let dirty = pair.dirty_lines();
+        assert_eq!(dirty.len(), 1);
+        assert_eq!(dirty[0].1.word_at(a), 42);
+    }
+
+    #[test]
+    fn silent_e_to_m_upgrade_on_store_after_load() {
+        let a = Addr(0x2000);
+        let prog = Script::new(vec![CpuOp::Load(a), CpuOp::Store(a, 7), CpuOp::Done]);
+        let (pair, _mem) = run_pair(pair_with(vec![Box::new(prog)]), 10_000);
+        assert!(pair.is_done());
+        // RdBlk granted E; the store upgraded silently: no RdBlkM issued.
+        assert_eq!(pair.stats().get("l2.req.RdBlk"), 1);
+        assert_eq!(pair.stats().get("l2.req.RdBlkM"), 0);
+        assert_eq!(pair.stats().get("l2.silent_e_to_m"), 1);
+    }
+
+    #[test]
+    fn atomic_returns_old_value_to_the_program() {
+        let a = Addr(0x3000);
+        let prog = Script::new(vec![
+            CpuOp::Store(a, 10),
+            CpuOp::Atomic(a, AtomicKind::FetchAdd(5)),
+            CpuOp::Load(a),
+            CpuOp::Done,
+        ]);
+        let mut pair = pair_with(vec![Box::new(prog)]);
+        let mut mem = MainMemory::new();
+        run_pair_with_mem(&mut pair, &mut mem, 10_000);
+        assert!(pair.is_done());
+        let d = pair.dirty_lines();
+        assert_eq!(d[0].1.word_at(a), 15);
+    }
+
+    #[test]
+    fn capacity_evictions_send_noisy_victims() {
+        // 8 KB / 8-way L2 = 16 sets; write 3 * 128 lines so sets overflow.
+        let mut ops = Vec::new();
+        for i in 0..384u64 {
+            ops.push(CpuOp::Store(Addr(0x10000 + i * 64), i));
+        }
+        ops.push(CpuOp::Done);
+        let (pair, mem) = run_pair(pair_with(vec![Box::new(Script::new(ops))]), 100_000);
+        assert!(pair.is_done());
+        assert!(
+            pair.stats().get("l2.vic_dirty") > 0,
+            "dirty victims must reach the directory"
+        );
+        // Every victimized dirty line must have landed in (fake) memory.
+        let survivors: std::collections::BTreeSet<u64> =
+            pair.dirty_lines().iter().map(|(la, _)| la.0).collect();
+        for i in 0..384u64 {
+            let a = Addr(0x10000 + i * 64);
+            if !survivors.contains(&a.line().0) {
+                assert_eq!(mem.read_word(a), i, "victim write-back lost data at {a}");
+            }
+        }
+    }
+
+    #[test]
+    fn loads_see_clean_victims_after_refetch() {
+        // Store to set-colliding lines (clean loads), then re-load the first.
+        let mut ops = Vec::new();
+        for i in 0..256u64 {
+            ops.push(CpuOp::Load(Addr(0x20000 + i * 64)));
+        }
+        ops.push(CpuOp::Load(Addr(0x20000)));
+        ops.push(CpuOp::Done);
+        let (pair, _) = run_pair(pair_with(vec![Box::new(Script::new(ops))]), 100_000);
+        assert!(pair.is_done());
+        assert!(pair.stats().get("l2.vic_clean") > 0, "clean victims are noisy");
+    }
+
+    #[test]
+    fn two_cores_share_the_l2() {
+        let a = Addr(0x4000);
+        let p0 = Script::new(vec![CpuOp::Store(a, 9), CpuOp::Done]);
+        // Core 1 spins until it observes core 0's store through the shared L2.
+        #[derive(Debug)]
+        struct Spin {
+            a: Addr,
+            tries: u32,
+        }
+        impl CoreProgram for Spin {
+            fn next_op(&mut self, last: Option<u64>) -> CpuOp {
+                if last == Some(9) {
+                    return CpuOp::Done;
+                }
+                self.tries += 1;
+                assert!(self.tries < 10_000, "spin never observed the store");
+                CpuOp::Load(self.a)
+            }
+        }
+        let (pair, _) = run_pair(
+            pair_with(vec![Box::new(p0), Box::new(Spin { a, tries: 0 })]),
+            200_000,
+        );
+        assert!(pair.is_done());
+    }
+
+    #[test]
+    fn invalidating_probe_forwards_dirty_and_invalidates() {
+        let a = Addr(0x5000);
+        let prog = Script::new(vec![CpuOp::Store(a, 3), CpuOp::Done]);
+        let mut pair = pair_with(vec![Box::new(prog)]);
+        let mut mem = MainMemory::new();
+        run_pair_with_mem(&mut pair, &mut mem, 10_000);
+        let mut out = Outbox::new(Tick(1_000_000));
+        pair.on_message(
+            Tick(1_000_000),
+            &Message::new(AgentId::Directory, pair.agent(), a.line(), MsgKind::Probe {
+                kind: ProbeKind::Invalidate,
+            }),
+            &mut out,
+        );
+        let acts = out.into_actions();
+        assert_eq!(acts.len(), 1);
+        match &acts[0] {
+            Action::Send(m) => match m.kind {
+                MsgKind::ProbeAck { dirty, had_copy, .. } => {
+                    assert!(had_copy);
+                    assert_eq!(dirty.unwrap().word_at(a), 3);
+                }
+                ref k => panic!("expected ProbeAck, got {}", k.class_name()),
+            },
+            other => panic!("expected send, got {other:?}"),
+        }
+        assert!(pair.dirty_lines().is_empty(), "line invalidated");
+    }
+
+    #[test]
+    fn downgrade_probe_moves_m_to_o_and_keeps_data() {
+        let a = Addr(0x6000);
+        let prog = Script::new(vec![CpuOp::Store(a, 5), CpuOp::Done]);
+        let mut pair = pair_with(vec![Box::new(prog)]);
+        let mut mem = MainMemory::new();
+        run_pair_with_mem(&mut pair, &mut mem, 10_000);
+        let mut out = Outbox::new(Tick(1_000_000));
+        pair.on_message(
+            Tick(1_000_000),
+            &Message::new(AgentId::Directory, pair.agent(), a.line(), MsgKind::Probe {
+                kind: ProbeKind::Downgrade,
+            }),
+            &mut out,
+        );
+        match out.actions()[0] {
+            Action::Send(ref m) => match m.kind {
+                MsgKind::ProbeAck { dirty, had_copy, .. } => {
+                    assert!(had_copy);
+                    assert!(dirty.is_some());
+                }
+                ref k => panic!("expected ProbeAck, got {}", k.class_name()),
+            },
+            ref other => panic!("expected send, got {other:?}"),
+        }
+        // Still the owner: dirty_lines reports it (O forwards dirty).
+        assert_eq!(pair.dirty_lines().len(), 1);
+        // A second downgrade probe re-forwards (owner keeps forwarding).
+        let mut out2 = Outbox::new(Tick(1_000_001));
+        pair.on_message(
+            Tick(1_000_001),
+            &Message::new(AgentId::Directory, pair.agent(), a.line(), MsgKind::Probe {
+                kind: ProbeKind::Downgrade,
+            }),
+            &mut out2,
+        );
+        match out2.actions()[0] {
+            Action::Send(ref m) => {
+                assert!(matches!(m.kind, MsgKind::ProbeAck { dirty: Some(_), .. }));
+            }
+            ref other => panic!("expected send, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn probe_for_absent_line_acks_no_copy() {
+        let mut pair = pair_with(vec![]);
+        let mut out = Outbox::new(Tick(0));
+        pair.on_message(
+            Tick(0),
+            &Message::new(AgentId::Directory, pair.agent(), LineAddr(77), MsgKind::Probe {
+                kind: ProbeKind::Invalidate,
+            }),
+            &mut out,
+        );
+        match out.actions()[0] {
+            Action::Send(ref m) => {
+                assert!(matches!(
+                    m.kind,
+                    MsgKind::ProbeAck { dirty: None, had_copy: false, .. }
+                ));
+            }
+            ref other => panic!("expected send, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn ifetch_issues_rdblks() {
+        let mut cfg = CpuConfig::default();
+        cfg.l2_bytes = 8 * 1024;
+        cfg.l1d_bytes = 1024;
+        cfg.l1i_bytes = 1024;
+        cfg.ifetch_interval = 4;
+        let ops: Vec<CpuOp> = (0..32).map(|_| CpuOp::Compute(1)).chain([CpuOp::Done]).collect();
+        let pair = CorePair::new(0, vec![Box::new(Script::new(ops))], cfg);
+        let (pair, _) = run_pair(pair, 100_000);
+        assert!(pair.is_done());
+        assert!(pair.stats().get("l2.req.RdBlkS") > 0, "I-fetches must miss at least once");
+    }
+
+    #[test]
+    fn empty_corepair_is_done_immediately() {
+        let pair = pair_with(vec![]);
+        assert!(pair.is_done());
+        assert_eq!(pair.ops_retired(), 0);
+    }
+}

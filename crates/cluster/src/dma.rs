@@ -1,0 +1,328 @@
+use std::collections::{BTreeMap, VecDeque};
+
+use hsc_mem::{Addr, LineAddr, LineData, WORDS_PER_LINE};
+use hsc_noc::{AgentId, Message, MsgKind, Outbox, WordMask};
+use hsc_sim::{StatSet, Tick};
+
+/// One DMA transfer, issued when simulated time reaches `at`.
+///
+/// Reads fetch whole lines; writes store consecutive 64-bit words starting
+/// at `base` (partial first/last lines use word masks, as a real engine's
+/// byte enables would).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DmaCommand {
+    /// Read `lines` consecutive cache lines starting at the line
+    /// containing `base`.
+    Read {
+        /// Start address (its containing line is the first read).
+        base: Addr,
+        /// Number of lines.
+        lines: u64,
+        /// Issue time.
+        at: Tick,
+    },
+    /// Write `words` consecutive 64-bit values starting at `base`
+    /// (8-byte aligned).
+    Write {
+        /// Start address (must be 8-byte aligned).
+        base: Addr,
+        /// Values to store.
+        words: Vec<u64>,
+        /// Issue time.
+        at: Tick,
+    },
+}
+
+impl DmaCommand {
+    fn at(&self) -> Tick {
+        match self {
+            DmaCommand::Read { at, .. } | DmaCommand::Write { at, .. } => *at,
+        }
+    }
+}
+
+/// The DMA engine of Fig. 1: issues `DMARd`/`DMAWr` line requests to the
+/// directory and never caches (so it never participates in coherence
+/// state, matching §IV's "DMA requests do not lead to any state
+/// alteration").
+///
+/// Used by workloads to stage inputs (e.g. `cedd` video frames) while the
+/// CPU and GPU are running, which exercises the Fig. 3 DMA paths of the
+/// directory.
+#[derive(Debug)]
+pub struct DmaEngine {
+    commands: VecDeque<DmaCommand>,
+    in_flight: usize,
+    window: usize,
+    pending_lines: VecDeque<(LineAddr, Option<(LineData, WordMask)>)>,
+    read_data: BTreeMap<LineAddr, LineData>,
+    stats: StatSet,
+    started: bool,
+}
+
+impl DmaEngine {
+    /// Creates an engine that will execute `commands` in order of their
+    /// issue times, keeping up to `window` line requests in flight.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` is zero or a write base is not 8-byte aligned.
+    #[must_use]
+    pub fn new(mut commands: Vec<DmaCommand>, window: usize) -> Self {
+        assert!(window > 0, "DMA window must be positive");
+        for c in &commands {
+            if let DmaCommand::Write { base, .. } = c {
+                assert_eq!(base.0 % 8, 0, "DMA write base must be 8-byte aligned");
+            }
+        }
+        commands.sort_by_key(DmaCommand::at);
+        DmaEngine {
+            commands: commands.into(),
+            in_flight: 0,
+            window,
+            pending_lines: VecDeque::new(),
+            read_data: BTreeMap::new(),
+            stats: StatSet::new(),
+            started: false,
+        }
+    }
+
+    /// The NoC endpoint of the engine.
+    #[must_use]
+    pub fn agent(&self) -> AgentId {
+        AgentId::Dma
+    }
+
+    /// Schedules the initial wake-up; call once before the run starts.
+    pub fn start(&mut self, out: &mut Outbox) {
+        self.started = true;
+        out.wake_after(0);
+    }
+
+    /// Whether every command has fully completed.
+    #[must_use]
+    pub fn is_done(&self) -> bool {
+        self.commands.is_empty() && self.pending_lines.is_empty() && self.in_flight == 0
+    }
+
+    /// Data returned by completed DMA reads, by line.
+    #[must_use]
+    pub fn read_data(&self) -> &BTreeMap<LineAddr, LineData> {
+        &self.read_data
+    }
+
+    /// Engine statistics (`dma.reads`, `dma.writes`).
+    #[must_use]
+    pub fn stats(&self) -> &StatSet {
+        &self.stats
+    }
+
+    /// Handles a completion from the directory.
+    pub fn on_message(&mut self, now: Tick, msg: &Message, out: &mut Outbox) {
+        match msg.kind {
+            MsgKind::DmaRdResp { data } => {
+                self.read_data.insert(msg.line, data);
+                self.in_flight -= 1;
+            }
+            MsgKind::DmaWrAck => {
+                self.in_flight -= 1;
+            }
+            ref other => panic!("DMA engine got unexpected {}", other.class_name()),
+        }
+        self.pump(now, out);
+    }
+
+    /// Advances the engine: expands due commands and issues line requests.
+    pub fn on_wake(&mut self, now: Tick, out: &mut Outbox) {
+        self.pump(now, out);
+    }
+
+    fn pump(&mut self, now: Tick, out: &mut Outbox) {
+        // Commands execute strictly in order, like a descriptor ring: the
+        // next command is expanded only when the previous one has fully
+        // completed. This lets workloads stage data and then a ready-flag
+        // as two commands and rely on the flag implying the data landed.
+        while self.commands.front().is_some_and(|c| c.at() <= now)
+            && self.pending_lines.is_empty()
+            && self.in_flight == 0
+        {
+            let cmd = self.commands.pop_front().unwrap();
+            match cmd {
+                DmaCommand::Read { base, lines, .. } => {
+                    let first = base.line();
+                    for i in 0..lines {
+                        self.pending_lines.push_back((LineAddr(first.0 + i), None));
+                    }
+                }
+                DmaCommand::Write { base, words, .. } => {
+                    let mut idx = 0usize;
+                    while idx < words.len() {
+                        let a = Addr(base.0 + (idx as u64) * 8);
+                        let la = a.line();
+                        let mut data = LineData::zeroed();
+                        let mut mask = WordMask::empty();
+                        let start_word = a.word_index();
+                        let n = (WORDS_PER_LINE - start_word).min(words.len() - idx);
+                        for k in 0..n {
+                            data.set_word(start_word + k, words[idx + k]);
+                            mask.set(start_word + k);
+                        }
+                        idx += n;
+                        self.pending_lines.push_back((la, Some((data, mask))));
+                    }
+                }
+            }
+        }
+        // Issue up to the window.
+        while self.in_flight < self.window {
+            let Some((la, write)) = self.pending_lines.pop_front() else {
+                break;
+            };
+            self.in_flight += 1;
+            let kind = match write {
+                None => {
+                    self.stats.bump("dma.reads");
+                    MsgKind::DmaRd
+                }
+                Some((data, mask)) => {
+                    self.stats.bump("dma.writes");
+                    MsgKind::DmaWr { data, mask }
+                }
+            };
+            out.send(Message::new(AgentId::Dma, AgentId::Directory, la, kind));
+        }
+        // If future commands remain and nothing is in flight to re-trigger
+        // us, schedule a wake at the next command time.
+        if self.in_flight == 0 && self.pending_lines.is_empty() {
+            if let Some(c) = self.commands.front() {
+                out.wake_at(c.at().max(now));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hsc_mem::MainMemory;
+    use hsc_noc::Action;
+    use hsc_sim::EventQueue;
+
+    fn run_dma(dma: &mut DmaEngine, mem: &mut MainMemory, limit: u64) {
+        #[derive(Debug)]
+        enum Ev {
+            Wake,
+            Msg(Message),
+        }
+        let mut q: EventQueue<Ev> = EventQueue::new();
+        q.schedule(Tick(0), Ev::Wake);
+        let mut steps = 0u64;
+        while let Some((now, ev)) = q.pop() {
+            steps += 1;
+            assert!(steps < limit);
+            let mut out = Outbox::new(now);
+            match ev {
+                Ev::Wake => dma.on_wake(now, &mut out),
+                Ev::Msg(m) if m.dst == AgentId::Dma => dma.on_message(now, &m, &mut out),
+                Ev::Msg(m) => {
+                    let resp = match m.kind {
+                        MsgKind::DmaRd => MsgKind::DmaRdResp { data: mem.read_line(m.line) },
+                        MsgKind::DmaWr { data, mask } => {
+                            let mut line = mem.read_line(m.line);
+                            mask.apply(&mut line, &data);
+                            mem.write_line(m.line, line);
+                            MsgKind::DmaWrAck
+                        }
+                        ref k => panic!("fake directory got {}", k.class_name()),
+                    };
+                    q.schedule(now + 5, Ev::Msg(Message::new(AgentId::Directory, m.src, m.line, resp)));
+                }
+            }
+            for act in out.into_actions() {
+                match act {
+                    Action::Send(m) => q.schedule(now + 5, Ev::Msg(m)),
+                    Action::SendLater(t, m) => q.schedule(t + 5, Ev::Msg(m)),
+                    Action::Wake(t) => q.schedule(t, Ev::Wake),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn write_then_read_round_trips() {
+        let words: Vec<u64> = (0..20).collect();
+        let mut dma = DmaEngine::new(
+            vec![
+                DmaCommand::Write { base: Addr(0x1000), words: words.clone(), at: Tick(0) },
+                DmaCommand::Read { base: Addr(0x1000), lines: 3, at: Tick(100) },
+            ],
+            4,
+        );
+        let mut mem = MainMemory::new();
+        run_dma(&mut dma, &mut mem, 10_000);
+        assert!(dma.is_done());
+        for (i, w) in words.iter().enumerate() {
+            assert_eq!(mem.read_word(Addr(0x1000 + (i as u64) * 8)), *w);
+        }
+        // 20 words = 3 lines (8+8+4).
+        assert_eq!(dma.stats().get("dma.writes"), 3);
+        assert_eq!(dma.stats().get("dma.reads"), 3);
+        let first = dma.read_data().get(&Addr(0x1000).line()).unwrap();
+        assert_eq!(first.word(0), 0);
+        assert_eq!(first.word(7), 7);
+    }
+
+    #[test]
+    fn unaligned_start_uses_partial_masks() {
+        // Start mid-line: 4 words into line 0.
+        let mut dma = DmaEngine::new(
+            vec![DmaCommand::Write { base: Addr(0x1020), words: vec![9, 9, 9, 9, 9, 9], at: Tick(0) }],
+            8,
+        );
+        let mut mem = MainMemory::new();
+        mem.write_word(Addr(0x1000), 77); // must survive the partial write
+        run_dma(&mut dma, &mut mem, 10_000);
+        assert!(dma.is_done());
+        assert_eq!(mem.read_word(Addr(0x1000)), 77, "unwritten words preserved");
+        assert_eq!(mem.read_word(Addr(0x1020)), 9);
+        assert_eq!(mem.read_word(Addr(0x1048)), 9);
+        assert_eq!(dma.stats().get("dma.writes"), 2, "spans two lines");
+    }
+
+    #[test]
+    fn window_limits_in_flight_requests() {
+        let mut dma = DmaEngine::new(
+            vec![DmaCommand::Read { base: Addr(0), lines: 10, at: Tick(0) }],
+            2,
+        );
+        let mut out = Outbox::new(Tick(0));
+        dma.on_wake(Tick(0), &mut out);
+        let sends = out
+            .actions()
+            .iter()
+            .filter(|a| matches!(a, Action::Send(_)))
+            .count();
+        assert_eq!(sends, 2, "window of 2 caps the initial burst");
+        assert!(!dma.is_done());
+    }
+
+    #[test]
+    fn commands_wait_for_their_issue_time() {
+        let mut dma = DmaEngine::new(
+            vec![DmaCommand::Read { base: Addr(0), lines: 1, at: Tick(500) }],
+            4,
+        );
+        let mut out = Outbox::new(Tick(0));
+        dma.on_wake(Tick(0), &mut out);
+        assert!(
+            out.actions().iter().all(|a| matches!(a, Action::Wake(Tick(500)))),
+            "nothing issued before the command time; wake scheduled instead"
+        );
+    }
+
+    #[test]
+    fn empty_engine_is_done() {
+        let dma = DmaEngine::new(vec![], 4);
+        assert!(dma.is_done());
+    }
+}

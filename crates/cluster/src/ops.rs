@@ -1,0 +1,173 @@
+use std::fmt;
+
+use hsc_mem::{Addr, AtomicKind};
+
+/// One operation of a CPU thread, produced on demand by a [`CoreProgram`].
+///
+/// Cores are in-order and blocking: an op completes before the next one is
+/// requested, and the previous load/atomic result is handed back to the
+/// program, which is how data-dependent control flow (spin loops, CAS retry
+/// loops, work-stealing) is expressed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CpuOp {
+    /// Busy computation for the given number of *CPU* cycles.
+    Compute(u64),
+    /// 64-bit load; the value is passed to the next `next_op` call.
+    Load(Addr),
+    /// 64-bit store of an immediate value.
+    Store(Addr, u64),
+    /// Read-modify-write executed with Modified permission in the L2 (the
+    /// line is owned for the duration, like an x86 `lock` prefix). The old
+    /// value is passed to the next `next_op` call.
+    Atomic(Addr, AtomicKind),
+    /// The thread has finished; the core idles forever.
+    Done,
+}
+
+impl fmt::Display for CpuOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CpuOp::Compute(c) => write!(f, "compute({c})"),
+            CpuOp::Load(a) => write!(f, "load {a}"),
+            CpuOp::Store(a, v) => write!(f, "store {a}={v}"),
+            CpuOp::Atomic(a, op) => write!(f, "atomic {a} {op:?}"),
+            CpuOp::Done => write!(f, "done"),
+        }
+    }
+}
+
+/// A CPU thread: a deterministic state machine emitting [`CpuOp`]s.
+///
+/// `last_value` carries the result of the immediately preceding
+/// `Load`/`Atomic` (or `None` after other ops), so programs can branch on
+/// memory contents.
+///
+/// # Examples
+///
+/// ```
+/// use hsc_cluster::{CoreProgram, CpuOp};
+/// use hsc_mem::Addr;
+///
+/// /// Spins until the flag at `addr` becomes non-zero.
+/// #[derive(Debug)]
+/// struct SpinOnFlag {
+///     addr: Addr,
+///     polled: bool,
+/// }
+///
+/// impl CoreProgram for SpinOnFlag {
+///     fn next_op(&mut self, last_value: Option<u64>) -> CpuOp {
+///         if self.polled && last_value == Some(1) {
+///             return CpuOp::Done;
+///         }
+///         self.polled = true;
+///         CpuOp::Load(self.addr)
+///     }
+/// }
+/// ```
+pub trait CoreProgram: fmt::Debug {
+    /// The next operation; called when the previous one completed.
+    fn next_op(&mut self, last_value: Option<u64>) -> CpuOp;
+
+    /// Optional human-readable label for traces.
+    fn label(&self) -> &str {
+        "cpu-thread"
+    }
+}
+
+/// One operation of a GPU wavefront, produced by a [`WavefrontProgram`].
+///
+/// Vector memory ops carry per-lane word addresses that the TCP coalesces
+/// into line requests. Scope-annotated atomics follow the paper: GLC
+/// (device scope) executes at the TCC, SLC (system scope) bypasses the TCC
+/// and executes at the directory.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GpuOp {
+    /// Busy computation for the given number of *GPU* cycles.
+    Compute(u64),
+    /// Per-lane 64-bit loads, coalesced per line by the TCP. The lane-0
+    /// value is passed to the next `next_op` call.
+    VecLoad(Vec<Addr>),
+    /// Per-lane 64-bit stores.
+    VecStore(Vec<(Addr, u64)>),
+    /// Device-scope atomic, executed at the TCC. Old value handed back.
+    AtomicGlc(Addr, AtomicKind),
+    /// System-scope atomic, executed at the directory (bypasses the TCC).
+    /// Old value handed back.
+    AtomicSlc(Addr, AtomicKind),
+    /// Acquire fence: bulk-invalidates this CU's TCP so later loads see
+    /// system-visible data.
+    Acquire,
+    /// Release fence: blocks until all of this wavefront's prior stores
+    /// are system-visible (write-through acks collected; in write-back
+    /// mode the TCC's dirty lines are flushed first).
+    Release,
+    /// The wavefront has finished.
+    Done,
+}
+
+impl fmt::Display for GpuOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GpuOp::Compute(c) => write!(f, "compute({c})"),
+            GpuOp::VecLoad(v) => write!(f, "vload×{}", v.len()),
+            GpuOp::VecStore(v) => write!(f, "vstore×{}", v.len()),
+            GpuOp::AtomicGlc(a, op) => write!(f, "atomic.glc {a} {op:?}"),
+            GpuOp::AtomicSlc(a, op) => write!(f, "atomic.slc {a} {op:?}"),
+            GpuOp::Acquire => write!(f, "acquire"),
+            GpuOp::Release => write!(f, "release"),
+            GpuOp::Done => write!(f, "done"),
+        }
+    }
+}
+
+/// A GPU wavefront: a deterministic state machine emitting [`GpuOp`]s.
+///
+/// `last_value` carries the lane-0 result of the preceding
+/// `VecLoad`/atomic, letting kernels implement flag polling and work-queue
+/// dequeues with SLC atomics, as the CHAI benchmarks do.
+pub trait WavefrontProgram: fmt::Debug {
+    /// The next operation; called when the previous one completed.
+    fn next_op(&mut self, last_value: Option<u64>) -> GpuOp;
+
+    /// Optional human-readable label for traces.
+    fn label(&self) -> &str {
+        "wavefront"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug)]
+    struct Counter(u32);
+
+    impl CoreProgram for Counter {
+        fn next_op(&mut self, _last: Option<u64>) -> CpuOp {
+            if self.0 == 0 {
+                CpuOp::Done
+            } else {
+                self.0 -= 1;
+                CpuOp::Compute(1)
+            }
+        }
+    }
+
+    #[test]
+    fn programs_are_plain_state_machines() {
+        let mut p = Counter(2);
+        assert_eq!(p.next_op(None), CpuOp::Compute(1));
+        assert_eq!(p.next_op(None), CpuOp::Compute(1));
+        assert_eq!(p.next_op(None), CpuOp::Done);
+        assert_eq!(p.next_op(None), CpuOp::Done, "Done is sticky-safe");
+        assert_eq!(p.label(), "cpu-thread");
+    }
+
+    #[test]
+    fn ops_display_compactly() {
+        assert_eq!(CpuOp::Load(Addr(8)).to_string(), "load 0x8");
+        assert_eq!(GpuOp::VecLoad(vec![Addr(0); 16]).to_string(), "vload×16");
+        assert_eq!(GpuOp::Acquire.to_string(), "acquire");
+    }
+}

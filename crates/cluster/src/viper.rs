@@ -1,0 +1,177 @@
+use hsc_mem::{LineData, WORDS_PER_LINE};
+use hsc_noc::WordMask;
+
+/// Marker for the VIPER protocol's two stable states. Invalid is
+/// represented by absence from the cache array, so `Valid` is the only
+/// inhabited variant; it exists to make protocol tables and traces read
+/// like the paper (§II-C: "simple VI-like protocols").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ViState {
+    /// The line is present and readable.
+    #[default]
+    Valid,
+}
+
+/// One line in a TCP (the per-CU GPU L1).
+///
+/// TCPs are write-through and never forward data on probes, so the only
+/// payload is the (possibly stale until the next acquire) data copy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TcpLine {
+    /// Cached copy of the line.
+    pub data: LineData,
+}
+
+/// One line in the TCC (the GPU L2).
+///
+/// In write-through mode lines are always clean and fully valid. In
+/// write-back mode the TCC allocates stores without fetching, so a line
+/// tracks which words are `valid` (fetched or written) and which are
+/// `dirty` (owed to the system via a `WriteThrough` on eviction or flush).
+///
+/// # Examples
+///
+/// ```
+/// use hsc_cluster::TccLine;
+/// use hsc_mem::Addr;
+///
+/// let mut l = TccLine::empty();
+/// l.write_word(Addr(8), 5);
+/// assert!(l.is_dirty());
+/// assert!(!l.fully_valid());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TccLine {
+    /// Line contents (only `valid` words are meaningful).
+    pub data: LineData,
+    /// Words present in the line.
+    pub valid: WordMask,
+    /// Words owed to the system (write-back mode only).
+    pub dirty: WordMask,
+}
+
+impl TccLine {
+    /// A line with no valid words (write-allocate-without-fetch start).
+    #[must_use]
+    pub fn empty() -> Self {
+        TccLine {
+            data: LineData::zeroed(),
+            valid: WordMask::empty(),
+            dirty: WordMask::empty(),
+        }
+    }
+
+    /// A clean, fully valid line (a fill from the directory).
+    #[must_use]
+    pub fn filled(data: LineData) -> Self {
+        TccLine {
+            data,
+            valid: WordMask::full(),
+            dirty: WordMask::empty(),
+        }
+    }
+
+    /// Whether any word is owed to the system.
+    #[must_use]
+    pub fn is_dirty(&self) -> bool {
+        !self.dirty.is_empty()
+    }
+
+    /// Whether every word is present.
+    #[must_use]
+    pub fn fully_valid(&self) -> bool {
+        self.valid.count() as usize == WORDS_PER_LINE
+    }
+
+    /// Writes one word, marking it valid and dirty.
+    pub fn write_word(&mut self, a: hsc_mem::Addr, v: u64) {
+        self.data.set_word_at(a, v);
+        self.valid.set(a.word_index());
+        self.dirty.set(a.word_index());
+    }
+
+    /// Merges a full fetched line under the current dirty words: fetched
+    /// data fills every word that is not locally dirty.
+    pub fn merge_fill(&mut self, fetched: LineData) {
+        for i in 0..WORDS_PER_LINE {
+            if !self.dirty.contains(i) {
+                self.data.set_word(i, fetched.word(i));
+            }
+        }
+        self.valid = WordMask::full();
+    }
+
+    /// Clears the dirty mask (after a flush/write-back), leaving the line
+    /// valid and clean.
+    pub fn clean(&mut self) {
+        self.dirty = WordMask::empty();
+    }
+}
+
+impl Default for TccLine {
+    fn default() -> Self {
+        TccLine::empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hsc_mem::Addr;
+
+    #[test]
+    fn empty_line_is_clean_and_invalid() {
+        let l = TccLine::empty();
+        assert!(!l.is_dirty());
+        assert!(!l.fully_valid());
+    }
+
+    #[test]
+    fn filled_line_is_fully_valid_and_clean() {
+        let mut d = LineData::zeroed();
+        d.set_word(2, 9);
+        let l = TccLine::filled(d);
+        assert!(l.fully_valid());
+        assert!(!l.is_dirty());
+        assert_eq!(l.data.word(2), 9);
+    }
+
+    #[test]
+    fn write_allocate_without_fetch_tracks_partial_validity() {
+        let mut l = TccLine::empty();
+        l.write_word(Addr(0), 1);
+        l.write_word(Addr(24), 4);
+        assert!(l.is_dirty());
+        assert_eq!(l.valid.count(), 2);
+        assert_eq!(l.dirty.count(), 2);
+        assert!(!l.fully_valid());
+    }
+
+    #[test]
+    fn merge_fill_preserves_dirty_words() {
+        let mut l = TccLine::empty();
+        l.write_word(Addr(8), 42); // word 1 dirty
+        let fetched = LineData::from_words([10, 11, 12, 13, 14, 15, 16, 17]);
+        l.merge_fill(fetched);
+        assert!(l.fully_valid());
+        assert_eq!(l.data.word(0), 10, "fetched word fills clean slot");
+        assert_eq!(l.data.word(1), 42, "dirty word survives the fill");
+        assert!(l.is_dirty(), "merge does not clean the line");
+    }
+
+    #[test]
+    fn clean_clears_only_dirtiness() {
+        let mut l = TccLine::empty();
+        l.write_word(Addr(0), 7);
+        l.merge_fill(LineData::zeroed());
+        l.clean();
+        assert!(!l.is_dirty());
+        assert!(l.fully_valid());
+        assert_eq!(l.data.word(0), 7);
+    }
+
+    #[test]
+    fn vi_state_is_valid_only() {
+        assert_eq!(ViState::default(), ViState::Valid);
+    }
+}

@@ -1,0 +1,408 @@
+//! Edge-case tests of the cluster controllers against a scripted fake
+//! directory: races the full-system runs only hit probabilistically are
+//! forced deterministically here.
+
+use hsc_cluster::{
+    CoreProgram, CorePair, CpuConfig, CpuOp, DmaCommand, DmaEngine, GpuCluster, GpuConfig, GpuOp,
+    GpuWritePolicy, WavefrontProgram,
+};
+use hsc_mem::{Addr, LineData, MainMemory};
+use hsc_noc::{Action, AgentId, Grant, Message, MsgKind, Outbox, ProbeKind, WordMask};
+use hsc_sim::{EventQueue, Tick};
+
+fn data(v: u64) -> LineData {
+    let mut d = LineData::zeroed();
+    d.set_word(0, v);
+    d
+}
+
+#[derive(Debug)]
+struct Script(Vec<CpuOp>, usize);
+
+impl CoreProgram for Script {
+    fn next_op(&mut self, _last: Option<u64>) -> CpuOp {
+        let op = self.0.get(self.1).copied().unwrap_or(CpuOp::Done);
+        self.1 += 1;
+        op
+    }
+}
+
+/// Steps a CorePair until it emits a directory request of the given class.
+fn run_until_request(pair: &mut CorePair, class: &str, limit: u64) -> Message {
+    run_until_request_from(pair, class, limit, Tick(0))
+}
+
+/// Like [`run_until_request`] but starting the wake pump at `start`.
+fn run_until_request_from(pair: &mut CorePair, class: &str, limit: u64, start: Tick) -> Message {
+    let mut q: EventQueue<Tick> = EventQueue::new();
+    q.schedule(start, start);
+    let mut steps = 0;
+    while let Some((now, _)) = q.pop() {
+        steps += 1;
+        assert!(steps < limit, "no {class} request emitted");
+        let mut out = Outbox::new(now);
+        pair.on_wake(now, &mut out);
+        for act in out.into_actions() {
+            match act {
+                Action::Send(m) if m.kind.class_name() == class => return m,
+                Action::Send(_) | Action::SendLater(..) => {}
+                Action::Wake(t) => q.schedule(t, t),
+            }
+        }
+    }
+    panic!("ran dry without a {class} request");
+}
+
+#[test]
+fn inv_probe_during_pending_upgrade_invalidates_the_s_copy() {
+    // The race: an L2 holds a line Shared, issues RdBlkM (upgrade), and an
+    // invalidating probe for another agent's write arrives first. The L2
+    // must invalidate and ack clean; the eventual full Resp re-fills it.
+    let a = Addr(0x9000);
+    let mut pair = CorePair::new(
+        0,
+        vec![Box::new(Script(vec![CpuOp::Load(a), CpuOp::Store(a, 5), CpuOp::Load(a), CpuOp::Done], 0))],
+        CpuConfig::default(),
+    );
+    // Load miss → RdBlk.
+    let req = run_until_request(&mut pair, "RdBlk", 1000);
+    assert_eq!(req.line, a.line());
+    // Grant Shared (someone else has it).
+    let mut out = Outbox::new(Tick(100));
+    pair.on_message(
+        Tick(100),
+        &Message::new(AgentId::Directory, pair.agent(), a.line(), MsgKind::Resp {
+            data: data(1),
+            grant: Grant::Shared,
+        }),
+        &mut out,
+    );
+    // Drain the fill's actions (Unblock, wake), then pump until the store
+    // re-attempts and issues its upgrade.
+    drop(out);
+    let up = run_until_request_from(&mut pair, "RdBlkM", 1000, Tick(101));
+    assert_eq!(up.line, a.line(), "upgrade issued for the stored line");
+    // Before the response, an invalidating probe lands.
+    let mut out = Outbox::new(Tick(200));
+    pair.on_message(
+        Tick(200),
+        &Message::new(AgentId::Directory, pair.agent(), a.line(), MsgKind::Probe {
+            kind: ProbeKind::Invalidate,
+        }),
+        &mut out,
+    );
+    let acks: Vec<Message> = out
+        .into_actions()
+        .into_iter()
+        .filter_map(|a| match a {
+            Action::Send(m) => Some(m),
+            _ => None,
+        })
+        .collect();
+    match acks[0].kind {
+        MsgKind::ProbeAck { dirty, had_copy, .. } => {
+            assert!(had_copy, "the S copy was present");
+            assert!(dirty.is_none(), "S never forwards data");
+        }
+        ref k => panic!("expected ProbeAck, got {}", k.class_name()),
+    }
+    // Now the directory answers the upgrade with full data + M.
+    let mut out = Outbox::new(Tick(300));
+    pair.on_message(
+        Tick(300),
+        &Message::new(AgentId::Directory, pair.agent(), a.line(), MsgKind::Resp {
+            data: data(9),
+            grant: Grant::Modified,
+        }),
+        &mut out,
+    );
+    let mut out2 = Outbox::new(Tick(301));
+    pair.on_wake(Tick(301), &mut out2);
+    // The store applied over the fresh data: line is dirty with 5.
+    let dirty = pair.peek_dirty(a.line()).expect("line must be Modified");
+    assert_eq!(dirty.word_at(a), 5);
+}
+
+#[test]
+fn upgrade_ack_preserves_the_owned_lines_local_stores() {
+    // UpgradeAck carries no data: the local O copy must survive verbatim.
+    let a = Addr(0xA000);
+    let mut pair = CorePair::new(
+        0,
+        vec![Box::new(Script(vec![CpuOp::Store(a, 7), CpuOp::Store(a.word(1), 8), CpuOp::Done], 0))],
+        CpuConfig::default(),
+    );
+    let _ = run_until_request(&mut pair, "RdBlkM", 1000);
+    let mut out = Outbox::new(Tick(10));
+    pair.on_message(
+        Tick(10),
+        &Message::new(AgentId::Directory, pair.agent(), a.line(), MsgKind::Resp {
+            data: data(0),
+            grant: Grant::Modified,
+        }),
+        &mut out,
+    );
+    // First store applied; now a downgrade probe turns M into O.
+    let mut out = Outbox::new(Tick(20));
+    pair.on_message(
+        Tick(20),
+        &Message::new(AgentId::Directory, pair.agent(), a.line(), MsgKind::Probe {
+            kind: ProbeKind::Downgrade,
+        }),
+        &mut out,
+    );
+    // Let the second store run: O can't write, so an upgrade goes out.
+    let mut q: EventQueue<()> = EventQueue::new();
+    q.schedule(Tick(21), ());
+    let mut got_upgrade = false;
+    while let Some((now, ())) = q.pop() {
+        let mut out = Outbox::new(now);
+        pair.on_wake(now, &mut out);
+        for act in out.into_actions() {
+            match act {
+                Action::Send(m) if matches!(m.kind, MsgKind::RdBlkM) => got_upgrade = true,
+                Action::Wake(t) => q.schedule(t, ()),
+                _ => {}
+            }
+        }
+        if got_upgrade {
+            break;
+        }
+    }
+    assert!(got_upgrade, "store to an O line must request an upgrade");
+    // The tracked directory answers with a data-less UpgradeAck.
+    let mut out = Outbox::new(Tick(50));
+    pair.on_message(
+        Tick(50),
+        &Message::new(AgentId::Directory, pair.agent(), a.line(), MsgKind::UpgradeAck),
+        &mut out,
+    );
+    let mut out2 = Outbox::new(Tick(51));
+    pair.on_wake(Tick(51), &mut out2);
+    let dirty = pair.peek_dirty(a.line()).expect("line Modified again");
+    assert_eq!(dirty.word_at(a), 7, "first store survived the downgrade + upgrade");
+    assert_eq!(dirty.word_at(a.word(1)), 8, "second store applied after UpgradeAck");
+}
+
+#[test]
+fn wb_tcc_eviction_writes_back_via_write_through() {
+    // Fill a TCC set with dirty lines; the eviction must emit a
+    // WriteThrough carrying the dirty words (§II-A: WT doubles as the
+    // write-back request).
+    let mut cfg = GpuConfig::default();
+    cfg.cus = 1;
+    cfg.tcc_bytes = 2048; // 32 lines, 16 ways → 2 sets
+    cfg.tcp_bytes = 1024;
+    cfg.sqc_bytes = 1024;
+    cfg.tcc_policy = GpuWritePolicy::WriteBack;
+    cfg.ifetch_interval = 10_000;
+    #[derive(Debug)]
+    struct Streamer {
+        i: u64,
+    }
+    impl WavefrontProgram for Streamer {
+        fn next_op(&mut self, _last: Option<u64>) -> GpuOp {
+            if self.i >= 40 {
+                return GpuOp::Done; // no release: eviction must do the WB
+            }
+            let a = Addr(0x1000 + self.i * 128); // stride 2 lines → one set
+            self.i += 1;
+            GpuOp::VecStore(vec![(a, self.i)])
+        }
+    }
+    let mut gpu = GpuCluster::new(0, vec![vec![Box::new(Streamer { i: 0 })]], cfg);
+    let mut q: EventQueue<Ev> = EventQueue::new();
+    #[derive(Debug)]
+    enum Ev {
+        Wake,
+        Msg(Message),
+    }
+    q.schedule(Tick(0), Ev::Wake);
+    let mut mem = MainMemory::new();
+    let mut wt_seen = 0u64;
+    let mut guard = 0;
+    while let Some((now, ev)) = q.pop() {
+        guard += 1;
+        assert!(guard < 100_000);
+        let mut out = Outbox::new(now);
+        match ev {
+            Ev::Wake => gpu.on_wake(now, &mut out),
+            Ev::Msg(m) if m.dst == gpu.agent() => gpu.on_message(now, &m, &mut out),
+            Ev::Msg(m) => {
+                let resp = match m.kind {
+                    MsgKind::WriteThrough { data, mask, .. } => {
+                        wt_seen += 1;
+                        let mut line = mem.read_line(m.line);
+                        mask.apply(&mut line, &data);
+                        mem.write_line(m.line, line);
+                        MsgKind::WtAck
+                    }
+                    MsgKind::RdBlk => MsgKind::Resp { data: mem.read_line(m.line), grant: Grant::Shared },
+                    MsgKind::Flush => MsgKind::FlushAck,
+                    ref k => panic!("unexpected {}", k.class_name()),
+                };
+                q.schedule(now + 5, Ev::Msg(Message::new(AgentId::Directory, m.src, m.line, resp)));
+            }
+        }
+        for act in out.into_actions() {
+            match act {
+                Action::Send(m) => q.schedule(now + 5, Ev::Msg(m)),
+                Action::SendLater(t, m) => q.schedule(t + 5, Ev::Msg(m)),
+                Action::Wake(t) => q.schedule(t, Ev::Wake),
+            }
+        }
+    }
+    assert!(wt_seen > 0, "dirty TCC evictions must write back");
+    // 40 stores, 2-line stride into a 2-set TCC: the first victims are the
+    // oldest lines; each carried its store.
+    let mut survived = 0;
+    for i in 0..40u64 {
+        if mem.read_word(Addr(0x1000 + i * 128)) == i + 1 {
+            survived += 1;
+        }
+    }
+    assert_eq!(wt_seen, survived, "every write-back delivered its dirty word");
+}
+
+#[test]
+fn dma_commands_execute_strictly_in_order() {
+    // A data command and a flag command issued at the same tick: the
+    // flag's DmaWr must not be issued until every line of the data
+    // command has been acknowledged.
+    let words: Vec<u64> = (0..32).collect(); // 4 lines
+    let mut dma = DmaEngine::new(
+        vec![
+            DmaCommand::Write { base: Addr(0x4000), words, at: Tick(0) },
+            DmaCommand::Write { base: Addr(0x5000), words: vec![1], at: Tick(0) },
+        ],
+        16,
+    );
+    let mut out = Outbox::new(Tick(0));
+    dma.on_wake(Tick(0), &mut out);
+    let first: Vec<Message> = out
+        .into_actions()
+        .into_iter()
+        .filter_map(|a| match a {
+            Action::Send(m) => Some(m),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(first.len(), 4, "only the first command's lines are issued");
+    assert!(first.iter().all(|m| m.line.base().0 < 0x5000));
+    // Ack three of four: the flag still must not go out.
+    for m in &first[..3] {
+        let mut out = Outbox::new(Tick(10));
+        dma.on_message(
+            Tick(10),
+            &Message::new(AgentId::Directory, AgentId::Dma, m.line, MsgKind::DmaWrAck),
+            &mut out,
+        );
+        assert!(
+            out.actions().iter().all(|a| !matches!(a, Action::Send(_))),
+            "flag leaked before the data command completed"
+        );
+    }
+    // The fourth ack releases the flag command.
+    let mut out = Outbox::new(Tick(20));
+    dma.on_message(
+        Tick(20),
+        &Message::new(AgentId::Directory, AgentId::Dma, first[3].line, MsgKind::DmaWrAck),
+        &mut out,
+    );
+    let flag: Vec<Message> = out
+        .into_actions()
+        .into_iter()
+        .filter_map(|a| match a {
+            Action::Send(m) => Some(m),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(flag.len(), 1);
+    assert_eq!(flag[0].line, Addr(0x5000).line());
+    match flag[0].kind {
+        MsgKind::DmaWr { mask, .. } => assert_eq!(mask, WordMask::single(0)),
+        ref k => panic!("expected DmaWr, got {}", k.class_name()),
+    }
+}
+
+#[test]
+fn slc_atomic_self_invalidates_cached_copies() {
+    // A TCC copy of a line must not survive an SLC atomic to that line
+    // (the directory-side modification would make it stale).
+    let a = Addr(0x7000);
+    #[derive(Debug)]
+    struct P {
+        step: u32,
+    }
+    impl WavefrontProgram for P {
+        fn next_op(&mut self, last: Option<u64>) -> GpuOp {
+            self.step += 1;
+            match self.step {
+                1 => GpuOp::VecLoad(vec![Addr(0x7000)]),
+                2 => GpuOp::AtomicSlc(Addr(0x7000), hsc_mem::AtomicKind::FetchAdd(1)),
+                3 => {
+                    assert_eq!(last, Some(0), "old value from the directory");
+                    GpuOp::VecLoad(vec![Addr(0x7000)]) // must MISS and refetch
+                }
+                4 => {
+                    assert_eq!(last, Some(1), "the refetch sees the atomic's result");
+                    GpuOp::Done
+                }
+                _ => GpuOp::Done,
+            }
+        }
+    }
+    let mut cfg = GpuConfig::default();
+    cfg.cus = 1;
+    cfg.tcp_bytes = 1024;
+    cfg.tcc_bytes = 2048;
+    cfg.sqc_bytes = 1024;
+    cfg.ifetch_interval = 10_000;
+    let mut gpu = GpuCluster::new(0, vec![vec![Box::new(P { step: 0 })]], cfg);
+    // Mini fake directory executing the atomic functionally.
+    #[derive(Debug)]
+    enum Ev {
+        Wake,
+        Msg(Message),
+    }
+    let mut q: EventQueue<Ev> = EventQueue::new();
+    q.schedule(Tick(0), Ev::Wake);
+    let mut mem = MainMemory::new();
+    let mut rdblks = 0;
+    let mut guard = 0;
+    while let Some((now, ev)) = q.pop() {
+        guard += 1;
+        assert!(guard < 10_000);
+        let mut out = Outbox::new(now);
+        match ev {
+            Ev::Wake => gpu.on_wake(now, &mut out),
+            Ev::Msg(m) if m.dst == gpu.agent() => gpu.on_message(now, &m, &mut out),
+            Ev::Msg(m) => {
+                let resp = match m.kind {
+                    MsgKind::RdBlk => {
+                        rdblks += 1;
+                        MsgKind::Resp { data: mem.read_line(m.line), grant: Grant::Shared }
+                    }
+                    MsgKind::AtomicReq { word, op } => {
+                        let mut line = mem.read_line(m.line);
+                        let old = line.apply_atomic(m.line.word_addr(word as usize), op);
+                        mem.write_line(m.line, line);
+                        MsgKind::AtomicResp { old }
+                    }
+                    ref k => panic!("unexpected {}", k.class_name()),
+                };
+                q.schedule(now + 5, Ev::Msg(Message::new(AgentId::Directory, m.src, m.line, resp)));
+            }
+        }
+        for act in out.into_actions() {
+            match act {
+                Action::Send(m) => q.schedule(now + 5, Ev::Msg(m)),
+                Action::SendLater(t, m) => q.schedule(t + 5, Ev::Msg(m)),
+                Action::Wake(t) => q.schedule(t, Ev::Wake),
+            }
+        }
+    }
+    assert!(gpu.is_done());
+    assert_eq!(rdblks, 2, "the post-atomic load must refetch (self-invalidation)");
+    assert_eq!(mem.read_word(a), 1);
+}

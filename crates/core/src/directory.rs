@@ -1,0 +1,1079 @@
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+use hsc_cluster::gpu_cycles;
+use hsc_mem::{CacheArray, CacheGeometry, LineAddr, LineData};
+use hsc_noc::{AgentId, Grant, Message, MsgKind, Outbox, ProbeKind, WordMask};
+use hsc_sim::{EventQueue, Histogram, StatSet, Tick};
+
+use crate::tracking::{
+    plan, DataPlan, DirEntry, DirState, GrantPlan, NextState, PlanReq, ProbePlan, Requester,
+    SharerSet,
+};
+use crate::{
+    CleanVictimPolicy, CoherenceConfig, DirReplacementPolicy, Llc, LlcWritePolicy,
+    UncoreConfig,
+};
+
+/// What an in-flight directory transaction is doing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum TxnKind {
+    /// A request from a cache/DMA (the `origin` message says which).
+    Request,
+    /// A directory-entry eviction: backward-invalidate the tracked caches
+    /// of the victim line (the transient **B** state of §IV-A).
+    BackInval,
+}
+
+#[derive(Debug)]
+struct DirTxn {
+    kind: TxnKind,
+    origin: Message,
+    /// Transition decided at start (tracking mode only).
+    planned: Option<crate::tracking::Transition>,
+    requester_role: Requester,
+    pending_acks: u32,
+    dirty_data: Option<LineData>,
+    copies_found: u32,
+    /// The directory+LLC pipeline slot has elapsed.
+    llc_ready: bool,
+    llc_scheduled: bool,
+    llc_data: Option<LineData>,
+    llc_was_hit: bool,
+    mem_requested: bool,
+    mem_data: Option<LineData>,
+    /// §III-A: a response has already been sent from a dirty probe ack.
+    responded: bool,
+    awaiting_unblock: bool,
+    /// Arrival time, for the transaction-latency histogram.
+    arrived: Tick,
+    /// Same-line requests that arrived while this transaction was active.
+    queued: VecDeque<Message>,
+    /// Requests for *other* lines waiting for this transaction to free a
+    /// directory way.
+    parked_allocs: Vec<Message>,
+    /// Entry state captured at start (tracking mode).
+    start_state: DirState,
+}
+
+impl DirTxn {
+    fn new(kind: TxnKind, origin: Message, role: Requester, start_state: DirState) -> Self {
+        DirTxn {
+            kind,
+            origin,
+            planned: None,
+            requester_role: role,
+            pending_acks: 0,
+            dirty_data: None,
+            copies_found: 0,
+            llc_ready: false,
+            llc_scheduled: false,
+            llc_data: None,
+            llc_was_hit: false,
+            mem_requested: false,
+            mem_data: None,
+            responded: false,
+            awaiting_unblock: false,
+            arrived: Tick::ZERO,
+            queued: VecDeque::new(),
+            parked_allocs: Vec::new(),
+            start_state,
+        }
+    }
+}
+
+/// The system-level directory co-located with the LLC (§II-D, Fig. 2),
+/// including every §III optimization and the §IV precise state tracking.
+///
+/// Per-line behaviour mirrors the paper's blocked states: one transaction
+/// at a time per line (the **U→B…→U** discipline of Fig. 2); later
+/// requests queue. With `DirectoryMode::Stateless` every request
+/// broadcasts probes and reads the LLC/memory, exactly the baseline gem5
+/// model; with tracking the [`plan`] table drives probe elision,
+/// owner-only probes and invalidation multicast.
+///
+/// The victim-cache LLC is written on L2 write-backs only (never on the
+/// refill path); the [`CoherenceConfig`] knobs select the §III-B/§III-C
+/// policies and `useL3OnWT`.
+#[derive(Debug)]
+pub struct Directory {
+    cfg: CoherenceConfig,
+    uncore: UncoreConfig,
+    n_l2: usize,
+    n_tcc: usize,
+    llc: Llc,
+    entries: CacheArray<DirEntry>,
+    txns: BTreeMap<LineAddr, DirTxn>,
+    stale_vics: BTreeSet<(LineAddr, AgentId)>,
+    internal: EventQueue<LineAddr>,
+    stats: StatSet,
+    latency: Histogram,
+}
+
+impl Directory {
+    /// Builds the directory for a system with `n_l2` CorePairs and
+    /// `n_tcc` GPU clusters.
+    #[must_use]
+    pub fn new(cfg: CoherenceConfig, uncore: UncoreConfig, n_l2: usize, n_tcc: usize) -> Self {
+        Directory {
+            cfg,
+            uncore,
+            n_l2,
+            n_tcc,
+            llc: Llc::new(CacheGeometry::new(uncore.llc_bytes, uncore.llc_ways)),
+            entries: CacheArray::new(CacheGeometry::from_lines(uncore.dir_entries, uncore.dir_ways)),
+            txns: BTreeMap::new(),
+            stale_vics: BTreeSet::new(),
+            internal: EventQueue::new(),
+            stats: StatSet::new(),
+            latency: Histogram::new(),
+        }
+    }
+
+    /// The NoC endpoint.
+    #[must_use]
+    pub fn agent(&self) -> AgentId {
+        AgentId::Directory
+    }
+
+    /// Directory statistics (`dir.probes_sent`, `dir.requests.<Class>`,
+    /// `dir.entry_evictions`, the wrapped `llc.*` counters, and the
+    /// transaction-latency summary `dir.txn_latency_*`).
+    #[must_use]
+    pub fn stats(&self) -> StatSet {
+        let mut s = self.stats.clone();
+        s.merge(self.llc.stats());
+        s.add("dir.txn_latency_count", self.latency.count());
+        s.add("dir.txn_latency_mean_ticks", self.latency.mean() as u64);
+        s.add("dir.txn_latency_max_ticks", self.latency.max());
+        s
+    }
+
+    /// Full transaction-latency histogram (power-of-two buckets, ticks).
+    #[must_use]
+    pub fn latency_histogram(&self) -> &Histogram {
+        &self.latency
+    }
+
+    /// Whether no transaction is in flight.
+    #[must_use]
+    pub fn is_idle(&self) -> bool {
+        self.txns.is_empty() && self.internal.is_empty()
+    }
+
+    /// The LLC, for end-of-run memory reconstruction.
+    #[must_use]
+    pub fn llc(&self) -> &Llc {
+        &self.llc
+    }
+
+    /// Human-readable dump of in-flight transactions (deadlock triage).
+    #[must_use]
+    pub fn pending_transactions(&self) -> Vec<String> {
+        self.txns
+            .iter()
+            .map(|(la, t)| {
+                format!(
+                    "{la}: {:?} {} acks={} unblock={} llc_sched={} llc_ready={} mem_req={} responded={} queued={} state={:?}",
+                    t.kind,
+                    t.origin.kind.class_name(),
+                    t.pending_acks,
+                    t.awaiting_unblock,
+                    t.llc_scheduled,
+                    t.llc_ready,
+                    t.mem_requested,
+                    t.responded,
+                    t.queued.len(),
+                    t.start_state,
+                )
+            })
+            .collect()
+    }
+
+    /// Handles a message delivered to the directory.
+    pub fn on_message(&mut self, now: Tick, msg: &Message, out: &mut Outbox) {
+        match msg.kind {
+            k if k.is_dir_request() => self.handle_request(now, *msg, out),
+            MsgKind::ProbeAck { dirty, had_copy, was_parked } => {
+                self.on_probe_ack(now, msg, dirty, had_copy, was_parked, out);
+            }
+            MsgKind::Unblock => self.on_unblock(now, msg.line, out),
+            MsgKind::MemRdResp { data } => self.on_mem_data(now, msg.line, data, out),
+            ref other => panic!("directory got unexpected {}", other.class_name()),
+        }
+    }
+
+    /// Fires due internal events (LLC pipeline slots).
+    pub fn on_wake(&mut self, now: Tick, out: &mut Outbox) {
+        while self.internal.peek_tick().is_some_and(|t| t <= now) {
+            let (_, line) = self.internal.pop().unwrap();
+            if let Some(txn) = self.txns.get_mut(&line) {
+                if !txn.llc_ready {
+                    txn.llc_ready = true;
+                    self.try_complete(now, line, out);
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // request intake
+    // ------------------------------------------------------------------
+
+    fn handle_request(&mut self, now: Tick, msg: Message, out: &mut Outbox) {
+        if let Some(txn) = self.txns.get_mut(&msg.line) {
+            txn.queued.push_back(msg);
+            self.stats.bump("dir.queued_requests");
+            return;
+        }
+        self.start_txn(now, msg, VecDeque::new(), out);
+    }
+
+    /// Starts a transaction; `carry` is the queue inherited from a
+    /// predecessor on the same line.
+    fn start_txn(&mut self, now: Tick, msg: Message, carry: VecDeque<Message>, out: &mut Outbox) {
+        debug_assert!(!self.txns.contains_key(&msg.line));
+        self.stats.bump(&format!("dir.requests.{}", msg.kind.class_name()));
+
+        // Stale-victim filter: a probe already consumed this write-back.
+        if matches!(msg.kind, MsgKind::VicDirty { .. } | MsgKind::VicClean { .. })
+            && self.stale_vics.remove(&(msg.line, msg.src))
+        {
+            self.stats.bump("dir.stale_vics_dropped");
+            out.send_after(
+                gpu_cycles(self.uncore.dir_cycles),
+                Message::new(AgentId::Directory, msg.src, msg.line, MsgKind::VicAck),
+            );
+            self.resume_queue(now, msg.line, carry, out);
+            return;
+        }
+
+        // Tracking-mode stale VicDirty from a non-owner: ack, no write.
+        if self.cfg.directory.tracks() {
+            if let MsgKind::VicDirty { .. } = msg.kind {
+                let is_owner = self
+                    .entry_of(msg.line)
+                    .is_some_and(|e| e.state == DirState::O && e.owner == Some(msg.src));
+                if !is_owner {
+                    self.stats.bump("dir.stale_vics_dropped");
+                    out.send_after(
+                        gpu_cycles(self.uncore.dir_cycles),
+                        Message::new(AgentId::Directory, msg.src, msg.line, MsgKind::VicAck),
+                    );
+                    self.resume_queue(now, msg.line, carry, out);
+                    return;
+                }
+            }
+        }
+
+        // Tracking mode: make room in the directory cache if this request
+        // will allocate an entry.
+        if self.cfg.directory.tracks()
+            && self.request_allocates(&msg)
+            && self.entry_of(msg.line).is_none()
+            && self.entries.set_is_full(msg.line)
+        {
+            self.begin_entry_eviction(now, msg, carry, out);
+            return;
+        }
+
+        let role = self.role_of(&msg);
+        let start_state = self.dir_state(msg.line);
+        let mut txn = DirTxn::new(TxnKind::Request, msg, role, start_state);
+        txn.arrived = now;
+        txn.queued = carry;
+
+        // Reserve the directory way so concurrent allocations in the same
+        // set cannot oversubscribe it.
+        if self.cfg.directory.tracks()
+            && self.request_allocates(&msg)
+            && self.entry_of(msg.line).is_none()
+        {
+            let outcome = self.entries.insert(msg.line, DirEntry::reserved());
+            debug_assert!(
+                matches!(outcome, hsc_mem::InsertOutcome::Inserted),
+                "eviction handled above"
+            );
+        }
+
+        // Decide probes + data plan.
+        let (targets, probe_kind, data_plan) = if self.cfg.directory.tracks() {
+            let req = Self::plan_req(&msg.kind);
+            let tr = plan(self.cfg.directory, start_state, req, role);
+            txn.planned = Some(tr);
+            let targets = self.resolve_probe_targets(msg.line, msg.src, tr.probes);
+            let kind = match tr.probes {
+                ProbePlan::DowngradeOwner => ProbeKind::Downgrade,
+                _ => ProbeKind::Invalidate,
+            };
+            (targets, kind, tr.data)
+        } else {
+            self.stateless_probe_plan(&msg)
+        };
+
+        for dst in &targets {
+            self.stats.bump("dir.probes_sent");
+            out.send_after(
+                gpu_cycles(self.uncore.dir_cycles),
+                Message::new(AgentId::Directory, *dst, msg.line, MsgKind::Probe { kind: probe_kind }),
+            );
+        }
+        txn.pending_acks = targets.len() as u32;
+
+        // Schedule the directory+LLC pipeline slot. Lazy data plans
+        // (OwnerThenLlc) skip it until the owner turns out clean.
+        let lazy = data_plan == DataPlan::OwnerThenLlc;
+        if !lazy {
+            txn.llc_scheduled = true;
+            self.internal.schedule(
+                now + gpu_cycles(self.uncore.dir_cycles + self.uncore.llc_cycles),
+                msg.line,
+            );
+            out.wake_at(now + gpu_cycles(self.uncore.dir_cycles + self.uncore.llc_cycles));
+        }
+
+        self.txns.insert(msg.line, txn);
+        self.try_complete(now, msg.line, out);
+    }
+
+    /// Whether this request class allocates/uses a tracked entry.
+    fn request_allocates(&self, msg: &Message) -> bool {
+        match msg.kind {
+            MsgKind::RdBlk | MsgKind::RdBlkS | MsgKind::RdBlkM => true,
+            MsgKind::WriteThrough { retains, .. } => retains,
+            _ => false,
+        }
+    }
+
+    fn plan_req(kind: &MsgKind) -> PlanReq {
+        match kind {
+            MsgKind::RdBlk => PlanReq::RdBlk,
+            MsgKind::RdBlkS => PlanReq::RdBlkS,
+            MsgKind::RdBlkM => PlanReq::RdBlkM,
+            MsgKind::VicDirty { .. } => PlanReq::VicDirty,
+            MsgKind::VicClean { .. } => PlanReq::VicClean,
+            MsgKind::WriteThrough { retains, .. } => PlanReq::WriteThrough { retains: *retains },
+            MsgKind::AtomicReq { .. } => PlanReq::Atomic,
+            MsgKind::DmaRd => PlanReq::DmaRd,
+            MsgKind::DmaWr { .. } => PlanReq::DmaWr,
+            MsgKind::Flush => PlanReq::Flush,
+            other => panic!("{} is not a directory request", other.class_name()),
+        }
+    }
+
+    fn role_of(&self, msg: &Message) -> Requester {
+        match msg.src {
+            AgentId::CorePairL2(_) => {
+                let is_owner = self
+                    .entry_of(msg.line)
+                    .is_some_and(|e| e.state == DirState::O && e.owner == Some(msg.src));
+                if is_owner {
+                    Requester::CpuOwner
+                } else {
+                    Requester::Cpu
+                }
+            }
+            AgentId::Tcc(_) => Requester::Tcc,
+            AgentId::Dma => Requester::Dma,
+            other => panic!("{other} cannot send directory requests"),
+        }
+    }
+
+    fn entry_of(&self, la: LineAddr) -> Option<&DirEntry> {
+        self.entries.get(la).filter(|e| !e.reserved)
+    }
+
+    fn dir_state(&self, la: LineAddr) -> DirState {
+        self.entry_of(la).map_or(DirState::I, |e| e.state)
+    }
+
+    fn all_caches(&self) -> impl Iterator<Item = AgentId> + '_ {
+        (0..self.n_l2)
+            .map(AgentId::CorePairL2)
+            .chain((0..self.n_tcc).map(AgentId::Tcc))
+    }
+
+    fn resolve_probe_targets(
+        &self,
+        la: LineAddr,
+        requester: AgentId,
+        probes: ProbePlan,
+    ) -> Vec<AgentId> {
+        match probes {
+            ProbePlan::None => Vec::new(),
+            ProbePlan::DowngradeOwner => {
+                let owner = self
+                    .entry_of(la)
+                    .and_then(|e| e.owner)
+                    .expect("DowngradeOwner plan requires a tracked owner");
+                debug_assert_ne!(owner, requester);
+                vec![owner]
+            }
+            ProbePlan::InvalidateTracked => {
+                if self.cfg.directory.tracks_sharers() {
+                    let entry = self.entry_of(la).expect("tracked plan requires an entry");
+                    let mut v: Vec<AgentId> = entry
+                        .sharers
+                        .iter()
+                        .filter(|&a| a != requester)
+                        .collect();
+                    if let Some(owner) = entry.owner {
+                        if owner != requester && !v.contains(&owner) {
+                            v.push(owner);
+                        }
+                    }
+                    v
+                } else {
+                    // Owner-only tracking: identities unknown, broadcast.
+                    self.all_caches().filter(|&a| a != requester).collect()
+                }
+            }
+        }
+    }
+
+    fn stateless_probe_plan(&self, msg: &Message) -> (Vec<AgentId>, ProbeKind, DataPlan) {
+        let (kind, data) = match msg.kind {
+            MsgKind::RdBlk | MsgKind::RdBlkS | MsgKind::DmaRd => {
+                (Some(ProbeKind::Downgrade), DataPlan::LlcOrMemory)
+            }
+            MsgKind::RdBlkM => (Some(ProbeKind::Invalidate), DataPlan::LlcOrMemory),
+            MsgKind::AtomicReq { .. } => (Some(ProbeKind::Invalidate), DataPlan::LlcOrMemory),
+            MsgKind::WriteThrough { .. } | MsgKind::DmaWr { .. } => {
+                (Some(ProbeKind::Invalidate), DataPlan::None)
+            }
+            MsgKind::VicDirty { .. } | MsgKind::VicClean { .. } | MsgKind::Flush => {
+                (None, DataPlan::None)
+            }
+            ref other => panic!("{} is not a directory request", other.class_name()),
+        };
+        let Some(kind) = kind else {
+            return (Vec::new(), ProbeKind::Downgrade, data);
+        };
+        let include_tcc = kind == ProbeKind::Invalidate || self.cfg.probe_tcc_on_reads;
+        let targets = self
+            .all_caches()
+            .filter(|&a| a != msg.src)
+            .filter(|&a| include_tcc || !a.is_gpu_cache())
+            .collect();
+        (targets, kind, data)
+    }
+
+    fn begin_entry_eviction(
+        &mut self,
+        now: Tick,
+        parked: Message,
+        carry: VecDeque<Message>,
+        out: &mut Outbox,
+    ) {
+        // Victim among non-blocked, non-reserved entries of the set.
+        let txns = &self.txns;
+        let repl = self.cfg.dir_replacement;
+        let pick = self.entries.would_evict_scored(parked.line, |tag, e| {
+            if txns.contains_key(&tag) || e.reserved {
+                1_000_000
+            } else {
+                match repl {
+                    DirReplacementPolicy::TreePlru => 0,
+                    DirReplacementPolicy::StateAware => e.state_aware_score(),
+                }
+            }
+        });
+        let Some((victim, ventry)) = pick else {
+            unreachable!("set_is_full was checked");
+        };
+        if self.txns.contains_key(&victim) || ventry.reserved {
+            // Every way is busy: park on one of the active transactions.
+            let any_busy = self
+                .entries
+                .iter()
+                .find(|(tag, _)| {
+                    self.entries.set_of(*tag) == self.entries.set_of(parked.line)
+                        && self.txns.contains_key(tag)
+                })
+                .map(|(tag, _)| tag)
+                .expect("a full set with no evictable way has a busy transaction");
+            self.stats.bump("dir.alloc_park_on_busy");
+            let busy = self.txns.get_mut(&any_busy).unwrap();
+            busy.parked_allocs.push(parked);
+            busy.parked_allocs.extend(carry);
+            return;
+        }
+        // Start the backward invalidation (transient B state).
+        self.stats.bump("dir.entry_evictions");
+        let ventry = *ventry;
+        let origin = Message::new(AgentId::Directory, AgentId::Directory, victim, MsgKind::Flush);
+        let mut txn = DirTxn::new(TxnKind::BackInval, origin, Requester::Dma, ventry.state);
+        txn.parked_allocs.push(parked);
+        txn.parked_allocs.extend(carry);
+        let targets: Vec<AgentId> = if self.cfg.directory.tracks_sharers() {
+            let mut v: Vec<AgentId> = ventry.sharers.iter().collect();
+            if let Some(owner) = ventry.owner {
+                if !v.contains(&owner) {
+                    v.push(owner);
+                }
+            }
+            v
+        } else {
+            self.all_caches().collect()
+        };
+        for dst in &targets {
+            self.stats.bump("dir.probes_sent");
+            self.stats.bump("dir.backinval_probes");
+            out.send_after(
+                gpu_cycles(self.uncore.dir_cycles),
+                Message::new(
+                    AgentId::Directory,
+                    *dst,
+                    victim,
+                    MsgKind::Probe { kind: ProbeKind::Invalidate },
+                ),
+            );
+        }
+        txn.pending_acks = targets.len() as u32;
+        txn.llc_ready = true; // back-invals need no LLC slot of their own
+        self.txns.insert(victim, txn);
+        self.try_complete(now, victim, out);
+    }
+
+    // ------------------------------------------------------------------
+    // event ingestion
+    // ------------------------------------------------------------------
+
+    fn on_probe_ack(
+        &mut self,
+        now: Tick,
+        msg: &Message,
+        dirty: Option<LineData>,
+        had_copy: bool,
+        was_parked: bool,
+        out: &mut Outbox,
+    ) {
+        let line = msg.line;
+        let Some(txn) = self.txns.get_mut(&line) else {
+            panic!("probe ack for {line} without transaction");
+        };
+        debug_assert!(txn.pending_acks > 0, "unexpected extra ack for {line}");
+        txn.pending_acks -= 1;
+        txn.copies_found += u32::from(had_copy);
+        if was_parked {
+            self.stale_vics.insert((line, msg.src));
+        }
+        if let Some(d) = dirty {
+            if txn.dirty_data.is_none() {
+                txn.dirty_data = Some(d);
+            }
+            // §III-A: early response on the first dirty probe ack of a
+            // downgrade round.
+            if self.cfg.early_dirty_response
+                && txn.kind == TxnKind::Request
+                && !txn.responded
+                && matches!(
+                    txn.origin.kind,
+                    MsgKind::RdBlk | MsgKind::RdBlkS | MsgKind::DmaRd
+                )
+            {
+                let origin = txn.origin;
+                txn.responded = true;
+                txn.awaiting_unblock = origin.src.is_cpu_cache();
+                self.stats.bump("dir.early_responses");
+                let kind = if origin.kind == MsgKind::DmaRd {
+                    MsgKind::DmaRdResp { data: d }
+                } else {
+                    MsgKind::Resp { data: d, grant: Grant::Shared }
+                };
+                out.send(Message::new(AgentId::Directory, origin.src, line, kind));
+            }
+        }
+        self.try_complete(now, line, out);
+    }
+
+    fn on_mem_data(&mut self, now: Tick, line: LineAddr, data: LineData, out: &mut Outbox) {
+        let Some(txn) = self.txns.get_mut(&line) else {
+            // The transaction already finished (an early response plus a
+            // prompt unblock can beat the memory reply home).
+            self.stats.bump("dir.stale_mem_resps");
+            return;
+        };
+        txn.mem_data = Some(data);
+        self.try_complete(now, line, out);
+    }
+
+    fn on_unblock(&mut self, now: Tick, line: LineAddr, out: &mut Outbox) {
+        let Some(txn) = self.txns.get(&line) else {
+            panic!("unblock for {line} without transaction");
+        };
+        debug_assert!(txn.awaiting_unblock, "unexpected unblock for {line}");
+        self.finish_txn(now, line, out);
+    }
+
+    // ------------------------------------------------------------------
+    // completion
+    // ------------------------------------------------------------------
+
+    #[allow(clippy::too_many_lines)]
+    fn try_complete(&mut self, now: Tick, line: LineAddr, out: &mut Outbox) {
+        let Some(txn) = self.txns.get_mut(&line) else {
+            return;
+        };
+        if txn.pending_acks > 0 {
+            return;
+        }
+        if txn.awaiting_unblock {
+            return; // response already out; waiting for the requester
+        }
+        if txn.kind == TxnKind::BackInval {
+            // Acks are in: reconcile dirty data and free the entry.
+            let dirty = txn.dirty_data.take();
+            let state = txn.start_state;
+            if let Some(data) = dirty {
+                debug_assert_eq!(state, DirState::O);
+                self.write_victim(line, data, true, out);
+            }
+            self.entries.invalidate(line);
+            self.finish_txn(now, line, out);
+            return;
+        }
+
+        let origin = txn.origin;
+        let data_plan = if self.cfg.directory.tracks() {
+            txn.planned.expect("tracking txns carry a plan").data
+        } else if matches!(
+            origin.kind,
+            MsgKind::RdBlk
+                | MsgKind::RdBlkS
+                | MsgKind::RdBlkM
+                | MsgKind::AtomicReq { .. }
+                | MsgKind::DmaRd
+        ) {
+            DataPlan::LlcOrMemory
+        } else {
+            DataPlan::None
+        };
+
+        // Resolve the data. The baseline semantics are the Fig. 2 `_PM`
+        // states: the LLC read (and, on a miss, the memory read issued in
+        // parallel with the probes) completes even when a probe ack
+        // already forwarded dirty data — the dirty data only overrides
+        // the *payload*. Only the tracked OwnerThenLlc plan elides the LLC
+        // read outright (§IV-A); §III-A's early response is handled at
+        // probe-ack time, not here.
+        let mut data: Option<LineData> = txn.dirty_data;
+        match data_plan {
+            DataPlan::None => {
+                if txn.llc_scheduled && !txn.llc_ready {
+                    return; // data-less requests still hold a pipeline slot
+                }
+            }
+            DataPlan::OwnerThenLlc if data.is_some() => {
+                // The owner forwarded dirty data: LLC read elided.
+            }
+            DataPlan::OwnerThenLlc | DataPlan::LlcOrMemory => {
+                if !txn.llc_scheduled {
+                    // Lazy plan (OwnerThenLlc) whose owner turned out clean.
+                    txn.llc_scheduled = true;
+                    self.stats.bump("dir.lazy_llc_reads");
+                    self.internal
+                        .schedule(now + gpu_cycles(self.uncore.llc_cycles), line);
+                    out.wake_at(now + gpu_cycles(self.uncore.llc_cycles));
+                    return;
+                }
+                if !txn.llc_ready {
+                    return; // LLC pipeline slot still in flight
+                }
+                if txn.llc_data.is_none() && !txn.mem_requested {
+                    // Perform the LLC lookup now that the slot has elapsed.
+                    if let Some(d) = self.llc.read(line) {
+                        txn.llc_data = Some(d);
+                        txn.llc_was_hit = true;
+                    } else {
+                        txn.mem_requested = true;
+                        out.send(Message::new(
+                            AgentId::Directory,
+                            AgentId::Memory,
+                            line,
+                            MsgKind::MemRd,
+                        ));
+                        return;
+                    }
+                }
+                if txn.llc_data.is_none() && txn.mem_data.is_none() {
+                    return; // waiting for memory
+                }
+                data = data.or(txn.llc_data).or(txn.mem_data);
+            }
+        }
+
+        // All inputs ready: perform the action and respond.
+        let dirty_ack = txn.dirty_data;
+        let copies = txn.copies_found;
+        let responded = txn.responded;
+        let role = txn.requester_role;
+        match origin.kind {
+            MsgKind::RdBlk | MsgKind::RdBlkS | MsgKind::RdBlkM => {
+                let grant = self.read_grant(&origin, dirty_ack.is_some(), copies, role);
+                let txn = self.txns.get_mut(&line).unwrap();
+                if grant == GrantPlan::Upgrade {
+                    txn.awaiting_unblock = true;
+                    out.send(Message::new(AgentId::Directory, origin.src, line, MsgKind::UpgradeAck));
+                } else if !responded {
+                    let data = data.expect("read requests resolve data");
+                    let g = match grant {
+                        GrantPlan::Shared => Grant::Shared,
+                        GrantPlan::Exclusive => Grant::Exclusive,
+                        GrantPlan::Modified => Grant::Modified,
+                        _ => unreachable!("read grants are S/E/M/upgrade"),
+                    };
+                    txn.awaiting_unblock = origin.src.is_cpu_cache();
+                    out.send(Message::new(
+                        AgentId::Directory,
+                        origin.src,
+                        line,
+                        MsgKind::Resp { data, grant: g },
+                    ));
+                } else {
+                    // Early response already sent; CPU unblock pending.
+                    txn.awaiting_unblock = origin.src.is_cpu_cache();
+                }
+                self.apply_transition(line, &origin, role);
+                let txn = self.txns.get_mut(&line).unwrap();
+                if !txn.awaiting_unblock {
+                    self.finish_txn(now, line, out);
+                }
+            }
+            MsgKind::VicDirty { data } => {
+                self.write_victim(line, data, true, out);
+                self.apply_transition(line, &origin, role);
+                out.send(Message::new(AgentId::Directory, origin.src, line, MsgKind::VicAck));
+                self.finish_txn(now, line, out);
+            }
+            MsgKind::VicClean { data } => {
+                match self.cfg.clean_victims {
+                    CleanVictimPolicy::Drop => {
+                        self.stats.bump("dir.clean_vics_dropped");
+                    }
+                    CleanVictimPolicy::WriteLlcOnly => {
+                        self.write_victim(line, data, false, out);
+                    }
+                    CleanVictimPolicy::WriteLlcAndMemory => {
+                        self.write_victim(line, data, false, out);
+                        self.mem_write(line, data, out);
+                    }
+                }
+                self.apply_transition(line, &origin, role);
+                out.send(Message::new(AgentId::Directory, origin.src, line, MsgKind::VicAck));
+                self.finish_txn(now, line, out);
+            }
+            MsgKind::WriteThrough { data: wt_data, mask, .. } => {
+                self.perform_system_write(line, &wt_data, mask, dirty_ack, out);
+                self.apply_transition(line, &origin, role);
+                out.send(Message::new(AgentId::Directory, origin.src, line, MsgKind::WtAck));
+                self.finish_txn(now, line, out);
+            }
+            MsgKind::AtomicReq { word, op } => {
+                let mut base = data.expect("atomics resolve data");
+                let old = base.apply_atomic(line.word_addr(word as usize), op);
+                self.perform_system_write(line, &base, WordMask::full(), None, out);
+                self.apply_transition(line, &origin, role);
+                self.stats.bump("dir.atomics");
+                out.send(Message::new(
+                    AgentId::Directory,
+                    origin.src,
+                    line,
+                    MsgKind::AtomicResp { old },
+                ));
+                self.finish_txn(now, line, out);
+            }
+            MsgKind::Flush => {
+                out.send(Message::new(AgentId::Directory, origin.src, line, MsgKind::FlushAck));
+                self.finish_txn(now, line, out);
+            }
+            MsgKind::DmaRd => {
+                if !responded {
+                    let data = data.expect("DMA reads resolve data");
+                    out.send(Message::new(
+                        AgentId::Directory,
+                        origin.src,
+                        line,
+                        MsgKind::DmaRdResp { data },
+                    ));
+                }
+                self.apply_transition(line, &origin, role);
+                self.finish_txn(now, line, out);
+            }
+            MsgKind::DmaWr { data: dma_data, mask } => {
+                // "DMA accesses do not update the L3": merge over the
+                // freshest base and write memory, dropping any LLC copy.
+                let base = dirty_ack.or_else(|| self.llc.peek(line).map(|l| l.data));
+                if let Some(mut full) = base {
+                    mask.apply(&mut full, &dma_data);
+                    self.mem_write(line, full, out);
+                } else {
+                    self.mem_write_masked(line, dma_data, mask, out);
+                }
+                self.llc.invalidate(line);
+                self.apply_transition(line, &origin, role);
+                out.send(Message::new(AgentId::Directory, origin.src, line, MsgKind::DmaWrAck));
+                self.finish_txn(now, line, out);
+            }
+            ref other => panic!("{} is not a directory request", other.class_name()),
+        }
+    }
+
+    fn read_grant(
+        &self,
+        origin: &Message,
+        got_dirty: bool,
+        copies: u32,
+        role: Requester,
+    ) -> GrantPlan {
+        if self.cfg.directory.tracks() {
+            let tr = plan(
+                self.cfg.directory,
+                self.txns.get(&origin.line).expect("txn live during grant").start_state,
+                Self::plan_req(&origin.kind),
+                role,
+            );
+            tr.grant
+        } else {
+            match origin.kind {
+                MsgKind::RdBlkS => GrantPlan::Shared,
+                MsgKind::RdBlkM => GrantPlan::Modified,
+                MsgKind::RdBlk => {
+                    if origin.src.is_gpu_cache() || got_dirty || copies > 0 {
+                        GrantPlan::Shared
+                    } else {
+                        GrantPlan::Exclusive
+                    }
+                }
+                _ => GrantPlan::None,
+            }
+        }
+    }
+
+    /// Applies the §IV next-state transition once a transaction's effects
+    /// are decided.
+    fn apply_transition(&mut self, line: LineAddr, origin: &Message, _role: Requester) {
+        if !self.cfg.directory.tracks() {
+            return;
+        }
+        let txn = &self.txns[&line];
+        let Some(tr) = txn.planned else {
+            return;
+        };
+        let requester = origin.src;
+        let current = self.entries.get(line).copied();
+        let base = current.filter(|e| !e.reserved);
+        let next: Option<DirEntry> = match tr.next {
+            NextState::Unchanged => return,
+            NextState::I => None,
+            NextState::SAddRequester => {
+                let mut e = base.unwrap_or(DirEntry {
+                    state: DirState::S,
+                    owner: None,
+                    sharers: SharerSet::new(),
+                    reserved: false,
+                });
+                e.state = DirState::S;
+                e.owner = None;
+                e.sharers.add(requester);
+                Some(e)
+            }
+            NextState::SOnlyRequester => {
+                let mut sharers = SharerSet::new();
+                sharers.add(requester);
+                Some(DirEntry { state: DirState::S, owner: None, sharers, reserved: false })
+            }
+            NextState::SDropRequester => base.and_then(|mut e| {
+                e.sharers.remove(requester);
+                if e.sharers.is_empty() {
+                    None
+                } else {
+                    Some(e)
+                }
+            }),
+            NextState::ORequester => Some(DirEntry {
+                state: DirState::O,
+                owner: Some(requester),
+                sharers: SharerSet::new(),
+                reserved: false,
+            }),
+            NextState::OAddSharer => {
+                let mut e = base.expect("OAddSharer requires an existing entry");
+                if txn.dirty_data.is_some() {
+                    // The owner forwarded dirty data (M→O): it keeps
+                    // ownership and the requester joins as a sharer.
+                    e.sharers.add(requester);
+                } else {
+                    // Clean ack: the owner's line was silently-E and the
+                    // downgrade probe left it S. Nobody owns dirty data,
+                    // so the entry relaxes to S over everyone — keeping O
+                    // here is what loses track of sharers when the
+                    // ex-owner later sends its VicClean.
+                    if let Some(owner) = e.owner.take() {
+                        e.sharers.add(owner);
+                    }
+                    e.sharers.add(requester);
+                    e.state = DirState::S;
+                }
+                Some(e)
+            }
+            NextState::OOwnerUpgrade => {
+                let mut e = base.expect("upgrade requires an existing entry");
+                debug_assert_eq!(e.owner, Some(requester));
+                e.sharers = SharerSet::new();
+                Some(e)
+            }
+            NextState::ODropSharer => base.map(|mut e| {
+                e.sharers.remove(requester);
+                e
+            }),
+            NextState::SFromOwnerWriteback => base.and_then(|mut e| {
+                debug_assert_eq!(e.owner, Some(requester));
+                e.owner = None;
+                if e.sharers.is_empty() {
+                    None
+                } else {
+                    e.state = DirState::S;
+                    Some(e)
+                }
+            }),
+        };
+        match (current.is_some(), next) {
+            (true, Some(e)) => {
+                *self.entries.get_mut(line).unwrap() = e;
+                self.entries.touch(line);
+            }
+            (true, None) => {
+                self.entries.invalidate(line);
+            }
+            (false, Some(e)) => {
+                // Reserved at start for allocating requests; others (e.g.
+                // a WT that retains) may allocate here. The way is free
+                // because request_allocates() reserved it or the set has
+                // room (eviction handled at start).
+                let _ = self.entries.insert(line, e);
+            }
+            (false, None) => {}
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // write plumbing
+    // ------------------------------------------------------------------
+
+    /// Writes a victim line into the LLC under the configured policies.
+    fn write_victim(&mut self, line: LineAddr, data: LineData, dirty: bool, out: &mut Outbox) {
+        let llc_dirty = dirty && self.cfg.llc_policy == LlcWritePolicy::WriteBack;
+        if dirty && self.cfg.llc_policy == LlcWritePolicy::WriteThrough {
+            self.mem_write(line, data, out);
+        }
+        if let Some(ev) = self.llc.write(line, data, llc_dirty) {
+            if ev.dirty {
+                // §III-C: LLC evictions of dirty lines are the deferred
+                // memory writes.
+                self.mem_write(ev.tag, ev.data, out);
+            }
+        }
+    }
+
+    /// GPU write-through / atomic-result write: honours `useL3OnWT` and
+    /// keeps the LLC coherent when bypassing it.
+    fn perform_system_write(
+        &mut self,
+        line: LineAddr,
+        data: &LineData,
+        mask: WordMask,
+        dirty_base: Option<LineData>,
+        out: &mut Outbox,
+    ) {
+        let full = dirty_base
+            .map(|mut base| {
+                mask.apply(&mut base, data);
+                base
+            })
+            .or_else(|| (mask == WordMask::full()).then_some(*data));
+        if self.cfg.use_l3_on_wt {
+            let as_dirty = self.cfg.llc_policy == LlcWritePolicy::WriteBack;
+            let wrote_llc = if let Some(full) = full {
+                if let Some(ev) = self.llc.write(line, full, as_dirty) {
+                    if ev.dirty {
+                        self.mem_write(ev.tag, ev.data, out);
+                    }
+                }
+                true
+            } else {
+                self.llc.merge(line, data, mask, as_dirty)
+            };
+            match (wrote_llc, self.cfg.llc_policy) {
+                (true, LlcWritePolicy::WriteBack) => {} // deferred
+                (true, LlcWritePolicy::WriteThrough) | (false, _) => {
+                    if let Some(full) = full {
+                        self.mem_write(line, full, out);
+                    } else {
+                        self.mem_write_masked(line, *data, mask, out);
+                    }
+                }
+            }
+        } else {
+            // Bypass the LLC but keep any cached copy coherent by merging
+            // in place; dirty LLC lines stay dirty (their unwritten words
+            // are still newer than memory).
+            self.llc.merge(line, data, mask, false);
+            if let Some(full) = full {
+                self.mem_write(line, full, out);
+            } else {
+                self.mem_write_masked(line, *data, mask, out);
+            }
+        }
+    }
+
+    fn mem_write(&mut self, line: LineAddr, data: LineData, out: &mut Outbox) {
+        out.send(Message::new(
+            AgentId::Directory,
+            AgentId::Memory,
+            line,
+            MsgKind::MemWr { data, mask: WordMask::full() },
+        ));
+    }
+
+    fn mem_write_masked(&mut self, line: LineAddr, data: LineData, mask: WordMask, out: &mut Outbox) {
+        out.send(Message::new(
+            AgentId::Directory,
+            AgentId::Memory,
+            line,
+            MsgKind::MemWr { data, mask },
+        ));
+    }
+
+    // ------------------------------------------------------------------
+    // teardown / queue resumption
+    // ------------------------------------------------------------------
+
+    fn finish_txn(&mut self, now: Tick, line: LineAddr, out: &mut Outbox) {
+        let txn = self.txns.remove(&line).expect("finishing a live transaction");
+        if txn.kind == TxnKind::Request {
+            self.latency.record(now.delta_since(txn.arrived));
+        }
+        // Re-dispatch requests that were waiting for a directory way.
+        for parked in txn.parked_allocs {
+            self.handle_request(now, parked, out);
+        }
+        self.resume_queue(now, line, txn.queued, out);
+    }
+
+    fn resume_queue(
+        &mut self,
+        now: Tick,
+        line: LineAddr,
+        mut queue: VecDeque<Message>,
+        out: &mut Outbox,
+    ) {
+        // Start the next queued request, if any. If it completes
+        // synchronously (e.g. a filtered stale victim), start_txn resumes
+        // the remaining queue itself; otherwise the new transaction
+        // inherits it via `carry`.
+        if let Some(next) = queue.pop_front() {
+            debug_assert!(!self.txns.contains_key(&line), "line still blocked");
+            self.start_txn(now, next, std::mem::take(&mut queue), out);
+        }
+    }
+}

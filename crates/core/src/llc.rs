@@ -1,0 +1,230 @@
+use hsc_mem::{CacheArray, CacheGeometry, InsertOutcome, LineAddr, LineData};
+use hsc_noc::WordMask;
+use hsc_sim::StatSet;
+
+/// One LLC line: data plus the §III-C dirty bit.
+///
+/// Under the baseline write-through policy the dirty bit is always false
+/// (every LLC write also writes memory); under the write-back policy it is
+/// set by the first dirty victim write and cleared only by eviction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LlcLine {
+    /// Line contents.
+    pub data: LineData,
+    /// Whether memory is stale with respect to this line.
+    pub dirty: bool,
+}
+
+/// A line the LLC pushed out to make room; if `dirty`, the caller owes a
+/// memory write (the §III-C "evictions from the LLC are on the critical
+/// path" case).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LlcEviction {
+    /// The displaced line.
+    pub tag: LineAddr,
+    /// Its contents.
+    pub data: LineData,
+    /// Whether it must be written back to memory.
+    pub dirty: bool,
+}
+
+/// The shared last-level cache.
+///
+/// Pure mechanism: a victim cache that the directory writes on L2
+/// write-backs (and optionally GPU write-throughs under `useL3OnWT`) and
+/// reads on requests. The *policies* — write-through vs write-back, what
+/// clean victims do, whether response data fills it (it never does; the
+/// LLC is a victim cache) — live in the directory, which interprets the
+/// return values of these methods.
+#[derive(Debug)]
+pub struct Llc {
+    lines: CacheArray<LlcLine>,
+    stats: StatSet,
+}
+
+impl Llc {
+    /// Creates an empty LLC with the given geometry.
+    #[must_use]
+    pub fn new(geometry: CacheGeometry) -> Self {
+        Llc {
+            lines: CacheArray::new(geometry),
+            stats: StatSet::new(),
+        }
+    }
+
+    /// Looks up `la`, updating recency and hit/miss statistics.
+    pub fn read(&mut self, la: LineAddr) -> Option<LineData> {
+        if let Some(l) = self.lines.get(la) {
+            let data = l.data;
+            self.lines.touch(la);
+            self.stats.bump("llc.hits");
+            Some(data)
+        } else {
+            self.stats.bump("llc.misses");
+            None
+        }
+    }
+
+    /// Whether `la` is present, without touching recency or stats.
+    #[must_use]
+    pub fn peek(&self, la: LineAddr) -> Option<&LlcLine> {
+        self.lines.get(la)
+    }
+
+    /// Writes a full line (victim write-back path). `dirty` marks memory
+    /// stale (write-back LLC). If the line exists its dirty bit is OR-ed
+    /// ("the dirty bit is set at the first dirty L2 victim write").
+    ///
+    /// Returns the eviction the insert caused, if any.
+    pub fn write(&mut self, la: LineAddr, data: LineData, dirty: bool) -> Option<LlcEviction> {
+        self.stats.bump("llc.writes");
+        if let Some(l) = self.lines.get_mut(la) {
+            l.data = data;
+            l.dirty |= dirty;
+            self.lines.touch(la);
+            return None;
+        }
+        let out = self.lines.insert(la, LlcLine { data, dirty });
+        self.lines.touch(la);
+        match out {
+            InsertOutcome::Inserted => None,
+            InsertOutcome::Evicted(ev) => {
+                self.stats.bump("llc.evictions");
+                if ev.meta.dirty {
+                    self.stats.bump("llc.dirty_evictions");
+                }
+                Some(LlcEviction {
+                    tag: ev.tag,
+                    data: ev.meta.data,
+                    dirty: ev.meta.dirty,
+                })
+            }
+        }
+    }
+
+    /// Merges masked words into an existing line (GPU write-through with
+    /// `useL3OnWT`). Returns `false` if the line is absent — the caller
+    /// decides whether to allocate via [`Llc::write`] or bypass to memory.
+    pub fn merge(&mut self, la: LineAddr, data: &LineData, mask: WordMask, dirty: bool) -> bool {
+        if let Some(l) = self.lines.get_mut(la) {
+            mask.apply(&mut l.data, data);
+            l.dirty |= dirty;
+            self.lines.touch(la);
+            self.stats.bump("llc.merges");
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Drops `la` (DMA writes and non-`useL3OnWT` write-throughs keep the
+    /// LLC coherent by invalidation). Returns the line if it was present.
+    pub fn invalidate(&mut self, la: LineAddr) -> Option<LlcLine> {
+        self.lines.invalidate(la)
+    }
+
+    /// LLC statistics (`llc.hits`, `llc.misses`, `llc.writes`, …).
+    #[must_use]
+    pub fn stats(&self) -> &StatSet {
+        &self.stats
+    }
+
+    /// All dirty lines (for end-of-run memory reconstruction).
+    pub fn dirty_lines(&self) -> Vec<(LineAddr, LineData)> {
+        self.lines
+            .iter()
+            .filter(|(_, l)| l.dirty)
+            .map(|(la, l)| (la, l.data))
+            .collect()
+    }
+
+    /// Number of valid lines.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.lines.len()
+    }
+
+    /// Whether the cache is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.lines.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_llc() -> Llc {
+        // 1 set × 2 ways.
+        Llc::new(CacheGeometry::new(128, 2))
+    }
+
+    fn data(v: u64) -> LineData {
+        let mut d = LineData::zeroed();
+        d.set_word(0, v);
+        d
+    }
+
+    #[test]
+    fn miss_then_write_then_hit() {
+        let mut llc = tiny_llc();
+        assert_eq!(llc.read(LineAddr(1)), None);
+        llc.write(LineAddr(1), data(5), false);
+        assert_eq!(llc.read(LineAddr(1)).unwrap().word(0), 5);
+        assert_eq!(llc.stats().get("llc.misses"), 1);
+        assert_eq!(llc.stats().get("llc.hits"), 1);
+    }
+
+    #[test]
+    fn dirty_bit_is_sticky_until_eviction() {
+        let mut llc = tiny_llc();
+        llc.write(LineAddr(0), data(1), true);
+        llc.write(LineAddr(0), data(2), false); // clean rewrite keeps dirty
+        assert!(llc.peek(LineAddr(0)).unwrap().dirty);
+        assert_eq!(llc.dirty_lines().len(), 1);
+    }
+
+    #[test]
+    fn eviction_reports_dirty_victims() {
+        let mut llc = tiny_llc();
+        llc.write(LineAddr(0), data(1), true);
+        llc.write(LineAddr(2), data(2), false);
+        let ev = llc.write(LineAddr(4), data(3), false).expect("set overflows");
+        assert_eq!(ev.tag, LineAddr(0));
+        assert!(ev.dirty, "dirty victim owes a memory write");
+        assert_eq!(llc.stats().get("llc.dirty_evictions"), 1);
+    }
+
+    #[test]
+    fn merge_updates_only_masked_words() {
+        let mut llc = tiny_llc();
+        let mut base = LineData::zeroed();
+        base.set_word(0, 10);
+        base.set_word(1, 11);
+        llc.write(LineAddr(3), base, false);
+        let mut upd = LineData::zeroed();
+        upd.set_word(1, 99);
+        assert!(llc.merge(LineAddr(3), &upd, WordMask::single(1), true));
+        let l = llc.peek(LineAddr(3)).unwrap();
+        assert_eq!(l.data.word(0), 10);
+        assert_eq!(l.data.word(1), 99);
+        assert!(l.dirty);
+    }
+
+    #[test]
+    fn merge_into_absent_line_reports_false() {
+        let mut llc = tiny_llc();
+        assert!(!llc.merge(LineAddr(9), &data(1), WordMask::single(0), false));
+    }
+
+    #[test]
+    fn invalidate_removes_line() {
+        let mut llc = tiny_llc();
+        llc.write(LineAddr(1), data(7), true);
+        let l = llc.invalidate(LineAddr(1)).unwrap();
+        assert!(l.dirty);
+        assert!(llc.is_empty());
+        assert_eq!(llc.invalidate(LineAddr(1)), None);
+    }
+}

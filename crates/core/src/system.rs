@@ -1,0 +1,371 @@
+use hsc_cluster::{
+    CoreProgram, CorePair, DmaCommand, DmaEngine, GpuCluster, WavefrontProgram,
+    TICKS_PER_GPU_CYCLE,
+};
+use hsc_mem::{Addr, LineAddr, MainMemory};
+use hsc_noc::{Action, AgentId, Message, Network, Outbox};
+use hsc_sim::{EventQueue, StatSet, Tick};
+
+use crate::{Directory, MemoryController, SystemConfig};
+
+/// End-of-run report: the quantities the paper's figures are built from.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Metrics {
+    /// Total simulated time in ticks (1 tick ≈ 26 ps).
+    pub ticks: u64,
+    /// Total simulated time in GPU cycles (the paper's runtime unit).
+    pub gpu_cycles: u64,
+    /// Probes sent out from the directory (Fig. 7).
+    pub probes_sent: u64,
+    /// Directory→memory reads (Fig. 5).
+    pub mem_reads: u64,
+    /// Directory→memory writes (Fig. 5).
+    pub mem_writes: u64,
+    /// Every counter from every controller, merged.
+    pub stats: StatSet,
+}
+
+/// Assembles a [`System`]: programs for the CPU cores and GPU wavefronts,
+/// DMA commands, and initial memory contents.
+///
+/// CPU threads are placed round-robin two-per-CorePair; wavefronts
+/// round-robin across CUs.
+///
+/// # Examples
+///
+/// ```no_run
+/// use hsc_core::{SystemBuilder, SystemConfig};
+///
+/// let mut b = SystemBuilder::new(SystemConfig::default());
+/// // b.add_cpu_thread(...); b.add_wavefront(...);
+/// let mut sys = b.build();
+/// let metrics = sys.run(u64::MAX);
+/// println!("took {} GPU cycles", metrics.gpu_cycles);
+/// ```
+#[derive(Debug)]
+pub struct SystemBuilder {
+    config: SystemConfig,
+    cpu_threads: Vec<Box<dyn CoreProgram>>,
+    wavefronts: Vec<Box<dyn WavefrontProgram>>,
+    dma_commands: Vec<DmaCommand>,
+    init_words: Vec<(Addr, u64)>,
+}
+
+impl SystemBuilder {
+    /// Starts a builder for the given configuration.
+    #[must_use]
+    pub fn new(config: SystemConfig) -> Self {
+        SystemBuilder {
+            config,
+            cpu_threads: Vec::new(),
+            wavefronts: Vec::new(),
+            dma_commands: Vec::new(),
+            init_words: Vec::new(),
+        }
+    }
+
+    /// Adds a CPU thread (placed two-per-CorePair, round-robin).
+    ///
+    /// # Panics
+    ///
+    /// Panics if more threads are added than the system has cores.
+    pub fn add_cpu_thread(&mut self, p: Box<dyn CoreProgram>) -> &mut Self {
+        assert!(
+            self.cpu_threads.len() < self.config.corepairs * 2,
+            "more CPU threads than cores ({})",
+            self.config.corepairs * 2
+        );
+        self.cpu_threads.push(p);
+        self
+    }
+
+    /// Adds a GPU wavefront (placed round-robin across CUs).
+    pub fn add_wavefront(&mut self, p: Box<dyn WavefrontProgram>) -> &mut Self {
+        self.wavefronts.push(p);
+        self
+    }
+
+    /// Adds a DMA transfer.
+    pub fn add_dma(&mut self, cmd: DmaCommand) -> &mut Self {
+        self.dma_commands.push(cmd);
+        self
+    }
+
+    /// Initializes a 64-bit word of main memory before the run.
+    pub fn init_word(&mut self, a: Addr, v: u64) -> &mut Self {
+        self.init_words.push((a, v));
+        self
+    }
+
+    /// Builds the system.
+    #[must_use]
+    pub fn build(self) -> System {
+        let cfg = self.config;
+        let mut per_pair: Vec<Vec<Box<dyn CoreProgram>>> =
+            (0..cfg.corepairs).map(|_| Vec::new()).collect();
+        for (i, p) in self.cpu_threads.into_iter().enumerate() {
+            per_pair[(i / 2) % cfg.corepairs].push(p);
+        }
+        let corepairs: Vec<CorePair> = per_pair
+            .into_iter()
+            .enumerate()
+            .map(|(i, ps)| CorePair::new(i, ps, cfg.cpu))
+            .collect();
+
+        // Wavefronts round-robin over every CU of every GPU cluster.
+        let n_gpus = cfg.gpu_clusters.max(1);
+        let total_cus = cfg.gpu.cus * n_gpus;
+        let mut per_cu: Vec<Vec<Box<dyn WavefrontProgram>>> =
+            (0..total_cus).map(|_| Vec::new()).collect();
+        for (i, p) in self.wavefronts.into_iter().enumerate() {
+            per_cu[i % total_cus].push(p);
+        }
+        let mut gpus = Vec::with_capacity(n_gpus);
+        for (g, chunk) in per_cu.chunks_mut(cfg.gpu.cus).enumerate() {
+            let programs: Vec<Vec<Box<dyn WavefrontProgram>>> =
+                chunk.iter_mut().map(std::mem::take).collect();
+            gpus.push(GpuCluster::new(g, programs, cfg.gpu));
+        }
+
+        let mut mem = MainMemory::new();
+        for (a, v) in self.init_words {
+            mem.write_word(a, v);
+        }
+
+        System {
+            config: cfg,
+            corepairs,
+            gpus,
+            dma: DmaEngine::new(self.dma_commands, 8),
+            directory: Directory::new(cfg.coherence, cfg.uncore, cfg.corepairs, n_gpus),
+            memctl: MemoryController::new(mem, cfg.uncore.mem_ticks, cfg.uncore.mem_occupancy_ticks),
+            network: Network::new(cfg.network),
+            queue: EventQueue::new(),
+            now: Tick::ZERO,
+            events_processed: 0,
+        }
+    }
+}
+
+#[derive(Debug)]
+enum Ev {
+    Deliver(Message),
+    Wake(AgentId),
+}
+
+/// The whole simulated APU of Fig. 1, ready to run.
+///
+/// Owns every controller, routes messages through the latency
+/// [`Network`], and drives the deterministic event loop.
+#[derive(Debug)]
+pub struct System {
+    config: SystemConfig,
+    corepairs: Vec<CorePair>,
+    gpus: Vec<GpuCluster>,
+    dma: DmaEngine,
+    directory: Directory,
+    memctl: MemoryController,
+    network: Network,
+    queue: EventQueue<Ev>,
+    now: Tick,
+    events_processed: u64,
+}
+
+impl System {
+    /// The configuration this system was built with.
+    #[must_use]
+    pub fn config(&self) -> &SystemConfig {
+        &self.config
+    }
+
+    /// Runs to completion (every program retired, every transaction
+    /// drained) and returns the metrics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the event budget `max_events` is exceeded (a livelocked
+    /// workload or a protocol bug) or if the queue drains while some
+    /// controller is not done (a protocol deadlock).
+    pub fn run(&mut self, max_events: u64) -> Metrics {
+        // Initial wake-ups.
+        for i in 0..self.corepairs.len() {
+            let mut out = Outbox::new(self.now);
+            self.corepairs[i].start(&mut out);
+            self.apply(AgentId::CorePairL2(i), out);
+        }
+        for g in 0..self.gpus.len() {
+            let mut out = Outbox::new(self.now);
+            self.gpus[g].start(&mut out);
+            self.apply(AgentId::Tcc(g), out);
+        }
+        let mut out = Outbox::new(self.now);
+        self.dma.start(&mut out);
+        self.apply(AgentId::Dma, out);
+
+        while let Some((t, ev)) = self.queue.pop() {
+            debug_assert!(t >= self.now, "time went backwards");
+            self.now = t;
+            self.events_processed += 1;
+            assert!(
+                self.events_processed <= max_events,
+                "event budget exceeded at {} ({} events): livelock or protocol bug",
+                self.now,
+                self.events_processed
+            );
+            let (agent, out) = match ev {
+                Ev::Deliver(msg) => {
+                    if let Ok(l) = std::env::var("HSC_TRACE_LINE") {
+                        if msg.line.0 == l.parse::<u64>().unwrap_or(u64::MAX) {
+                            eprintln!("[{t}] {msg}");
+                        }
+                    }
+                    let mut out = Outbox::new(t);
+                    let dst = msg.dst;
+                    match dst {
+                        AgentId::CorePairL2(i) => {
+                            self.corepairs[i].on_message(t, &msg, &mut out);
+                        }
+                        AgentId::Tcc(g) => self.gpus[g].on_message(t, &msg, &mut out),
+                        AgentId::Dma => self.dma.on_message(t, &msg, &mut out),
+                        AgentId::Directory => self.directory.on_message(t, &msg, &mut out),
+                        AgentId::Memory => self.memctl.on_message(t, &msg, &mut out),
+                    }
+                    (dst, out)
+                }
+                Ev::Wake(agent) => {
+                    let mut out = Outbox::new(t);
+                    match agent {
+                        AgentId::CorePairL2(i) => self.corepairs[i].on_wake(t, &mut out),
+                        AgentId::Tcc(g) => self.gpus[g].on_wake(t, &mut out),
+                        AgentId::Dma => self.dma.on_wake(t, &mut out),
+                        AgentId::Directory => self.directory.on_wake(t, &mut out),
+                        AgentId::Memory => {}
+                    }
+                    (agent, out)
+                }
+            };
+            self.apply(agent, out);
+        }
+        assert!(
+            self.is_done(),
+            "event queue drained but the system is not done: protocol deadlock \
+             (cores done: {:?}, gpu done: {}, dma done: {}, dir idle: {})",
+            self.corepairs.iter().map(CorePair::is_done).collect::<Vec<_>>(),
+            self.gpus.iter().all(GpuCluster::is_done),
+            self.dma.is_done(),
+            self.directory.is_idle(),
+        );
+        self.metrics()
+    }
+
+    fn apply(&mut self, agent: AgentId, out: Outbox) {
+        for act in out.into_actions() {
+            match act {
+                Action::Send(m) => {
+                    let arrive = self.network.send(self.now, &m);
+                    self.queue.schedule(arrive, Ev::Deliver(m));
+                }
+                Action::SendLater(t, m) => {
+                    let arrive = self.network.send(t, &m);
+                    self.queue.schedule(arrive, Ev::Deliver(m));
+                }
+                Action::Wake(t) => self.queue.schedule(t, Ev::Wake(agent)),
+            }
+        }
+    }
+
+    /// Whether every program retired and every transaction drained.
+    #[must_use]
+    pub fn is_done(&self) -> bool {
+        self.corepairs.iter().all(CorePair::is_done)
+            && self.gpus.iter().all(GpuCluster::is_done)
+            && self.dma.is_done()
+            && self.directory.is_idle()
+    }
+
+    /// The end-of-run metrics (also returned by [`System::run`]).
+    #[must_use]
+    pub fn metrics(&self) -> Metrics {
+        let mut stats = StatSet::new();
+        for (i, cp) in self.corepairs.iter().enumerate() {
+            let mut s = StatSet::new();
+            for (k, v) in cp.stats().iter() {
+                s.add(&format!("cp{i}.{k}"), v);
+            }
+            stats.merge(&s);
+        }
+        for g in &self.gpus {
+            stats.merge(g.stats());
+        }
+        stats.merge(self.dma.stats());
+        stats.merge(&self.directory.stats());
+        stats.merge(self.memctl.stats());
+        stats.merge(self.network.stats());
+        Metrics {
+            ticks: self.now.cycles(),
+            gpu_cycles: self.now.cycles() / TICKS_PER_GPU_CYCLE,
+            probes_sent: self.network.probes_sent(),
+            mem_reads: self.network.mem_reads(),
+            mem_writes: self.network.mem_writes(),
+            stats,
+        }
+    }
+
+    /// The value of the 64-bit word at `a` as the *coherent* end-of-run
+    /// state: the freshest of (dirty L2 copies, dirty LLC lines, memory).
+    ///
+    /// Workloads use this for functional verification without requiring a
+    /// final cache flush.
+    #[must_use]
+    pub fn final_word(&self, a: Addr) -> u64 {
+        let la = a.line();
+        for cp in &self.corepairs {
+            if let Some(data) = cp.peek_dirty(la) {
+                return data.word_at(a);
+            }
+        }
+        if let Some(l) = self.directory.llc().peek(la) {
+            if l.dirty {
+                return l.data.word_at(a);
+            }
+        }
+        self.memctl.memory().read_word(a)
+    }
+
+    /// Direct access to final main-memory contents (excluding dirty cached
+    /// lines) — prefer [`System::final_word`] for verification.
+    #[must_use]
+    pub fn memory_word(&self, a: Addr) -> u64 {
+        self.memctl.memory().read_word(a)
+    }
+
+    /// Human-readable dump of stuck directory transactions.
+    #[must_use]
+    pub fn debug_pending(&self) -> Vec<String> {
+        self.directory.pending_transactions()
+    }
+
+    /// Number of events the run processed (a determinism fingerprint).
+    #[must_use]
+    pub fn events_processed(&self) -> u64 {
+        self.events_processed
+    }
+
+    /// Dirty line addresses still cached anywhere at end of run.
+    #[must_use]
+    pub fn dirty_line_count(&self) -> usize {
+        let l2: usize = self.corepairs.iter().map(|c| c.dirty_lines().len()).sum();
+        l2 + self.directory.llc().dirty_lines().len()
+    }
+
+    /// Lines currently dirty in the LLC (for tests).
+    #[must_use]
+    pub fn llc_dirty_lines(&self) -> Vec<LineAddr> {
+        self.directory
+            .llc()
+            .dirty_lines()
+            .into_iter()
+            .map(|(la, _)| la)
+            .collect()
+    }
+}

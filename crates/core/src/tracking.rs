@@ -1,0 +1,708 @@
+//! The precise state-tracking directory of §IV, encoded as a pure
+//! transition table.
+//!
+//! [`plan`] maps `(directory state, incoming request, requester role)` to a
+//! [`Transition`]: which probes to send, where the data comes from, what
+//! permission to grant and the next directory state. The directory
+//! controller executes these plans; the `table1_transitions` bench binary
+//! pretty-prints the same function, regenerating the paper's Table I.
+
+use std::fmt;
+
+use hsc_noc::AgentId;
+
+use crate::DirectoryMode;
+
+/// The three stable states of the tracked directory entry (§IV-A).
+///
+/// `I` is represented by entry absence in the directory cache; the
+/// transient `B` (entry being evicted) is an active back-invalidation
+/// transaction on the line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DirState {
+    /// Not cached in any processor cache.
+    I,
+    /// Cached, clean with respect to the LLC; reads need no probes.
+    S,
+    /// Modified (with possible dirty sharers) or Exclusive somewhere; the
+    /// owner must be probed for reads and everyone for writes.
+    O,
+}
+
+impl fmt::Display for DirState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            DirState::I => "I",
+            DirState::S => "S",
+            DirState::O => "O",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A full-map sharer bitmap over the probe-able agents (L2s then TCCs).
+///
+/// Owner-tracking mode maintains the same set but only ever *counts* it
+/// (broadcast instead of multicast) — the paper's area argument is about
+/// not storing identities; the simulator keeps them for bookkeeping and
+/// simply refuses to multicast in that mode.
+///
+/// # Examples
+///
+/// ```
+/// use hsc_core::SharerSet;
+/// use hsc_noc::AgentId;
+///
+/// let mut s = SharerSet::new();
+/// s.add(AgentId::CorePairL2(1));
+/// s.add(AgentId::Tcc(0));
+/// assert_eq!(s.len(), 2);
+/// assert!(s.contains(AgentId::CorePairL2(1)));
+/// s.remove(AgentId::CorePairL2(1));
+/// assert_eq!(s.len(), 1);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SharerSet {
+    l2s: u64,
+    tccs: u64,
+}
+
+impl SharerSet {
+    /// An empty set.
+    #[must_use]
+    pub fn new() -> Self {
+        SharerSet::default()
+    }
+
+    /// Adds an agent.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the agent is not a probe-able cache.
+    pub fn add(&mut self, a: AgentId) {
+        match a {
+            AgentId::CorePairL2(i) => self.l2s |= 1 << i,
+            AgentId::Tcc(i) => self.tccs |= 1 << i,
+            other => panic!("{other} cannot be a sharer"),
+        }
+    }
+
+    /// Removes an agent (no-op if absent).
+    pub fn remove(&mut self, a: AgentId) {
+        match a {
+            AgentId::CorePairL2(i) => self.l2s &= !(1 << i),
+            AgentId::Tcc(i) => self.tccs &= !(1 << i),
+            _ => {}
+        }
+    }
+
+    /// Whether the agent is in the set.
+    #[must_use]
+    pub fn contains(self, a: AgentId) -> bool {
+        match a {
+            AgentId::CorePairL2(i) => self.l2s & (1 << i) != 0,
+            AgentId::Tcc(i) => self.tccs & (1 << i) != 0,
+            _ => false,
+        }
+    }
+
+    /// Number of sharers.
+    #[must_use]
+    pub fn len(self) -> u32 {
+        self.l2s.count_ones() + self.tccs.count_ones()
+    }
+
+    /// Whether the set is empty.
+    #[must_use]
+    pub fn is_empty(self) -> bool {
+        self.l2s == 0 && self.tccs == 0
+    }
+
+    /// Iterates the members in (L2s, TCCs) order.
+    pub fn iter(self) -> impl Iterator<Item = AgentId> {
+        let l2s = (0..64)
+            .filter(move |i| self.l2s & (1 << i) != 0)
+            .map(AgentId::CorePairL2);
+        let tccs = (0..64)
+            .filter(move |i| self.tccs & (1 << i) != 0)
+            .map(AgentId::Tcc);
+        l2s.chain(tccs)
+    }
+}
+
+/// One tracked directory entry (state `S` or `O`; `I` is absence).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DirEntry {
+    /// Stable state (never `I`: absent entries are `I`).
+    pub state: DirState,
+    /// The owner, when `state == O`.
+    pub owner: Option<AgentId>,
+    /// Tracked sharers (excluding the owner).
+    pub sharers: SharerSet,
+    /// Placeholder reserved by an in-flight transaction; treated as `I`
+    /// by lookups and never probed, but occupies the way so concurrent
+    /// allocations in the same set cannot oversubscribe it.
+    pub reserved: bool,
+}
+
+impl DirEntry {
+    /// A reservation placeholder.
+    #[must_use]
+    pub fn reserved() -> Self {
+        DirEntry {
+            state: DirState::I,
+            owner: None,
+            sharers: SharerSet::new(),
+            reserved: true,
+        }
+    }
+
+    /// The victim-selection score of the future-work state-aware
+    /// replacement policy: prefer unmodified entries with the fewest
+    /// sharers (§VII).
+    #[must_use]
+    pub fn state_aware_score(&self) -> u32 {
+        let state_weight = match self.state {
+            DirState::I => 0,
+            DirState::S => 1,
+            DirState::O => 100,
+        };
+        state_weight + self.sharers.len()
+    }
+}
+
+/// The request classes the transition table distinguishes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PlanReq {
+    /// Read-permission request (may earn Exclusive).
+    RdBlk,
+    /// Shared-only read (I-cache miss).
+    RdBlkS,
+    /// Write-permission request.
+    RdBlkM,
+    /// Dirty victim write-back.
+    VicDirty,
+    /// Clean victim notification.
+    VicClean,
+    /// GPU write-through; `retains` = TCC keeps a valid copy.
+    WriteThrough {
+        /// Whether the TCC still holds the line afterwards.
+        retains: bool,
+    },
+    /// System-scope atomic.
+    Atomic,
+    /// DMA line read.
+    DmaRd,
+    /// DMA line write.
+    DmaWr,
+    /// Store-release fence.
+    Flush,
+}
+
+/// Who is asking, as far as the transition table cares.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Requester {
+    /// A CorePair L2 that is not the tracked owner.
+    Cpu,
+    /// The tracked owner itself (Table I footnotes c/d/e).
+    CpuOwner,
+    /// A TCC.
+    Tcc,
+    /// The DMA engine.
+    Dma,
+}
+
+/// Which caches to probe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProbePlan {
+    /// No probes (the §IV headline saving).
+    None,
+    /// Downgrade probe to the tracked owner only.
+    DowngradeOwner,
+    /// Invalidating probes to the tracked owner + sharers (multicast;
+    /// falls back to broadcast under owner-only tracking).
+    InvalidateTracked,
+}
+
+/// Where the response data comes from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DataPlan {
+    /// No data movement needed.
+    None,
+    /// Read the LLC (miss falls through to memory) — legal because the
+    /// state guarantees no cache holds dirty data.
+    LlcOrMemory,
+    /// Prefer the owner's forwarded dirty data; only if the owner turns
+    /// out clean (silent-E case) read the LLC/memory. This is the "LLC
+    /// reads are elided" optimization of §IV-A.
+    OwnerThenLlc,
+}
+
+/// What to send the requester.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GrantPlan {
+    /// No response payload (victims get VicAck, etc.).
+    None,
+    /// Data with Shared permission.
+    Shared,
+    /// Data with Exclusive permission (I-state CPU RdBlk).
+    Exclusive,
+    /// Data with Modified permission.
+    Modified,
+    /// Permission-only upgrade (requester is the owner; no data).
+    Upgrade,
+}
+
+/// The directory-entry state after the transaction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NextState {
+    /// Entry removed (or never created).
+    I,
+    /// `S`, requester added to the sharer set.
+    SAddRequester,
+    /// `S` with the requester as the only sharer.
+    SOnlyRequester,
+    /// `S`, requester removed; `I` when the set empties.
+    SDropRequester,
+    /// `O`, owner = requester, sharers cleared.
+    ORequester,
+    /// `O`, owner unchanged, requester added as sharer.
+    OAddSharer,
+    /// `O`, owner unchanged, sharers cleared (upgrade).
+    OOwnerUpgrade,
+    /// `O`, requester removed from sharers (dirty sharer evicted).
+    ODropSharer,
+    /// Owner wrote back: `S` with the remaining sharers, `I` if none
+    /// (Table I footnote h — dirty sharers are *not* invalidated, the
+    /// §VII future-work behaviour).
+    SFromOwnerWriteback,
+    /// No change.
+    Unchanged,
+}
+
+/// A full transition-table row.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Transition {
+    /// Probes to send.
+    pub probes: ProbePlan,
+    /// Data source.
+    pub data: DataPlan,
+    /// Response permission.
+    pub grant: GrantPlan,
+    /// Directory-entry state after the transaction.
+    pub next: NextState,
+}
+
+const fn t(probes: ProbePlan, data: DataPlan, grant: GrantPlan, next: NextState) -> Transition {
+    Transition { probes, data, grant, next }
+}
+
+/// The §IV transition table (Table I of the paper).
+///
+/// `mode` only matters for how `InvalidateTracked` is realized (multicast
+/// vs broadcast) — the *states* are identical for owner- and
+/// sharer-tracking, so the same table serves both.
+///
+/// # Panics
+///
+/// Panics on illegal combinations the paper marks as such (e.g. `VicDirty`
+/// while the directory is in `S`): the caller filters stale victims before
+/// consulting the table.
+#[must_use]
+#[allow(clippy::too_many_lines)]
+pub fn plan(mode: DirectoryMode, state: DirState, req: PlanReq, from: Requester) -> Transition {
+    use DataPlan as D;
+    use GrantPlan as G;
+    use NextState as N;
+    use PlanReq as R;
+    use ProbePlan as P;
+    debug_assert!(mode.tracks(), "the stateless directory does not consult the table");
+    match (state, req, from) {
+        // ---------------- state I ----------------
+        (DirState::I, R::RdBlk, Requester::Cpu | Requester::CpuOwner) => {
+            // No caches hold the line: grant Exclusive straight from the
+            // LLC/memory, become (conservative) O.
+            t(P::None, D::LlcOrMemory, G::Exclusive, N::ORequester)
+        }
+        (DirState::I, R::RdBlk, Requester::Tcc) => {
+            // TCCs ignore E grants; track them as plain sharers.
+            t(P::None, D::LlcOrMemory, G::Shared, N::SAddRequester)
+        }
+        (DirState::I, R::RdBlkS, _) => t(P::None, D::LlcOrMemory, G::Shared, N::SAddRequester),
+        (DirState::I, R::RdBlkM, _) => t(P::None, D::LlcOrMemory, G::Modified, N::ORequester),
+        // Stale victims that raced with an entry eviction: ack, no write.
+        (DirState::I, R::VicDirty | R::VicClean, _) => t(P::None, D::None, G::None, N::I),
+        (DirState::I, R::WriteThrough { retains }, _) => {
+            let next = if retains { N::SOnlyRequester } else { N::I };
+            t(P::None, D::None, G::None, next)
+        }
+        (DirState::I, R::Atomic, _) => t(P::None, D::LlcOrMemory, G::None, N::I),
+        (DirState::I, R::DmaRd, _) => t(P::None, D::LlcOrMemory, G::None, N::I),
+        (DirState::I, R::DmaWr, _) => t(P::None, D::None, G::None, N::I),
+
+        // ---------------- state S ----------------
+        (DirState::S, R::RdBlk | R::RdBlkS, _) => {
+            // Guaranteed clean: serve from the LLC, probe nobody, and the
+            // grant is forced to Shared (§IV-A: "if the incoming request
+            // is a RdBlk to a line in S state, it should be assigned
+            // directly a shared status").
+            t(P::None, D::LlcOrMemory, G::Shared, N::SAddRequester)
+        }
+        (DirState::S, R::RdBlkM, _) => {
+            t(P::InvalidateTracked, D::LlcOrMemory, G::Modified, N::ORequester)
+        }
+        (DirState::S, R::VicDirty, _) => {
+            panic!("VicDirty in S is illegal (Table I): S lines are clean")
+        }
+        (DirState::S, R::VicClean, _) => t(P::None, D::None, G::None, N::SDropRequester),
+        (DirState::S, R::WriteThrough { retains }, _) => {
+            let next = if retains { N::SOnlyRequester } else { N::I };
+            t(P::InvalidateTracked, D::None, G::None, next)
+        }
+        (DirState::S, R::Atomic, _) => t(P::InvalidateTracked, D::LlcOrMemory, G::None, N::I),
+        (DirState::S, R::DmaRd, _) => t(P::None, D::LlcOrMemory, G::None, N::Unchanged),
+        (DirState::S, R::DmaWr, _) => t(P::InvalidateTracked, D::None, G::None, N::I),
+
+        // ---------------- state O ----------------
+        (DirState::O, R::RdBlk | R::RdBlkS, Requester::CpuOwner) => {
+            // Footnotes c/d/e: the owner itself re-requests (I$ miss on a
+            // silently-E line). No probes; the line is actually clean.
+            t(P::None, D::LlcOrMemory, G::Shared, N::SOnlyRequester)
+        }
+        (DirState::O, R::RdBlk | R::RdBlkS, _) => {
+            // Probe only the owner; elide the LLC read unless the owner
+            // turns out clean. The response coming from a cache denies
+            // Exclusive. The next state is resolved from the probe ack:
+            // a dirty owner keeps ownership (M→O), a clean owner was
+            // silently-E and everyone ends up a plain sharer.
+            t(P::DowngradeOwner, D::OwnerThenLlc, G::Shared, N::OAddSharer)
+        }
+        (DirState::O, R::RdBlkM, Requester::CpuOwner) => {
+            // Upgrade: invalidate everyone else; the owner's copy is the
+            // freshest, so no data is transferred.
+            t(P::InvalidateTracked, D::None, G::Upgrade, N::OOwnerUpgrade)
+        }
+        (DirState::O, R::RdBlkM, _) => {
+            t(P::InvalidateTracked, D::OwnerThenLlc, G::Modified, N::ORequester)
+        }
+        (DirState::O, R::VicDirty, Requester::CpuOwner) => {
+            t(P::None, D::None, G::None, N::SFromOwnerWriteback)
+        }
+        (DirState::O, R::VicDirty, _) => {
+            panic!("VicDirty from a non-owner in O is stale and must be filtered by the caller")
+        }
+        (DirState::O, R::VicClean, Requester::CpuOwner) => {
+            // Footnote g: the owner's line was actually E (clean). Unlike
+            // the footnote-e requester==owner case, downgraded-E sharers
+            // *can* exist here (E → S via a read probe left ownership
+            // conservatively in place), so the remaining sharers keep the
+            // line in S; the entry only drops to I when none remain.
+            t(P::None, D::None, G::None, N::SFromOwnerWriteback)
+        }
+        (DirState::O, R::VicClean, _) => {
+            // A dirty sharer evicted; the owner still reconciles.
+            t(P::None, D::None, G::None, N::ODropSharer)
+        }
+        (DirState::O, R::WriteThrough { retains }, _) => {
+            let next = if retains { N::SOnlyRequester } else { N::I };
+            t(P::InvalidateTracked, D::None, G::None, next)
+        }
+        (DirState::O, R::Atomic, _) => {
+            t(P::InvalidateTracked, D::OwnerThenLlc, G::None, N::I)
+        }
+        (DirState::O, R::DmaRd, _) => {
+            t(P::DowngradeOwner, D::OwnerThenLlc, G::None, N::Unchanged)
+        }
+        (DirState::O, R::DmaWr, _) => t(P::InvalidateTracked, D::None, G::None, N::I),
+
+        // Flush never touches state.
+        (_, R::Flush, _) => t(P::None, D::None, G::None, N::Unchanged),
+
+        (s, r, f) => panic!("illegal transition: {r:?} from {f:?} in state {s}"),
+    }
+}
+
+/// One pretty-printed row of the transition table (the Table I printer).
+#[must_use]
+pub fn describe(mode: DirectoryMode, state: DirState, req: PlanReq, from: Requester) -> String {
+    let tr = plan(mode, state, req, from);
+    let probes = match tr.probes {
+        ProbePlan::None => "none".to_owned(),
+        ProbePlan::DowngradeOwner => "downgrade→owner".to_owned(),
+        ProbePlan::InvalidateTracked => {
+            if mode.tracks_sharers() {
+                "invalidate→sharers (multicast)".to_owned()
+            } else {
+                "invalidate→broadcast".to_owned()
+            }
+        }
+    };
+    let data = match tr.data {
+        DataPlan::None => "-",
+        DataPlan::LlcOrMemory => "LLC/mem",
+        DataPlan::OwnerThenLlc => "owner (LLC/mem if clean)",
+    };
+    let grant = match tr.grant {
+        GrantPlan::None => "-",
+        GrantPlan::Shared => "S",
+        GrantPlan::Exclusive => "E",
+        GrantPlan::Modified => "M",
+        GrantPlan::Upgrade => "upgrade",
+    };
+    format!("{state} | {req:?} from {from:?} | probes: {probes} | data: {data} | grant: {grant} | next: {:?}", tr.next)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MODES: [DirectoryMode; 2] =
+        [DirectoryMode::OwnerTracking, DirectoryMode::SharerTracking];
+
+    #[test]
+    fn i_state_never_probes() {
+        for mode in MODES {
+            for req in [
+                PlanReq::RdBlk,
+                PlanReq::RdBlkS,
+                PlanReq::RdBlkM,
+                PlanReq::Atomic,
+                PlanReq::DmaRd,
+                PlanReq::DmaWr,
+            ] {
+                let tr = plan(mode, DirState::I, req, Requester::Cpu);
+                assert_eq!(tr.probes, ProbePlan::None, "{req:?} must not probe in I");
+            }
+        }
+    }
+
+    #[test]
+    fn i_state_rdblk_grants_exclusive_to_cpu_but_shared_to_tcc() {
+        for mode in MODES {
+            assert_eq!(
+                plan(mode, DirState::I, PlanReq::RdBlk, Requester::Cpu).grant,
+                GrantPlan::Exclusive
+            );
+            let tcc = plan(mode, DirState::I, PlanReq::RdBlk, Requester::Tcc);
+            assert_eq!(tcc.grant, GrantPlan::Shared);
+            assert_eq!(tcc.next, NextState::SAddRequester);
+        }
+    }
+
+    #[test]
+    fn s_state_reads_are_probe_free_and_forced_shared() {
+        for mode in MODES {
+            for req in [PlanReq::RdBlk, PlanReq::RdBlkS] {
+                let tr = plan(mode, DirState::S, req, Requester::Cpu);
+                assert_eq!(tr.probes, ProbePlan::None);
+                assert_eq!(tr.data, DataPlan::LlcOrMemory);
+                assert_eq!(tr.grant, GrantPlan::Shared, "RdBlk in S must not earn E");
+            }
+        }
+    }
+
+    #[test]
+    fn o_state_reads_probe_owner_only_and_elide_llc() {
+        for mode in MODES {
+            let tr = plan(mode, DirState::O, PlanReq::RdBlk, Requester::Cpu);
+            assert_eq!(tr.probes, ProbePlan::DowngradeOwner);
+            assert_eq!(tr.data, DataPlan::OwnerThenLlc);
+            assert_eq!(tr.next, NextState::OAddSharer, "owner keeps ownership");
+        }
+    }
+
+    #[test]
+    fn owner_upgrade_needs_no_data() {
+        for mode in MODES {
+            let tr = plan(mode, DirState::O, PlanReq::RdBlkM, Requester::CpuOwner);
+            assert_eq!(tr.grant, GrantPlan::Upgrade);
+            assert_eq!(tr.data, DataPlan::None);
+            assert_eq!(tr.next, NextState::OOwnerUpgrade);
+        }
+    }
+
+    #[test]
+    fn owner_ifetch_relaxes_to_shared() {
+        // Footnotes c/d/e of Table I.
+        let tr = plan(
+            DirectoryMode::SharerTracking,
+            DirState::O,
+            PlanReq::RdBlkS,
+            Requester::CpuOwner,
+        );
+        assert_eq!(tr.probes, ProbePlan::None);
+        assert_eq!(tr.next, NextState::SOnlyRequester);
+    }
+
+    #[test]
+    fn owner_writeback_keeps_dirty_sharers() {
+        // Footnote h + §VII: dirty sharers survive the owner's writeback.
+        let tr = plan(
+            DirectoryMode::SharerTracking,
+            DirState::O,
+            PlanReq::VicDirty,
+            Requester::CpuOwner,
+        );
+        assert_eq!(tr.next, NextState::SFromOwnerWriteback);
+        assert_eq!(tr.probes, ProbePlan::None);
+    }
+
+    #[test]
+    fn clean_victim_from_o_means_the_line_was_exclusive() {
+        // Footnote g, with downgraded-E sharers preserved.
+        let tr = plan(
+            DirectoryMode::OwnerTracking,
+            DirState::O,
+            PlanReq::VicClean,
+            Requester::CpuOwner,
+        );
+        assert_eq!(tr.next, NextState::SFromOwnerWriteback);
+        // A dirty sharer's clean evict just drops it from the set.
+        let tr = plan(
+            DirectoryMode::OwnerTracking,
+            DirState::O,
+            PlanReq::VicClean,
+            Requester::Cpu,
+        );
+        assert_eq!(tr.next, NextState::ODropSharer);
+    }
+
+    #[test]
+    #[should_panic(expected = "illegal")]
+    fn vicdirty_in_s_is_illegal() {
+        let _ = plan(DirectoryMode::OwnerTracking, DirState::S, PlanReq::VicDirty, Requester::Cpu);
+    }
+
+    #[test]
+    fn write_requests_invalidate_in_s_and_o() {
+        for mode in MODES {
+            for state in [DirState::S, DirState::O] {
+                for req in [PlanReq::RdBlkM, PlanReq::Atomic, PlanReq::DmaWr] {
+                    let tr = plan(mode, state, req, Requester::Cpu);
+                    assert_eq!(
+                        tr.probes,
+                        ProbePlan::InvalidateTracked,
+                        "{req:?} in {state} must invalidate"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dma_requests_do_not_alter_tracked_ownership() {
+        for mode in MODES {
+            assert_eq!(
+                plan(mode, DirState::S, PlanReq::DmaRd, Requester::Dma).next,
+                NextState::Unchanged
+            );
+            assert_eq!(
+                plan(mode, DirState::O, PlanReq::DmaRd, Requester::Dma).next,
+                NextState::Unchanged
+            );
+        }
+    }
+
+    #[test]
+    fn write_through_tracks_retention() {
+        for state in [DirState::I, DirState::S, DirState::O] {
+            let keep = plan(
+                DirectoryMode::SharerTracking,
+                state,
+                PlanReq::WriteThrough { retains: true },
+                Requester::Tcc,
+            );
+            assert_eq!(keep.next, NextState::SOnlyRequester);
+            let drop = plan(
+                DirectoryMode::SharerTracking,
+                state,
+                PlanReq::WriteThrough { retains: false },
+                Requester::Tcc,
+            );
+            assert_eq!(drop.next, NextState::I);
+        }
+    }
+
+    #[test]
+    fn flush_is_stateless() {
+        for state in [DirState::I, DirState::S, DirState::O] {
+            let tr = plan(DirectoryMode::OwnerTracking, state, PlanReq::Flush, Requester::Tcc);
+            assert_eq!(tr.next, NextState::Unchanged);
+            assert_eq!(tr.probes, ProbePlan::None);
+        }
+    }
+
+    #[test]
+    fn sharer_set_add_remove_iterate() {
+        let mut s = SharerSet::new();
+        s.add(AgentId::CorePairL2(0));
+        s.add(AgentId::CorePairL2(3));
+        s.add(AgentId::Tcc(0));
+        let members: Vec<AgentId> = s.iter().collect();
+        assert_eq!(
+            members,
+            [AgentId::CorePairL2(0), AgentId::CorePairL2(3), AgentId::Tcc(0)]
+        );
+        s.remove(AgentId::CorePairL2(3));
+        assert!(!s.contains(AgentId::CorePairL2(3)));
+        assert_eq!(s.len(), 2);
+        s.remove(AgentId::Dma); // no-op
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot be a sharer")]
+    fn dma_cannot_join_sharer_set() {
+        SharerSet::new().add(AgentId::Dma);
+    }
+
+    #[test]
+    fn state_aware_score_prefers_clean_few_sharer_victims() {
+        let mut clean = DirEntry {
+            state: DirState::S,
+            owner: None,
+            sharers: SharerSet::new(),
+            reserved: false,
+        };
+        clean.sharers.add(AgentId::CorePairL2(0));
+        let mut owned = clean;
+        owned.state = DirState::O;
+        owned.owner = Some(AgentId::CorePairL2(1));
+        assert!(clean.state_aware_score() < owned.state_aware_score());
+        let mut many = clean;
+        many.sharers.add(AgentId::CorePairL2(1));
+        many.sharers.add(AgentId::CorePairL2(2));
+        assert!(clean.state_aware_score() < many.state_aware_score());
+    }
+
+    #[test]
+    fn describe_renders_every_legal_row() {
+        // Smoke-test the Table I printer over the legal combinations.
+        for mode in MODES {
+            for state in [DirState::I, DirState::S, DirState::O] {
+                for req in [
+                    PlanReq::RdBlk,
+                    PlanReq::RdBlkS,
+                    PlanReq::RdBlkM,
+                    PlanReq::VicClean,
+                    PlanReq::WriteThrough { retains: true },
+                    PlanReq::Atomic,
+                    PlanReq::DmaRd,
+                    PlanReq::DmaWr,
+                    PlanReq::Flush,
+                ] {
+                    let from = match req {
+                        PlanReq::DmaRd | PlanReq::DmaWr => Requester::Dma,
+                        PlanReq::WriteThrough { .. } | PlanReq::Atomic | PlanReq::Flush => {
+                            Requester::Tcc
+                        }
+                        _ => Requester::Cpu,
+                    };
+                    // VicClean from a plain Cpu is fine in every state.
+                    let row = describe(mode, state, req, from);
+                    assert!(row.contains(&state.to_string()));
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,167 @@
+use std::fmt;
+
+/// Cache line size in bytes, fixed at 64 B as in the paper's Table II.
+pub const BLOCK_BYTES: u64 = 64;
+
+/// Number of 64-bit words in a cache line.
+pub const WORDS_PER_LINE: usize = (BLOCK_BYTES / 8) as usize;
+
+/// A byte address in the unified physical address space.
+///
+/// CPU cores, GPU compute units and the DMA engine all issue byte
+/// addresses; caches operate on the containing [`LineAddr`].
+///
+/// # Examples
+///
+/// ```
+/// use hsc_mem::Addr;
+///
+/// let a = Addr(0x1238);
+/// assert_eq!(a.line().base().0, 0x1200);
+/// assert_eq!(a.offset(), 0x38);
+/// assert_eq!(a.word_index(), 7);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Addr(pub u64);
+
+impl Addr {
+    /// The cache line containing this address.
+    #[must_use]
+    pub fn line(self) -> LineAddr {
+        LineAddr(self.0 / BLOCK_BYTES)
+    }
+
+    /// Byte offset within the cache line.
+    #[must_use]
+    pub fn offset(self) -> u64 {
+        self.0 % BLOCK_BYTES
+    }
+
+    /// Index of the 64-bit word within the line that contains this byte.
+    #[must_use]
+    pub fn word_index(self) -> usize {
+        (self.offset() / 8) as usize
+    }
+
+    /// Address of the `i`-th 64-bit word from this base address.
+    ///
+    /// Convenience for workloads that lay out arrays of words.
+    #[must_use]
+    pub fn word(self, i: u64) -> Addr {
+        Addr(self.0 + i * 8)
+    }
+}
+
+impl fmt::Display for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "0x{:x}", self.0)
+    }
+}
+
+impl From<u64> for Addr {
+    fn from(v: u64) -> Addr {
+        Addr(v)
+    }
+}
+
+/// A cache-line number (byte address divided by [`BLOCK_BYTES`]).
+///
+/// All coherence-protocol state is keyed by `LineAddr`.
+///
+/// # Examples
+///
+/// ```
+/// use hsc_mem::{Addr, LineAddr};
+///
+/// let l = LineAddr(3);
+/// assert_eq!(l.base(), Addr(192));
+/// assert_eq!(Addr(192 + 63).line(), l);
+/// assert_eq!(Addr(192 + 64).line(), LineAddr(4));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct LineAddr(pub u64);
+
+impl LineAddr {
+    /// The first byte address of this line.
+    #[must_use]
+    pub fn base(self) -> Addr {
+        Addr(self.0 * BLOCK_BYTES)
+    }
+
+    /// Byte address of the `i`-th word in this line.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= WORDS_PER_LINE`.
+    #[must_use]
+    pub fn word_addr(self, i: usize) -> Addr {
+        assert!(i < WORDS_PER_LINE, "word index {i} out of line");
+        Addr(self.base().0 + (i as u64) * 8)
+    }
+}
+
+impl fmt::Display for LineAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "L:0x{:x}", self.base().0)
+    }
+}
+
+impl From<u64> for LineAddr {
+    fn from(v: u64) -> LineAddr {
+        LineAddr(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_and_offset_decompose_address() {
+        let a = Addr(0x1FFF);
+        assert_eq!(a.line(), LineAddr(0x1FFF / 64));
+        assert_eq!(a.offset(), 0x1FFF % 64);
+        assert_eq!(a.line().base().0 + a.offset(), a.0);
+    }
+
+    #[test]
+    fn word_index_walks_line() {
+        for i in 0..8 {
+            assert_eq!(Addr(i * 8).word_index(), i as usize);
+            assert_eq!(Addr(i * 8 + 7).word_index(), i as usize);
+        }
+    }
+
+    #[test]
+    fn line_boundaries_are_sharp() {
+        assert_eq!(Addr(63).line(), LineAddr(0));
+        assert_eq!(Addr(64).line(), LineAddr(1));
+    }
+
+    #[test]
+    fn word_addr_round_trips() {
+        let l = LineAddr(10);
+        for i in 0..WORDS_PER_LINE {
+            let a = l.word_addr(i);
+            assert_eq!(a.line(), l);
+            assert_eq!(a.word_index(), i);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of line")]
+    fn word_addr_bounds_checked() {
+        let _ = LineAddr(0).word_addr(8);
+    }
+
+    #[test]
+    fn display_formats_hex() {
+        assert_eq!(Addr(255).to_string(), "0xff");
+        assert_eq!(LineAddr(1).to_string(), "L:0x40");
+    }
+
+    #[test]
+    fn addr_word_strides_by_eight() {
+        assert_eq!(Addr(0x100).word(3), Addr(0x118));
+    }
+}

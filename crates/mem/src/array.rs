@@ -1,0 +1,496 @@
+use std::fmt;
+
+use crate::{LineAddr, TreePlru, BLOCK_BYTES};
+
+/// Size and shape of a set-associative cache.
+///
+/// Lines are always 64 B ([`BLOCK_BYTES`]); geometry is `size / (64 ×
+/// ways)` sets. The paper's Table II geometries (e.g. 16 MB 16-way LLC,
+/// 2 MB 8-way L2, 256 KB 32-way directory) are all expressible.
+///
+/// # Examples
+///
+/// ```
+/// use hsc_mem::CacheGeometry;
+///
+/// let llc = CacheGeometry::new(16 * 1024 * 1024, 16);
+/// assert_eq!(llc.sets(), 16384);
+/// assert_eq!(llc.lines(), 262144);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CacheGeometry {
+    size_bytes: u64,
+    ways: usize,
+}
+
+impl CacheGeometry {
+    /// A cache of `size_bytes` capacity with `ways`-way sets of 64 B lines.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the resulting set count is zero or not a power of two, or
+    /// `ways` is zero / not a power of two.
+    #[must_use]
+    pub fn new(size_bytes: u64, ways: usize) -> Self {
+        assert!(ways > 0 && ways.is_power_of_two(), "ways must be a power of two");
+        let lines = size_bytes / BLOCK_BYTES;
+        assert!(lines > 0, "cache must hold at least one line");
+        let sets = lines / ways as u64;
+        assert!(
+            sets > 0 && sets.is_power_of_two(),
+            "sets must be a positive power of two (got {sets})"
+        );
+        CacheGeometry { size_bytes, ways }
+    }
+
+    /// A cache described directly by line count instead of byte size.
+    ///
+    /// Used for the directory cache, whose Table II "block size" is an
+    /// entry, not a 64 B line.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`CacheGeometry::new`].
+    #[must_use]
+    pub fn from_lines(lines: u64, ways: usize) -> Self {
+        CacheGeometry::new(lines * BLOCK_BYTES, ways)
+    }
+
+    /// Total capacity in bytes.
+    #[must_use]
+    pub fn size_bytes(self) -> u64 {
+        self.size_bytes
+    }
+
+    /// Associativity.
+    #[must_use]
+    pub fn ways(self) -> usize {
+        self.ways
+    }
+
+    /// Number of sets.
+    #[must_use]
+    pub fn sets(self) -> usize {
+        (self.size_bytes / BLOCK_BYTES / self.ways as u64) as usize
+    }
+
+    /// Total number of lines.
+    #[must_use]
+    pub fn lines(self) -> usize {
+        self.sets() * self.ways
+    }
+}
+
+/// One valid line in a [`CacheArray`]: its tag and caller-defined metadata.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Line<S> {
+    /// The cache line this way currently holds.
+    pub tag: LineAddr,
+    /// Protocol-defined per-line state (MOESI state, dirty bit, sharer
+    /// bitmap, data…).
+    pub meta: S,
+}
+
+/// A line pushed out of the array to make room for an insertion.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Eviction<S> {
+    /// The evicted line's address.
+    pub tag: LineAddr,
+    /// The evicted line's metadata (protocol state, data, …).
+    pub meta: S,
+}
+
+/// Result of inserting a line into a [`CacheArray`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum InsertOutcome<S> {
+    /// A free (invalid) way was available; nothing was displaced.
+    Inserted,
+    /// The set was full; the returned victim was displaced.
+    Evicted(Eviction<S>),
+}
+
+/// A set-associative tag array with Tree-PLRU replacement and per-line
+/// metadata of type `S`.
+///
+/// The array is purely structural: it knows nothing about coherence.
+/// Protocol controllers choose what `S` is (an enum of MOESI states, a
+/// directory entry with a sharer bitmap, an LLC line with data and a dirty
+/// bit, …) and drive insert/evict decisions.
+///
+/// Insertions pick an invalid way if one exists, otherwise the Tree-PLRU
+/// victim; [`CacheArray::insert_scored`] restricts the victim choice to the
+/// ways minimizing a caller-supplied score first (the future-work
+/// state-aware directory replacement policy), with Tree-PLRU breaking ties.
+///
+/// # Examples
+///
+/// ```
+/// use hsc_mem::{CacheArray, CacheGeometry, InsertOutcome, LineAddr};
+///
+/// let mut c: CacheArray<u32> = CacheArray::new(CacheGeometry::new(128, 2));
+/// // 2 lines total in 1 set of 2 ways: third insert evicts.
+/// assert!(matches!(c.insert(LineAddr(0), 10), InsertOutcome::Inserted));
+/// assert!(matches!(c.insert(LineAddr(1), 11), InsertOutcome::Inserted));
+/// let out = c.insert(LineAddr(2), 12);
+/// assert!(matches!(out, InsertOutcome::Evicted(_)));
+/// ```
+pub struct CacheArray<S> {
+    geometry: CacheGeometry,
+    sets: usize,
+    ways: usize,
+    lines: Vec<Option<Line<S>>>,
+    plru: TreePlru,
+    valid: usize,
+}
+
+impl<S: fmt::Debug> fmt::Debug for CacheArray<S> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("CacheArray")
+            .field("geometry", &self.geometry)
+            .field("valid", &self.valid)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<S> CacheArray<S> {
+    /// Creates an empty array with the given geometry.
+    #[must_use]
+    pub fn new(geometry: CacheGeometry) -> Self {
+        let sets = geometry.sets();
+        let ways = geometry.ways();
+        CacheArray {
+            geometry,
+            sets,
+            ways,
+            lines: std::iter::repeat_with(|| None).take(sets * ways).collect(),
+            plru: TreePlru::new(sets, ways),
+            valid: 0,
+        }
+    }
+
+    /// The geometry this array was built with.
+    #[must_use]
+    pub fn geometry(&self) -> CacheGeometry {
+        self.geometry
+    }
+
+    /// Set index for a line address (low-order line-number bits).
+    #[must_use]
+    pub fn set_of(&self, la: LineAddr) -> usize {
+        (la.0 % self.sets as u64) as usize
+    }
+
+    fn slot(&self, set: usize, way: usize) -> usize {
+        set * self.ways + way
+    }
+
+    fn find_way(&self, la: LineAddr) -> Option<usize> {
+        let set = self.set_of(la);
+        (0..self.ways).find(|&w| {
+            self.lines[self.slot(set, w)]
+                .as_ref()
+                .is_some_and(|l| l.tag == la)
+        })
+    }
+
+    /// Whether `la` is present.
+    #[must_use]
+    pub fn contains(&self, la: LineAddr) -> bool {
+        self.find_way(la).is_some()
+    }
+
+    /// Shared access to the metadata of `la`, if present. Does not update
+    /// recency; pair with [`CacheArray::touch`] on protocol-visible hits.
+    #[must_use]
+    pub fn get(&self, la: LineAddr) -> Option<&S> {
+        self.find_way(la)
+            .map(|w| &self.lines[self.slot(self.set_of(la), w)].as_ref().unwrap().meta)
+    }
+
+    /// Exclusive access to the metadata of `la`, if present.
+    pub fn get_mut(&mut self, la: LineAddr) -> Option<&mut S> {
+        let set = self.set_of(la);
+        let way = self.find_way(la)?;
+        let slot = self.slot(set, way);
+        Some(&mut self.lines[slot].as_mut().unwrap().meta)
+    }
+
+    /// Marks `la` as most-recently used. No-op if absent.
+    pub fn touch(&mut self, la: LineAddr) {
+        if let Some(way) = self.find_way(la) {
+            let set = self.set_of(la);
+            self.plru.touch(set, way);
+        }
+    }
+
+    /// Inserts `la`, evicting the Tree-PLRU victim if the set is full.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `la` is already present — double-insertion is always a
+    /// protocol bug.
+    pub fn insert(&mut self, la: LineAddr, meta: S) -> InsertOutcome<S> {
+        self.insert_scored(la, meta, |_, _| 0)
+    }
+
+    /// Inserts `la`; when eviction is needed, victimizes among the ways
+    /// with the *lowest* `score` (ties broken by Tree-PLRU).
+    ///
+    /// This implements the paper's future-work state-aware directory
+    /// replacement: score unmodified/few-sharer entries low so they go
+    /// first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `la` is already present.
+    pub fn insert_scored(
+        &mut self,
+        la: LineAddr,
+        meta: S,
+        score: impl Fn(LineAddr, &S) -> u32,
+    ) -> InsertOutcome<S> {
+        assert!(
+            !self.contains(la),
+            "insert of already-present line {la} (protocol bug)"
+        );
+        let set = self.set_of(la);
+        // Prefer an invalid way.
+        if let Some(way) = (0..self.ways).find(|&w| self.lines[self.slot(set, w)].is_none()) {
+            let slot = self.slot(set, way);
+            self.lines[slot] = Some(Line { tag: la, meta });
+            self.plru.touch(set, way);
+            self.valid += 1;
+            return InsertOutcome::Inserted;
+        }
+        let way = self.scored_victim_way(set, &score);
+        let slot = self.slot(set, way);
+        let old = self.lines[slot].replace(Line { tag: la, meta }).unwrap();
+        self.plru.touch(set, way);
+        InsertOutcome::Evicted(Eviction {
+            tag: old.tag,
+            meta: old.meta,
+        })
+    }
+
+    fn scored_victim_way(&self, set: usize, score: &impl Fn(LineAddr, &S) -> u32) -> usize {
+        let scores: Vec<u32> = (0..self.ways)
+            .map(|w| {
+                let l = self.lines[self.slot(set, w)].as_ref().unwrap();
+                score(l.tag, &l.meta)
+            })
+            .collect();
+        let min = *scores.iter().min().unwrap();
+        let mask: Vec<bool> = scores.iter().map(|&s| s == min).collect();
+        self.plru
+            .victim_among(set, &mask)
+            .expect("at least one way has the minimum score")
+    }
+
+    /// The line that would be displaced if `la` were inserted now, or
+    /// `None` if a free way exists (or `la` is already present).
+    #[must_use]
+    pub fn would_evict(&self, la: LineAddr) -> Option<(LineAddr, &S)> {
+        self.would_evict_scored(la, |_, _| 0)
+    }
+
+    /// Like [`CacheArray::would_evict`] but with the state-aware score.
+    #[must_use]
+    pub fn would_evict_scored(
+        &self,
+        la: LineAddr,
+        score: impl Fn(LineAddr, &S) -> u32,
+    ) -> Option<(LineAddr, &S)> {
+        if self.contains(la) {
+            return None;
+        }
+        let set = self.set_of(la);
+        if (0..self.ways).any(|w| self.lines[self.slot(set, w)].is_none()) {
+            return None;
+        }
+        let way = self.scored_victim_way(set, &score);
+        let l = self.lines[self.slot(set, way)].as_ref().unwrap();
+        Some((l.tag, &l.meta))
+    }
+
+    /// Removes `la`, returning its metadata if it was present.
+    pub fn invalidate(&mut self, la: LineAddr) -> Option<S> {
+        let way = self.find_way(la)?;
+        let set = self.set_of(la);
+        let slot = self.slot(set, way);
+        self.valid -= 1;
+        self.lines[slot].take().map(|l| l.meta)
+    }
+
+    /// Whether the set that `la` maps to has no free way.
+    #[must_use]
+    pub fn set_is_full(&self, la: LineAddr) -> bool {
+        let set = self.set_of(la);
+        (0..self.ways).all(|w| self.lines[self.slot(set, w)].is_some())
+    }
+
+    /// Number of valid lines.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.valid
+    }
+
+    /// Whether no line is valid.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.valid == 0
+    }
+
+    /// Iterates over all valid lines in set/way order.
+    pub fn iter(&self) -> impl Iterator<Item = (LineAddr, &S)> {
+        self.lines
+            .iter()
+            .filter_map(|l| l.as_ref().map(|l| (l.tag, &l.meta)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> CacheArray<u32> {
+        // 1 set × 2 ways.
+        CacheArray::new(CacheGeometry::new(128, 2))
+    }
+
+    #[test]
+    fn geometry_derives_sets_and_lines() {
+        let g = CacheGeometry::new(2 * 1024 * 1024, 8); // the paper's L2
+        assert_eq!(g.lines(), 32768);
+        assert_eq!(g.sets(), 4096);
+        assert_eq!(CacheGeometry::from_lines(1024, 32).sets(), 32);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn geometry_rejects_odd_ways() {
+        let _ = CacheGeometry::new(1024, 3);
+    }
+
+    #[test]
+    fn insert_then_get_round_trips() {
+        let mut c = tiny();
+        assert!(matches!(c.insert(LineAddr(7), 70), InsertOutcome::Inserted));
+        assert_eq!(c.get(LineAddr(7)), Some(&70));
+        *c.get_mut(LineAddr(7)).unwrap() = 71;
+        assert_eq!(c.get(LineAddr(7)), Some(&71));
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn missing_line_is_none() {
+        let c = tiny();
+        assert_eq!(c.get(LineAddr(1)), None);
+        assert!(!c.contains(LineAddr(1)));
+    }
+
+    #[test]
+    fn full_set_evicts_plru_victim() {
+        let mut c = tiny();
+        c.insert(LineAddr(0), 0);
+        c.insert(LineAddr(2), 2); // same set (1 set total)
+        c.touch(LineAddr(0)); // 2 is now colder
+        match c.insert(LineAddr(4), 4) {
+            InsertOutcome::Evicted(ev) => {
+                assert_eq!(ev.tag, LineAddr(2));
+                assert_eq!(ev.meta, 2);
+            }
+            other => panic!("expected eviction, got {other:?}"),
+        }
+        assert!(c.contains(LineAddr(0)));
+        assert!(c.contains(LineAddr(4)));
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn scored_insert_prefers_low_score_victim() {
+        let mut c = tiny();
+        c.insert(LineAddr(0), 100); // high score = keep
+        c.insert(LineAddr(2), 1); // low score = evict first
+        c.touch(LineAddr(2)); // PLRU alone would evict 0
+        match c.insert_scored(LineAddr(4), 5, |_, &m| m) {
+            InsertOutcome::Evicted(ev) => assert_eq!(ev.tag, LineAddr(2)),
+            other => panic!("expected eviction, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn would_evict_predicts_without_mutating() {
+        let mut c = tiny();
+        assert_eq!(c.would_evict(LineAddr(0)), None, "free ways, no eviction");
+        c.insert(LineAddr(0), 0);
+        c.insert(LineAddr(2), 2);
+        let (tag, _) = c.would_evict(LineAddr(4)).unwrap();
+        match c.insert(LineAddr(4), 4) {
+            InsertOutcome::Evicted(ev) => assert_eq!(ev.tag, tag),
+            other => panic!("expected eviction, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn would_evict_of_present_line_is_none() {
+        let mut c = tiny();
+        c.insert(LineAddr(0), 0);
+        c.insert(LineAddr(2), 2);
+        assert_eq!(c.would_evict(LineAddr(0)), None);
+    }
+
+    #[test]
+    fn invalidate_frees_the_way() {
+        let mut c = tiny();
+        c.insert(LineAddr(0), 0);
+        c.insert(LineAddr(2), 2);
+        assert_eq!(c.invalidate(LineAddr(0)), Some(0));
+        assert_eq!(c.invalidate(LineAddr(0)), None);
+        assert!(matches!(c.insert(LineAddr(4), 4), InsertOutcome::Inserted));
+    }
+
+    #[test]
+    #[should_panic(expected = "protocol bug")]
+    fn double_insert_panics() {
+        let mut c = tiny();
+        c.insert(LineAddr(0), 0);
+        c.insert(LineAddr(0), 1);
+    }
+
+    #[test]
+    fn different_sets_do_not_conflict() {
+        let mut c: CacheArray<u32> = CacheArray::new(CacheGeometry::new(256, 2)); // 2 sets
+        c.insert(LineAddr(0), 0); // set 0
+        c.insert(LineAddr(1), 1); // set 1
+        c.insert(LineAddr(2), 2); // set 0
+        assert!(!c.set_is_full(LineAddr(1)));
+        assert!(c.set_is_full(LineAddr(0)));
+        assert_eq!(c.len(), 3);
+    }
+
+    #[test]
+    fn iter_visits_all_valid_lines() {
+        let mut c: CacheArray<u32> = CacheArray::new(CacheGeometry::new(256, 2));
+        c.insert(LineAddr(0), 10);
+        c.insert(LineAddr(1), 11);
+        c.insert(LineAddr(3), 13);
+        let mut seen: Vec<(LineAddr, u32)> = c.iter().map(|(t, &m)| (t, m)).collect();
+        seen.sort_by_key(|&(t, _)| t);
+        assert_eq!(
+            seen,
+            vec![(LineAddr(0), 10), (LineAddr(1), 11), (LineAddr(3), 13)]
+        );
+    }
+
+    #[test]
+    fn eviction_churn_maintains_len() {
+        let mut c: CacheArray<u64> = CacheArray::new(CacheGeometry::new(1024, 4)); // 4 sets x 4 ways
+        for i in 0..1000u64 {
+            if !c.contains(LineAddr(i % 64)) {
+                c.insert(LineAddr(i % 64), i);
+            }
+            assert!(c.len() <= 16);
+        }
+        assert_eq!(c.len(), 16);
+    }
+}

@@ -1,0 +1,232 @@
+use std::fmt;
+
+use crate::{Addr, WORDS_PER_LINE};
+
+/// The functional contents of one 64-byte cache line, as 8×64-bit words.
+///
+/// The simulator moves real data through the coherence protocol so that the
+/// workloads can verify their results; a coherence bug becomes an assertion
+/// failure instead of a skewed statistic.
+///
+/// # Examples
+///
+/// ```
+/// use hsc_mem::{Addr, LineData};
+///
+/// let mut d = LineData::zeroed();
+/// d.set_word(3, 99);
+/// assert_eq!(d.word(3), 99);
+/// assert_eq!(d.word_at(Addr(3 * 8)), 99);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct LineData {
+    words: [u64; WORDS_PER_LINE],
+}
+
+impl LineData {
+    /// A line of all-zero words, the reset value of main memory.
+    #[must_use]
+    pub fn zeroed() -> Self {
+        LineData::default()
+    }
+
+    /// Builds a line from its 8 words.
+    #[must_use]
+    pub fn from_words(words: [u64; WORDS_PER_LINE]) -> Self {
+        LineData { words }
+    }
+
+    /// Reads word `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= 8`.
+    #[must_use]
+    pub fn word(&self, i: usize) -> u64 {
+        self.words[i]
+    }
+
+    /// Writes word `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= 8`.
+    pub fn set_word(&mut self, i: usize, value: u64) {
+        self.words[i] = value;
+    }
+
+    /// Reads the word addressed by the byte address `a` (which must fall in
+    /// this line when used by callers; only the in-line word index is used).
+    #[must_use]
+    pub fn word_at(&self, a: Addr) -> u64 {
+        self.words[a.word_index()]
+    }
+
+    /// Writes the word addressed by the byte address `a`.
+    pub fn set_word_at(&mut self, a: Addr, value: u64) {
+        self.words[a.word_index()] = value;
+    }
+
+    /// Applies `op` read-modify-write to the word at byte address `a`,
+    /// returning the *old* value (the value atomics return to the core).
+    pub fn apply_atomic(&mut self, a: Addr, op: AtomicKind) -> u64 {
+        let i = a.word_index();
+        let old = self.words[i];
+        self.words[i] = op.next(old);
+        old
+    }
+
+    /// The raw words of the line.
+    #[must_use]
+    pub fn words(&self) -> &[u64; WORDS_PER_LINE] {
+        &self.words
+    }
+}
+
+impl fmt::Display for LineData {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, w) in self.words.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ")?;
+            }
+            write!(f, "{w:x}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+/// A read-modify-write operation, as issued by CPU `std::atomic`s and by
+/// GPU GLC (device-scope, executed at the TCC) or SLC (system-scope,
+/// executed at the directory) atomics.
+///
+/// # Examples
+///
+/// ```
+/// use hsc_mem::AtomicKind;
+///
+/// assert_eq!(AtomicKind::FetchAdd(5).next(10), 15);
+/// assert_eq!(AtomicKind::CompareSwap { expect: 10, new: 0 }.next(10), 0);
+/// assert_eq!(AtomicKind::CompareSwap { expect: 9, new: 0 }.next(10), 10);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AtomicKind {
+    /// `old + v` (wrapping).
+    FetchAdd(u64),
+    /// Replace with `v`, return old.
+    Exchange(u64),
+    /// Replace with `new` iff the old value equals `expect`.
+    CompareSwap {
+        /// Value the word must currently hold for the swap to happen.
+        expect: u64,
+        /// Value stored when the comparison succeeds.
+        new: u64,
+    },
+    /// `max(old, v)`.
+    FetchMax(u64),
+    /// `min(old, v)`.
+    FetchMin(u64),
+    /// `old & v`.
+    FetchAnd(u64),
+    /// `old | v`.
+    FetchOr(u64),
+    /// `old ^ v`.
+    FetchXor(u64),
+}
+
+impl AtomicKind {
+    /// The value the word holds after applying this operation to `old`.
+    #[must_use]
+    pub fn next(self, old: u64) -> u64 {
+        match self {
+            AtomicKind::FetchAdd(v) => old.wrapping_add(v),
+            AtomicKind::Exchange(v) => v,
+            AtomicKind::CompareSwap { expect, new } => {
+                if old == expect {
+                    new
+                } else {
+                    old
+                }
+            }
+            AtomicKind::FetchMax(v) => old.max(v),
+            AtomicKind::FetchMin(v) => old.min(v),
+            AtomicKind::FetchAnd(v) => old & v,
+            AtomicKind::FetchOr(v) => old | v,
+            AtomicKind::FetchXor(v) => old ^ v,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn words_read_back_what_was_written() {
+        let mut d = LineData::zeroed();
+        for i in 0..WORDS_PER_LINE {
+            d.set_word(i, (i as u64 + 1) * 1000);
+        }
+        for i in 0..WORDS_PER_LINE {
+            assert_eq!(d.word(i), (i as u64 + 1) * 1000);
+        }
+    }
+
+    #[test]
+    fn byte_addressed_access_selects_right_word() {
+        let mut d = LineData::zeroed();
+        d.set_word_at(Addr(0x40 + 16), 7); // word 2 of line 1
+        assert_eq!(d.word(2), 7);
+        assert_eq!(d.word_at(Addr(0x80 + 16)), 7); // only in-line offset matters
+    }
+
+    #[test]
+    fn from_words_round_trips() {
+        let w = [1, 2, 3, 4, 5, 6, 7, 8];
+        assert_eq!(*LineData::from_words(w).words(), w);
+    }
+
+    #[test]
+    fn atomic_add_wraps() {
+        assert_eq!(AtomicKind::FetchAdd(2).next(u64::MAX), 1);
+    }
+
+    #[test]
+    fn atomic_cas_only_on_match() {
+        let mut d = LineData::zeroed();
+        d.set_word(0, 5);
+        let old = d.apply_atomic(Addr(0), AtomicKind::CompareSwap { expect: 4, new: 9 });
+        assert_eq!(old, 5);
+        assert_eq!(d.word(0), 5, "failed CAS must not write");
+        let old = d.apply_atomic(Addr(0), AtomicKind::CompareSwap { expect: 5, new: 9 });
+        assert_eq!(old, 5);
+        assert_eq!(d.word(0), 9);
+    }
+
+    #[test]
+    fn atomic_bitwise_and_minmax() {
+        assert_eq!(AtomicKind::FetchMax(7).next(3), 7);
+        assert_eq!(AtomicKind::FetchMin(7).next(3), 3);
+        assert_eq!(AtomicKind::FetchAnd(0b1100).next(0b1010), 0b1000);
+        assert_eq!(AtomicKind::FetchOr(0b1100).next(0b1010), 0b1110);
+        assert_eq!(AtomicKind::FetchXor(0b1100).next(0b1010), 0b0110);
+        assert_eq!(AtomicKind::Exchange(42).next(7), 42);
+    }
+
+    #[test]
+    fn apply_atomic_returns_old_value() {
+        let mut d = LineData::zeroed();
+        d.set_word(1, 10);
+        let old = d.apply_atomic(Addr(8), AtomicKind::FetchAdd(5));
+        assert_eq!(old, 10);
+        assert_eq!(d.word(1), 15);
+    }
+
+    #[test]
+    fn display_shows_all_words() {
+        let d = LineData::from_words([0xa, 0, 0, 0, 0, 0, 0, 0xb]);
+        let s = d.to_string();
+        assert!(s.starts_with("[a "));
+        assert!(s.ends_with(" b]"));
+    }
+}

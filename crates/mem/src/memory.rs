@@ -1,0 +1,99 @@
+use std::collections::BTreeMap;
+
+use crate::{Addr, LineAddr, LineData};
+
+/// The functional backing store: a sparse map from line address to data.
+///
+/// Unwritten lines read as zero, like freshly mapped anonymous memory.
+/// Timing is *not* modelled here — the directory's memory port schedules
+/// latency; this type only answers "what bytes live at this line".
+///
+/// # Examples
+///
+/// ```
+/// use hsc_mem::{Addr, MainMemory};
+///
+/// let mut mem = MainMemory::new();
+/// mem.write_word(Addr(0x100), 42);
+/// assert_eq!(mem.read_word(Addr(0x100)), 42);
+/// assert_eq!(mem.read_word(Addr(0x9999998)), 0, "untouched memory is zero");
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MainMemory {
+    lines: BTreeMap<LineAddr, LineData>,
+}
+
+impl MainMemory {
+    /// Creates an all-zero memory.
+    #[must_use]
+    pub fn new() -> Self {
+        MainMemory::default()
+    }
+
+    /// Reads a whole line (zero if never written).
+    #[must_use]
+    pub fn read_line(&self, la: LineAddr) -> LineData {
+        self.lines.get(&la).copied().unwrap_or_default()
+    }
+
+    /// Writes a whole line.
+    pub fn write_line(&mut self, la: LineAddr, data: LineData) {
+        self.lines.insert(la, data);
+    }
+
+    /// Reads the 64-bit word at byte address `a`.
+    #[must_use]
+    pub fn read_word(&self, a: Addr) -> u64 {
+        self.read_line(a.line()).word_at(a)
+    }
+
+    /// Writes the 64-bit word at byte address `a`.
+    ///
+    /// Used by workloads to initialize inputs before the simulation starts
+    /// and by tests to inspect results after it drains; during simulation
+    /// all traffic goes through the coherence protocol.
+    pub fn write_word(&mut self, a: Addr, value: u64) {
+        let la = a.line();
+        let mut line = self.read_line(la);
+        line.set_word_at(a, value);
+        self.lines.insert(la, line);
+    }
+
+    /// Number of lines ever written.
+    #[must_use]
+    pub fn touched_lines(&self) -> usize {
+        self.lines.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unwritten_memory_is_zero() {
+        let mem = MainMemory::new();
+        assert_eq!(mem.read_line(LineAddr(123)), LineData::zeroed());
+        assert_eq!(mem.read_word(Addr(0xABCDE8)), 0);
+    }
+
+    #[test]
+    fn word_writes_do_not_clobber_neighbours() {
+        let mut mem = MainMemory::new();
+        mem.write_word(Addr(0x100), 1);
+        mem.write_word(Addr(0x108), 2);
+        assert_eq!(mem.read_word(Addr(0x100)), 1);
+        assert_eq!(mem.read_word(Addr(0x108)), 2);
+        assert_eq!(mem.touched_lines(), 1, "both words share a line");
+    }
+
+    #[test]
+    fn line_writes_round_trip() {
+        let mut mem = MainMemory::new();
+        let mut d = LineData::zeroed();
+        d.set_word(7, 77);
+        mem.write_line(LineAddr(4), d);
+        assert_eq!(mem.read_line(LineAddr(4)).word(7), 77);
+        assert_eq!(mem.read_word(LineAddr(4).word_addr(7)), 77);
+    }
+}

@@ -1,0 +1,245 @@
+/// Per-set Tree-PLRU replacement state, the default policy of every cache
+/// in the paper's Table II.
+///
+/// Each set of `W` ways (W a power of two) keeps `W-1` direction bits in an
+/// implicit binary tree. [`TreePlru::touch`] flips the bits on the path to a
+/// way so they point *away* from it; [`TreePlru::victim`] follows the bits
+/// down to the pseudo-least-recently-used way.
+///
+/// [`TreePlru::victim_among`] restricts the walk to a candidate mask. It is
+/// the hook used by the future-work *state-aware* directory replacement
+/// policy (§VII): the directory first filters candidates by state score and
+/// lets Tree-PLRU break ties.
+///
+/// # Examples
+///
+/// ```
+/// use hsc_mem::TreePlru;
+///
+/// let mut p = TreePlru::new(1, 4);
+/// p.touch(0, 0);
+/// p.touch(0, 1);
+/// // ways 2/3 are now colder than 0/1
+/// assert!(p.victim(0) >= 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TreePlru {
+    sets: usize,
+    ways: usize,
+    /// `sets * (ways - 1)` direction bits; `false` = left, `true` = right.
+    bits: Vec<bool>,
+}
+
+impl TreePlru {
+    /// Creates replacement state for `sets` sets of `ways` ways.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ways` is zero or not a power of two, or `sets` is zero.
+    #[must_use]
+    pub fn new(sets: usize, ways: usize) -> Self {
+        assert!(sets > 0, "TreePlru needs at least one set");
+        assert!(
+            ways > 0 && ways.is_power_of_two(),
+            "TreePlru ways must be a power of two (got {ways})"
+        );
+        TreePlru {
+            sets,
+            ways,
+            bits: vec![false; sets * (ways - 1)],
+        }
+    }
+
+    fn nodes_per_set(&self) -> usize {
+        self.ways - 1
+    }
+
+    fn bit(&self, set: usize, node: usize) -> bool {
+        self.bits[set * self.nodes_per_set() + node]
+    }
+
+    fn set_bit(&mut self, set: usize, node: usize, v: bool) {
+        let n = self.nodes_per_set();
+        self.bits[set * n + node] = v;
+    }
+
+    /// Marks `way` as most-recently used in `set`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `set` or `way` is out of range.
+    pub fn touch(&mut self, set: usize, way: usize) {
+        assert!(set < self.sets && way < self.ways, "touch({set},{way}) out of range");
+        if self.ways == 1 {
+            return;
+        }
+        // Walk from the root; at each node the touched way lies in either
+        // the left or right half. Point the bit at the *other* half.
+        let mut node = 0;
+        let mut lo = 0;
+        let mut hi = self.ways;
+        while hi - lo > 1 {
+            let mid = (lo + hi) / 2;
+            let right = way >= mid;
+            self.set_bit(set, node, !right);
+            node = 2 * node + if right { 2 } else { 1 };
+            if right {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+    }
+
+    /// The way Tree-PLRU would evict from `set`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `set` is out of range.
+    #[must_use]
+    pub fn victim(&self, set: usize) -> usize {
+        let all = vec![true; self.ways];
+        self.victim_among(set, &all)
+            .expect("victim_among with full mask always finds a way")
+    }
+
+    /// The coldest way among those with `candidates[way] == true`.
+    ///
+    /// Walks the tree preferring the PLRU direction whenever that subtree
+    /// still contains a candidate. Returns `None` if no way is a candidate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `set` is out of range or `candidates.len() != ways`.
+    #[must_use]
+    pub fn victim_among(&self, set: usize, candidates: &[bool]) -> Option<usize> {
+        assert!(set < self.sets, "set {set} out of range");
+        assert_eq!(candidates.len(), self.ways, "candidate mask length mismatch");
+        if !candidates.iter().any(|&c| c) {
+            return None;
+        }
+        let mut node = 0;
+        let mut lo = 0;
+        let mut hi = self.ways;
+        while hi - lo > 1 {
+            let mid = (lo + hi) / 2;
+            let prefer_right = self.bit(set, node);
+            let right_has = candidates[mid..hi].iter().any(|&c| c);
+            let left_has = candidates[lo..mid].iter().any(|&c| c);
+            let go_right = if prefer_right { right_has } else { !left_has };
+            node = 2 * node + if go_right { 2 } else { 1 };
+            if go_right {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        Some(lo)
+    }
+
+    /// Number of ways per set.
+    #[must_use]
+    pub fn ways(&self) -> usize {
+        self.ways
+    }
+
+    /// Number of sets.
+    #[must_use]
+    pub fn sets(&self) -> usize {
+        self.sets
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn untouched_set_evicts_way_zero() {
+        let p = TreePlru::new(2, 8);
+        assert_eq!(p.victim(0), 0);
+        assert_eq!(p.victim(1), 0);
+    }
+
+    #[test]
+    fn touching_everything_in_order_makes_first_touched_the_victim() {
+        let mut p = TreePlru::new(1, 4);
+        for w in 0..4 {
+            p.touch(0, w);
+        }
+        // Classic tree-PLRU: after touching 0,1,2,3 in order the victim is 0.
+        assert_eq!(p.victim(0), 0);
+    }
+
+    #[test]
+    fn victim_is_never_the_most_recent_touch() {
+        let mut p = TreePlru::new(1, 8);
+        for round in 0..50usize {
+            let w = (round * 5 + 3) % 8;
+            p.touch(0, w);
+            assert_ne!(p.victim(0), w, "just-touched way must not be victim");
+        }
+    }
+
+    #[test]
+    fn sets_are_independent() {
+        let mut p = TreePlru::new(2, 4);
+        p.touch(0, 0);
+        p.touch(0, 1);
+        p.touch(0, 2);
+        p.touch(0, 3);
+        assert_eq!(p.victim(1), 0, "set 1 untouched");
+    }
+
+    #[test]
+    fn victim_among_respects_mask() {
+        let mut p = TreePlru::new(1, 4);
+        p.touch(0, 2);
+        p.touch(0, 3);
+        // PLRU prefers ways 0/1; masked out, so it must pick among 2/3.
+        let v = p.victim_among(0, &[false, false, true, true]).unwrap();
+        assert!(v == 2 || v == 3);
+        // Only one candidate.
+        assert_eq!(p.victim_among(0, &[false, false, false, true]), Some(3));
+    }
+
+    #[test]
+    fn victim_among_empty_mask_is_none() {
+        let p = TreePlru::new(1, 4);
+        assert_eq!(p.victim_among(0, &[false; 4]), None);
+    }
+
+    #[test]
+    fn single_way_cache_always_evicts_zero() {
+        let mut p = TreePlru::new(3, 1);
+        p.touch(2, 0);
+        assert_eq!(p.victim(2), 0);
+    }
+
+    #[test]
+    fn two_way_alternates() {
+        let mut p = TreePlru::new(1, 2);
+        p.touch(0, 0);
+        assert_eq!(p.victim(0), 1);
+        p.touch(0, 1);
+        assert_eq!(p.victim(0), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_ways_rejected() {
+        let _ = TreePlru::new(1, 3);
+    }
+
+    #[test]
+    fn large_assoc_32_ways_works() {
+        // The directory cache in Table II is 32-way.
+        let mut p = TreePlru::new(4, 32);
+        for w in 0..32 {
+            p.touch(1, w);
+        }
+        assert_eq!(p.victim(1), 0);
+        p.touch(1, 0);
+        assert_ne!(p.victim(1), 0);
+    }
+}

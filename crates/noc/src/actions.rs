@@ -1,0 +1,153 @@
+use hsc_sim::Tick;
+
+use crate::Message;
+
+/// A side effect a controller requests from the system driver.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Action {
+    /// Put a message on the NoC (the driver applies network latency).
+    Send(Message),
+    /// Put a message on the NoC at a future tick (used to model a
+    /// controller's own access latency, e.g. the directory's 20-cycle
+    /// lookup before its probes leave).
+    SendLater(Tick, Message),
+    /// Re-invoke this controller's `on_wake` at the given tick.
+    Wake(Tick),
+}
+
+/// Collects the actions a controller produces while handling one event.
+///
+/// Controllers (`CorePair`, GPU cluster, DMA engine, directory, memory
+/// controller) never touch the event queue directly; they stage sends and
+/// wake-ups here and the system driver applies them. This keeps every
+/// controller a plain deterministic state machine that is easy to unit-test
+/// in isolation: call a handler, inspect the outbox.
+///
+/// # Examples
+///
+/// ```
+/// use hsc_mem::LineAddr;
+/// use hsc_noc::{Action, AgentId, Message, MsgKind, Outbox};
+/// use hsc_sim::Tick;
+///
+/// let mut out = Outbox::new(Tick(100));
+/// out.send(Message::new(AgentId::CorePairL2(0), AgentId::Directory, LineAddr(0), MsgKind::RdBlk));
+/// out.wake_after(20);
+/// assert_eq!(out.actions().len(), 2);
+/// assert!(matches!(out.actions()[1], Action::Wake(Tick(120))));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Outbox {
+    now: Tick,
+    actions: Vec<Action>,
+}
+
+impl Outbox {
+    /// Creates an outbox for an event being handled at `now`.
+    #[must_use]
+    pub fn new(now: Tick) -> Self {
+        Outbox {
+            now,
+            actions: Vec::new(),
+        }
+    }
+
+    /// The tick of the event being handled.
+    #[must_use]
+    pub fn now(&self) -> Tick {
+        self.now
+    }
+
+    /// Stages a message send.
+    pub fn send(&mut self, msg: Message) {
+        self.actions.push(Action::Send(msg));
+    }
+
+    /// Stages a message send `delay` ticks from now (network latency is
+    /// applied on top by the driver).
+    pub fn send_after(&mut self, delay: u64, msg: Message) {
+        self.actions.push(Action::SendLater(self.now + delay, msg));
+    }
+
+    /// Stages a wake-up at an absolute tick.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is in the past.
+    pub fn wake_at(&mut self, at: Tick) {
+        assert!(at >= self.now, "wake_at({at}) is before now ({})", self.now);
+        self.actions.push(Action::Wake(at));
+    }
+
+    /// Stages a wake-up `delay` ticks from now.
+    pub fn wake_after(&mut self, delay: u64) {
+        self.actions.push(Action::Wake(self.now + delay));
+    }
+
+    /// The staged actions, in the order they were produced.
+    #[must_use]
+    pub fn actions(&self) -> &[Action] {
+        &self.actions
+    }
+
+    /// Consumes the outbox, returning the staged actions.
+    #[must_use]
+    pub fn into_actions(self) -> Vec<Action> {
+        self.actions
+    }
+
+    /// Whether nothing was staged.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.actions.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{AgentId, MsgKind};
+    use hsc_mem::LineAddr;
+
+    #[test]
+    fn actions_preserve_order() {
+        let mut out = Outbox::new(Tick(5));
+        out.wake_after(1);
+        out.send(Message::new(
+            AgentId::Dma,
+            AgentId::Directory,
+            LineAddr(0),
+            MsgKind::DmaRd,
+        ));
+        out.wake_at(Tick(10));
+        let acts = out.into_actions();
+        assert_eq!(acts.len(), 3);
+        assert!(matches!(acts[0], Action::Wake(Tick(6))));
+        assert!(matches!(acts[1], Action::Send(_)));
+        assert!(matches!(acts[2], Action::Wake(Tick(10))));
+    }
+
+    #[test]
+    #[should_panic(expected = "before now")]
+    fn waking_in_the_past_panics() {
+        let mut out = Outbox::new(Tick(5));
+        out.wake_at(Tick(4));
+    }
+
+    #[test]
+    fn empty_outbox_reports_empty() {
+        let out = Outbox::new(Tick(0));
+        assert!(out.is_empty());
+        assert_eq!(out.now(), Tick(0));
+    }
+
+    #[test]
+    fn send_after_stamps_future_tick() {
+        let mut out = Outbox::new(Tick(10));
+        out.send_after(
+            7,
+            Message::new(AgentId::Dma, AgentId::Directory, LineAddr(0), MsgKind::DmaRd),
+        );
+        assert!(matches!(out.actions()[0], Action::SendLater(Tick(17), _)));
+    }
+}

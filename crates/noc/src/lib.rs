@@ -1,0 +1,32 @@
+//! Protocol message vocabulary and interconnect model for the HSC
+//! reproduction.
+//!
+//! The paper's system (Fig. 1) connects four kinds of agents to the
+//! system-level directory: CorePair L2 controllers, the GPU's TCC(s), the
+//! DMA engine, and (through an ordered port) main memory. This crate
+//! defines:
+//!
+//! * [`AgentId`] — the network endpoints,
+//! * [`Message`] / [`MsgKind`] — every request, probe, acknowledgment and
+//!   response named in §II of the paper (RdBlk, RdBlkS, RdBlkM, VicDirty,
+//!   VicClean, WT, Atomic, Flush, DMARd, DMAWr, probes, unblocks, …),
+//! * [`Network`] — a fixed-per-hop-latency interconnect that timestamps
+//!   deliveries and counts traffic by message class. Together with the
+//!   FIFO tie-breaking of `hsc_sim::EventQueue`, constant per-pair latency
+//!   gives point-to-point ordering, which the protocols rely on.
+//!
+//! Figure 7 of the paper ("% reduction in probes sent out from the
+//! directory") is read directly off [`Network`]'s counters.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod actions;
+mod agent;
+mod message;
+mod network;
+
+pub use actions::{Action, Outbox};
+pub use agent::AgentId;
+pub use message::{Grant, Message, MsgKind, ProbeKind, WordMask};
+pub use network::{LatencyMap, Network};

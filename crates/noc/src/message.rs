@@ -1,0 +1,491 @@
+use std::fmt;
+
+use hsc_mem::{AtomicKind, LineAddr, LineData, WORDS_PER_LINE};
+
+use crate::AgentId;
+
+/// Which permission a directory response grants the requester.
+///
+/// MOESI L2s use all three; VIPER TCCs ignore `Exclusive` grants (paper
+/// §II-A: "if exclusive status is granted, it is ignored by the TCC").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Grant {
+    /// Read permission, other copies may exist.
+    Shared,
+    /// Read permission, no other copy exists; may silently upgrade to
+    /// Modified in a MOESI L2.
+    Exclusive,
+    /// Write permission.
+    Modified,
+}
+
+impl fmt::Display for Grant {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Grant::Shared => "S",
+            Grant::Exclusive => "E",
+            Grant::Modified => "M",
+        };
+        f.write_str(s)
+    }
+}
+
+/// The two probe flavours the directory can broadcast or multicast.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ProbeKind {
+    /// Sent for write-permission requests (RdBlkM, WT, Atomic, DMAWr):
+    /// recipients must invalidate, forwarding dirty data if they have it
+    /// (TCCs invalidate without forwarding).
+    Invalidate,
+    /// Sent for read-permission requests (RdBlk, RdBlkS, DMARd):
+    /// recipients downgrade M→O / E→S and forward dirty data.
+    Downgrade,
+}
+
+impl fmt::Display for ProbeKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ProbeKind::Invalidate => "PrbInv",
+            ProbeKind::Downgrade => "PrbDown",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A bitmask selecting 64-bit words within one cache line.
+///
+/// GPU write-throughs write only the words a wavefront actually stored;
+/// the directory merges them into the LLC/memory copy under this mask.
+///
+/// # Examples
+///
+/// ```
+/// use hsc_noc::WordMask;
+///
+/// let mut m = WordMask::empty();
+/// m.set(0);
+/// m.set(7);
+/// assert!(m.contains(0) && m.contains(7) && !m.contains(3));
+/// assert_eq!(WordMask::full().count(), 8);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct WordMask(u8);
+
+impl WordMask {
+    /// No words selected.
+    #[must_use]
+    pub fn empty() -> Self {
+        WordMask(0)
+    }
+
+    /// All eight words selected (a full-line write).
+    #[must_use]
+    pub fn full() -> Self {
+        WordMask(0xFF)
+    }
+
+    /// A mask with only word `i` selected.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= 8`.
+    #[must_use]
+    pub fn single(i: usize) -> Self {
+        let mut m = WordMask::empty();
+        m.set(i);
+        m
+    }
+
+    /// Selects word `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= 8`.
+    pub fn set(&mut self, i: usize) {
+        assert!(i < WORDS_PER_LINE, "word index {i} out of line");
+        self.0 |= 1 << i;
+    }
+
+    /// Whether word `i` is selected.
+    #[must_use]
+    pub fn contains(self, i: usize) -> bool {
+        i < WORDS_PER_LINE && self.0 & (1 << i) != 0
+    }
+
+    /// Number of selected words.
+    #[must_use]
+    pub fn count(self) -> u32 {
+        self.0.count_ones()
+    }
+
+    /// Whether no word is selected.
+    #[must_use]
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Unions another mask into this one.
+    pub fn union(&mut self, other: WordMask) {
+        self.0 |= other.0;
+    }
+
+    /// Copies the selected words of `src` into `dst`.
+    pub fn apply(self, dst: &mut LineData, src: &LineData) {
+        for i in 0..WORDS_PER_LINE {
+            if self.contains(i) {
+                dst.set_word(i, src.word(i));
+            }
+        }
+    }
+}
+
+/// Every message class that crosses the system NoC, with its payload.
+///
+/// The naming follows §II of the paper exactly; see the table in the
+/// module docs of [`crate`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MsgKind {
+    // ---- requests to the directory ----
+    /// Read-permission request; may be granted Shared or Exclusive.
+    RdBlk,
+    /// Read-permission request for Shared only (I-cache misses).
+    RdBlkS,
+    /// Write-permission request.
+    RdBlkM,
+    /// Dirty victim write-back from an L2.
+    VicDirty {
+        /// The modified line contents.
+        data: LineData,
+    },
+    /// Clean victim notification from an L2 (noisy evictions, §II-D).
+    VicClean {
+        /// The (memory-coherent) line contents.
+        data: LineData,
+    },
+    /// GPU write-through — also the TCC's write-back path when it is
+    /// configured as a write-back cache (§II-A).
+    WriteThrough {
+        /// The written words.
+        data: LineData,
+        /// Which words were written.
+        mask: WordMask,
+        /// Whether the sending TCC still holds a valid copy afterwards
+        /// (lets the state-tracking directory keep its sharer set exact).
+        retains: bool,
+    },
+    /// System-Level-Coherent atomic, executed at the directory.
+    AtomicReq {
+        /// Word within the line to operate on.
+        word: u8,
+        /// The read-modify-write operation.
+        op: AtomicKind,
+    },
+    /// TCP flush (orchestrated by the TCC) supporting store-release.
+    Flush,
+    /// DMA read of a full line.
+    DmaRd,
+    /// DMA write of (part of) a line.
+    DmaWr {
+        /// The written words.
+        data: LineData,
+        /// Which words were written.
+        mask: WordMask,
+    },
+
+    // ---- directory to caches ----
+    /// A coherence probe.
+    Probe {
+        /// Invalidating or downgrading.
+        kind: ProbeKind,
+    },
+
+    // ---- caches to directory ----
+    /// Probe acknowledgment.
+    ProbeAck {
+        /// Forwarded dirty line, if the cache held it M/O.
+        dirty: Option<LineData>,
+        /// Whether the cache had any copy (for sharer-count sanity checks).
+        had_copy: bool,
+        /// Whether an invalidating probe consumed a *parked victim* (a
+        /// line whose VicDirty/VicClean is still in flight). The directory
+        /// then treats that in-flight victim message as stale and drops
+        /// its write, closing the writeback/probe race.
+        was_parked: bool,
+    },
+
+    // ---- directory to requesters ----
+    /// Data + permission response ending the miss.
+    Resp {
+        /// The line contents.
+        data: LineData,
+        /// Granted permission.
+        grant: Grant,
+    },
+    /// Write permission granted without data, sent by the state-tracking
+    /// directory when the requester of an RdBlkM is already the owner (its
+    /// copy is the freshest in the system, so no data transfer is needed).
+    UpgradeAck,
+    /// Acknowledgment of a VicDirty/VicClean; releases the victim buffer.
+    VicAck,
+    /// Acknowledgment that a write-through reached system visibility.
+    WtAck,
+    /// Result of an SLC atomic (the *old* word value).
+    AtomicResp {
+        /// Value of the word before the operation.
+        old: u64,
+    },
+    /// Acknowledgment of a Flush.
+    FlushAck,
+    /// DMA read completion.
+    DmaRdResp {
+        /// The line contents.
+        data: LineData,
+    },
+    /// DMA write completion.
+    DmaWrAck,
+
+    // ---- requester to directory ----
+    /// Ends a coherence transaction; the directory unblocks the line.
+    Unblock,
+
+    // ---- directory to/from memory ----
+    /// Memory read request.
+    MemRd,
+    /// Memory write request.
+    MemWr {
+        /// The line contents to store.
+        data: LineData,
+        /// Which words to store (DRAM byte enables; full for line writes).
+        mask: WordMask,
+    },
+    /// Memory read completion.
+    MemRdResp {
+        /// The line contents.
+        data: LineData,
+    },
+}
+
+impl MsgKind {
+    /// A short stable name used as the statistics key for this class.
+    #[must_use]
+    pub fn class_name(&self) -> &'static str {
+        match self {
+            MsgKind::RdBlk => "RdBlk",
+            MsgKind::RdBlkS => "RdBlkS",
+            MsgKind::RdBlkM => "RdBlkM",
+            MsgKind::VicDirty { .. } => "VicDirty",
+            MsgKind::VicClean { .. } => "VicClean",
+            MsgKind::WriteThrough { .. } => "WT",
+            MsgKind::AtomicReq { .. } => "Atomic",
+            MsgKind::Flush => "Flush",
+            MsgKind::DmaRd => "DmaRd",
+            MsgKind::DmaWr { .. } => "DmaWr",
+            MsgKind::Probe {
+                kind: ProbeKind::Invalidate,
+            } => "PrbInv",
+            MsgKind::Probe {
+                kind: ProbeKind::Downgrade,
+            } => "PrbDown",
+            MsgKind::ProbeAck { .. } => "PrbAck",
+            MsgKind::Resp { .. } => "Resp",
+            MsgKind::UpgradeAck => "UpgradeAck",
+            MsgKind::VicAck => "VicAck",
+            MsgKind::WtAck => "WtAck",
+            MsgKind::AtomicResp { .. } => "AtomicResp",
+            MsgKind::FlushAck => "FlushAck",
+            MsgKind::DmaRdResp { .. } => "DmaRdResp",
+            MsgKind::DmaWrAck => "DmaWrAck",
+            MsgKind::Unblock => "Unblock",
+            MsgKind::MemRd => "MemRd",
+            MsgKind::MemWr { .. } => "MemWr",
+            MsgKind::MemRdResp { .. } => "MemRdResp",
+        }
+    }
+
+    /// Whether this is one of the directory-bound request classes.
+    #[must_use]
+    pub fn is_dir_request(&self) -> bool {
+        matches!(
+            self,
+            MsgKind::RdBlk
+                | MsgKind::RdBlkS
+                | MsgKind::RdBlkM
+                | MsgKind::VicDirty { .. }
+                | MsgKind::VicClean { .. }
+                | MsgKind::WriteThrough { .. }
+                | MsgKind::AtomicReq { .. }
+                | MsgKind::Flush
+                | MsgKind::DmaRd
+                | MsgKind::DmaWr { .. }
+        )
+    }
+
+    /// Whether this is a probe.
+    #[must_use]
+    pub fn is_probe(&self) -> bool {
+        matches!(self, MsgKind::Probe { .. })
+    }
+
+    /// Whether this request class needs *invalidating* probes (the paper's
+    /// write-permission set: RdBlkM, WT, Atomic, DMAWr).
+    #[must_use]
+    pub fn wants_invalidating_probes(&self) -> bool {
+        matches!(
+            self,
+            MsgKind::RdBlkM | MsgKind::WriteThrough { .. } | MsgKind::AtomicReq { .. } | MsgKind::DmaWr { .. }
+        )
+    }
+}
+
+/// One message in flight on the system NoC.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Message {
+    /// Sender.
+    pub src: AgentId,
+    /// Receiver.
+    pub dst: AgentId,
+    /// The cache line the message concerns.
+    pub line: LineAddr,
+    /// Class and payload.
+    pub kind: MsgKind,
+}
+
+impl Message {
+    /// Builds a message.
+    #[must_use]
+    pub fn new(src: AgentId, dst: AgentId, line: LineAddr, kind: MsgKind) -> Self {
+        Message { src, dst, line, kind }
+    }
+}
+
+impl fmt::Display for Message {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}→{} {} {}",
+            self.src,
+            self.dst,
+            self.kind.class_name(),
+            self.line
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn word_mask_set_and_query() {
+        let mut m = WordMask::empty();
+        assert!(m.is_empty());
+        m.set(3);
+        m.set(5);
+        assert!(m.contains(3) && m.contains(5));
+        assert!(!m.contains(0));
+        assert_eq!(m.count(), 2);
+        assert!(!m.contains(8), "out-of-range query is false, not panic");
+    }
+
+    #[test]
+    fn word_mask_union_and_apply() {
+        let mut dst = LineData::from_words([0; 8]);
+        let src = LineData::from_words([1, 2, 3, 4, 5, 6, 7, 8]);
+        let mut m = WordMask::single(1);
+        m.union(WordMask::single(6));
+        m.apply(&mut dst, &src);
+        assert_eq!(*dst.words(), [0, 2, 0, 0, 0, 0, 7, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of line")]
+    fn word_mask_set_bounds_checked() {
+        WordMask::empty().set(8);
+    }
+
+    #[test]
+    fn full_mask_overwrites_line() {
+        let mut dst = LineData::from_words([9; 8]);
+        let src = LineData::from_words([1, 2, 3, 4, 5, 6, 7, 8]);
+        WordMask::full().apply(&mut dst, &src);
+        assert_eq!(dst, src);
+    }
+
+    #[test]
+    fn class_names_are_unique() {
+        use std::collections::BTreeSet;
+        let kinds = [
+            MsgKind::RdBlk,
+            MsgKind::RdBlkS,
+            MsgKind::RdBlkM,
+            MsgKind::VicDirty { data: LineData::zeroed() },
+            MsgKind::VicClean { data: LineData::zeroed() },
+            MsgKind::WriteThrough { data: LineData::zeroed(), mask: WordMask::full(), retains: true },
+            MsgKind::AtomicReq { word: 0, op: AtomicKind::FetchAdd(1) },
+            MsgKind::Flush,
+            MsgKind::DmaRd,
+            MsgKind::DmaWr { data: LineData::zeroed(), mask: WordMask::full() },
+            MsgKind::Probe { kind: ProbeKind::Invalidate },
+            MsgKind::Probe { kind: ProbeKind::Downgrade },
+            MsgKind::ProbeAck { dirty: None, had_copy: false, was_parked: false },
+            MsgKind::Resp { data: LineData::zeroed(), grant: Grant::Shared },
+            MsgKind::UpgradeAck,
+            MsgKind::VicAck,
+            MsgKind::WtAck,
+            MsgKind::AtomicResp { old: 0 },
+            MsgKind::FlushAck,
+            MsgKind::DmaRdResp { data: LineData::zeroed() },
+            MsgKind::DmaWrAck,
+            MsgKind::Unblock,
+            MsgKind::MemRd,
+            MsgKind::MemWr { data: LineData::zeroed(), mask: WordMask::full() },
+            MsgKind::MemRdResp { data: LineData::zeroed() },
+        ];
+        let names: BTreeSet<&str> = kinds.iter().map(|k| k.class_name()).collect();
+        assert_eq!(names.len(), kinds.len(), "duplicate class name");
+    }
+
+    #[test]
+    fn request_and_probe_classification() {
+        assert!(MsgKind::RdBlk.is_dir_request());
+        assert!(MsgKind::DmaRd.is_dir_request());
+        assert!(!MsgKind::Unblock.is_dir_request());
+        assert!(MsgKind::Probe { kind: ProbeKind::Downgrade }.is_probe());
+        assert!(!MsgKind::RdBlk.is_probe());
+    }
+
+    #[test]
+    fn write_permission_requests_want_invalidating_probes() {
+        assert!(MsgKind::RdBlkM.wants_invalidating_probes());
+        assert!(MsgKind::AtomicReq { word: 0, op: AtomicKind::FetchAdd(1) }
+            .wants_invalidating_probes());
+        assert!(MsgKind::DmaWr { data: LineData::zeroed(), mask: WordMask::full() }
+            .wants_invalidating_probes());
+        assert!(MsgKind::WriteThrough { data: LineData::zeroed(), mask: WordMask::full(), retains: true }
+            .wants_invalidating_probes());
+        assert!(!MsgKind::RdBlk.wants_invalidating_probes());
+        assert!(!MsgKind::RdBlkS.wants_invalidating_probes());
+        assert!(!MsgKind::DmaRd.wants_invalidating_probes());
+    }
+
+    #[test]
+    fn message_display_mentions_endpoints_and_class() {
+        let m = Message::new(
+            AgentId::CorePairL2(0),
+            AgentId::Directory,
+            LineAddr(4),
+            MsgKind::RdBlkM,
+        );
+        let s = m.to_string();
+        assert!(s.contains("L2[0]"));
+        assert!(s.contains("DIR"));
+        assert!(s.contains("RdBlkM"));
+    }
+
+    #[test]
+    fn grants_display_single_letters() {
+        assert_eq!(Grant::Shared.to_string(), "S");
+        assert_eq!(Grant::Exclusive.to_string(), "E");
+        assert_eq!(Grant::Modified.to_string(), "M");
+    }
+}

@@ -1,0 +1,42 @@
+//! Deterministic discrete-event simulation core for the HSC reproduction.
+//!
+//! This crate provides the timing substrate shared by every other crate in
+//! the workspace:
+//!
+//! * [`Tick`] — the global simulated-time unit (one GPU clock cycle),
+//! * [`EventQueue`] — a priority queue of timestamped events with
+//!   deterministic FIFO tie-breaking,
+//! * [`StatSet`] and [`Histogram`] — the statistics containers from which
+//!   every figure of the paper is regenerated,
+//! * [`DetRng`] — a small, seedable, splittable PRNG so that workload
+//!   generation is reproducible bit-for-bit across runs and platforms.
+//!
+//! The simulator is single-threaded by design: determinism is what lets the
+//! test-suite assert exact probe/memory-access counts against golden values.
+//!
+//! # Examples
+//!
+//! ```
+//! use hsc_sim::{EventQueue, Tick};
+//!
+//! let mut q = EventQueue::new();
+//! q.schedule(Tick(5), "later");
+//! q.schedule(Tick(1), "sooner");
+//! let (t, ev) = q.pop().unwrap();
+//! assert_eq!((t, ev), (Tick(1), "sooner"));
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod queue;
+mod rng;
+mod stats;
+mod tick;
+mod trace;
+
+pub use queue::EventQueue;
+pub use rng::DetRng;
+pub use stats::{Histogram, StatSet};
+pub use tick::Tick;
+pub use trace::{NullTracer, Tracer, VecTracer};

@@ -1,0 +1,173 @@
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::Tick;
+
+/// A timestamped event queue with deterministic tie-breaking.
+///
+/// Events scheduled for the same [`Tick`] are delivered in the order they
+/// were scheduled (FIFO). This is what makes whole-system simulation
+/// deterministic: two runs with the same inputs pop events in exactly the
+/// same order, so every statistic the benches report is reproducible.
+///
+/// # Examples
+///
+/// ```
+/// use hsc_sim::{EventQueue, Tick};
+///
+/// let mut q = EventQueue::new();
+/// q.schedule(Tick(2), 'b');
+/// q.schedule(Tick(2), 'c'); // same tick: FIFO after 'b'
+/// q.schedule(Tick(1), 'a');
+/// let order: Vec<char> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+/// assert_eq!(order, ['a', 'b', 'c']);
+/// ```
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    next_seq: u64,
+}
+
+#[derive(Debug)]
+struct Entry<E> {
+    tick: Tick,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.tick == other.tick && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest (tick, seq) wins.
+        (other.tick, other.seq).cmp(&(self.tick, self.seq))
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue.
+    #[must_use]
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+        }
+    }
+
+    /// Schedules `event` for delivery at `tick`.
+    pub fn schedule(&mut self, tick: Tick, event: E) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Entry { tick, seq, event });
+    }
+
+    /// Removes and returns the earliest event, or `None` if empty.
+    pub fn pop(&mut self) -> Option<(Tick, E)> {
+        self.heap.pop().map(|e| (e.tick, e.event))
+    }
+
+    /// The tick of the earliest pending event, if any.
+    #[must_use]
+    pub fn peek_tick(&self) -> Option<Tick> {
+        self.heap.peek().map(|e| e.tick)
+    }
+
+    /// Number of pending events.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        EventQueue::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(Tick(10), 1);
+        q.schedule(Tick(3), 2);
+        q.schedule(Tick(7), 3);
+        assert_eq!(q.pop(), Some((Tick(3), 2)));
+        assert_eq!(q.pop(), Some((Tick(7), 3)));
+        assert_eq!(q.pop(), Some((Tick(10), 1)));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn fifo_within_a_tick() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.schedule(Tick(5), i);
+        }
+        for i in 0..100 {
+            assert_eq!(q.pop(), Some((Tick(5), i)));
+        }
+    }
+
+    #[test]
+    fn interleaved_schedule_and_pop_keeps_order() {
+        let mut q = EventQueue::new();
+        q.schedule(Tick(1), "a");
+        q.schedule(Tick(4), "d");
+        assert_eq!(q.pop(), Some((Tick(1), "a")));
+        q.schedule(Tick(2), "b");
+        q.schedule(Tick(3), "c");
+        assert_eq!(q.pop(), Some((Tick(2), "b")));
+        assert_eq!(q.pop(), Some((Tick(3), "c")));
+        assert_eq!(q.pop(), Some((Tick(4), "d")));
+    }
+
+    #[test]
+    fn peek_and_len_report_pending_state() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        assert_eq!(q.peek_tick(), None);
+        q.schedule(Tick(9), ());
+        q.schedule(Tick(2), ());
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.peek_tick(), Some(Tick(2)));
+        assert!(!q.is_empty());
+    }
+
+    #[test]
+    fn default_is_empty() {
+        let q: EventQueue<u8> = EventQueue::default();
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn events_in_the_past_are_still_popped_in_order() {
+        // The queue itself does not enforce monotonicity (the driver does);
+        // it must still order whatever it is given.
+        let mut q = EventQueue::new();
+        q.schedule(Tick(5), 'x');
+        assert_eq!(q.pop(), Some((Tick(5), 'x')));
+        q.schedule(Tick(1), 'y');
+        assert_eq!(q.pop(), Some((Tick(1), 'y')));
+    }
+}

@@ -1,0 +1,194 @@
+/// A deterministic, splittable pseudo-random number generator.
+///
+/// Implements the SplitMix64 sequence. It is deliberately *not* a
+/// cryptographic generator: the simulator needs reproducible streams that
+/// are identical across platforms, runs, and compiler versions so that the
+/// golden-value tests and the figure-regeneration binaries are stable.
+///
+/// Workloads derive one child generator per thread / compute-unit with
+/// [`DetRng::split`], so adding a consumer never perturbs the values drawn
+/// by existing consumers.
+///
+/// # Examples
+///
+/// ```
+/// use hsc_sim::DetRng;
+///
+/// let mut a = DetRng::new(7);
+/// let mut b = DetRng::new(7);
+/// assert_eq!(a.next_u64(), b.next_u64());
+/// let mut child = a.split();
+/// assert_ne!(child.next_u64(), b.next_u64());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DetRng {
+    state: u64,
+}
+
+const GOLDEN_GAMMA: u64 = 0x9E37_79B9_7F4A_7C15;
+
+fn mix(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl DetRng {
+    /// Creates a generator seeded with `seed`.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        DetRng {
+            state: seed.wrapping_mul(GOLDEN_GAMMA) ^ 0x1234_5678_9ABC_DEF0,
+        }
+    }
+
+    /// Returns the next 64-bit value in the sequence.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(GOLDEN_GAMMA);
+        mix(self.state)
+    }
+
+    /// Returns a uniformly distributed value in `[0, bound)`.
+    ///
+    /// Uses Lemire's multiply-shift reduction; the modulo bias is below
+    /// 2⁻³² for every bound the simulator uses, which is irrelevant for
+    /// workload generation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bound == 0`.
+    pub fn next_below(&mut self, bound: u64) -> u64 {
+        assert!(bound > 0, "next_below bound must be positive");
+        ((u128::from(self.next_u64()) * u128::from(bound)) >> 64) as u64
+    }
+
+    /// Returns a uniformly distributed value in `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi`.
+    pub fn range(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo < hi, "range requires lo < hi (got {lo}..{hi})");
+        lo + self.next_below(hi - lo)
+    }
+
+    /// Returns `true` with probability `num / den`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `den == 0`.
+    pub fn chance(&mut self, num: u64, den: u64) -> bool {
+        self.next_below(den) < num
+    }
+
+    /// Derives an independent child generator.
+    ///
+    /// The parent advances by one step, so consecutive splits yield
+    /// distinct children.
+    #[must_use]
+    pub fn split(&mut self) -> DetRng {
+        DetRng {
+            state: mix(self.next_u64()),
+        }
+    }
+
+    /// Fisher–Yates shuffles `slice` in place.
+    pub fn shuffle<T>(&mut self, slice: &mut [T]) {
+        for i in (1..slice.len()).rev() {
+            let j = self.next_below(i as u64 + 1) as usize;
+            slice.swap(i, j);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = DetRng::new(42);
+        let mut b = DetRng::new(42);
+        for _ in 0..64 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = DetRng::new(1);
+        let mut b = DetRng::new(2);
+        let same = (0..16).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn next_below_respects_bound() {
+        let mut r = DetRng::new(3);
+        for bound in [1u64, 2, 7, 100, 1 << 40] {
+            for _ in 0..200 {
+                assert!(r.next_below(bound) < bound);
+            }
+        }
+    }
+
+    #[test]
+    fn next_below_covers_small_ranges() {
+        let mut r = DetRng::new(11);
+        let mut seen = [false; 8];
+        for _ in 0..1000 {
+            seen[r.next_below(8) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all residues should appear: {seen:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "bound must be positive")]
+    fn next_below_zero_panics() {
+        DetRng::new(0).next_below(0);
+    }
+
+    #[test]
+    fn range_inclusive_exclusive() {
+        let mut r = DetRng::new(5);
+        for _ in 0..500 {
+            let v = r.range(10, 20);
+            assert!((10..20).contains(&v));
+        }
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut r = DetRng::new(9);
+        assert!((0..100).all(|_| r.chance(100, 100)));
+        assert!((0..100).all(|_| !r.chance(0, 100)));
+    }
+
+    #[test]
+    fn split_children_are_independent() {
+        let mut parent = DetRng::new(77);
+        let mut c1 = parent.split();
+        let mut c2 = parent.split();
+        assert_ne!(c1, c2);
+        let equal = (0..32).filter(|_| c1.next_u64() == c2.next_u64()).count();
+        assert_eq!(equal, 0);
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut r = DetRng::new(13);
+        let mut v: Vec<u32> = (0..50).collect();
+        r.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(v, sorted, "a 50-element shuffle should not be identity");
+    }
+
+    #[test]
+    fn golden_first_value_is_stable() {
+        // Pins the stream so that golden-value tests elsewhere in the
+        // workspace cannot drift silently if the constants change.
+        assert_eq!(DetRng::new(0).next_u64(), 1_592_342_178_222_199_016);
+    }
+}

@@ -1,0 +1,316 @@
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A named set of monotonically increasing counters.
+///
+/// Every controller in the simulator (directory, LLC, L2s, TCC, network)
+/// owns a `StatSet`; at the end of a run they are merged into one report
+/// from which the paper's figures are regenerated. Keys are free-form
+/// strings, kept in a `BTreeMap` so iteration (and therefore every printed
+/// report) is deterministic.
+///
+/// # Examples
+///
+/// ```
+/// use hsc_sim::StatSet;
+///
+/// let mut s = StatSet::new();
+/// s.bump("dir.probes_sent");
+/// s.add("dir.mem_reads", 3);
+/// assert_eq!(s.get("dir.probes_sent"), 1);
+/// assert_eq!(s.get("dir.mem_reads"), 3);
+/// assert_eq!(s.get("never_touched"), 0);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct StatSet {
+    counters: BTreeMap<String, u64>,
+}
+
+impl StatSet {
+    /// Creates an empty set.
+    #[must_use]
+    pub fn new() -> Self {
+        StatSet::default()
+    }
+
+    /// Increments `key` by one.
+    pub fn bump(&mut self, key: &str) {
+        self.add(key, 1);
+    }
+
+    /// Increments `key` by `amount`.
+    pub fn add(&mut self, key: &str, amount: u64) {
+        if amount == 0 {
+            return;
+        }
+        *self.counters.entry(key.to_owned()).or_insert(0) += amount;
+    }
+
+    /// Current value of `key` (0 if never incremented).
+    #[must_use]
+    pub fn get(&self, key: &str) -> u64 {
+        self.counters.get(key).copied().unwrap_or(0)
+    }
+
+    /// Sum of all counters whose key starts with `prefix`.
+    #[must_use]
+    pub fn sum_prefix(&self, prefix: &str) -> u64 {
+        self.counters
+            .range(prefix.to_owned()..)
+            .take_while(|(k, _)| k.starts_with(prefix))
+            .map(|(_, v)| v)
+            .sum()
+    }
+
+    /// Adds every counter of `other` into `self`.
+    pub fn merge(&mut self, other: &StatSet) {
+        for (k, v) in &other.counters {
+            *self.counters.entry(k.clone()).or_insert(0) += v;
+        }
+    }
+
+    /// Iterates over `(key, value)` pairs in key order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.counters.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+
+    /// Number of distinct keys.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.counters.len()
+    }
+
+    /// Whether no counter was ever incremented.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty()
+    }
+}
+
+impl fmt::Display for StatSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (k, v) in &self.counters {
+            writeln!(f, "{k:<40} {v}")?;
+        }
+        Ok(())
+    }
+}
+
+impl Extend<(String, u64)> for StatSet {
+    fn extend<I: IntoIterator<Item = (String, u64)>>(&mut self, iter: I) {
+        for (k, v) in iter {
+            self.add(&k, v);
+        }
+    }
+}
+
+impl FromIterator<(String, u64)> for StatSet {
+    fn from_iter<I: IntoIterator<Item = (String, u64)>>(iter: I) -> Self {
+        let mut s = StatSet::new();
+        s.extend(iter);
+        s
+    }
+}
+
+/// A power-of-two bucketed latency histogram.
+///
+/// Bucket `i` counts samples in `[2^i, 2^(i+1))` (bucket 0 also counts 0).
+/// Used for transaction latency distributions in the characterization
+/// benches.
+///
+/// # Examples
+///
+/// ```
+/// use hsc_sim::Histogram;
+///
+/// let mut h = Histogram::new();
+/// h.record(1);
+/// h.record(100);
+/// assert_eq!(h.count(), 2);
+/// assert_eq!(h.max(), 100);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    buckets: [u64; 64],
+    count: u64,
+    total: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: [0; 64],
+            count: 0,
+            total: 0,
+            max: 0,
+        }
+    }
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    #[must_use]
+    pub fn new() -> Self {
+        Histogram::default()
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, value: u64) {
+        let idx = 64 - value.leading_zeros() as usize;
+        self.buckets[idx.saturating_sub(1).min(63)] += 1;
+        self.count += 1;
+        self.total = self.total.saturating_add(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Number of recorded samples.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Arithmetic mean of recorded samples (0 if empty).
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.total as f64 / self.count as f64
+        }
+    }
+
+    /// Largest recorded sample.
+    #[must_use]
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Count in bucket `i`, i.e. samples in `[2^i, 2^(i+1))`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= 64`.
+    #[must_use]
+    pub fn bucket(&self, i: usize) -> u64 {
+        self.buckets[i]
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (b, o) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *b += o;
+        }
+        self.count += other.count;
+        self.total = self.total.saturating_add(other.total);
+        self.max = self.max.max(other.max);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bump_and_add_accumulate() {
+        let mut s = StatSet::new();
+        s.bump("x");
+        s.bump("x");
+        s.add("x", 3);
+        assert_eq!(s.get("x"), 5);
+    }
+
+    #[test]
+    fn zero_add_does_not_create_key() {
+        let mut s = StatSet::new();
+        s.add("ghost", 0);
+        assert!(s.is_empty());
+        assert_eq!(s.get("ghost"), 0);
+    }
+
+    #[test]
+    fn merge_sums_counters() {
+        let mut a = StatSet::new();
+        a.add("k1", 2);
+        a.add("k2", 1);
+        let mut b = StatSet::new();
+        b.add("k1", 5);
+        b.add("k3", 7);
+        a.merge(&b);
+        assert_eq!(a.get("k1"), 7);
+        assert_eq!(a.get("k2"), 1);
+        assert_eq!(a.get("k3"), 7);
+    }
+
+    #[test]
+    fn sum_prefix_groups_related_counters() {
+        let mut s = StatSet::new();
+        s.add("dir.probes.inv", 3);
+        s.add("dir.probes.downgrade", 4);
+        s.add("dir.mem_reads", 9);
+        s.add("dirty", 100); // must NOT match "dir." prefix
+        assert_eq!(s.sum_prefix("dir.probes."), 7);
+        assert_eq!(s.sum_prefix("dir."), 16);
+    }
+
+    #[test]
+    fn iteration_is_sorted_by_key() {
+        let mut s = StatSet::new();
+        s.add("b", 1);
+        s.add("a", 1);
+        s.add("c", 1);
+        let keys: Vec<&str> = s.iter().map(|(k, _)| k).collect();
+        assert_eq!(keys, ["a", "b", "c"]);
+    }
+
+    #[test]
+    fn display_lists_all_counters() {
+        let mut s = StatSet::new();
+        s.add("alpha", 1);
+        s.add("beta", 2);
+        let text = s.to_string();
+        assert!(text.contains("alpha"));
+        assert!(text.contains("beta"));
+    }
+
+    #[test]
+    fn collect_from_iterator() {
+        let s: StatSet = vec![("a".to_owned(), 1), ("a".to_owned(), 2)]
+            .into_iter()
+            .collect();
+        assert_eq!(s.get("a"), 3);
+    }
+
+    #[test]
+    fn histogram_buckets_powers_of_two() {
+        let mut h = Histogram::new();
+        h.record(0); // bucket 0
+        h.record(1); // bucket 0
+        h.record(2); // bucket 1
+        h.record(3); // bucket 1
+        h.record(4); // bucket 2
+        assert_eq!(h.bucket(0), 2);
+        assert_eq!(h.bucket(1), 2);
+        assert_eq!(h.bucket(2), 1);
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.max(), 4);
+    }
+
+    #[test]
+    fn histogram_mean_and_merge() {
+        let mut a = Histogram::new();
+        a.record(10);
+        a.record(20);
+        let mut b = Histogram::new();
+        b.record(30);
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        assert!((a.mean() - 20.0).abs() < 1e-9);
+        assert_eq!(a.max(), 30);
+    }
+
+    #[test]
+    fn empty_histogram_mean_is_zero() {
+        assert_eq!(Histogram::new().mean(), 0.0);
+    }
+}

@@ -1,0 +1,81 @@
+//! Glue between benchmark definitions and the simulated system.
+
+use std::fmt;
+
+use hsc_core::{CoherenceConfig, Metrics, System, SystemBuilder, SystemConfig};
+
+/// A collaborative CPU/GPU benchmark: knows how to populate a system and
+/// how to verify its own results from the final coherent memory state.
+pub trait Workload: fmt::Debug {
+    /// Short CHAI-style identifier (`bs`, `cedd`, `tq`, …).
+    fn name(&self) -> &'static str;
+
+    /// One-line description of the collaboration pattern.
+    fn description(&self) -> &'static str;
+
+    /// Adds CPU threads, GPU wavefronts, DMA commands and initial memory
+    /// contents to the builder.
+    fn build(&self, b: &mut SystemBuilder);
+
+    /// Checks the benchmark's functional result against its specification.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first mismatch — which, given a
+    /// correct workload, means a coherence-protocol bug.
+    fn verify(&self, sys: &System) -> Result<(), String>;
+
+    /// Whether the benchmark is safe under a **write-back TCC** (`WB_L2`).
+    ///
+    /// The paper's TCC "does not forward modified data when probed …
+    /// in both cases" — so a write-back TCC *loses* dirty words when an
+    /// invalidating probe arrives. Benchmarks whose CPU and GPU workers
+    /// write different words of the same line without an intervening
+    /// release (inter-device false sharing) are therefore racy under
+    /// `WB_L2`, exactly as they would be on the real protocol; they
+    /// declare it here so harnesses can skip them in that mode.
+    fn wb_tcc_safe(&self) -> bool {
+        true
+    }
+}
+
+/// Default event budget per run: generous, but low enough to catch
+/// livelock quickly.
+pub const DEFAULT_EVENT_BUDGET: u64 = 200_000_000;
+
+/// The result of one verified run.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// Which benchmark ran.
+    pub workload: &'static str,
+    /// The metrics the figures are built from.
+    pub metrics: Metrics,
+}
+
+/// Runs `w` on the default Table II/III system with the given coherence
+/// knobs, verifying the functional result.
+///
+/// # Panics
+///
+/// Panics if verification fails (a protocol bug) or the run livelocks.
+#[must_use]
+pub fn run_workload(w: &dyn Workload, coherence: CoherenceConfig) -> RunResult {
+    run_workload_on(w, SystemConfig::with_coherence(coherence))
+}
+
+/// Runs `w` on an arbitrary system configuration.
+///
+/// # Panics
+///
+/// Panics if verification fails or the run livelocks.
+#[must_use]
+pub fn run_workload_on(w: &dyn Workload, config: SystemConfig) -> RunResult {
+    let mut b = SystemBuilder::new(config);
+    w.build(&mut b);
+    let mut sys = b.build();
+    let metrics = sys.run(DEFAULT_EVENT_BUDGET);
+    if let Err(e) = w.verify(&sys) {
+        panic!("workload {} failed verification: {e}", w.name());
+    }
+    RunResult { workload: w.name(), metrics }
+}

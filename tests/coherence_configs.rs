@@ -1,0 +1,203 @@
+//! Cross-crate integration tests: every benchmark family verifies
+//! functionally under every coherence configuration, and the headline
+//! relations of the paper's figures hold qualitatively.
+
+use hsc_repro::prelude::*;
+
+fn all_configs() -> Vec<(&'static str, CoherenceConfig)> {
+    vec![
+        ("baseline", CoherenceConfig::baseline()),
+        ("early_response", CoherenceConfig::early_response()),
+        ("no_wb_clean_victims", CoherenceConfig::no_wb_clean_victims()),
+        ("drop_clean_victims", CoherenceConfig::drop_clean_victims()),
+        ("llc_write_back", CoherenceConfig::llc_write_back()),
+        ("llc_write_back_l3_on_wt", CoherenceConfig::llc_write_back_l3_on_wt()),
+        ("owner_tracking", CoherenceConfig::owner_tracking()),
+        ("sharer_tracking", CoherenceConfig::sharer_tracking()),
+    ]
+}
+
+/// Small-but-not-tiny instances so cache pressure exists on the scaled
+/// evaluation config, which is where protocol corner cases live.
+fn small_suite() -> Vec<Box<dyn Workload>> {
+    vec![
+        Box::new(Bs { surface_points: 4096, cpu_threads: 4, wavefronts: 8, ..Bs::default() }),
+        Box::new(Cedd { frames: 2, pixels: 256, cpu_per_stage: 2, wfs_per_stage: 4, ..Cedd::default() }),
+        Box::new(Pad { rows: 64, cols: 12, pad: 4, cpu_threads: 4, wavefronts: 4, ..Pad::default() }),
+        Box::new(Sc { elements: 4096, cpu_threads: 4, wavefronts: 8, ..Sc::default() }),
+        Box::new(Tq { tasks: 256, producers: 2, cpu_consumers: 2, wavefronts: 8, ..Tq::default() }),
+        Box::new(Hsti { elements: 2048, bins: 32, cpu_threads: 4, wavefronts: 8, ..Hsti::default() }),
+        Box::new(Hsto { elements: 2048, bins: 48, cpu_threads: 4, wavefronts: 8, ..Hsto::default() }),
+        Box::new(Trns { rows: 32, cols: 33, cpu_threads: 4, wavefronts: 8, ..Trns::default() }),
+        Box::new(Rscd { iterations: 6, points: 1024, cpu_threads: 4, wavefronts: 8, ..Rscd::default() }),
+        Box::new(Rsct { iterations: 8, points: 1024, cpu_threads: 4, wavefronts: 8, ..Rsct::default() }),
+    ]
+}
+
+#[test]
+fn every_workload_verifies_under_every_config() {
+    for w in small_suite() {
+        for (name, cfg) in all_configs() {
+            // run_workload_on panics with the benchmark's own diagnostic
+            // if functional verification fails.
+            let r = run_workload_on(w.as_ref(), SystemConfig::scaled(cfg));
+            assert!(r.metrics.gpu_cycles > 0, "{}/{name} took no time", w.name());
+        }
+    }
+}
+
+#[test]
+fn every_workload_verifies_on_the_full_table_ii_system() {
+    for w in small_suite() {
+        let r = run_workload(w.as_ref(), CoherenceConfig::baseline());
+        assert!(r.metrics.gpu_cycles > 0);
+    }
+}
+
+#[test]
+fn tracking_reduces_probes_on_every_collaborative_benchmark() {
+    for w in small_suite() {
+        let base = run_workload_on(w.as_ref(), SystemConfig::scaled(CoherenceConfig::baseline()));
+        let own = run_workload_on(w.as_ref(), SystemConfig::scaled(CoherenceConfig::owner_tracking()));
+        let shr = run_workload_on(w.as_ref(), SystemConfig::scaled(CoherenceConfig::sharer_tracking()));
+        assert!(
+            own.metrics.probes_sent < base.metrics.probes_sent,
+            "{}: owner tracking must cut probes ({} vs {})",
+            w.name(),
+            own.metrics.probes_sent,
+            base.metrics.probes_sent
+        );
+        assert!(
+            shr.metrics.probes_sent <= own.metrics.probes_sent,
+            "{}: sharer multicast can only tighten the probe set",
+            w.name()
+        );
+    }
+}
+
+#[test]
+fn write_back_llc_never_increases_memory_writes() {
+    for w in small_suite() {
+        let base = run_workload_on(w.as_ref(), SystemConfig::scaled(CoherenceConfig::baseline()));
+        let wb = run_workload_on(w.as_ref(), SystemConfig::scaled(CoherenceConfig::llc_write_back()));
+        assert!(
+            wb.metrics.mem_writes <= base.metrics.mem_writes,
+            "{}: llcWB must not add memory writes ({} vs {})",
+            w.name(),
+            wb.metrics.mem_writes,
+            base.metrics.mem_writes
+        );
+    }
+}
+
+#[test]
+fn gpu_write_back_tcc_also_verifies() {
+    use hsc_repro::cluster::GpuWritePolicy;
+    for (_, cfg) in all_configs() {
+        let mut sys_cfg = SystemConfig::scaled(cfg);
+        sys_cfg.gpu.tcc_policy = GpuWritePolicy::WriteBack;
+        let w = Tq { tasks: 128, producers: 2, cpu_consumers: 2, wavefronts: 4, ..Tq::default() };
+        let _ = run_workload_on(&w, sys_cfg);
+    }
+}
+
+#[test]
+fn gpu_write_back_tcc_verifies_across_the_whole_suite() {
+    // WB_L2 changes the entire GPU store path (allocate-without-fetch,
+    // flush-on-release, WT-as-writeback): every benchmark must still
+    // compute correct results under the two extreme directory modes.
+    use hsc_repro::cluster::GpuWritePolicy;
+    for cfg in [CoherenceConfig::baseline(), CoherenceConfig::sharer_tracking()] {
+        let mut sys_cfg = SystemConfig::scaled(cfg);
+        sys_cfg.gpu.tcc_policy = GpuWritePolicy::WriteBack;
+        for w in small_suite() {
+            if !w.wb_tcc_safe() {
+                // Inter-device false sharing: racy under WB_L2 by the
+                // paper's own TCC semantics (no data forwarding on probes).
+                continue;
+            }
+            let _ = run_workload_on(w.as_ref(), sys_cfg);
+        }
+    }
+}
+
+#[test]
+fn state_aware_replacement_verifies_under_pressure() {
+    let mut cfg = SystemConfig::scaled(CoherenceConfig::sharer_tracking());
+    cfg.coherence.dir_replacement = DirReplacementPolicy::StateAware;
+    cfg.uncore.dir_entries = 256; // heavy entry-eviction traffic
+    for w in small_suite() {
+        let _ = run_workload_on(w.as_ref(), cfg);
+    }
+}
+
+#[test]
+fn two_gpu_clusters_stay_coherent() {
+    // Table III has one TCC; the protocol supports several (the directory
+    // tracks each as a separate agent). Run collaborative benchmarks with
+    // two GPU clusters under baseline and sharer tracking.
+    for cfg in [CoherenceConfig::baseline(), CoherenceConfig::sharer_tracking()] {
+        let mut sys_cfg = SystemConfig::scaled(cfg);
+        sys_cfg.gpu_clusters = 2;
+        let w = Hsti { elements: 2048, bins: 32, cpu_threads: 4, wavefronts: 8, ..Hsti::default() };
+        let r = run_workload_on(&w, sys_cfg);
+        assert!(r.metrics.gpu_cycles > 0);
+        let w = Tq { tasks: 256, producers: 2, cpu_consumers: 2, wavefronts: 8, ..Tq::default() };
+        let _ = run_workload_on(&w, sys_cfg);
+        let w = Cedd { frames: 2, pixels: 256, cpu_per_stage: 2, wfs_per_stage: 4, ..Cedd::default() };
+        let _ = run_workload_on(&w, sys_cfg);
+    }
+}
+
+#[test]
+fn probe_tcc_on_reads_ablation_reduces_baseline_probes() {
+    // Footnote 4's variant: excluding the TCC from read probes cuts
+    // baseline probe traffic but is only safe with state tracking (see
+    // the `probe_tcc_on_reads` docs); the simulator exposes it for
+    // ablation on GPU-read-free workloads.
+    let w = Rsct { iterations: 8, points: 1024, cpu_threads: 4, wavefronts: 8, ..Rsct::default() };
+    let with_tcc = run_workload_on(&w, SystemConfig::scaled(CoherenceConfig::baseline()));
+    let mut cfg = SystemConfig::scaled(CoherenceConfig::baseline());
+    cfg.coherence.probe_tcc_on_reads = false;
+    let without = run_workload_on(&w, cfg);
+    assert!(
+        without.metrics.probes_sent < with_tcc.metrics.probes_sent,
+        "excluding the TCC from downgrade probes must cut traffic ({} vs {})",
+        without.metrics.probes_sent,
+        with_tcc.metrics.probes_sent
+    );
+}
+
+#[test]
+fn device_exclusive_variants_verify() {
+    // Degenerate placements — everything on the CPU, or everything on the
+    // GPU — must still verify: the protocols cannot depend on both device
+    // types participating.
+    let cfg = SystemConfig::scaled(CoherenceConfig::sharer_tracking());
+    let cpu_only: Vec<Box<dyn Workload>> = vec![
+        Box::new(Bs { surface_points: 2048, cpu_threads: 8, wavefronts: 0, ..Bs::default() }),
+        Box::new(Hsti { elements: 1024, bins: 16, cpu_threads: 8, wavefronts: 0, ..Hsti::default() }),
+        Box::new(Hsto { elements: 1024, bins: 24, cpu_threads: 8, wavefronts: 0, ..Hsto::default() }),
+        Box::new(Sc { elements: 2048, cpu_threads: 8, wavefronts: 0, ..Sc::default() }),
+        Box::new(Trns { rows: 16, cols: 17, cpu_threads: 8, wavefronts: 0, ..Trns::default() }),
+        Box::new(Rscd { iterations: 4, points: 512, cpu_threads: 8, wavefronts: 0, ..Rscd::default() }),
+        Box::new(Rsct { iterations: 6, points: 512, cpu_threads: 8, wavefronts: 0, ..Rsct::default() }),
+        Box::new(Pad { rows: 32, cols: 12, pad: 4, cpu_threads: 8, wavefronts: 0, ..Pad::default() }),
+    ];
+    for w in cpu_only {
+        let _ = run_workload_on(w.as_ref(), cfg);
+    }
+    let gpu_only: Vec<Box<dyn Workload>> = vec![
+        Box::new(Bs { surface_points: 2048, cpu_threads: 0, wavefronts: 8, ..Bs::default() }),
+        Box::new(Hsti { elements: 1024, bins: 16, cpu_threads: 0, wavefronts: 8, ..Hsti::default() }),
+        Box::new(Hsto { elements: 1024, bins: 24, cpu_threads: 0, wavefronts: 8, ..Hsto::default() }),
+        Box::new(Sc { elements: 2048, cpu_threads: 0, wavefronts: 8, ..Sc::default() }),
+        Box::new(Trns { rows: 16, cols: 17, cpu_threads: 0, wavefronts: 8, ..Trns::default() }),
+        Box::new(Rscd { iterations: 4, points: 512, cpu_threads: 0, wavefronts: 8, ..Rscd::default() }),
+        Box::new(Rsct { iterations: 6, points: 512, cpu_threads: 0, wavefronts: 8, ..Rsct::default() }),
+        Box::new(Pad { rows: 32, cols: 12, pad: 4, cpu_threads: 0, wavefronts: 8, ..Pad::default() }),
+    ];
+    for w in gpu_only {
+        let _ = run_workload_on(w.as_ref(), cfg);
+    }
+}

@@ -1,0 +1,46 @@
+//! The simulator is bit-deterministic: identical inputs produce identical
+//! event counts, cycle counts and statistics. This is what makes the
+//! golden-value assertions in the figure benches meaningful.
+
+use hsc_repro::prelude::*;
+
+fn run_once(cfg: CoherenceConfig) -> (u64, u64, u64, u64) {
+    let w = Tq { tasks: 128, producers: 2, cpu_consumers: 2, wavefronts: 4, compute: 10, seed: 5 };
+    let r = run_workload_on(&w, SystemConfig::scaled(cfg));
+    (
+        r.metrics.gpu_cycles,
+        r.metrics.probes_sent,
+        r.metrics.mem_reads,
+        r.metrics.mem_writes,
+    )
+}
+
+#[test]
+fn identical_runs_are_bit_identical() {
+    for cfg in [
+        CoherenceConfig::baseline(),
+        CoherenceConfig::llc_write_back_l3_on_wt(),
+        CoherenceConfig::sharer_tracking(),
+    ] {
+        let a = run_once(cfg);
+        let b = run_once(cfg);
+        assert_eq!(a, b, "two runs of the same configuration diverged");
+    }
+}
+
+#[test]
+fn different_seeds_change_the_execution() {
+    let mk = |seed| {
+        let w = Hsti { elements: 512, bins: 16, cpu_threads: 4, wavefronts: 4, seed };
+        run_workload_on(&w, SystemConfig::scaled(CoherenceConfig::baseline())).metrics.gpu_cycles
+    };
+    assert_ne!(mk(1), mk(2), "the seed must actually steer the workload");
+}
+
+#[test]
+fn full_stats_are_reproducible() {
+    let w = Sc { elements: 1024, cpu_threads: 4, wavefronts: 4, ..Sc::default() };
+    let a = run_workload_on(&w, SystemConfig::scaled(CoherenceConfig::owner_tracking()));
+    let b = run_workload_on(&w, SystemConfig::scaled(CoherenceConfig::owner_tracking()));
+    assert_eq!(a.metrics.stats, b.metrics.stats, "stat sets diverged");
+}
