@@ -1,13 +1,17 @@
-//! Criterion benches: wall-clock cost of the simulator itself.
+//! Engine benches: wall-clock cost of the simulator itself.
 //!
 //! These are *engine* benchmarks (how fast the event loop, cache arrays
 //! and protocol controllers run on the host), complementing the figure
 //! binaries which report *simulated* metrics. One bench per protocol
 //! configuration on a fixed small workload, plus microbenches of the two
 //! hottest data structures.
+//!
+//! Dependency-free harness (`harness = false`): each bench runs a warmup
+//! iteration and then reports the mean wall-clock time over a fixed
+//! number of timed iterations via `std::time::Instant`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
+use std::time::Instant;
 
 use hsc_core::{CoherenceConfig, SystemConfig};
 use hsc_mem::{CacheArray, CacheGeometry, LineAddr};
@@ -22,68 +26,74 @@ fn small_tq() -> Tq {
     Tq { tasks: 96, producers: 2, cpu_consumers: 2, wavefronts: 4, compute: 10, seed: 9 }
 }
 
-fn bench_configs(c: &mut Criterion) {
-    let mut g = c.benchmark_group("full_system");
-    g.sample_size(10);
+/// Times `iters` runs of `f` (after one warmup run) and prints the mean.
+fn bench<F: FnMut() -> u64>(name: &str, iters: u32, mut f: F) {
+    black_box(f());
+    let start = Instant::now();
+    let mut acc = 0u64;
+    for _ in 0..iters {
+        acc = acc.wrapping_add(f());
+    }
+    let total = start.elapsed();
+    black_box(acc);
+    let mean = total / iters;
+    println!("{name:<40} {iters:>4} iters   mean {mean:>12.3?}");
+}
+
+fn bench_configs() {
     for (name, cfg) in [
-        ("hsti_baseline", CoherenceConfig::baseline()),
-        ("hsti_llc_wb", CoherenceConfig::llc_write_back_l3_on_wt()),
-        ("hsti_sharer_tracking", CoherenceConfig::sharer_tracking()),
+        ("full_system/hsti_baseline", CoherenceConfig::baseline()),
+        ("full_system/hsti_llc_wb", CoherenceConfig::llc_write_back_l3_on_wt()),
+        ("full_system/hsti_sharer_tracking", CoherenceConfig::sharer_tracking()),
     ] {
-        g.bench_function(name, |b| {
-            b.iter(|| {
-                let r = run_workload_on(&small_hsti(), SystemConfig::scaled(cfg));
-                black_box(r.metrics.gpu_cycles)
-            });
+        bench(name, 10, || {
+            let r = run_workload_on(&small_hsti(), SystemConfig::scaled(cfg));
+            r.metrics.gpu_cycles
         });
     }
-    g.bench_function("tq_baseline", |b| {
-        b.iter(|| {
-            let r = run_workload_on(&small_tq(), SystemConfig::scaled(CoherenceConfig::baseline()));
-            black_box(r.metrics.gpu_cycles)
-        });
-    });
-    g.finish();
-}
-
-fn bench_event_queue(c: &mut Criterion) {
-    c.bench_function("event_queue_push_pop_10k", |b| {
-        b.iter(|| {
-            let mut q = EventQueue::new();
-            for i in 0..10_000u64 {
-                q.schedule(Tick(i * 7 % 1000), i);
-            }
-            let mut acc = 0u64;
-            while let Some((_, v)) = q.pop() {
-                acc = acc.wrapping_add(v);
-            }
-            black_box(acc)
-        });
+    bench("full_system/tq_baseline", 10, || {
+        let r = run_workload_on(&small_tq(), SystemConfig::scaled(CoherenceConfig::baseline()));
+        r.metrics.gpu_cycles
     });
 }
 
-fn bench_cache_array(c: &mut Criterion) {
-    c.bench_function("cache_array_churn_10k", |b| {
-        b.iter(|| {
-            let mut arr: CacheArray<u64> = CacheArray::new(CacheGeometry::new(64 * 1024, 8));
-            let mut hits = 0u64;
-            for i in 0..10_000u64 {
-                let la = LineAddr(i * 131 % 4096);
-                if arr.get(la).is_some() {
-                    hits += 1;
-                    arr.touch(la);
-                } else if arr.set_is_full(la) {
-                    let (tag, _) = arr.would_evict(la).unwrap();
-                    arr.invalidate(tag);
-                    arr.insert(la, i);
-                } else {
-                    arr.insert(la, i);
-                }
-            }
-            black_box(hits)
-        });
+fn bench_event_queue() {
+    bench("event_queue_push_pop_10k", 100, || {
+        let mut q = EventQueue::new();
+        for i in 0..10_000u64 {
+            q.schedule(Tick(i * 7 % 1000), i);
+        }
+        let mut acc = 0u64;
+        while let Some((_, v)) = q.pop() {
+            acc = acc.wrapping_add(v);
+        }
+        acc
     });
 }
 
-criterion_group!(benches, bench_configs, bench_event_queue, bench_cache_array);
-criterion_main!(benches);
+fn bench_cache_array() {
+    bench("cache_array_churn_10k", 100, || {
+        let mut arr: CacheArray<u64> = CacheArray::new(CacheGeometry::new(64 * 1024, 8));
+        let mut hits = 0u64;
+        for i in 0..10_000u64 {
+            let la = LineAddr(i * 131 % 4096);
+            if arr.get(la).is_some() {
+                hits += 1;
+                arr.touch(la);
+            } else if arr.set_is_full(la) {
+                let (tag, _) = arr.would_evict(la).unwrap();
+                arr.invalidate(tag);
+                arr.insert(la, i);
+            } else {
+                arr.insert(la, i);
+            }
+        }
+        hits
+    });
+}
+
+fn main() {
+    bench_configs();
+    bench_event_queue();
+    bench_cache_array();
+}

@@ -1,5 +1,5 @@
 use hsc_mem::{Addr, CacheArray, CacheGeometry, LineAddr, LineData, Mshr, VictimBuffer};
-use hsc_noc::{AgentId, Message, MsgKind, Outbox, ProbeKind};
+use hsc_noc::{AgentId, Message, MsgKind, Outbox, ProbeKind, RetryPolicy, RetryTracker};
 use hsc_sim::{StatSet, Tick};
 
 use crate::{cpu_cycles, CoreProgram, CpuOp, MoesiState};
@@ -36,6 +36,10 @@ pub struct CpuConfig {
     pub code_lines: u64,
     /// MSHR capacity of the L2.
     pub mshr_capacity: usize,
+    /// Optional request retry under fault injection. `None` (the default)
+    /// disables all retry bookkeeping and wake-ups, so fault-free runs
+    /// are bit-identical to a build without the retry layer.
+    pub retry: Option<RetryPolicy>,
 }
 
 impl Default for CpuConfig {
@@ -54,6 +58,7 @@ impl Default for CpuConfig {
             ifetch_interval: 32,
             code_lines: 64,
             mshr_capacity: 16,
+            retry: None,
         }
     }
 }
@@ -73,7 +78,6 @@ enum TxnKind {
 
 #[derive(Debug)]
 struct L2Txn {
-    #[allow(dead_code)]
     kind: TxnKind,
     waiters: Vec<usize>,
 }
@@ -119,6 +123,7 @@ pub struct CorePair {
     l2: CacheArray<L2Line>,
     mshr: Mshr<L2Txn>,
     victims: VictimBuffer,
+    retry: RetryTracker,
     stats: StatSet,
 }
 
@@ -162,6 +167,7 @@ impl CorePair {
             l2: CacheArray::new(CacheGeometry::new(cfg.l2_bytes, cfg.l2_ways)),
             mshr: Mshr::new(cfg.mshr_capacity),
             victims: VictimBuffer::new(),
+            retry: RetryTracker::maybe(cfg.retry),
             stats: StatSet::new(),
         }
     }
@@ -196,6 +202,25 @@ impl CorePair {
         self.cores.iter().map(|c| c.ops_retired).sum()
     }
 
+    /// Human-readable descriptions of everything still outstanding at
+    /// this L2 (in-flight MSHR transactions and parked victims), for the
+    /// watchdog's deadlock snapshot.
+    pub fn pending_lines(&self) -> Vec<(LineAddr, String)> {
+        let mut v: Vec<(LineAddr, String)> = self
+            .mshr
+            .iter()
+            .map(|(la, txn)| {
+                (la, format!("{:?} miss, {} waiter(s)", txn.kind, txn.waiters.len()))
+            })
+            .collect();
+        v.extend(
+            self.victims
+                .lines()
+                .map(|la| (la, String::from("parked victim write-back"))),
+        );
+        v
+    }
+
     /// Direct lookup of a dirty copy of `la` (M/O in the L2 or dirty in
     /// the victim buffer), for end-of-run memory reconstruction.
     #[must_use]
@@ -225,16 +250,52 @@ impl CorePair {
             MsgKind::Resp { data, grant } => self.on_resp(now, msg.line, data, grant, out),
             MsgKind::UpgradeAck => self.on_upgrade_ack(now, msg.line, out),
             MsgKind::VicAck => {
+                self.retry.acked(msg.line);
                 self.victims.release(msg.line);
             }
             MsgKind::Probe { kind } => self.on_probe(msg.line, kind, out),
-            ref other => panic!("CorePair {} got unexpected {}", self.agent, other.class_name()),
+            ref other => {
+                // Under fault injection (duplication) or a mis-wired
+                // topology a message this agent never expects can arrive;
+                // count and drop it instead of aborting the run.
+                self.stats.bump("l2.unexpected_msgs");
+                self.stats.bump(&format!("l2.unexpected.{}", other.class_name()));
+            }
         }
     }
 
-    /// Advances both cores as far as the current tick allows.
+    /// Advances both cores as far as the current tick allows and re-sends
+    /// any timed-out requests (when a retry policy is configured).
     pub fn on_wake(&mut self, now: Tick, out: &mut Outbox) {
+        self.service_retries(now, out);
         self.step_cores(now, out);
+    }
+
+    /// Re-sends overdue requests and schedules the next retry wake-up.
+    /// No-op (no wake-ups, no stats) when retry is disabled.
+    fn service_retries(&mut self, now: Tick, out: &mut Outbox) {
+        if !self.retry.enabled() {
+            return;
+        }
+        for msg in self.retry.due(now) {
+            self.stats.bump("l2.retries");
+            out.send(msg);
+        }
+        if let Some(d) = self.retry.wake_needed() {
+            out.wake_at(d);
+        }
+    }
+
+    /// Starts retry tracking for a request just sent (no-op when retry is
+    /// disabled) and schedules the wake-up that will check its deadline.
+    fn track_request(&mut self, msg: Message, out: &mut Outbox) {
+        if !self.retry.enabled() {
+            return;
+        }
+        self.retry.track(out.now(), msg);
+        if let Some(d) = self.retry.wake_needed() {
+            out.wake_at(d);
+        }
     }
 
     fn on_resp(
@@ -245,10 +306,18 @@ impl CorePair {
         grant: hsc_noc::Grant,
         out: &mut Outbox,
     ) {
-        let txn = self
-            .mshr
-            .remove(la)
-            .unwrap_or_else(|| panic!("Resp for {la} without MSHR entry"));
+        self.retry.acked(la);
+        let Some(txn) = self.mshr.remove(la) else {
+            // Stale or duplicate response (a retried request that raced
+            // its original, or a duplicated message under fault
+            // injection). The local copy — if any — is at least as fresh
+            // as this data, so leave the cache untouched; but the
+            // directory opened a transaction for the duplicate request
+            // and is waiting on our Unblock, so still send it.
+            self.stats.bump("l2.stale_resps");
+            out.send(Message::new(self.agent, AgentId::Directory, la, MsgKind::Unblock));
+            return;
+        };
         self.fill_line(la, MoesiState::from_grant(grant), data, out);
         out.send(Message::new(self.agent, AgentId::Directory, la, MsgKind::Unblock));
         self.complete_waiters(now, la, &txn.waiters);
@@ -256,15 +325,22 @@ impl CorePair {
     }
 
     fn on_upgrade_ack(&mut self, now: Tick, la: LineAddr, out: &mut Outbox) {
-        let txn = self
-            .mshr
-            .remove(la)
-            .unwrap_or_else(|| panic!("UpgradeAck for {la} without MSHR entry"));
-        let line = self
-            .l2
-            .get_mut(la)
-            .expect("UpgradeAck implies the requester is still the owner");
-        line.state = MoesiState::Modified;
+        self.retry.acked(la);
+        let Some(txn) = self.mshr.remove(la) else {
+            // Stale duplicate (see on_resp); unblock the directory and
+            // leave our state alone.
+            self.stats.bump("l2.stale_resps");
+            out.send(Message::new(self.agent, AgentId::Directory, la, MsgKind::Unblock));
+            return;
+        };
+        if let Some(line) = self.l2.get_mut(la) {
+            line.state = MoesiState::Modified;
+        } else {
+            // The line was victimized while the upgrade was in flight
+            // (possible only with fault-induced reordering); the write
+            // will re-miss and fetch a fresh copy.
+            self.stats.bump("l2.stale_resps");
+        }
         out.send(Message::new(self.agent, AgentId::Directory, la, MsgKind::Unblock));
         self.complete_waiters(now, la, &txn.waiters);
         self.step_cores(now, out);
@@ -487,7 +563,9 @@ impl CorePair {
             self.mshr
                 .alloc(la, L2Txn { kind: TxnKind::ReadInstr, waiters: vec![i] })
                 .expect("CorePair MSHR sized for max 2 outstanding ops");
-            out.send(Message::new(self.agent, AgentId::Directory, la, MsgKind::RdBlkS));
+            let msg = Message::new(self.agent, AgentId::Directory, la, MsgKind::RdBlkS);
+            out.send(msg);
+            self.track_request(msg, out);
             self.stats.bump("l2.req.RdBlkS");
         }
     }
@@ -509,7 +587,9 @@ impl CorePair {
             TxnKind::Write => MsgKind::RdBlkM,
         };
         self.stats.bump(&format!("l2.req.{}", msg.class_name()));
-        out.send(Message::new(self.agent, AgentId::Directory, la, msg));
+        let msg = Message::new(self.agent, AgentId::Directory, la, msg);
+        out.send(msg);
+        self.track_request(msg, out);
     }
 
     fn fill_line(&mut self, la: LineAddr, state: MoesiState, data: LineData, out: &mut Outbox) {
@@ -544,7 +624,9 @@ impl CorePair {
                 MsgKind::VicClean { data: vline.data }
             };
             self.victims.park(vtag, vline.data, dirty);
-            out.send(Message::new(self.agent, AgentId::Directory, vtag, kind));
+            let vic = Message::new(self.agent, AgentId::Directory, vtag, kind);
+            out.send(vic);
+            self.track_request(vic, out);
             for l1 in &mut self.l1d {
                 l1.invalidate(vtag);
             }
@@ -568,6 +650,9 @@ impl CorePair {
                     if e.dirty {
                         dirty = Some(e.data);
                     }
+                    // The probe hands the victim to the directory; the
+                    // write-back no longer needs a retry.
+                    self.retry.acked(la);
                 }
                 ProbeKind::Downgrade => {
                     if entry.dirty {
@@ -711,12 +796,14 @@ mod tests {
     }
 
     fn pair_with(programs: Vec<Box<dyn CoreProgram>>) -> CorePair {
-        let mut cfg = CpuConfig::default();
         // Tiny caches to exercise evictions in tests.
-        cfg.l2_bytes = 8 * 1024;
-        cfg.l1d_bytes = 1024;
-        cfg.l1i_bytes = 1024;
-        cfg.ifetch_interval = 1000; // mostly out of the way
+        let cfg = CpuConfig {
+            l2_bytes: 8 * 1024,
+            l1d_bytes: 1024,
+            l1i_bytes: 1024,
+            ifetch_interval: 1000, // mostly out of the way
+            ..CpuConfig::default()
+        };
         CorePair::new(0, programs, cfg)
     }
 
@@ -928,11 +1015,13 @@ mod tests {
 
     #[test]
     fn ifetch_issues_rdblks() {
-        let mut cfg = CpuConfig::default();
-        cfg.l2_bytes = 8 * 1024;
-        cfg.l1d_bytes = 1024;
-        cfg.l1i_bytes = 1024;
-        cfg.ifetch_interval = 4;
+        let cfg = CpuConfig {
+            l2_bytes: 8 * 1024,
+            l1d_bytes: 1024,
+            l1i_bytes: 1024,
+            ifetch_interval: 4,
+            ..CpuConfig::default()
+        };
         let ops: Vec<CpuOp> = (0..32).map(|_| CpuOp::Compute(1)).chain([CpuOp::Done]).collect();
         let pair = CorePair::new(0, vec![Box::new(Script::new(ops))], cfg);
         let (pair, _) = run_pair(pair, 100_000);

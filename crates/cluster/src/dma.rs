@@ -1,7 +1,7 @@
-use std::collections::{BTreeMap, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 use hsc_mem::{Addr, LineAddr, LineData, WORDS_PER_LINE};
-use hsc_noc::{AgentId, Message, MsgKind, Outbox, WordMask};
+use hsc_noc::{AgentId, Message, MsgKind, Outbox, RetryPolicy, RetryTracker, WordMask};
 use hsc_sim::{StatSet, Tick};
 
 /// One DMA transfer, issued when simulated time reaches `at`.
@@ -52,10 +52,11 @@ impl DmaCommand {
 #[derive(Debug)]
 pub struct DmaEngine {
     commands: VecDeque<DmaCommand>,
-    in_flight: usize,
+    in_flight: BTreeSet<LineAddr>,
     window: usize,
     pending_lines: VecDeque<(LineAddr, Option<(LineData, WordMask)>)>,
     read_data: BTreeMap<LineAddr, LineData>,
+    retry: RetryTracker,
     stats: StatSet,
     started: bool,
 }
@@ -78,13 +79,23 @@ impl DmaEngine {
         commands.sort_by_key(DmaCommand::at);
         DmaEngine {
             commands: commands.into(),
-            in_flight: 0,
+            in_flight: BTreeSet::new(),
             window,
             pending_lines: VecDeque::new(),
             read_data: BTreeMap::new(),
+            retry: RetryTracker::maybe(None),
             stats: StatSet::new(),
             started: false,
         }
+    }
+
+    /// Enables (or disables) request retry under fault injection. Both
+    /// `DMARd` and `DMAWr` are idempotent at the directory, so the engine
+    /// retries every in-flight line.
+    #[must_use]
+    pub fn with_retry(mut self, policy: Option<RetryPolicy>) -> Self {
+        self.retry = RetryTracker::maybe(policy);
+        self
     }
 
     /// The NoC endpoint of the engine.
@@ -102,7 +113,27 @@ impl DmaEngine {
     /// Whether every command has fully completed.
     #[must_use]
     pub fn is_done(&self) -> bool {
-        self.commands.is_empty() && self.pending_lines.is_empty() && self.in_flight == 0
+        self.commands.is_empty() && self.pending_lines.is_empty() && self.in_flight.is_empty()
+    }
+
+    /// Human-readable descriptions of everything still outstanding at the
+    /// engine (in-flight line requests and not-yet-issued lines), for the
+    /// watchdog's deadlock snapshot.
+    pub fn pending_lines(&self) -> Vec<(LineAddr, String)> {
+        let mut v: Vec<(LineAddr, String)> = self
+            .in_flight
+            .iter()
+            .map(|&la| (la, String::from("DMA request in flight")))
+            .collect();
+        v.extend(
+            self.pending_lines
+                .iter()
+                .map(|&(la, w)| {
+                    let what = if w.is_some() { "queued DMA write" } else { "queued DMA read" };
+                    (la, String::from(what))
+                }),
+        );
+        v
     }
 
     /// Data returned by completed DMA reads, by line.
@@ -121,20 +152,48 @@ impl DmaEngine {
     pub fn on_message(&mut self, now: Tick, msg: &Message, out: &mut Outbox) {
         match msg.kind {
             MsgKind::DmaRdResp { data } => {
-                self.read_data.insert(msg.line, data);
-                self.in_flight -= 1;
+                if self.in_flight.remove(&msg.line) {
+                    self.read_data.insert(msg.line, data);
+                    self.retry.acked(msg.line);
+                } else {
+                    // Duplicate response (original + retry both answered).
+                    self.stats.bump("dma.stale_resps");
+                }
             }
             MsgKind::DmaWrAck => {
-                self.in_flight -= 1;
+                if self.in_flight.remove(&msg.line) {
+                    self.retry.acked(msg.line);
+                } else {
+                    self.stats.bump("dma.stale_resps");
+                }
             }
-            ref other => panic!("DMA engine got unexpected {}", other.class_name()),
+            ref other => {
+                self.stats.bump("dma.unexpected_msgs");
+                let _ = other;
+            }
         }
         self.pump(now, out);
     }
 
     /// Advances the engine: expands due commands and issues line requests.
     pub fn on_wake(&mut self, now: Tick, out: &mut Outbox) {
+        self.service_retries(now, out);
         self.pump(now, out);
+    }
+
+    /// Re-sends overdue requests and schedules the next retry wake-up.
+    /// No-op (no wake-ups, no stats) when retry is disabled.
+    fn service_retries(&mut self, now: Tick, out: &mut Outbox) {
+        if !self.retry.enabled() {
+            return;
+        }
+        for msg in self.retry.due(now) {
+            self.stats.bump("dma.retries");
+            out.send(msg);
+        }
+        if let Some(d) = self.retry.wake_needed() {
+            out.wake_at(d);
+        }
     }
 
     fn pump(&mut self, now: Tick, out: &mut Outbox) {
@@ -144,7 +203,7 @@ impl DmaEngine {
         // as two commands and rely on the flag implying the data landed.
         while self.commands.front().is_some_and(|c| c.at() <= now)
             && self.pending_lines.is_empty()
-            && self.in_flight == 0
+            && self.in_flight.is_empty()
         {
             let cmd = self.commands.pop_front().unwrap();
             match cmd {
@@ -174,11 +233,11 @@ impl DmaEngine {
             }
         }
         // Issue up to the window.
-        while self.in_flight < self.window {
+        while self.in_flight.len() < self.window {
             let Some((la, write)) = self.pending_lines.pop_front() else {
                 break;
             };
-            self.in_flight += 1;
+            self.in_flight.insert(la);
             let kind = match write {
                 None => {
                     self.stats.bump("dma.reads");
@@ -189,11 +248,18 @@ impl DmaEngine {
                     MsgKind::DmaWr { data, mask }
                 }
             };
-            out.send(Message::new(AgentId::Dma, AgentId::Directory, la, kind));
+            let msg = Message::new(AgentId::Dma, AgentId::Directory, la, kind);
+            out.send(msg);
+            if self.retry.enabled() {
+                self.retry.track(now, msg);
+                if let Some(d) = self.retry.wake_needed() {
+                    out.wake_at(d);
+                }
+            }
         }
         // If future commands remain and nothing is in flight to re-trigger
         // us, schedule a wake at the next command time.
-        if self.in_flight == 0 && self.pending_lines.is_empty() {
+        if self.in_flight.is_empty() && self.pending_lines.is_empty() {
             if let Some(c) = self.commands.front() {
                 out.wake_at(c.at().max(now));
             }

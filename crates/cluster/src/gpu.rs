@@ -2,7 +2,7 @@ use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 use hsc_mem::{Addr, CacheArray, CacheGeometry, LineAddr, LineData};
 use hsc_mem::Mshr;
-use hsc_noc::{AgentId, Message, MsgKind, Outbox, ProbeKind, WordMask};
+use hsc_noc::{AgentId, Message, MsgKind, Outbox, ProbeKind, RetryPolicy, RetryTracker, WordMask};
 use hsc_sim::{StatSet, Tick};
 
 use crate::viper::{TcpLine, TccLine};
@@ -56,6 +56,13 @@ pub struct GpuConfig {
     pub code_lines: u64,
     /// TCC MSHR capacity.
     pub mshr_capacity: usize,
+    /// Optional request retry under fault injection. `None` (the default)
+    /// disables all retry bookkeeping and wake-ups. When enabled, the TCC
+    /// retries fills, write-throughs and flush fences; SLC atomics are
+    /// never retried because they are not idempotent at the directory (a
+    /// retry whose original survived would apply the atomic twice) — a
+    /// lost atomic is left to the watchdog to diagnose.
+    pub retry: Option<RetryPolicy>,
 }
 
 impl Default for GpuConfig {
@@ -78,6 +85,7 @@ impl Default for GpuConfig {
             ifetch_interval: 32,
             code_lines: 32,
             mshr_capacity: 512,
+            retry: None,
         }
     }
 }
@@ -150,6 +158,7 @@ pub struct GpuCluster {
     slc_waiters: BTreeMap<LineAddr, VecDeque<(usize, usize)>>,
     flush_waiters: BTreeMap<LineAddr, VecDeque<(usize, usize)>>,
     sqc: CacheArray<()>,
+    retry: RetryTracker,
     stats: StatSet,
 }
 
@@ -202,6 +211,7 @@ impl GpuCluster {
             slc_waiters: BTreeMap::new(),
             flush_waiters: BTreeMap::new(),
             sqc: CacheArray::new(CacheGeometry::new(cfg.sqc_bytes, cfg.sqc_ways)),
+            retry: RetryTracker::maybe(cfg.retry),
             stats: StatSet::new(),
         }
     }
@@ -233,6 +243,33 @@ impl GpuCluster {
         &self.stats
     }
 
+    /// Human-readable descriptions of everything still outstanding at
+    /// this TCC (fills, write-throughs, SLC atomics, flush fences), for
+    /// the watchdog's deadlock snapshot.
+    pub fn pending_lines(&self) -> Vec<(LineAddr, String)> {
+        let mut v: Vec<(LineAddr, String)> = self
+            .tcc_mshr
+            .iter()
+            .map(|(la, txn)| (la, format!("fill, {} waiter(s)", txn.waiters.len())))
+            .collect();
+        v.extend(
+            self.wt_waiters
+                .iter()
+                .map(|(&la, q)| (la, format!("{} write-through ack(s)", q.len()))),
+        );
+        v.extend(
+            self.slc_waiters
+                .iter()
+                .map(|(&la, q)| (la, format!("{} SLC atomic response(s)", q.len()))),
+        );
+        v.extend(
+            self.flush_waiters
+                .iter()
+                .map(|(&la, q)| (la, format!("{} flush ack(s)", q.len()))),
+        );
+        v
+    }
+
     /// Total ops retired across all wavefronts.
     #[must_use]
     pub fn ops_retired(&self) -> u64 {
@@ -252,13 +289,47 @@ impl GpuCluster {
             MsgKind::AtomicResp { old } => self.on_atomic_resp(now, msg.line, old, out),
             MsgKind::FlushAck => self.on_flush_ack(now, msg.line, out),
             MsgKind::Probe { kind } => self.on_probe(msg.line, kind, out),
-            ref other => panic!("GPU {} got unexpected {}", self.agent, other.class_name()),
+            ref other => {
+                // Duplicated or mis-routed message under fault injection:
+                // count and drop instead of aborting the run.
+                self.stats.bump("tcc.unexpected_msgs");
+                self.stats.bump(&format!("tcc.unexpected.{}", other.class_name()));
+            }
         }
     }
 
-    /// Advances every wavefront as far as the current tick allows.
+    /// Advances every wavefront as far as the current tick allows and
+    /// re-sends any timed-out requests (when a retry policy is configured).
     pub fn on_wake(&mut self, now: Tick, out: &mut Outbox) {
+        self.service_retries(now, out);
         self.step_all(now, out);
+    }
+
+    /// Re-sends overdue requests and schedules the next retry wake-up.
+    /// No-op (no wake-ups, no stats) when retry is disabled.
+    fn service_retries(&mut self, now: Tick, out: &mut Outbox) {
+        if !self.retry.enabled() {
+            return;
+        }
+        for msg in self.retry.due(now) {
+            self.stats.bump("tcc.retries");
+            out.send(msg);
+        }
+        if let Some(d) = self.retry.wake_needed() {
+            out.wake_at(d);
+        }
+    }
+
+    /// Starts retry tracking for a request just sent (no-op when retry is
+    /// disabled) and schedules the wake-up that will check its deadline.
+    fn track_request(&mut self, msg: Message, out: &mut Outbox) {
+        if !self.retry.enabled() {
+            return;
+        }
+        self.retry.track(out.now(), msg);
+        if let Some(d) = self.retry.wake_needed() {
+            out.wake_at(d);
+        }
     }
 
     fn step_all(&mut self, now: Tick, out: &mut Outbox) {
@@ -457,7 +528,9 @@ impl GpuCluster {
             .alloc(la, TccTxn { waiters: vec![waiter] })
             .expect("TCC MSHR capacity exceeded");
         self.stats.bump("tcc.req.RdBlk");
-        out.send(Message::new(self.agent, AgentId::Directory, la, MsgKind::RdBlk));
+        let msg = Message::new(self.agent, AgentId::Directory, la, MsgKind::RdBlk);
+        out.send(msg);
+        self.track_request(msg, out);
     }
 
     fn access_vec_store(
@@ -536,12 +609,14 @@ impl GpuCluster {
             w.last_wt_line = Some(la);
         }
         self.wt_waiters.entry(la).or_default().push_back(waiter);
-        out.send(Message::new(
+        let msg = Message::new(
             self.agent,
             AgentId::Directory,
             la,
             MsgKind::WriteThrough { data, mask, retains },
-        ));
+        );
+        out.send(msg);
+        self.track_request(msg, out);
     }
 
     /// Returns `true` if the wavefront is now waiting.
@@ -651,7 +726,9 @@ impl GpuCluster {
             w.flush_pending = true;
             self.flush_waiters.entry(la).or_default().push_back((cu, wf));
             self.stats.bump("tcc.req.Flush");
-            out.send(Message::new(self.agent, AgentId::Directory, la, MsgKind::Flush));
+            let msg = Message::new(self.agent, AgentId::Directory, la, MsgKind::Flush);
+            out.send(msg);
+            self.track_request(msg, out);
         }
         let w = &mut self.cus[cu].wfs[wf];
         w.blocked = Some(BlockKind::Release);
@@ -704,10 +781,15 @@ impl GpuCluster {
     }
 
     fn on_fill(&mut self, now: Tick, la: LineAddr, data: LineData, out: &mut Outbox) {
-        let txn = self
-            .tcc_mshr
-            .remove(la)
-            .unwrap_or_else(|| panic!("TCC fill for {la} without MSHR entry"));
+        self.retry.acked(la);
+        let Some(txn) = self.tcc_mshr.remove(la) else {
+            // Stale or duplicate fill (a retried RdBlk that raced its
+            // original, or a duplicated Resp under fault injection). TCC
+            // requests carry no Unblock, so there is nothing to answer;
+            // drop it.
+            self.stats.bump("tcc.stale_resps");
+            return;
+        };
         if let Some(l) = self.tcc.get_mut(la) {
             l.merge_fill(data);
             self.tcc.touch(la);
@@ -742,10 +824,11 @@ impl GpuCluster {
     }
 
     fn on_wt_ack(&mut self, now: Tick, la: LineAddr, out: &mut Outbox) {
-        let q = self
-            .wt_waiters
-            .get_mut(&la)
-            .unwrap_or_else(|| panic!("WtAck for {la} without outstanding WT"));
+        self.retry.acked(la);
+        let Some(q) = self.wt_waiters.get_mut(&la) else {
+            self.stats.bump("tcc.stale_resps");
+            return;
+        };
         let waiter = q.pop_front().expect("WtAck queue empty");
         if q.is_empty() {
             self.wt_waiters.remove(&la);
@@ -762,10 +845,10 @@ impl GpuCluster {
     }
 
     fn on_atomic_resp(&mut self, now: Tick, la: LineAddr, old: u64, out: &mut Outbox) {
-        let q = self
-            .slc_waiters
-            .get_mut(&la)
-            .unwrap_or_else(|| panic!("AtomicResp for {la} without waiter"));
+        let Some(q) = self.slc_waiters.get_mut(&la) else {
+            self.stats.bump("tcc.stale_resps");
+            return;
+        };
         let (cu, wf) = q.pop_front().expect("SLC waiter queue empty");
         if q.is_empty() {
             self.slc_waiters.remove(&la);
@@ -779,10 +862,11 @@ impl GpuCluster {
     }
 
     fn on_flush_ack(&mut self, now: Tick, la: LineAddr, out: &mut Outbox) {
-        let q = self
-            .flush_waiters
-            .get_mut(&la)
-            .unwrap_or_else(|| panic!("FlushAck for {la} without waiter"));
+        self.retry.acked(la);
+        let Some(q) = self.flush_waiters.get_mut(&la) else {
+            self.stats.bump("tcc.stale_resps");
+            return;
+        };
         let (cu, wf) = q.pop_front().expect("flush waiter queue empty");
         if q.is_empty() {
             self.flush_waiters.remove(&la);
@@ -861,13 +945,14 @@ mod tests {
     }
 
     fn small_cfg() -> GpuConfig {
-        let mut cfg = GpuConfig::default();
-        cfg.cus = 2;
-        cfg.tcp_bytes = 1024;
-        cfg.tcc_bytes = 4096;
-        cfg.sqc_bytes = 1024;
-        cfg.ifetch_interval = 1000;
-        cfg
+        GpuConfig {
+            cus: 2,
+            tcp_bytes: 1024,
+            tcc_bytes: 4096,
+            sqc_bytes: 1024,
+            ifetch_interval: 1000,
+            ..GpuConfig::default()
+        }
     }
 
     /// Runs the cluster against a trivially coherent fake directory.

@@ -189,13 +189,15 @@ fn wb_tcc_eviction_writes_back_via_write_through() {
     // Fill a TCC set with dirty lines; the eviction must emit a
     // WriteThrough carrying the dirty words (§II-A: WT doubles as the
     // write-back request).
-    let mut cfg = GpuConfig::default();
-    cfg.cus = 1;
-    cfg.tcc_bytes = 2048; // 32 lines, 16 ways → 2 sets
-    cfg.tcp_bytes = 1024;
-    cfg.sqc_bytes = 1024;
-    cfg.tcc_policy = GpuWritePolicy::WriteBack;
-    cfg.ifetch_interval = 10_000;
+    let cfg = GpuConfig {
+        cus: 1,
+        tcc_bytes: 2048, // 32 lines, 16 ways → 2 sets
+        tcp_bytes: 1024,
+        sqc_bytes: 1024,
+        tcc_policy: GpuWritePolicy::WriteBack,
+        ifetch_interval: 10_000,
+        ..GpuConfig::default()
+    };
     #[derive(Debug)]
     struct Streamer {
         i: u64,
@@ -352,12 +354,14 @@ fn slc_atomic_self_invalidates_cached_copies() {
             }
         }
     }
-    let mut cfg = GpuConfig::default();
-    cfg.cus = 1;
-    cfg.tcp_bytes = 1024;
-    cfg.tcc_bytes = 2048;
-    cfg.sqc_bytes = 1024;
-    cfg.ifetch_interval = 10_000;
+    let cfg = GpuConfig {
+        cus: 1,
+        tcp_bytes: 1024,
+        tcc_bytes: 2048,
+        sqc_bytes: 1024,
+        ifetch_interval: 10_000,
+        ..GpuConfig::default()
+    };
     let mut gpu = GpuCluster::new(0, vec![vec![Box::new(P { step: 0 })]], cfg);
     // Mini fake directory executing the atomic functionally.
     #[derive(Debug)]

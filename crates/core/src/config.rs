@@ -1,5 +1,5 @@
 use hsc_cluster::{CpuConfig, GpuConfig, GpuWritePolicy};
-use hsc_noc::LatencyMap;
+use hsc_noc::{FaultPlan, LatencyMap, RetryPolicy};
 
 /// What happens to clean L2 victims at the directory (§III-B).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -235,6 +235,17 @@ pub struct SystemConfig {
     pub coherence: CoherenceConfig,
     /// Interconnect latencies.
     pub network: LatencyMap,
+    /// Deterministic fault injection on the interconnect. `None` (the
+    /// default) bypasses the fault layer entirely — fault-free runs are
+    /// bit-identical to a build without it.
+    pub faults: Option<FaultPlan>,
+    /// Retry policy for the DMA engine (CPU and GPU retry lives in
+    /// [`CpuConfig::retry`] / [`GpuConfig::retry`]; see
+    /// [`SystemConfig::with_retry`] to set all three at once).
+    pub dma_retry: Option<RetryPolicy>,
+    /// Watchdog limit: a directory transaction older than this many ticks
+    /// makes `System::run` return `SimError::Deadlock`.
+    pub watchdog_ticks: u64,
 }
 
 impl Default for SystemConfig {
@@ -250,6 +261,9 @@ impl Default for SystemConfig {
                 cache_dir: 700, // 20 GPU cycles per hop
                 dir_mem: 140,   // 4 GPU cycles to the memory controller
             },
+            faults: None,
+            dma_retry: None,
+            watchdog_ticks: crate::directory::DEFAULT_WATCHDOG_TICKS,
         }
     }
 }
@@ -289,6 +303,24 @@ impl SystemConfig {
     #[must_use]
     pub fn gpu_write_policy(&self) -> GpuWritePolicy {
         self.gpu.tcc_policy
+    }
+
+    /// Enables the same retry policy on every requester (CorePair L2s,
+    /// TCCs, DMA engine) — the usual companion to a [`FaultPlan`].
+    #[must_use]
+    pub fn with_retry_everywhere(mut self, policy: RetryPolicy) -> Self {
+        self.cpu.retry = Some(policy);
+        self.gpu.retry = Some(policy);
+        self.dma_retry = Some(policy);
+        self
+    }
+
+    /// Installs a fault plan (see [`FaultPlan`]); pair with
+    /// [`SystemConfig::with_retry_everywhere`] for loss recovery.
+    #[must_use]
+    pub fn with_faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = Some(plan);
+        self
     }
 }
 

@@ -3,7 +3,7 @@ use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use hsc_cluster::gpu_cycles;
 use hsc_mem::{CacheArray, CacheGeometry, LineAddr, LineData};
 use hsc_noc::{AgentId, Grant, Message, MsgKind, Outbox, ProbeKind, WordMask};
-use hsc_sim::{EventQueue, Histogram, StatSet, Tick};
+use hsc_sim::{EventQueue, Histogram, StatSet, StuckLine, Tick, Watchdog};
 
 use crate::tracking::{
     plan, DataPlan, DirEntry, DirState, GrantPlan, NextState, PlanReq, ProbePlan, Requester,
@@ -105,9 +105,15 @@ pub struct Directory {
     txns: BTreeMap<LineAddr, DirTxn>,
     stale_vics: BTreeSet<(LineAddr, AgentId)>,
     internal: EventQueue<LineAddr>,
+    watchdog: Watchdog,
     stats: StatSet,
     latency: Histogram,
 }
+
+/// Default per-transaction age limit in ticks before the watchdog calls a
+/// line stuck (~52k GPU cycles — far above any legitimate transaction,
+/// including worst-case memory-channel queueing).
+pub const DEFAULT_WATCHDOG_TICKS: u64 = 2_000_000;
 
 impl Directory {
     /// Builds the directory for a system with `n_l2` CorePairs and
@@ -124,9 +130,51 @@ impl Directory {
             txns: BTreeMap::new(),
             stale_vics: BTreeSet::new(),
             internal: EventQueue::new(),
+            watchdog: Watchdog::new(DEFAULT_WATCHDOG_TICKS),
             stats: StatSet::new(),
             latency: Histogram::new(),
         }
+    }
+
+    /// Overrides the watchdog's per-transaction age limit (ticks).
+    pub fn set_watchdog_limit(&mut self, ticks: u64) {
+        self.watchdog = Watchdog::new(ticks);
+    }
+
+    /// The transaction-age watchdog (every in-flight line is tracked from
+    /// the tick its current transaction started).
+    #[must_use]
+    pub fn watchdog(&self) -> &Watchdog {
+        &self.watchdog
+    }
+
+    /// Structured dump of in-flight transactions with their ages, oldest
+    /// first — the payload of `SimError::Deadlock` snapshots.
+    #[must_use]
+    pub fn stuck_lines(&self, now: Tick) -> Vec<StuckLine> {
+        let mut v: Vec<StuckLine> = self
+            .txns
+            .iter()
+            .map(|(la, t)| StuckLine {
+                line: la.0,
+                age: now.delta_since(t.arrived),
+                detail: format!(
+                    "{:?} {} acks={} unblock={} llc_sched={} llc_ready={} mem_req={} responded={} queued={} state={:?}",
+                    t.kind,
+                    t.origin.kind.class_name(),
+                    t.pending_acks,
+                    t.awaiting_unblock,
+                    t.llc_scheduled,
+                    t.llc_ready,
+                    t.mem_requested,
+                    t.responded,
+                    t.queued.len(),
+                    t.start_state,
+                ),
+            })
+            .collect();
+        v.sort_by(|a, b| b.age.cmp(&a.age).then(a.line.cmp(&b.line)));
+        v
     }
 
     /// The NoC endpoint.
@@ -198,7 +246,13 @@ impl Directory {
             }
             MsgKind::Unblock => self.on_unblock(now, msg.line, out),
             MsgKind::MemRdResp { data } => self.on_mem_data(now, msg.line, data, out),
-            ref other => panic!("directory got unexpected {}", other.class_name()),
+            ref other => {
+                // A message class the directory never consumes (possible
+                // only with a mis-wired controller or duplication faults):
+                // count and drop instead of aborting.
+                self.stats.bump("dir.unexpected_msgs");
+                self.stats.bump(&format!("dir.unexpected.{}", other.class_name()));
+            }
         }
     }
 
@@ -331,6 +385,7 @@ impl Directory {
             out.wake_at(now + gpu_cycles(self.uncore.dir_cycles + self.uncore.llc_cycles));
         }
 
+        self.watchdog.begin(msg.line.0, now);
         self.txns.insert(msg.line, txn);
         self.try_complete(now, msg.line, out);
     }
@@ -530,6 +585,7 @@ impl Directory {
         }
         txn.pending_acks = targets.len() as u32;
         txn.llc_ready = true; // back-invals need no LLC slot of their own
+        self.watchdog.begin(victim.0, now);
         self.txns.insert(victim, txn);
         self.try_complete(now, victim, out);
     }
@@ -549,9 +605,18 @@ impl Directory {
     ) {
         let line = msg.line;
         let Some(txn) = self.txns.get_mut(&line) else {
-            panic!("probe ack for {line} without transaction");
+            // A duplicated probe ack (fault injection) or an ack that
+            // arrived after an early response + prompt unblock finished
+            // the transaction.
+            self.stats.bump("dir.stale_probe_acks");
+            return;
         };
-        debug_assert!(txn.pending_acks > 0, "unexpected extra ack for {line}");
+        if txn.pending_acks == 0 {
+            // Extra ack for a transaction that already collected its
+            // round (duplication fault); ignore it.
+            self.stats.bump("dir.stale_probe_acks");
+            return;
+        }
         txn.pending_acks -= 1;
         txn.copies_found += u32::from(had_copy);
         if was_parked {
@@ -593,16 +658,31 @@ impl Directory {
             self.stats.bump("dir.stale_mem_resps");
             return;
         };
+        if !txn.mem_requested || txn.mem_data.is_some() {
+            // A duplicated memory response (fault injection), or a reply
+            // outliving its transaction into a successor on the same line
+            // that never asked for memory: data would be stale — drop it.
+            self.stats.bump("dir.stale_mem_resps");
+            return;
+        }
         txn.mem_data = Some(data);
         self.try_complete(now, line, out);
     }
 
     fn on_unblock(&mut self, now: Tick, line: LineAddr, out: &mut Outbox) {
-        let Some(txn) = self.txns.get(&line) else {
-            panic!("unblock for {line} without transaction");
+        let finish = match self.txns.get(&line) {
+            // Only an unblock the current transaction is waiting for may
+            // finish it; anything else is a stale duplicate (the requester
+            // answers even duplicated responses with an unblock, so under
+            // fault injection extras are expected).
+            Some(txn) => txn.awaiting_unblock,
+            None => false,
         };
-        debug_assert!(txn.awaiting_unblock, "unexpected unblock for {line}");
-        self.finish_txn(now, line, out);
+        if finish {
+            self.finish_txn(now, line, out);
+        } else {
+            self.stats.bump("dir.stale_unblocks");
+        }
     }
 
     // ------------------------------------------------------------------
@@ -1050,6 +1130,7 @@ impl Directory {
 
     fn finish_txn(&mut self, now: Tick, line: LineAddr, out: &mut Outbox) {
         let txn = self.txns.remove(&line).expect("finishing a live transaction");
+        self.watchdog.end(line.0);
         if txn.kind == TxnKind::Request {
             self.latency.record(now.delta_since(txn.arrived));
         }

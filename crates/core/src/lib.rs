@@ -27,7 +27,7 @@
 //! // An empty system drains immediately.
 //! let cfg = SystemConfig::with_coherence(CoherenceConfig::sharer_tracking());
 //! let mut sys = SystemBuilder::new(cfg).build();
-//! let m = sys.run(1_000_000);
+//! let m = sys.run(1_000_000).expect("empty system completes");
 //! assert_eq!(m.probes_sent, 0);
 //! ```
 
@@ -45,8 +45,8 @@ pub use config::{
     CleanVictimPolicy, CoherenceConfig, DirReplacementPolicy, DirectoryMode, LlcWritePolicy,
     SystemConfig, UncoreConfig,
 };
-pub use directory::Directory;
+pub use directory::{Directory, DEFAULT_WATCHDOG_TICKS};
 pub use llc::{Llc, LlcEviction, LlcLine};
 pub use memctl::MemoryController;
-pub use system::{Metrics, System, SystemBuilder};
+pub use system::{Metrics, System, SystemBuilder, TraceConfig};
 pub use tracking::{DirEntry, DirState, SharerSet};

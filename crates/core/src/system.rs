@@ -3,10 +3,58 @@ use hsc_cluster::{
     TICKS_PER_GPU_CYCLE,
 };
 use hsc_mem::{Addr, LineAddr, MainMemory};
-use hsc_noc::{Action, AgentId, Message, Network, Outbox};
-use hsc_sim::{EventQueue, StatSet, Tick};
+use hsc_noc::{Action, AgentId, Delivery, FaultyNetwork, Message, Outbox};
+use hsc_sim::{
+    DeadlockSnapshot, EventQueue, NullTracer, SimError, StatSet, StderrTracer, Tick, Tracer,
+};
 
 use crate::{Directory, MemoryController, SystemConfig};
+
+/// How often (in processed events) the run loop polls the directory
+/// watchdog. Purely an inspection cadence — it schedules no events, so it
+/// cannot perturb simulated behaviour.
+const WATCHDOG_POLL_EVENTS: u64 = 1024;
+
+/// Message tracing for the event loop, resolved once at build time
+/// (replacing the old per-event `HSC_TRACE_LINE` environment lookup).
+///
+/// Every delivery whose line number matches is recorded through an
+/// [`hsc_sim::Tracer`] — [`StderrTracer`] by default, or whatever
+/// [`SystemBuilder::with_tracer`] installs.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TraceConfig {
+    line: Option<u64>,
+}
+
+impl TraceConfig {
+    /// No tracing (the default).
+    #[must_use]
+    pub fn off() -> Self {
+        TraceConfig { line: None }
+    }
+
+    /// Trace every message touching cache-line number `line`.
+    #[must_use]
+    pub fn line(line: u64) -> Self {
+        TraceConfig { line: Some(line) }
+    }
+
+    /// Reads `HSC_TRACE_LINE` (a decimal line number) once; unset or
+    /// unparsable values mean no tracing.
+    #[must_use]
+    pub fn from_env() -> Self {
+        let line = std::env::var("HSC_TRACE_LINE")
+            .ok()
+            .and_then(|v| v.parse::<u64>().ok());
+        TraceConfig { line }
+    }
+
+    /// The traced line number, if any.
+    #[must_use]
+    pub fn traced_line(&self) -> Option<u64> {
+        self.line
+    }
+}
 
 /// End-of-run report: the quantities the paper's figures are built from.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -39,7 +87,7 @@ pub struct Metrics {
 /// let mut b = SystemBuilder::new(SystemConfig::default());
 /// // b.add_cpu_thread(...); b.add_wavefront(...);
 /// let mut sys = b.build();
-/// let metrics = sys.run(u64::MAX);
+/// let metrics = sys.run(u64::MAX).expect("run completes");
 /// println!("took {} GPU cycles", metrics.gpu_cycles);
 /// ```
 #[derive(Debug)]
@@ -47,12 +95,18 @@ pub struct SystemBuilder {
     config: SystemConfig,
     cpu_threads: Vec<Box<dyn CoreProgram>>,
     wavefronts: Vec<Box<dyn WavefrontProgram>>,
-    dma_commands: Vec<DmaCommand>,
     init_words: Vec<(Addr, u64)>,
+    dma_commands: Vec<DmaCommand>,
+    trace: TraceConfig,
+    tracer: Option<Box<dyn Tracer>>,
 }
 
 impl SystemBuilder {
     /// Starts a builder for the given configuration.
+    ///
+    /// Tracing defaults to [`TraceConfig::from_env`], preserving the
+    /// historical `HSC_TRACE_LINE` behaviour — but the variable is now read
+    /// exactly once, here, instead of on every delivered event.
     #[must_use]
     pub fn new(config: SystemConfig) -> Self {
         SystemBuilder {
@@ -61,7 +115,22 @@ impl SystemBuilder {
             wavefronts: Vec::new(),
             dma_commands: Vec::new(),
             init_words: Vec::new(),
+            trace: TraceConfig::from_env(),
+            tracer: None,
         }
+    }
+
+    /// Overrides the trace configuration (what to trace).
+    pub fn with_trace(&mut self, trace: TraceConfig) -> &mut Self {
+        self.trace = trace;
+        self
+    }
+
+    /// Installs a custom [`Tracer`] sink (where trace lines go). Without
+    /// one, traced lines go to a [`StderrTracer`].
+    pub fn with_tracer(&mut self, tracer: Box<dyn Tracer>) -> &mut Self {
+        self.tracer = Some(tracer);
+        self
     }
 
     /// Adds a CPU thread (placed two-per-CorePair, round-robin).
@@ -132,17 +201,29 @@ impl SystemBuilder {
             mem.write_word(a, v);
         }
 
+        let mut directory = Directory::new(cfg.coherence, cfg.uncore, cfg.corepairs, n_gpus);
+        directory.set_watchdog_limit(cfg.watchdog_ticks);
+
+        let trace_line = self.trace.traced_line();
+        let tracer: Box<dyn Tracer> = match self.tracer {
+            Some(t) => t,
+            None if trace_line.is_some() => Box::new(StderrTracer),
+            None => Box::new(NullTracer),
+        };
+
         System {
             config: cfg,
             corepairs,
             gpus,
-            dma: DmaEngine::new(self.dma_commands, 8),
-            directory: Directory::new(cfg.coherence, cfg.uncore, cfg.corepairs, n_gpus),
+            dma: DmaEngine::new(self.dma_commands, 8).with_retry(cfg.dma_retry),
+            directory,
             memctl: MemoryController::new(mem, cfg.uncore.mem_ticks, cfg.uncore.mem_occupancy_ticks),
-            network: Network::new(cfg.network),
+            network: FaultyNetwork::new(cfg.network, cfg.faults),
             queue: EventQueue::new(),
             now: Tick::ZERO,
             events_processed: 0,
+            trace_line,
+            tracer,
         }
     }
 }
@@ -156,7 +237,9 @@ enum Ev {
 /// The whole simulated APU of Fig. 1, ready to run.
 ///
 /// Owns every controller, routes messages through the latency
-/// [`Network`], and drives the deterministic event loop.
+/// [`FaultyNetwork`] (a transparent pass-through unless a
+/// [`hsc_noc::FaultPlan`] was configured), and drives the deterministic
+/// event loop.
 #[derive(Debug)]
 pub struct System {
     config: SystemConfig,
@@ -165,10 +248,12 @@ pub struct System {
     dma: DmaEngine,
     directory: Directory,
     memctl: MemoryController,
-    network: Network,
+    network: FaultyNetwork,
     queue: EventQueue<Ev>,
     now: Tick,
     events_processed: u64,
+    trace_line: Option<u64>,
+    tracer: Box<dyn Tracer>,
 }
 
 impl System {
@@ -181,43 +266,52 @@ impl System {
     /// Runs to completion (every program retired, every transaction
     /// drained) and returns the metrics.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the event budget `max_events` is exceeded (a livelocked
-    /// workload or a protocol bug) or if the queue drains while some
-    /// controller is not done (a protocol deadlock).
-    pub fn run(&mut self, max_events: u64) -> Metrics {
+    /// Never panics on a protocol failure; instead:
+    ///
+    /// * [`SimError::Deadlock`] — the directory watchdog found a
+    ///   transaction stuck past [`SystemConfig::watchdog_ticks`], or the
+    ///   event queue drained while some controller was still busy (e.g. a
+    ///   request was lost in a faulty network and retries are off). The
+    ///   carried [`DeadlockSnapshot`] names each stuck line, its age, the
+    ///   directory transaction state and every agent's outstanding work.
+    /// * [`SimError::EventBudgetExceeded`] — `max_events` ran out before
+    ///   quiescence (livelock, or a budget too small for the workload).
+    /// * [`SimError::Wiring`] — a message was sent between agents with no
+    ///   link in the topology.
+    pub fn run(&mut self, max_events: u64) -> Result<Metrics, SimError> {
         // Initial wake-ups.
         for i in 0..self.corepairs.len() {
             let mut out = Outbox::new(self.now);
             self.corepairs[i].start(&mut out);
-            self.apply(AgentId::CorePairL2(i), out);
+            self.apply(AgentId::CorePairL2(i), out)?;
         }
         for g in 0..self.gpus.len() {
             let mut out = Outbox::new(self.now);
             self.gpus[g].start(&mut out);
-            self.apply(AgentId::Tcc(g), out);
+            self.apply(AgentId::Tcc(g), out)?;
         }
         let mut out = Outbox::new(self.now);
         self.dma.start(&mut out);
-        self.apply(AgentId::Dma, out);
+        self.apply(AgentId::Dma, out)?;
 
         while let Some((t, ev)) = self.queue.pop() {
             debug_assert!(t >= self.now, "time went backwards");
             self.now = t;
             self.events_processed += 1;
-            assert!(
-                self.events_processed <= max_events,
-                "event budget exceeded at {} ({} events): livelock or protocol bug",
-                self.now,
-                self.events_processed
-            );
+            if self.events_processed > max_events {
+                return Err(SimError::EventBudgetExceeded { budget: max_events, now: self.now });
+            }
+            if self.events_processed.is_multiple_of(WATCHDOG_POLL_EVENTS)
+                && self.directory.watchdog().expired(self.now)
+            {
+                return Err(self.deadlock());
+            }
             let (agent, out) = match ev {
                 Ev::Deliver(msg) => {
-                    if let Ok(l) = std::env::var("HSC_TRACE_LINE") {
-                        if msg.line.0 == l.parse::<u64>().unwrap_or(u64::MAX) {
-                            eprintln!("[{t}] {msg}");
-                        }
+                    if self.trace_line == Some(msg.line.0) {
+                        self.tracer.record(t, msg.to_string());
                     }
                     let mut out = Outbox::new(t);
                     let dst = msg.dst;
@@ -244,34 +338,67 @@ impl System {
                     (agent, out)
                 }
             };
-            self.apply(agent, out);
+            self.apply(agent, out)?;
         }
-        assert!(
-            self.is_done(),
-            "event queue drained but the system is not done: protocol deadlock \
-             (cores done: {:?}, gpu done: {}, dma done: {}, dir idle: {})",
-            self.corepairs.iter().map(CorePair::is_done).collect::<Vec<_>>(),
-            self.gpus.iter().all(GpuCluster::is_done),
-            self.dma.is_done(),
-            self.directory.is_idle(),
-        );
-        self.metrics()
+        if !self.is_done() {
+            return Err(self.deadlock());
+        }
+        Ok(self.metrics())
     }
 
-    fn apply(&mut self, agent: AgentId, out: Outbox) {
+    /// Builds the structured diagnostic for a stalled run: stuck directory
+    /// transactions (from the in-flight dump) plus each requester's
+    /// outstanding work.
+    #[must_use]
+    pub fn deadlock_snapshot(&self) -> DeadlockSnapshot {
+        let mut agents = Vec::new();
+        for (i, cp) in self.corepairs.iter().enumerate() {
+            for (la, detail) in cp.pending_lines() {
+                agents.push(format!("L2[{i}]: line {:#x}: {detail}", la.0));
+            }
+        }
+        for (g, gpu) in self.gpus.iter().enumerate() {
+            for (la, detail) in gpu.pending_lines() {
+                agents.push(format!("TCC[{g}]: line {:#x}: {detail}", la.0));
+            }
+        }
+        for (la, detail) in self.dma.pending_lines() {
+            agents.push(format!("DMA: line {:#x}: {detail}", la.0));
+        }
+        DeadlockSnapshot { now: self.now, lines: self.directory.stuck_lines(self.now), agents }
+    }
+
+    fn deadlock(&self) -> SimError {
+        SimError::Deadlock { snapshot: Box::new(self.deadlock_snapshot()) }
+    }
+
+    fn apply(&mut self, agent: AgentId, out: Outbox) -> Result<(), SimError> {
         for act in out.into_actions() {
             match act {
-                Action::Send(m) => {
-                    let arrive = self.network.send(self.now, &m);
-                    self.queue.schedule(arrive, Ev::Deliver(m));
-                }
-                Action::SendLater(t, m) => {
-                    let arrive = self.network.send(t, &m);
-                    self.queue.schedule(arrive, Ev::Deliver(m));
-                }
+                Action::Send(m) => self.dispatch(self.now, m)?,
+                Action::SendLater(t, m) => self.dispatch(t, m)?,
                 Action::Wake(t) => self.queue.schedule(t, Ev::Wake(agent)),
             }
         }
+        Ok(())
+    }
+
+    /// One seam for all outbound traffic: the faulty network decides
+    /// whether the message arrives once, twice, or never.
+    fn dispatch(&mut self, at: Tick, m: Message) -> Result<(), SimError> {
+        let delivery = self
+            .network
+            .send(at, &m)
+            .map_err(|e| SimError::Wiring { detail: e.to_string() })?;
+        match delivery {
+            Delivery::Deliver(t) => self.queue.schedule(t, Ev::Deliver(m)),
+            Delivery::Twice(t1, t2) => {
+                self.queue.schedule(t1, Ev::Deliver(m));
+                self.queue.schedule(t2, Ev::Deliver(m));
+            }
+            Delivery::Dropped => {}
+        }
+        Ok(())
     }
 
     /// Whether every program retired and every transaction drained.
@@ -300,15 +427,22 @@ impl System {
         stats.merge(self.dma.stats());
         stats.merge(&self.directory.stats());
         stats.merge(self.memctl.stats());
-        stats.merge(self.network.stats());
+        stats.merge(self.network.network().stats());
+        stats.merge(self.network.fault_stats());
         Metrics {
             ticks: self.now.cycles(),
             gpu_cycles: self.now.cycles() / TICKS_PER_GPU_CYCLE,
-            probes_sent: self.network.probes_sent(),
-            mem_reads: self.network.mem_reads(),
-            mem_writes: self.network.mem_writes(),
+            probes_sent: self.network.network().probes_sent(),
+            mem_reads: self.network.network().mem_reads(),
+            mem_writes: self.network.network().mem_writes(),
             stats,
         }
+    }
+
+    /// Total faults the network injected during the run (0 without a plan).
+    #[must_use]
+    pub fn faults_injected(&self) -> u64 {
+        self.network.faults_injected()
     }
 
     /// The value of the 64-bit word at `a` as the *coherent* end-of-run

@@ -27,10 +27,12 @@ struct Harness {
 
 impl Harness {
     fn new(cfg: CoherenceConfig) -> Self {
-        let mut uncore = UncoreConfig::default();
-        uncore.llc_bytes = 8 * 1024; // 8 sets × 16 ways: evictable in tests
-        uncore.dir_entries = 64;
-        uncore.dir_ways = 4;
+        let uncore = UncoreConfig {
+            llc_bytes: 8 * 1024, // 8 sets × 16 ways: evictable in tests
+            dir_entries: 64,
+            dir_ways: 4,
+            ..UncoreConfig::default()
+        };
         Harness {
             dir: Directory::new(cfg, uncore, N_L2, 1),
             mem: MemoryController::new(MainMemory::new(), 50, 10),

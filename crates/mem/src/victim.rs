@@ -90,6 +90,11 @@ impl VictimBuffer {
         self.entries.remove(&la)
     }
 
+    /// The parked line addresses, in address order (for diagnostics).
+    pub fn lines(&self) -> impl Iterator<Item = LineAddr> + '_ {
+        self.entries.keys().copied()
+    }
+
     /// Number of parked lines.
     #[must_use]
     pub fn len(&self) -> usize {

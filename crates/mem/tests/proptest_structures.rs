@@ -1,160 +1,157 @@
-//! Property-based tests of the cache data structures against reference
+//! Randomized tests of the cache data structures against reference
 //! models: `CacheArray` vs a naive map-of-sets, `TreePlru` invariants,
 //! `Mshr` bookkeeping, and `LineData` atomics vs plain arithmetic.
+//!
+//! Scenarios are generated with the in-tree `DetRng` (seeded per case) so
+//! the tests need no external dependency and every failure names the seed
+//! that reproduces it.
 
 use std::collections::{BTreeMap, BTreeSet};
-
-use proptest::prelude::*;
 
 use hsc_mem::{
     Addr, AtomicKind, CacheArray, CacheGeometry, InsertOutcome, LineAddr, LineData, Mshr, TreePlru,
     VictimBuffer,
 };
+use hsc_sim::DetRng;
 
-#[derive(Debug, Clone)]
-enum ArrayOp {
-    Insert(u64, u32),
-    Touch(u64),
-    Invalidate(u64),
-    Get(u64),
-}
+const CASES: u64 = 48;
 
-fn array_ops() -> impl Strategy<Value = Vec<ArrayOp>> {
-    prop::collection::vec(
-        prop_oneof![
-            (0u64..64, any::<u32>()).prop_map(|(l, v)| ArrayOp::Insert(l, v)),
-            (0u64..64).prop_map(ArrayOp::Touch),
-            (0u64..64).prop_map(ArrayOp::Invalidate),
-            (0u64..64).prop_map(ArrayOp::Get),
-        ],
-        0..200,
-    )
-}
-
-proptest! {
-    /// The array never exceeds its capacity, never duplicates a tag,
-    /// keeps every resident line in its home set, and evictions only
-    /// happen from full sets.
-    #[test]
-    fn cache_array_structural_invariants(ops in array_ops()) {
+/// The array never exceeds its capacity, never duplicates a tag, keeps
+/// every resident line in its home set, and evictions only happen from
+/// full sets.
+#[test]
+fn cache_array_structural_invariants() {
+    for case in 0..CASES {
+        let mut rng = DetRng::new(0xa77a1 ^ case);
         // 4 sets × 4 ways over a 64-line address space.
         let mut arr: CacheArray<u32> = CacheArray::new(CacheGeometry::new(1024, 4));
         let sets = 4u64;
         let ways = 4usize;
         // Reference: which lines are resident.
         let mut resident: BTreeMap<u64, u32> = BTreeMap::new();
-        for op in ops {
-            match op {
-                ArrayOp::Insert(l, v) => {
+        for _ in 0..rng.next_below(200) {
+            let l = rng.next_below(64);
+            match rng.next_below(4) {
+                0 => {
                     if resident.contains_key(&l) {
                         continue; // double-insert is a (tested) panic
                     }
+                    let v = rng.next_u64() as u32;
                     match arr.insert(LineAddr(l), v) {
                         InsertOutcome::Inserted => {
                             // There must have been room in the home set.
-                            let in_set = resident.keys().filter(|&&k| k % sets == l % sets).count();
-                            prop_assert!(in_set < ways, "insert without eviction in a full set");
+                            let in_set =
+                                resident.keys().filter(|&&k| k % sets == l % sets).count();
+                            assert!(in_set < ways, "insert without eviction in a full set");
                         }
                         InsertOutcome::Evicted(ev) => {
-                            prop_assert_eq!(ev.tag.0 % sets, l % sets, "victim from a foreign set");
+                            assert_eq!(ev.tag.0 % sets, l % sets, "victim from a foreign set");
                             let stored = resident.remove(&ev.tag.0);
-                            prop_assert_eq!(stored, Some(ev.meta), "evicted meta mismatch");
+                            assert_eq!(stored, Some(ev.meta), "evicted meta mismatch");
                         }
                     }
                     resident.insert(l, v);
                 }
-                ArrayOp::Touch(l) => arr.touch(LineAddr(l)),
-                ArrayOp::Invalidate(l) => {
+                1 => arr.touch(LineAddr(l)),
+                2 => {
                     let got = arr.invalidate(LineAddr(l));
-                    prop_assert_eq!(got, resident.remove(&l));
+                    assert_eq!(got, resident.remove(&l));
                 }
-                ArrayOp::Get(l) => {
-                    prop_assert_eq!(arr.get(LineAddr(l)).copied(), resident.get(&l).copied());
+                _ => {
+                    assert_eq!(arr.get(LineAddr(l)).copied(), resident.get(&l).copied());
                 }
             }
-            prop_assert_eq!(arr.len(), resident.len());
+            assert_eq!(arr.len(), resident.len());
         }
         // Full sweep at the end: contents agree exactly.
         let from_arr: BTreeMap<u64, u32> = arr.iter().map(|(t, &m)| (t.0, m)).collect();
-        prop_assert_eq!(from_arr, resident);
+        assert_eq!(from_arr, resident, "case seed {case}");
     }
+}
 
-    /// Tree-PLRU: the victim is always a valid way, and never the way
-    /// touched immediately before (for ways > 1).
-    #[test]
-    fn tree_plru_victim_validity(
-        ways_pow in 1u32..6,
-        touches in prop::collection::vec(0usize..32, 0..100),
-    ) {
-        let ways = 1usize << ways_pow;
+/// Tree-PLRU: the victim is always a valid way, and never the way touched
+/// immediately before (for ways > 1).
+#[test]
+fn tree_plru_victim_validity() {
+    for case in 0..CASES {
+        let mut rng = DetRng::new(0x915 ^ case.wrapping_mul(7));
+        let ways = 1usize << (1 + rng.next_below(5) as u32);
         let mut p = TreePlru::new(2, ways);
-        for &t in &touches {
-            let w = t % ways;
+        for _ in 0..rng.next_below(100) {
+            let w = rng.next_below(32) as usize % ways;
             p.touch(0, w);
             let v = p.victim(0);
-            prop_assert!(v < ways);
-            prop_assert_ne!(v, w, "victim equals the most recently touched way");
+            assert!(v < ways);
+            assert_ne!(v, w, "victim equals the most recently touched way");
         }
         // The untouched set still behaves.
-        prop_assert!(p.victim(1) < ways);
+        assert!(p.victim(1) < ways);
     }
+}
 
-    /// victim_among always picks a candidate (when any exists).
-    #[test]
-    fn tree_plru_victim_among_respects_mask(
-        mask_bits in 0u8..16,
-        touches in prop::collection::vec(0usize..4, 0..32),
-    ) {
+/// victim_among always picks a candidate (when any exists).
+#[test]
+fn tree_plru_victim_among_respects_mask() {
+    for case in 0..CASES {
+        let mut rng = DetRng::new(0x3a5c ^ case);
         let mut p = TreePlru::new(1, 4);
-        for &t in &touches {
-            p.touch(0, t % 4);
+        for _ in 0..rng.next_below(32) {
+            p.touch(0, rng.next_below(4) as usize);
         }
+        let mask_bits = rng.next_below(16) as u8;
         let mask: Vec<bool> = (0..4).map(|i| mask_bits & (1 << i) != 0).collect();
         match p.victim_among(0, &mask) {
-            Some(v) => prop_assert!(mask[v], "victim outside the candidate mask"),
-            None => prop_assert!(mask.iter().all(|&m| !m)),
+            Some(v) => assert!(mask[v], "victim outside the candidate mask"),
+            None => assert!(mask.iter().all(|&m| !m)),
         }
     }
+}
 
-    /// MSHR allocate/remove bookkeeping matches a reference set and the
-    /// capacity bound holds.
-    #[test]
-    fn mshr_tracks_a_reference_set(ops in prop::collection::vec((0u64..16, any::<bool>()), 0..100)) {
+/// MSHR allocate/remove bookkeeping matches a reference set and the
+/// capacity bound holds.
+#[test]
+fn mshr_tracks_a_reference_set() {
+    for case in 0..CASES {
+        let mut rng = DetRng::new(0x3511 ^ case);
         let mut m: Mshr<u64> = Mshr::new(8);
         let mut reference: BTreeSet<u64> = BTreeSet::new();
-        for (line, alloc) in ops {
+        for _ in 0..rng.next_below(100) {
+            let line = rng.next_below(16);
+            let alloc = rng.chance(1, 2);
             if alloc && !reference.contains(&line) {
                 match m.alloc(LineAddr(line), line * 10) {
                     Ok(_) => {
-                        prop_assert!(reference.len() < 8);
+                        assert!(reference.len() < 8);
                         reference.insert(line);
                     }
-                    Err(_) => prop_assert_eq!(reference.len(), 8, "spurious MshrFullError"),
+                    Err(_) => assert_eq!(reference.len(), 8, "spurious MshrFullError"),
                 }
             } else if !alloc {
                 let got = m.remove(LineAddr(line));
-                prop_assert_eq!(got.is_some(), reference.remove(&line));
+                assert_eq!(got.is_some(), reference.remove(&line));
             }
-            prop_assert_eq!(m.len(), reference.len());
-            prop_assert_eq!(m.is_full(), reference.len() == 8);
+            assert_eq!(m.len(), reference.len());
+            assert_eq!(m.is_full(), reference.len() == 8);
         }
     }
+}
 
-    /// Atomics on line data agree with plain u64 arithmetic.
-    #[test]
-    fn line_atomics_match_scalar_semantics(
-        init in any::<u64>(),
-        ops in prop::collection::vec((0u64..8, any::<u64>(), 0u8..8), 0..50),
-    ) {
+/// Atomics on line data agree with plain u64 arithmetic.
+#[test]
+fn line_atomics_match_scalar_semantics() {
+    for case in 0..CASES {
+        let mut rng = DetRng::new(0xa70 ^ case);
+        let init = rng.next_u64();
         let mut line = LineData::zeroed();
         let mut reference = [0u64; 8];
-        for w in 0..8 {
+        for (w, r) in reference.iter_mut().enumerate() {
             line.set_word(w, init ^ w as u64);
-            reference[w] = init ^ w as u64;
+            *r = init ^ w as u64;
         }
-        for (word, operand, kind) in ops {
-            let w = word as usize;
-            let op = match kind {
+        for _ in 0..rng.next_below(50) {
+            let w = rng.next_below(8) as usize;
+            let operand = rng.next_u64();
+            let op = match rng.next_below(8) {
                 0 => AtomicKind::FetchAdd(operand),
                 1 => AtomicKind::Exchange(operand),
                 2 => AtomicKind::CompareSwap { expect: reference[w], new: operand },
@@ -165,22 +162,24 @@ proptest! {
                 _ => AtomicKind::FetchOr(operand),
             };
             let old = line.apply_atomic(Addr(w as u64 * 8), op);
-            prop_assert_eq!(old, reference[w], "atomic returned a wrong old value");
+            assert_eq!(old, reference[w], "atomic returned a wrong old value");
             reference[w] = op.next(reference[w]);
-            prop_assert_eq!(line.word(w), reference[w]);
+            assert_eq!(line.word(w), reference[w]);
         }
     }
+}
 
-    /// Victim buffer: park/probe/release sequences never lose dirty data.
-    #[test]
-    fn victim_buffer_never_loses_dirty_data(
-        ops in prop::collection::vec((0u64..8, 0u8..4), 0..60),
-    ) {
+/// Victim buffer: park/probe/release sequences never lose dirty data.
+#[test]
+fn victim_buffer_never_loses_dirty_data() {
+    for case in 0..CASES {
+        let mut rng = DetRng::new(0xb0ffe4 ^ case);
         let mut vb = VictimBuffer::new();
         let mut parked: BTreeMap<u64, bool> = BTreeMap::new();
-        for (line, action) in ops {
+        for _ in 0..rng.next_below(60) {
+            let line = rng.next_below(8);
             let la = LineAddr(line);
-            match action {
+            match rng.next_below(4) {
                 0 => {
                     parked.entry(line).or_insert_with(|| {
                         let mut d = LineData::zeroed();
@@ -195,19 +194,19 @@ proptest! {
                     if let Some(dirty) = parked.get_mut(&line) {
                         *dirty = false;
                         let e = vb.get(la).expect("entry must survive a downgrade");
-                        prop_assert_eq!(e.data.word(0), line + 100);
+                        assert_eq!(e.data.word(0), line + 100);
                     }
                 }
                 2 => {
                     let got = vb.invalidate(la);
-                    prop_assert_eq!(got.is_some(), parked.remove(&line).is_some());
+                    assert_eq!(got.is_some(), parked.remove(&line).is_some());
                 }
                 _ => {
                     let got = vb.release(la);
-                    prop_assert_eq!(got.is_some(), parked.remove(&line).is_some());
+                    assert_eq!(got.is_some(), parked.remove(&line).is_some());
                 }
             }
-            prop_assert_eq!(vb.len(), parked.len());
+            assert_eq!(vb.len(), parked.len());
         }
     }
 }

@@ -23,10 +23,14 @@
 
 mod actions;
 mod agent;
+mod fault;
 mod message;
 mod network;
+mod retry;
 
 pub use actions::{Action, Outbox};
 pub use agent::AgentId;
+pub use fault::{Delivery, FaultPlan, FaultTargets, FaultyNetwork};
 pub use message::{Grant, Message, MsgKind, ProbeKind, WordMask};
-pub use network::{LatencyMap, Network};
+pub use network::{LatencyMap, Network, WiringError};
+pub use retry::{RetryPolicy, RetryTracker};

@@ -1,6 +1,29 @@
+use std::fmt;
+
 use hsc_sim::{StatSet, Tick};
 
 use crate::{AgentId, Message, MsgKind};
+
+/// A message was sent between two agents that share no link in this
+/// topology (every path goes through the directory).
+///
+/// Surfaced by `hsc_core::System::run` as `SimError::Wiring` instead of a
+/// panic, so a mis-wired controller produces a diagnosable error value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WiringError {
+    /// The sending agent.
+    pub src: AgentId,
+    /// The (unreachable) receiving agent.
+    pub dst: AgentId,
+}
+
+impl fmt::Display for WiringError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "no direct link {}→{} in this topology", self.src, self.dst)
+    }
+}
+
+impl std::error::Error for WiringError {}
 
 /// One-way hop latencies of the system interconnect, in GPU cycles.
 ///
@@ -31,19 +54,18 @@ impl Default for LatencyMap {
 impl LatencyMap {
     /// One-way latency from `src` to `dst`.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics on src/dst pairs that never communicate directly (e.g.
-    /// L2→L2): in this topology every path goes through the directory, so
-    /// such a message is a wiring bug.
-    #[must_use]
-    pub fn one_way(&self, src: AgentId, dst: AgentId) -> u64 {
+    /// Returns [`WiringError`] on src/dst pairs that never communicate
+    /// directly (e.g. L2→L2): in this topology every path goes through the
+    /// directory, so such a message is a wiring bug.
+    pub fn one_way(&self, src: AgentId, dst: AgentId) -> Result<u64, WiringError> {
         use AgentId::{Directory, Memory};
         match (src, dst) {
-            (Directory, Memory) | (Memory, Directory) => self.dir_mem,
-            (Directory, d) if d.is_probe_target() || d == AgentId::Dma => self.cache_dir,
-            (s, Directory) if s.is_probe_target() || s == AgentId::Dma => self.cache_dir,
-            (s, d) => panic!("no direct link {s}→{d} in this topology"),
+            (Directory, Memory) | (Memory, Directory) => Ok(self.dir_mem),
+            (Directory, d) if d.is_probe_target() || d == AgentId::Dma => Ok(self.cache_dir),
+            (s, Directory) if s.is_probe_target() || s == AgentId::Dma => Ok(self.cache_dir),
+            (src, dst) => Err(WiringError { src, dst }),
         }
     }
 }
@@ -64,7 +86,7 @@ impl LatencyMap {
 ///
 /// let mut net = Network::new(LatencyMap::default());
 /// let m = Message::new(AgentId::CorePairL2(0), AgentId::Directory, LineAddr(1), MsgKind::RdBlk);
-/// let arrive = net.send(Tick(100), &m);
+/// let arrive = net.send(Tick(100), &m).unwrap();
 /// assert_eq!(arrive, Tick(130));
 /// assert_eq!(net.stats().get("net.msg.RdBlk"), 1);
 /// ```
@@ -86,10 +108,15 @@ impl Network {
 
     /// Accepts `msg` at time `now`; returns its delivery time and records
     /// traffic statistics.
-    pub fn send(&mut self, now: Tick, msg: &Message) -> Tick {
-        let lat = self.latency.one_way(msg.src, msg.dst);
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WiringError`] when no link exists between `msg.src` and
+    /// `msg.dst`; nothing is counted in that case.
+    pub fn send(&mut self, now: Tick, msg: &Message) -> Result<Tick, WiringError> {
+        let lat = self.latency.one_way(msg.src, msg.dst)?;
         self.count(msg);
-        now + lat
+        Ok(now + lat)
     }
 
     fn count(&mut self, msg: &Message) {
@@ -152,18 +179,28 @@ mod tests {
             cache_dir: 7,
             dir_mem: 3,
         };
-        assert_eq!(l.one_way(AgentId::CorePairL2(0), AgentId::Directory), 7);
-        assert_eq!(l.one_way(AgentId::Directory, AgentId::Tcc(0)), 7);
-        assert_eq!(l.one_way(AgentId::Dma, AgentId::Directory), 7);
-        assert_eq!(l.one_way(AgentId::Directory, AgentId::Memory), 3);
-        assert_eq!(l.one_way(AgentId::Memory, AgentId::Directory), 3);
+        assert_eq!(l.one_way(AgentId::CorePairL2(0), AgentId::Directory), Ok(7));
+        assert_eq!(l.one_way(AgentId::Directory, AgentId::Tcc(0)), Ok(7));
+        assert_eq!(l.one_way(AgentId::Dma, AgentId::Directory), Ok(7));
+        assert_eq!(l.one_way(AgentId::Directory, AgentId::Memory), Ok(3));
+        assert_eq!(l.one_way(AgentId::Memory, AgentId::Directory), Ok(3));
     }
 
     #[test]
-    #[should_panic(expected = "no direct link")]
-    fn cache_to_cache_is_a_wiring_bug() {
+    fn cache_to_cache_is_a_wiring_error() {
         let l = LatencyMap::default();
-        let _ = l.one_way(AgentId::CorePairL2(0), AgentId::CorePairL2(1));
+        let err = l
+            .one_way(AgentId::CorePairL2(0), AgentId::CorePairL2(1))
+            .unwrap_err();
+        assert_eq!(err.src, AgentId::CorePairL2(0));
+        assert_eq!(err.dst, AgentId::CorePairL2(1));
+        assert!(err.to_string().contains("no direct link"));
+        // A mis-wired send counts nothing.
+        let mut net = Network::new(l);
+        assert!(net
+            .send(Tick(0), &msg(AgentId::CorePairL2(0), AgentId::CorePairL2(1), MsgKind::RdBlk))
+            .is_err());
+        assert_eq!(net.stats().get("net.msg.RdBlk"), 0);
     }
 
     #[test]
@@ -176,7 +213,7 @@ mod tests {
             Tick(10),
             &msg(AgentId::Directory, AgentId::Memory, MsgKind::MemRd),
         );
-        assert_eq!(t, Tick(12));
+        assert_eq!(t, Ok(Tick(12)));
     }
 
     #[test]
@@ -186,7 +223,8 @@ mod tests {
             net.send(
                 Tick(0),
                 &msg(AgentId::Directory, AgentId::CorePairL2(0), MsgKind::Probe { kind }),
-            );
+            )
+            .unwrap();
         }
         assert_eq!(net.probes_sent(), 2);
         assert_eq!(net.stats().get("net.msg.PrbInv"), 1);
@@ -196,7 +234,8 @@ mod tests {
     #[test]
     fn memory_traffic_counters_split_reads_and_writes() {
         let mut net = Network::new(LatencyMap::default());
-        net.send(Tick(0), &msg(AgentId::Directory, AgentId::Memory, MsgKind::MemRd));
+        net.send(Tick(0), &msg(AgentId::Directory, AgentId::Memory, MsgKind::MemRd))
+            .unwrap();
         net.send(
             Tick(0),
             &msg(
@@ -204,7 +243,8 @@ mod tests {
                 AgentId::Memory,
                 MsgKind::MemWr { data: LineData::zeroed(), mask: crate::WordMask::full() },
             ),
-        );
+        )
+        .unwrap();
         net.send(
             Tick(0),
             &msg(
@@ -212,7 +252,8 @@ mod tests {
                 AgentId::Directory,
                 MsgKind::MemRdResp { data: LineData::zeroed() },
             ),
-        );
+        )
+        .unwrap();
         assert_eq!(net.mem_reads(), 1);
         assert_eq!(net.mem_writes(), 1);
         assert_eq!(net.stats().get("net.msg.MemRdResp"), 1);
@@ -222,14 +263,18 @@ mod tests {
     fn fifo_ordering_holds_for_constant_latency() {
         // Two messages on the same pair sent at t and t+1 arrive in order.
         let mut net = Network::new(LatencyMap::default());
-        let a = net.send(
-            Tick(0),
-            &msg(AgentId::CorePairL2(0), AgentId::Directory, MsgKind::RdBlk),
-        );
-        let b = net.send(
-            Tick(1),
-            &msg(AgentId::CorePairL2(0), AgentId::Directory, MsgKind::Unblock),
-        );
+        let a = net
+            .send(
+                Tick(0),
+                &msg(AgentId::CorePairL2(0), AgentId::Directory, MsgKind::RdBlk),
+            )
+            .unwrap();
+        let b = net
+            .send(
+                Tick(1),
+                &msg(AgentId::CorePairL2(0), AgentId::Directory, MsgKind::Unblock),
+            )
+            .unwrap();
         assert!(a < b);
     }
 }

@@ -1,0 +1,283 @@
+//! NACK-style request retry with bounded exponential backoff.
+//!
+//! The coherence protocols are loss-free by construction, so requesters
+//! normally fire-and-forget. Under fault injection a request (or its
+//! response) can vanish; [`RetryTracker`] gives every requester a uniform
+//! recovery layer: remember each outstanding request verbatim (messages
+//! are `Copy`), and if no acknowledgment arrives within the policy's
+//! timeout, re-send it with an exponentially growing (bounded) deadline,
+//! up to a retry cap — past the cap the watchdog diagnoses the stall.
+//!
+//! Retry is entirely opt-in: controllers hold an `Option<RetryPolicy>`
+//! and skip all tracking (and the wake-ups it needs) when it is `None`,
+//! so fault-free runs execute the exact same event sequence as before
+//! this layer existed.
+
+use std::collections::BTreeMap;
+
+use hsc_mem::LineAddr;
+use hsc_sim::Tick;
+
+use crate::Message;
+
+/// When and how often an unanswered request is re-sent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Ticks to wait for an acknowledgment before the first re-send.
+    pub timeout: u64,
+    /// Maximum number of re-sends per request; after that the tracker
+    /// gives up and leaves diagnosis to the watchdog.
+    pub max_retries: u32,
+}
+
+impl Default for RetryPolicy {
+    /// 200k ticks (~5.2 µs simulated, comfortably above a worst-case
+    /// directory transaction) and 6 retries.
+    fn default() -> Self {
+        RetryPolicy { timeout: 200_000, max_retries: 6 }
+    }
+}
+
+impl RetryPolicy {
+    /// Deadline delay before re-send number `attempt` (0-based): the
+    /// timeout doubles per attempt, bounded at 8×.
+    #[must_use]
+    pub fn backoff(self, attempt: u32) -> u64 {
+        self.timeout.saturating_mul(1u64 << attempt.min(3))
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct PendingRetry {
+    msg: Message,
+    deadline: Tick,
+    attempts: u32,
+}
+
+/// Tracks outstanding requests (keyed by line) and decides which to
+/// re-send when a deadline passes.
+///
+/// # Examples
+///
+/// ```
+/// use hsc_mem::LineAddr;
+/// use hsc_noc::{AgentId, Message, MsgKind, RetryPolicy, RetryTracker};
+/// use hsc_sim::Tick;
+///
+/// let mut rt = RetryTracker::new(RetryPolicy { timeout: 100, max_retries: 2 });
+/// let m = Message::new(AgentId::CorePairL2(0), AgentId::Directory, LineAddr(4), MsgKind::RdBlk);
+/// rt.track(Tick(0), m);
+/// assert!(rt.due(Tick(50)).is_empty());       // not yet
+/// assert_eq!(rt.due(Tick(101)), vec![m]);     // re-send now
+/// rt.acked(LineAddr(4));                      // response arrived
+/// assert!(rt.is_empty());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct RetryTracker {
+    policy: Option<RetryPolicy>,
+    pending: BTreeMap<u64, PendingRetry>,
+    armed: Option<Tick>,
+    resent: u64,
+    gave_up: u64,
+}
+
+impl RetryTracker {
+    /// Creates a tracker with the given policy.
+    #[must_use]
+    pub fn new(policy: RetryPolicy) -> RetryTracker {
+        RetryTracker::maybe(Some(policy))
+    }
+
+    /// Creates a tracker that is inert when `policy` is `None` (every
+    /// call becomes a no-op, so disabled retry costs nothing).
+    #[must_use]
+    pub fn maybe(policy: Option<RetryPolicy>) -> RetryTracker {
+        RetryTracker { policy, pending: BTreeMap::new(), armed: None, resent: 0, gave_up: 0 }
+    }
+
+    /// Whether a policy is configured at all.
+    #[must_use]
+    pub fn enabled(&self) -> bool {
+        self.policy.is_some()
+    }
+
+    /// Starts tracking `msg` (sent at `now`). First-wins per line: a
+    /// second `track` for the same line keeps the original entry (the
+    /// protocols allow at most one outstanding request per line per
+    /// requester, so a collision is a re-send of the same request).
+    pub fn track(&mut self, now: Tick, msg: Message) {
+        let Some(policy) = self.policy else { return };
+        self.pending
+            .entry(msg.line.0)
+            .or_insert(PendingRetry { msg, deadline: now + policy.backoff(0), attempts: 0 });
+    }
+
+    /// The request on `line` was acknowledged; stop tracking it.
+    pub fn acked(&mut self, line: LineAddr) {
+        self.pending.remove(&line.0);
+    }
+
+    /// All requests whose deadline has passed at `now`, re-armed with
+    /// their next backoff deadline. Requests past the retry cap are
+    /// dropped from tracking (counted in [`gave_up`](RetryTracker::gave_up))
+    /// instead of returned.
+    pub fn due(&mut self, now: Tick) -> Vec<Message> {
+        let Some(policy) = self.policy else { return Vec::new() };
+        let mut out = Vec::new();
+        let mut exhausted = Vec::new();
+        for (&line, p) in self.pending.iter_mut() {
+            if p.deadline > now {
+                continue;
+            }
+            if p.attempts >= policy.max_retries {
+                exhausted.push(line);
+                continue;
+            }
+            p.attempts += 1;
+            p.deadline = now + policy.backoff(p.attempts);
+            out.push(p.msg);
+        }
+        for line in exhausted {
+            self.pending.remove(&line);
+            self.gave_up += 1;
+        }
+        self.resent += out.len() as u64;
+        out
+    }
+
+    /// The earliest deadline among tracked requests, for scheduling the
+    /// next retry wake-up.
+    #[must_use]
+    pub fn next_deadline(&self) -> Option<Tick> {
+        self.pending.values().map(|p| p.deadline).min()
+    }
+
+    /// The earliest deadline *if a wake-up still needs scheduling for it*.
+    ///
+    /// Controllers often get woken every cycle for unrelated reasons;
+    /// scheduling a `wake_at(deadline)` on each of those wake-ups piles up
+    /// duplicate events (each of which would schedule more), snowballing
+    /// into an event storm. This arms each distinct deadline exactly once:
+    /// the caller MUST schedule a wake-up when `Some` is returned.
+    #[must_use]
+    pub fn wake_needed(&mut self) -> Option<Tick> {
+        let d = self.next_deadline()?;
+        if self.armed == Some(d) {
+            return None;
+        }
+        self.armed = Some(d);
+        Some(d)
+    }
+
+    /// Whether nothing is tracked.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.pending.is_empty()
+    }
+
+    /// Number of tracked requests.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Total re-sends so far.
+    #[must_use]
+    pub fn resent(&self) -> u64 {
+        self.resent
+    }
+
+    /// Requests abandoned after exhausting their retries.
+    #[must_use]
+    pub fn gave_up(&self) -> u64 {
+        self.gave_up
+    }
+
+    /// The lines currently awaiting an acknowledgment (for diagnostics).
+    pub fn pending_lines(&self) -> impl Iterator<Item = LineAddr> + '_ {
+        self.pending.keys().map(|&l| LineAddr(l))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{AgentId, MsgKind};
+
+    fn m(line: u64) -> Message {
+        Message::new(AgentId::CorePairL2(0), AgentId::Directory, LineAddr(line), MsgKind::RdBlkM)
+    }
+
+    #[test]
+    fn backoff_doubles_and_saturates() {
+        let p = RetryPolicy { timeout: 100, max_retries: 10 };
+        assert_eq!(p.backoff(0), 100);
+        assert_eq!(p.backoff(1), 200);
+        assert_eq!(p.backoff(2), 400);
+        assert_eq!(p.backoff(3), 800);
+        assert_eq!(p.backoff(9), 800, "backoff is bounded");
+    }
+
+    #[test]
+    fn due_respects_deadlines_and_rearms() {
+        let mut rt = RetryTracker::new(RetryPolicy { timeout: 100, max_retries: 3 });
+        rt.track(Tick(0), m(1));
+        rt.track(Tick(10), m(2));
+        assert_eq!(rt.next_deadline(), Some(Tick(100)));
+        assert!(rt.due(Tick(99)).is_empty());
+        assert_eq!(rt.due(Tick(100)), vec![m(1)]);
+        // Re-armed with doubled backoff from `now`.
+        assert_eq!(rt.next_deadline(), Some(Tick(110)));
+        assert_eq!(rt.due(Tick(301)), vec![m(1), m(2)]);
+        assert_eq!(rt.resent(), 3);
+    }
+
+    #[test]
+    fn gives_up_after_the_cap() {
+        let mut rt = RetryTracker::new(RetryPolicy { timeout: 10, max_retries: 1 });
+        rt.track(Tick(0), m(4));
+        assert_eq!(rt.due(Tick(1000)).len(), 1); // retry #1
+        assert_eq!(rt.due(Tick(2000)).len(), 0); // cap reached: abandoned
+        assert!(rt.is_empty());
+        assert_eq!(rt.gave_up(), 1);
+    }
+
+    #[test]
+    fn first_wins_on_the_same_line_and_ack_clears() {
+        let mut rt = RetryTracker::new(RetryPolicy { timeout: 100, max_retries: 3 });
+        rt.track(Tick(0), m(7));
+        rt.track(Tick(50), m(7)); // keeps the original deadline
+        assert_eq!(rt.len(), 1);
+        assert_eq!(rt.next_deadline(), Some(Tick(100)));
+        assert_eq!(rt.pending_lines().collect::<Vec<_>>(), vec![LineAddr(7)]);
+        rt.acked(LineAddr(7));
+        assert!(rt.is_empty());
+        assert_eq!(rt.next_deadline(), None);
+    }
+
+    #[test]
+    fn disabled_tracker_is_inert() {
+        let mut rt = RetryTracker::maybe(None);
+        assert!(!rt.enabled());
+        rt.track(Tick(0), m(1));
+        assert!(rt.is_empty());
+        assert!(rt.due(Tick(1_000_000)).is_empty());
+        assert_eq!(rt.next_deadline(), None);
+    }
+
+    #[test]
+    fn wake_needed_arms_each_deadline_once() {
+        let mut rt = RetryTracker::new(RetryPolicy { timeout: 100, max_retries: 3 });
+        rt.track(Tick(0), m(1));
+        assert_eq!(rt.wake_needed(), Some(Tick(100)));
+        // Asked again (e.g. by an unrelated per-cycle wake-up): already armed.
+        assert_eq!(rt.wake_needed(), None);
+        // The retry fires and re-arms; the new deadline needs one wake-up.
+        assert_eq!(rt.due(Tick(100)), vec![m(1)]);
+        assert_eq!(rt.wake_needed(), Some(Tick(300)));
+        assert_eq!(rt.wake_needed(), None);
+        // A new earlier deadline re-arms immediately.
+        rt.track(Tick(110), m(2));
+        assert_eq!(rt.wake_needed(), Some(Tick(210)));
+    }
+}

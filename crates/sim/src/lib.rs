@@ -29,14 +29,16 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod outcome;
 mod queue;
 mod rng;
 mod stats;
 mod tick;
 mod trace;
 
+pub use outcome::{DeadlockSnapshot, RunOutcome, SimError, StuckLine, Watchdog};
 pub use queue::EventQueue;
 pub use rng::DetRng;
 pub use stats::{Histogram, StatSet};
 pub use tick::Tick;
-pub use trace::{NullTracer, Tracer, VecTracer};
+pub use trace::{NullTracer, StderrTracer, Tracer, VecTracer};

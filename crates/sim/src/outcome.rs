@@ -1,0 +1,314 @@
+//! Run outcomes, typed simulation errors and the protocol watchdog.
+//!
+//! A coherence protocol bug should surface as a *diagnosable value*, not a
+//! process abort. This module provides the vocabulary every layer above
+//! uses for that:
+//!
+//! * [`SimError`] — the typed failure modes of a simulation run
+//!   (deadlock/livelock, exhausted event budget, mis-wired topology),
+//! * [`DeadlockSnapshot`] / [`StuckLine`] — the structured diagnostic a
+//!   watchdog timeout carries, naming each stuck line, its age and the
+//!   controller state blocking it,
+//! * [`RunOutcome`] — a `Result`-like classification of a finished run,
+//! * [`Watchdog`] — per-key transaction age tracking with a global
+//!   quiescence view, driven by the directory's transaction lifecycle.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::tick::Tick;
+
+/// One stuck cache line inside a [`DeadlockSnapshot`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StuckLine {
+    /// The line address (raw line number; formatted by the owning layer).
+    pub line: u64,
+    /// Ticks since the transaction on this line last made progress.
+    pub age: u64,
+    /// Controller-level detail: transaction kind, phase flags, queue depth.
+    pub detail: String,
+}
+
+impl fmt::Display for StuckLine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {:#x}: stuck for {} ticks — {}", self.line, self.age, self.detail)
+    }
+}
+
+/// Structured picture of the system at the moment a stall was diagnosed.
+///
+/// Built from the directory's in-flight transaction dump plus each
+/// requester's outstanding-miss set, so the report names *who* is waiting
+/// on *what* even when the lost message never reached the directory.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct DeadlockSnapshot {
+    /// Simulated time at which the stall was diagnosed.
+    pub now: Tick,
+    /// Stuck directory transactions, oldest first.
+    pub lines: Vec<StuckLine>,
+    /// Per-agent summaries of outstanding work (one string per busy agent).
+    pub agents: Vec<String>,
+}
+
+impl DeadlockSnapshot {
+    /// Whether the snapshot mentions `line` anywhere (directory transaction
+    /// or agent-side outstanding miss).
+    #[must_use]
+    pub fn mentions_line(&self, line: u64) -> bool {
+        self.lines.iter().any(|l| l.line == line)
+            || self.agents.iter().any(|a| a.contains(&format!("{line:#x}")))
+    }
+}
+
+impl fmt::Display for DeadlockSnapshot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "protocol stall at {}: {} stuck line(s), {} busy agent(s)",
+            self.now,
+            self.lines.len(),
+            self.agents.len()
+        )?;
+        for l in &self.lines {
+            writeln!(f, "  {l}")?;
+        }
+        for a in &self.agents {
+            writeln!(f, "  {a}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Typed failure modes of a simulation run.
+///
+/// `System::run` returns `Result<Metrics, SimError>`: a protocol stall or
+/// a mis-wired topology is a *value* carrying a diagnostic, never a panic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// The protocol stopped making progress: the watchdog found a
+    /// transaction older than its limit, or the event queue drained with
+    /// agents still busy (e.g. a request message was lost).
+    Deadlock {
+        /// What was stuck, where, and for how long.
+        snapshot: Box<DeadlockSnapshot>,
+    },
+    /// The run consumed its event budget without reaching quiescence —
+    /// a livelock, or simply a budget too small for the workload.
+    EventBudgetExceeded {
+        /// The configured budget that was exhausted.
+        budget: u64,
+        /// Simulated time at which the budget ran out.
+        now: Tick,
+    },
+    /// A message was sent between agents with no link in the topology.
+    Wiring {
+        /// Human-readable description of the missing link.
+        detail: String,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::Deadlock { snapshot } => write!(f, "deadlock: {snapshot}"),
+            SimError::EventBudgetExceeded { budget, now } => {
+                write!(f, "event budget of {budget} exhausted at {now} without quiescence")
+            }
+            SimError::Wiring { detail } => write!(f, "topology wiring error: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// A `Result`-like classification of a finished run, for reporting layers
+/// that want to match on the outcome without holding the metrics payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RunOutcome {
+    /// The run reached quiescence and produced valid metrics.
+    Completed,
+    /// The run failed with a typed error.
+    Failed(SimError),
+}
+
+impl RunOutcome {
+    /// Classifies a `System::run`-style result.
+    #[must_use]
+    pub fn of<T>(result: &Result<T, SimError>) -> RunOutcome {
+        match result {
+            Ok(_) => RunOutcome::Completed,
+            Err(e) => RunOutcome::Failed(e.clone()),
+        }
+    }
+
+    /// Whether the run completed cleanly.
+    #[must_use]
+    pub fn is_completed(&self) -> bool {
+        matches!(self, RunOutcome::Completed)
+    }
+}
+
+impl fmt::Display for RunOutcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RunOutcome::Completed => write!(f, "completed"),
+            RunOutcome::Failed(e) => write!(f, "failed: {e}"),
+        }
+    }
+}
+
+/// Tracks the age of in-flight transactions (keyed by line address) and
+/// answers "has anything been stuck longer than the limit?".
+///
+/// The owner drives the lifecycle: [`begin`](Watchdog::begin) when a
+/// transaction starts on a key, [`refresh`](Watchdog::refresh) whenever it
+/// makes observable progress (e.g. a queued follow-up request is
+/// dispatched on the same line), [`end`](Watchdog::end) when it finishes.
+/// The watchdog itself never schedules events, so an enabled-but-untripped
+/// watchdog has zero effect on simulation timing or metrics.
+#[derive(Debug, Clone)]
+pub struct Watchdog {
+    limit: u64,
+    tracked: BTreeMap<u64, Tick>,
+}
+
+impl Watchdog {
+    /// Creates a watchdog that flags any key older than `limit` ticks.
+    #[must_use]
+    pub fn new(limit: u64) -> Watchdog {
+        Watchdog { limit, tracked: BTreeMap::new() }
+    }
+
+    /// The configured age limit in ticks.
+    #[must_use]
+    pub fn limit(&self) -> u64 {
+        self.limit
+    }
+
+    /// Starts (or restarts) tracking `key` as of `now`.
+    pub fn begin(&mut self, key: u64, now: Tick) {
+        self.tracked.insert(key, now);
+    }
+
+    /// Marks progress on `key`: its age is measured from `now` onwards.
+    /// No-op if the key is not tracked.
+    pub fn refresh(&mut self, key: u64, now: Tick) {
+        if let Some(t) = self.tracked.get_mut(&key) {
+            *t = now;
+        }
+    }
+
+    /// Stops tracking `key` (transaction finished).
+    pub fn end(&mut self, key: u64) {
+        self.tracked.remove(&key);
+    }
+
+    /// Whether nothing is currently tracked (global quiescence from the
+    /// watchdog's point of view).
+    #[must_use]
+    pub fn is_quiescent(&self) -> bool {
+        self.tracked.is_empty()
+    }
+
+    /// Number of currently tracked keys.
+    #[must_use]
+    pub fn tracked(&self) -> usize {
+        self.tracked.len()
+    }
+
+    /// The key that has gone longest without progress, with its age.
+    #[must_use]
+    pub fn oldest(&self, now: Tick) -> Option<(u64, u64)> {
+        self.tracked
+            .iter()
+            .map(|(&k, &since)| (k, now.delta_since(since)))
+            .max_by_key(|&(k, age)| (age, std::cmp::Reverse(k)))
+    }
+
+    /// Age in ticks of `key`, if tracked.
+    #[must_use]
+    pub fn age_of(&self, key: u64, now: Tick) -> Option<u64> {
+        self.tracked.get(&key).map(|&since| now.delta_since(since))
+    }
+
+    /// Whether any tracked key has exceeded the age limit at `now`.
+    #[must_use]
+    pub fn expired(&self, now: Tick) -> bool {
+        self.oldest(now).is_some_and(|(_, age)| age > self.limit)
+    }
+
+    /// All keys past the age limit, oldest first, with their ages.
+    #[must_use]
+    pub fn expired_keys(&self, now: Tick) -> Vec<(u64, u64)> {
+        let mut v: Vec<(u64, u64)> = self
+            .tracked
+            .iter()
+            .map(|(&k, &since)| (k, now.delta_since(since)))
+            .filter(|&(_, age)| age > self.limit)
+            .collect();
+        v.sort_by_key(|&(k, age)| (std::cmp::Reverse(age), k));
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn watchdog_lifecycle_tracks_ages() {
+        let mut w = Watchdog::new(100);
+        assert!(w.is_quiescent());
+        w.begin(7, Tick(10));
+        w.begin(9, Tick(50));
+        assert_eq!(w.tracked(), 2);
+        assert!(!w.expired(Tick(110)));
+        assert!(w.expired(Tick(111)));
+        assert_eq!(w.oldest(Tick(111)), Some((7, 101)));
+        assert_eq!(w.expired_keys(Tick(200)), vec![(7, 190), (9, 150)]);
+        w.end(7);
+        assert_eq!(w.oldest(Tick(111)), Some((9, 61)));
+        w.end(9);
+        assert!(w.is_quiescent());
+    }
+
+    #[test]
+    fn refresh_resets_the_age_clock() {
+        let mut w = Watchdog::new(100);
+        w.begin(3, Tick(0));
+        assert!(w.expired(Tick(101)));
+        w.refresh(3, Tick(101));
+        assert!(!w.expired(Tick(150)));
+        assert_eq!(w.age_of(3, Tick(150)), Some(49));
+        // Refreshing an untracked key is a no-op.
+        w.refresh(99, Tick(150));
+        assert_eq!(w.tracked(), 1);
+    }
+
+    #[test]
+    fn snapshot_mentions_lines_and_formats() {
+        let snap = DeadlockSnapshot {
+            now: Tick(500),
+            lines: vec![StuckLine { line: 0x40, age: 400, detail: "Request acks=1".into() }],
+            agents: vec!["L2#0: awaiting 0x40".into()],
+        };
+        assert!(snap.mentions_line(0x40));
+        assert!(!snap.mentions_line(0x41));
+        let text = snap.to_string();
+        assert!(text.contains("1 stuck line(s)"));
+        assert!(text.contains("0x40"));
+        let err = SimError::Deadlock { snapshot: Box::new(snap) };
+        assert!(err.to_string().starts_with("deadlock"));
+    }
+
+    #[test]
+    fn outcome_classifies_results() {
+        let ok: Result<u32, SimError> = Ok(5);
+        assert!(RunOutcome::of(&ok).is_completed());
+        let err: Result<u32, SimError> =
+            Err(SimError::EventBudgetExceeded { budget: 10, now: Tick(3) });
+        let outcome = RunOutcome::of(&err);
+        assert!(!outcome.is_completed());
+        assert!(outcome.to_string().contains("event budget"));
+    }
+}

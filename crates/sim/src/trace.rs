@@ -85,6 +85,31 @@ impl Tracer for VecTracer {
     }
 }
 
+/// A tracer that prints every line to stderr as it is recorded, for
+/// interactive debugging of live runs (e.g. via `HSC_TRACE_LINE`).
+///
+/// # Examples
+///
+/// ```
+/// use hsc_sim::{StderrTracer, Tracer, Tick};
+///
+/// let mut t = StderrTracer;
+/// assert!(t.enabled());
+/// t.record(Tick(3), "dir: RdBlk A=0x40".into()); // printed to stderr
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StderrTracer;
+
+impl Tracer for StderrTracer {
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    fn record(&mut self, now: Tick, line: String) {
+        eprintln!("[{now}] {line}");
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

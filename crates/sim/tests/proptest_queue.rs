@@ -1,14 +1,22 @@
-//! Property tests of the event queue: pops are sorted by tick and stable
-//! (FIFO) within a tick — the property the whole simulator's determinism
-//! rests on.
-
-use proptest::prelude::*;
+//! Randomized property tests of the event queue: pops are sorted by tick
+//! and stable (FIFO) within a tick — the property the whole simulator's
+//! determinism rests on.
+//!
+//! Scenarios are generated with the in-tree `DetRng` (seeded per case) so
+//! the tests need no external dependency and every failure names the seed
+//! that reproduces it.
 
 use hsc_sim::{DetRng, EventQueue, Tick};
 
-proptest! {
-    #[test]
-    fn pops_are_sorted_and_fifo_stable(ticks in prop::collection::vec(0u64..50, 0..300)) {
+const CASES: u64 = 64;
+
+#[test]
+fn pops_are_sorted_and_fifo_stable() {
+    for case in 0..CASES {
+        let mut rng = DetRng::new(0x51ee1 ^ case);
+        let n = rng.next_below(300) as usize;
+        let ticks: Vec<u64> = (0..n).map(|_| rng.next_below(50)).collect();
+
         let mut q = EventQueue::new();
         for (seq, &t) in ticks.iter().enumerate() {
             q.schedule(Tick(t), seq);
@@ -19,23 +27,26 @@ proptest! {
         expected.sort_by_key(|&(t, _)| t);
         let got: Vec<(u64, usize)> =
             std::iter::from_fn(|| q.pop().map(|(t, s)| (t.0, s))).collect();
-        prop_assert_eq!(got, expected);
+        assert_eq!(got, expected, "case seed {case}");
     }
+}
 
-    #[test]
-    fn interleaved_pops_never_go_backwards(
-        script in prop::collection::vec((0u64..1000, any::<bool>()), 0..200),
-    ) {
+#[test]
+fn interleaved_pops_never_go_backwards() {
+    for case in 0..CASES {
+        let mut rng = DetRng::new(0xbacc ^ case);
+        let n = rng.next_below(200) as usize;
         // Alternate schedules and pops; popped ticks must be monotonic as
         // long as nothing earlier is scheduled afterwards — model this by
         // scheduling relative to the last popped tick (like a simulator).
         let mut q = EventQueue::new();
         let mut now = 0u64;
         let mut popped = 0usize;
-        for (delay, do_pop) in script {
-            if do_pop {
+        for _ in 0..n {
+            let delay = rng.next_below(1000);
+            if rng.chance(1, 2) {
                 if let Some((t, ())) = q.pop() {
-                    prop_assert!(t.0 >= now, "time went backwards");
+                    assert!(t.0 >= now, "time went backwards (case {case})");
                     now = t.0;
                     popped += 1;
                 }
@@ -44,30 +55,34 @@ proptest! {
             }
         }
         while let Some((t, ())) = q.pop() {
-            prop_assert!(t.0 >= now);
+            assert!(t.0 >= now, "time went backwards in drain (case {case})");
             now = t.0;
             popped += 1;
         }
-        prop_assert!(q.is_empty());
+        assert!(q.is_empty());
         let _ = popped;
     }
+}
 
-    #[test]
-    fn det_rng_streams_are_reproducible_and_bounded(
-        seed in any::<u64>(),
-        bounds in prop::collection::vec(1u64..1_000_000, 1..40),
-    ) {
+#[test]
+fn det_rng_streams_are_reproducible_and_bounded() {
+    for case in 0..CASES {
+        let mut meta = DetRng::new(0x5eed ^ case);
+        let seed = meta.next_u64();
+        let n = 1 + meta.next_below(40) as usize;
+        let bounds: Vec<u64> = (0..n).map(|_| 1 + meta.next_below(1_000_000)).collect();
+
         let mut a = DetRng::new(seed);
         let mut b = DetRng::new(seed);
         for &bound in &bounds {
             let x = a.next_below(bound);
             let y = b.next_below(bound);
-            prop_assert_eq!(x, y);
-            prop_assert!(x < bound);
+            assert_eq!(x, y, "same-seed streams diverged (case {case})");
+            assert!(x < bound);
         }
         // A split child diverges from the parent's continuation.
         let mut child = a.split();
         let equal = (0..16).filter(|_| child.next_u64() == b.next_u64()).count();
-        prop_assert!(equal < 4, "split child tracks the parent stream");
+        assert!(equal < 4, "split child tracks the parent stream (case {case})");
     }
 }

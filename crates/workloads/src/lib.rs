@@ -45,7 +45,10 @@ pub use hsto::Hsto;
 pub use pad::Pad;
 pub use rscd::Rscd;
 pub use rsct::Rsct;
-pub use runner::{run_workload, run_workload_on, RunResult, Workload, DEFAULT_EVENT_BUDGET};
+pub use runner::{
+    run_workload, run_workload_on, try_run_workload_on, RunResult, Workload, WorkloadError,
+    DEFAULT_EVENT_BUDGET,
+};
 pub use sc::Sc;
 pub use tq::Tq;
 pub use tqh::Tqh;

@@ -3,6 +3,7 @@
 use std::fmt;
 
 use hsc_core::{CoherenceConfig, Metrics, System, SystemBuilder, SystemConfig};
+use hsc_sim::SimError;
 
 /// A collaborative CPU/GPU benchmark: knows how to populate a system and
 /// how to verify its own results from the final coherent memory state.
@@ -67,15 +68,53 @@ pub fn run_workload(w: &dyn Workload, coherence: CoherenceConfig) -> RunResult {
 ///
 /// # Panics
 ///
-/// Panics if verification fails or the run livelocks.
+/// Panics if verification fails, the run livelocks, or the protocol
+/// deadlocks. For a panic-free variant (fault-injection campaigns), use
+/// [`try_run_workload_on`].
 #[must_use]
 pub fn run_workload_on(w: &dyn Workload, config: SystemConfig) -> RunResult {
+    match try_run_workload_on(w, config) {
+        Ok(r) => r,
+        Err(e) => panic!("workload {} failed: {e}", w.name()),
+    }
+}
+
+/// What went wrong in a [`try_run_workload_on`] run.
+#[derive(Debug, Clone)]
+pub enum WorkloadError {
+    /// The simulation itself failed (deadlock, budget, wiring).
+    Sim(SimError),
+    /// The run completed but the functional result was wrong.
+    Verification(String),
+}
+
+impl fmt::Display for WorkloadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WorkloadError::Sim(e) => write!(f, "{e}"),
+            WorkloadError::Verification(e) => write!(f, "verification failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for WorkloadError {}
+
+/// Runs `w` on an arbitrary system configuration, returning every failure
+/// — protocol deadlock, livelock, mis-wired topology, or a wrong answer —
+/// as a typed error instead of panicking.
+///
+/// # Errors
+///
+/// [`WorkloadError::Sim`] wraps the [`SimError`] from [`System::run`];
+/// [`WorkloadError::Verification`] carries the first functional mismatch.
+pub fn try_run_workload_on(
+    w: &dyn Workload,
+    config: SystemConfig,
+) -> Result<RunResult, WorkloadError> {
     let mut b = SystemBuilder::new(config);
     w.build(&mut b);
     let mut sys = b.build();
-    let metrics = sys.run(DEFAULT_EVENT_BUDGET);
-    if let Err(e) = w.verify(&sys) {
-        panic!("workload {} failed verification: {e}", w.name());
-    }
-    RunResult { workload: w.name(), metrics }
+    let metrics = sys.run(DEFAULT_EVENT_BUDGET).map_err(WorkloadError::Sim)?;
+    w.verify(&sys).map_err(WorkloadError::Verification)?;
+    Ok(RunResult { workload: w.name(), metrics })
 }

@@ -75,7 +75,7 @@ fn main() {
     b.add_cpu_thread(Box::new(Publisher::default()));
     b.add_wavefront(Box::new(Doubler::default()));
     let mut sys = b.build();
-    let m = sys.run(10_000_000);
+    let m = sys.run(10_000_000).expect("quickstart run completes");
 
     assert_eq!(sys.final_word(RESULT), 42, "the GPU saw the CPU's 21 and doubled it");
     println!("result               = {}", sys.final_word(RESULT));

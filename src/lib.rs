@@ -32,12 +32,15 @@ pub mod prelude {
     pub use hsc_cluster::{CoreProgram, CpuOp, GpuOp, WavefrontProgram};
     pub use hsc_core::{
         CleanVictimPolicy, CoherenceConfig, DirReplacementPolicy, DirectoryMode, LlcWritePolicy,
-        Metrics, System, SystemBuilder, SystemConfig,
+        Metrics, System, SystemBuilder, SystemConfig, TraceConfig,
     };
     pub use hsc_mem::{Addr, AtomicKind, LineAddr};
+    pub use hsc_noc::{FaultPlan, FaultTargets, RetryPolicy};
+    pub use hsc_sim::{DeadlockSnapshot, RunOutcome, SimError};
     pub use hsc_workloads::{
         all_workloads, collaborative_workloads, extension_workloads, run_workload,
-        run_workload_on, workload_by_name,
+        run_workload_on, try_run_workload_on, workload_by_name,
         Bs, Cedd, Hsti, Hsto, Pad, Rscd, Rsct, RunResult, Sc, Tq, Tqh, Trns, Workload,
+        WorkloadError,
     };
 }

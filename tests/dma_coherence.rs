@@ -74,7 +74,7 @@ fn dma_write_invalidates_cpu_caches() {
         b.add_dma(DmaCommand::Write { base: FLAG, words: vec![1], at: Tick(50_000) });
         b.add_cpu_thread(Box::new(ReadBeforeAndAfterDma { step: 0, polling: false }));
         let mut sys = b.build();
-        let m = sys.run(50_000_000);
+        let m = sys.run(50_000_000).expect("dma run completes");
         // Only LINES*4 words are copied (load+store pairs over half the
         // indices): check those all saw the *fresh* DMA data.
         for w in 0..(LINES * 8) / 2 {
@@ -123,7 +123,7 @@ fn dma_read_observes_cpu_dirty_data() {
         // The DMA read starts well after the CPU finished dirtying.
         b.add_dma(DmaCommand::Read { base: REGION, lines: LINES, at: Tick(2_000_000) });
         let mut sys = b.build();
-        let _ = sys.run(50_000_000);
+        let _ = sys.run(50_000_000).expect("dma run completes");
         // The CPU wrote but never evicted: the data is dirty in its L2.
         // The DMA read must still have observed it via downgrade probes.
         // (We can't reach into the DMA engine from here, but the probes

@@ -1,0 +1,107 @@
+//! Fault injection, retry recovery, and the watchdog diagnosis path:
+//! `System::run` must turn every induced protocol failure into a typed
+//! [`SimError`] with a useful snapshot — never a panic — and seeded fault
+//! plans must be perfectly reproducible.
+
+use hsc_repro::prelude::*;
+
+const TARGET: Addr = Addr(0x4_0000);
+
+/// One load of `TARGET`, then done. If the load's `RdBlk` (or its
+/// response) is lost and never retried, this thread blocks forever.
+#[derive(Debug, Default)]
+struct OneLoad {
+    step: u64,
+}
+
+impl CoreProgram for OneLoad {
+    fn next_op(&mut self, _last: Option<u64>) -> CpuOp {
+        self.step += 1;
+        match self.step {
+            1 => CpuOp::Load(TARGET),
+            _ => CpuOp::Done,
+        }
+    }
+}
+
+fn one_load_system(cfg: SystemConfig) -> System {
+    let mut b = SystemBuilder::new(cfg);
+    b.with_trace(TraceConfig::off());
+    b.init_word(TARGET, 42);
+    b.add_cpu_thread(Box::new(OneLoad::default()));
+    b.build()
+}
+
+/// A dropped request with retries disabled must surface as a *diagnosed*
+/// deadlock: a `SimError::Deadlock` whose snapshot names the stuck line.
+#[test]
+fn dropped_request_without_retries_is_a_diagnosed_deadlock() {
+    let cfg = SystemConfig::default().with_faults(FaultPlan::drop_first("RdBlk"));
+    let mut sys = one_load_system(cfg);
+    match sys.run(10_000_000) {
+        Err(SimError::Deadlock { snapshot }) => {
+            assert!(
+                snapshot.mentions_line(TARGET.line().0),
+                "snapshot must name the stuck line {:#x}:\n{snapshot}",
+                TARGET.line().0
+            );
+            assert!(!snapshot.agents.is_empty(), "the waiting L2 must be reported");
+        }
+        other => panic!("expected a diagnosed deadlock, got {other:?}"),
+    }
+    assert_eq!(sys.faults_injected(), 1);
+}
+
+/// The same loss with retries enabled must recover: the request is
+/// re-sent after the timeout and the run completes with the right value.
+#[test]
+fn dropped_request_with_retries_recovers() {
+    let cfg = SystemConfig::default()
+        .with_retry_everywhere(RetryPolicy::default())
+        .with_faults(FaultPlan::drop_first("RdBlk"));
+    let mut sys = one_load_system(cfg);
+    let m = sys.run(10_000_000).expect("retry must recover a dropped request");
+    assert_eq!(sys.faults_injected(), 1);
+    assert_eq!(m.stats.get("faults.dropped.RdBlk"), 1);
+    assert_eq!(m.stats.get("cp0.l2.retries"), 1);
+    assert_eq!(sys.final_word(TARGET), 42);
+}
+
+fn run_hsti(plan: Option<FaultPlan>, retry: Option<RetryPolicy>) -> Result<Metrics, SimError> {
+    let w = Hsti { elements: 256, bins: 8, cpu_threads: 2, wavefronts: 2, seed: 1 };
+    let mut cfg = SystemConfig::scaled(CoherenceConfig::sharer_tracking());
+    if let Some(p) = plan {
+        cfg = cfg.with_faults(p);
+    }
+    if let Some(r) = retry {
+        cfg = cfg.with_retry_everywhere(r);
+    }
+    let mut b = SystemBuilder::new(cfg);
+    b.with_trace(TraceConfig::off());
+    w.build(&mut b);
+    b.build().run(50_000_000)
+}
+
+/// A seeded fault plan is fully deterministic: two identical runs give
+/// identical metrics — or the identical typed error.
+#[test]
+fn seeded_fault_runs_are_deterministic() {
+    for plan in [
+        FaultPlan::drops(7, 3_000),
+        FaultPlan::drops(11, 20_000),
+        FaultPlan::drops(13, 5_000).with_targets(FaultTargets::RetryableRequests),
+    ] {
+        let a = run_hsti(Some(plan), Some(RetryPolicy::default()));
+        let b = run_hsti(Some(plan), Some(RetryPolicy::default()));
+        assert_eq!(a, b, "same seed must reproduce the same outcome (plan {plan:?})");
+    }
+}
+
+/// The fault layer is zero-cost when it never fires: a plan with rate 0
+/// produces byte-identical metrics to no plan at all.
+#[test]
+fn zero_rate_plan_is_byte_identical_to_no_plan() {
+    let golden = run_hsti(None, None).expect("fault-free hsti completes");
+    let armed = run_hsti(Some(FaultPlan::drops(99, 0)), None).expect("0-rate plan completes");
+    assert_eq!(golden, armed);
+}
