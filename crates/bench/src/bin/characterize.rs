@@ -3,11 +3,60 @@
 //! protocol — the data behind the paper's claim that the CHAI suite shows
 //! "greater collaboration through finer-grain data sharing and
 //! synchronization" than the alternatives.
+//!
+//! Each workload is simulated once (with observability on when
+//! `--report <path>` is given) and every table below reads from that
+//! single run.
 
-use hsc_core::{CoherenceConfig, SystemConfig};
-use hsc_workloads::{all_workloads, run_workload_on};
+use hsc_bench::reporting::{parse_cli, write_report, REPORT_EPOCH_TICKS};
+use hsc_core::{CoherenceConfig, ObsConfig, SystemConfig};
+use hsc_obs::{RunRecord, RunReport};
+use hsc_sim::StatSet;
+use hsc_workloads::{all_workloads, run_workload_observed};
+
+struct Row {
+    workload: &'static str,
+    gpu_cycles: u64,
+    stats: StatSet,
+    record: RunRecord,
+}
 
 fn main() {
+    let opts = parse_cli("characterize");
+    let cfg = SystemConfig::scaled(CoherenceConfig::baseline());
+    let obs = if opts.report.is_some() {
+        ObsConfig::report(REPORT_EPOCH_TICKS)
+    } else {
+        ObsConfig::off()
+    };
+
+    let rows: Vec<Row> = all_workloads()
+        .iter()
+        .map(|w| {
+            let run = run_workload_observed(w.as_ref(), cfg, obs);
+            let r = match &run.outcome {
+                Ok(r) => r,
+                Err(e) => panic!("workload {} failed: {e}", w.name()),
+            };
+            let mut record = RunRecord {
+                workload: w.name().to_owned(),
+                config: "baseline".to_owned(),
+                outcome: "completed".to_owned(),
+                ticks: r.metrics.ticks,
+                gpu_cycles: r.metrics.gpu_cycles,
+                counters: r.metrics.stats.iter().map(|(k, v)| (k.to_owned(), v)).collect(),
+                ..RunRecord::default()
+            };
+            record.attach_obs(&run.obs);
+            Row {
+                workload: r.workload,
+                gpu_cycles: r.metrics.gpu_cycles,
+                stats: r.metrics.stats.clone(),
+                record,
+            }
+        })
+        .collect();
+
     println!("================================================================");
     println!("Workload characterization (§V): directory request mix, baseline");
     println!("================================================================");
@@ -15,13 +64,12 @@ fn main() {
         "{:8} {:>9} {:>8} {:>8} {:>8} {:>9} {:>9} {:>7} {:>7} {:>7} {:>7}",
         "bench", "cycles", "RdBlk", "RdBlkS", "RdBlkM", "VicClean", "VicDirty", "WT", "Atomic", "DmaRW", "Flush"
     );
-    for w in all_workloads() {
-        let r = run_workload_on(w.as_ref(), SystemConfig::scaled(CoherenceConfig::baseline()));
-        let s = &r.metrics.stats;
+    for row in &rows {
+        let s = &row.stats;
         println!(
             "{:8} {:>9} {:>8} {:>8} {:>8} {:>9} {:>9} {:>7} {:>7} {:>7} {:>7}",
-            r.workload,
-            r.metrics.gpu_cycles,
+            row.workload,
+            row.gpu_cycles,
             s.get("dir.requests.RdBlk"),
             s.get("dir.requests.RdBlkS"),
             s.get("dir.requests.RdBlkM"),
@@ -38,9 +86,8 @@ fn main() {
         "{:8} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10}",
         "bench", "cpu ops", "wf ops", "l2 hit%", "tcp hit%", "llc hit%", "upgrades"
     );
-    for w in all_workloads() {
-        let r = run_workload_on(w.as_ref(), SystemConfig::scaled(CoherenceConfig::baseline()));
-        let s = &r.metrics.stats;
+    for row in &rows {
+        let s = &row.stats;
         let pct = |h: u64, m: u64| {
             if h + m == 0 { 0.0 } else { 100.0 * h as f64 / (h + m) as f64 }
         };
@@ -67,7 +114,7 @@ fn main() {
             + s.get("wf.compute_ops");
         println!(
             "{:8} {:>10} {:>10} {:>10.1} {:>10.1} {:>10.1} {:>10}",
-            r.workload,
+            row.workload,
             cpu_ops,
             wf_ops,
             pct(l2h, l2m),
@@ -81,15 +128,21 @@ fn main() {
         "{:8} {:>14} {:>16} {:>15}",
         "bench", "dir txns", "mean lat (GPUcy)", "max lat (GPUcy)"
     );
-    for w in all_workloads() {
-        let r = run_workload_on(w.as_ref(), SystemConfig::scaled(CoherenceConfig::baseline()));
-        let s = &r.metrics.stats;
+    for row in &rows {
+        let s = &row.stats;
         println!(
             "{:8} {:>14} {:>16} {:>15}",
-            r.workload,
+            row.workload,
             s.get("dir.txn_latency_count"),
             s.get("dir.txn_latency_mean_ticks") / 35,
             s.get("dir.txn_latency_max_ticks") / 35,
         );
+    }
+
+    if let Some(path) = &opts.report {
+        let mut report = RunReport::new("characterize");
+        report.fingerprint_config(&cfg);
+        report.runs = rows.into_iter().map(|r| r.record).collect();
+        write_report(&report, path);
     }
 }

@@ -17,10 +17,14 @@
 
 use std::process::ExitCode;
 
-use hsc_core::{CoherenceConfig, SystemConfig};
+use hsc_bench::reporting::{outcome_label, parse_cli, write_report, REPORT_EPOCH_TICKS};
+use hsc_core::{CoherenceConfig, ObsConfig, SystemConfig};
 use hsc_noc::{FaultPlan, FaultTargets, RetryPolicy};
+use hsc_obs::{RunRecord, RunReport};
 use hsc_sim::SimError;
-use hsc_workloads::{try_run_workload_on, Hsti, Tq, Workload, WorkloadError};
+use hsc_workloads::{
+    run_workload_observed, try_run_workload_on, Hsti, Tq, Workload, WorkloadError,
+};
 
 /// Drop rates in parts-per-million per message. 0 checks that an armed
 /// but never-firing plan stays transparent.
@@ -33,9 +37,17 @@ const DROP_PPM: [u32; 4] = [0, 200, 1_000, 5_000];
 const STRESS_ALL_PPM: u32 = 2_000;
 
 fn main() -> ExitCode {
+    let opts = parse_cli("fault_campaign");
+    let obs = if opts.report.is_some() {
+        ObsConfig::report(REPORT_EPOCH_TICKS)
+    } else {
+        ObsConfig::off()
+    };
     let workloads: Vec<Box<dyn Workload>> =
         vec![Box::new(Hsti::default()), Box::new(Tq::default())];
     let base = SystemConfig::scaled(CoherenceConfig::sharer_tracking());
+    let mut report = RunReport::new("fault_campaign");
+    report.fingerprint_config(&base);
 
     println!("Fault-injection campaign: drop rates × workloads, retries on");
     println!("{:8} {:>9} {:>9} {:>9}  outcome", "bench", "drop_ppm", "dropped", "retries");
@@ -62,7 +74,24 @@ fn main() -> ExitCode {
 
         for (label, plan) in &plans {
             let cfg = base.with_retry_everywhere(RetryPolicy::default()).with_faults(*plan);
-            match try_run_workload_on(w.as_ref(), cfg) {
+            let run = run_workload_observed(w.as_ref(), cfg, obs);
+            if opts.report.is_some() {
+                let mut rec = RunRecord {
+                    workload: w.name().to_owned(),
+                    config: format!("sharer_tracking drop_ppm={label}"),
+                    outcome: outcome_label(&run.outcome).to_owned(),
+                    ..RunRecord::default()
+                };
+                if let Ok(r) = &run.outcome {
+                    rec.ticks = r.metrics.ticks;
+                    rec.gpu_cycles = r.metrics.gpu_cycles;
+                    rec.counters =
+                        r.metrics.stats.iter().map(|(k, v)| (k.to_owned(), v)).collect();
+                }
+                rec.attach_obs(&run.obs);
+                report.runs.push(rec);
+            }
+            match &run.outcome {
                 Ok(r) => {
                     let dropped = r.metrics.stats.get("faults.dropped");
                     let retries = r.metrics.stats.get("cp0.l2.retries")
@@ -105,6 +134,9 @@ fn main() -> ExitCode {
         }
     }
 
+    if let Some(path) = &opts.report {
+        write_report(&report, path);
+    }
     if failures > 0 {
         println!("campaign FAILED: {failures} run(s) ended in neither completion nor a diagnosed deadlock");
         return ExitCode::FAILURE;

@@ -6,31 +6,88 @@
 //!
 //! Each section is also available as its own binary; this driver simply
 //! invokes the same code paths and is what EXPERIMENTS.md snapshots.
+//!
+//! Flags:
+//!
+//! * `--report <path>` — additionally run the collaborative workloads
+//!   once with observability on and write a versioned machine-readable
+//!   [`hsc_obs::RunReport`] (counters, per-class latency percentiles,
+//!   sampled time series, per-agent profile).
+//! * `--trace <path>` — write a Chrome-trace JSON of one seeded `tq` run,
+//!   loadable in `ui.perfetto.dev`.
+//! * `--quick` — skip the figure/table child binaries and run only a
+//!   reduced report set (`tq`, `hsti`); this is what CI uses.
 
 use std::process::Command;
 
+use hsc_bench::reporting::{observed_record, parse_cli, write_report, REPORT_EPOCH_TICKS};
+use hsc_core::{CoherenceConfig, SystemConfig};
+use hsc_obs::{ObsConfig, RunReport};
+use hsc_workloads::{collaborative_workloads, run_workload_observed, Hsti, Tq, Workload};
+
 fn main() {
-    let bins = [
-        "table2_cache_config",
-        "table3_system_config",
-        "fig4_speedup",
-        "fig5_mem_traffic",
-        "fig6_tracking_speedup",
-        "fig7_probe_reduction",
-        "table1_transitions",
-        "ablation_dir_repl",
-        "characterize",
-        "extension_benchmarks",
-    ];
-    let me = std::env::current_exe().expect("current exe path");
-    let dir = me.parent().expect("exe directory");
-    for bin in bins {
-        let path = dir.join(bin);
-        let status = Command::new(&path)
-            .status()
-            .unwrap_or_else(|e| panic!("failed to run {}: {e}", path.display()));
-        assert!(status.success(), "{bin} failed");
-        println!();
+    let opts = parse_cli("repro_all");
+
+    if !opts.quick {
+        let bins = [
+            "table2_cache_config",
+            "table3_system_config",
+            "fig4_speedup",
+            "fig5_mem_traffic",
+            "fig6_tracking_speedup",
+            "fig7_probe_reduction",
+            "table1_transitions",
+            "ablation_dir_repl",
+            "characterize",
+            "extension_benchmarks",
+        ];
+        let me = std::env::current_exe().expect("current exe path");
+        let dir = me.parent().expect("exe directory");
+        for bin in bins {
+            let path = dir.join(bin);
+            let status = Command::new(&path)
+                .status()
+                .unwrap_or_else(|e| panic!("failed to run {}: {e}", path.display()));
+            assert!(status.success(), "{bin} failed");
+            println!();
+        }
+        println!("All experiments regenerated.");
     }
-    println!("All experiments regenerated.");
+
+    let cfg = SystemConfig::scaled(CoherenceConfig::baseline());
+
+    if let Some(path) = &opts.report {
+        let workloads: Vec<Box<dyn Workload>> = if opts.quick {
+            vec![Box::new(Tq::default()), Box::new(Hsti::default())]
+        } else {
+            collaborative_workloads()
+        };
+        let mut report = RunReport::new("repro_all");
+        report.fingerprint_config(&cfg);
+        for w in &workloads {
+            report.runs.push(observed_record(
+                w.as_ref(),
+                "baseline",
+                cfg,
+                ObsConfig::report(REPORT_EPOCH_TICKS),
+            ));
+        }
+        write_report(&report, path);
+    }
+
+    if let Some(path) = &opts.trace {
+        let run = run_workload_observed(&Tq::default(), cfg, ObsConfig::full(REPORT_EPOCH_TICKS));
+        if let Err(e) = &run.outcome {
+            panic!("trace run failed: {e}");
+        }
+        let trace = run.obs.perfetto.expect("perfetto enabled for trace run");
+        trace
+            .write_to(path)
+            .unwrap_or_else(|e| panic!("cannot write trace to {}: {e}", path.display()));
+        println!(
+            "perfetto trace ({} events) written to {} — open it at https://ui.perfetto.dev",
+            trace.len(),
+            path.display()
+        );
+    }
 }

@@ -1,0 +1,132 @@
+//! Validates a machine-readable run report against the `hsc-run-report`
+//! schema: JSON well-formedness, envelope field presence, the exact
+//! schema version this tree produces, and per-run structure (counters,
+//! latency summaries, and at least two sampled time series somewhere in
+//! the report). CI runs this on the artifact `repro_all --report` emits.
+
+use std::process::ExitCode;
+
+use hsc_obs::json::{parse, Value};
+use hsc_obs::{REPORT_SCHEMA, REPORT_SCHEMA_VERSION};
+
+fn check(errors: &mut Vec<String>, ok: bool, what: &str) {
+    if !ok {
+        errors.push(what.to_owned());
+    }
+}
+
+fn validate(doc: &Value) -> Vec<String> {
+    let mut errors = Vec::new();
+    check(
+        &mut errors,
+        doc.get("schema").and_then(Value::as_str) == Some(REPORT_SCHEMA),
+        "field 'schema' must be \"hsc-run-report\"",
+    );
+    check(
+        &mut errors,
+        doc.get("schema_version").and_then(Value::as_f64) == Some(REPORT_SCHEMA_VERSION as f64),
+        "field 'schema_version' must match this tree's version",
+    );
+    for field in ["command", "git"] {
+        check(
+            &mut errors,
+            doc.get(field).and_then(Value::as_str).is_some_and(|s| !s.is_empty()),
+            &format!("field '{field}' must be a non-empty string"),
+        );
+    }
+    check(
+        &mut errors,
+        doc.get("config").and_then(|c| c.get("fingerprint")).and_then(Value::as_str).is_some(),
+        "field 'config.fingerprint' must be present",
+    );
+    let runs = doc.get("runs").and_then(Value::as_array).unwrap_or(&[]);
+    check(&mut errors, !runs.is_empty(), "field 'runs' must be a non-empty array");
+    let mut total_series = 0usize;
+    for (i, run) in runs.iter().enumerate() {
+        for field in ["workload", "config", "outcome"] {
+            check(
+                &mut errors,
+                run.get(field).and_then(Value::as_str).is_some(),
+                &format!("runs[{i}].{field} must be a string"),
+            );
+        }
+        for field in ["ticks", "gpu_cycles"] {
+            check(
+                &mut errors,
+                run.get(field).and_then(Value::as_f64).is_some(),
+                &format!("runs[{i}].{field} must be a number"),
+            );
+        }
+        for field in ["counters", "latency", "time_series", "agents"] {
+            check(
+                &mut errors,
+                run.get(field).and_then(Value::as_object).is_some(),
+                &format!("runs[{i}].{field} must be an object"),
+            );
+        }
+        if let Some(latency) = run.get("latency").and_then(Value::as_object) {
+            for (class, summary) in latency {
+                for field in ["count", "mean", "p50", "p95", "p99", "max"] {
+                    check(
+                        &mut errors,
+                        summary.get(field).and_then(Value::as_f64).is_some(),
+                        &format!("runs[{i}].latency.{class}.{field} must be a number"),
+                    );
+                }
+            }
+        }
+        if let Some(series) = run.get("time_series").and_then(Value::as_object) {
+            total_series += series.len();
+            for (name, points) in series {
+                let well_formed = points.as_array().is_some_and(|ps| {
+                    ps.iter().all(|p| p.as_array().is_some_and(|pair| pair.len() == 2))
+                });
+                check(
+                    &mut errors,
+                    well_formed,
+                    &format!("runs[{i}].time_series.{name} must be an array of [tick, value] pairs"),
+                );
+            }
+        }
+    }
+    check(
+        &mut errors,
+        total_series >= 2,
+        "report must contain at least two sampled time series",
+    );
+    errors
+}
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let (Some(path), None) = (args.next(), args.next()) else {
+        eprintln!("usage: validate_report <report.json>");
+        return ExitCode::FAILURE;
+    };
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let doc = match parse(&text) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("{path} is not valid JSON: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let errors = validate(&doc);
+    if errors.is_empty() {
+        let runs = doc.get("runs").and_then(Value::as_array).map_or(0, <[Value]>::len);
+        println!("{path}: valid {REPORT_SCHEMA} v{REPORT_SCHEMA_VERSION} ({runs} run(s))");
+        ExitCode::SUCCESS
+    } else {
+        for e in &errors {
+            eprintln!("{path}: {e}");
+        }
+        eprintln!("{path}: INVALID ({} error(s))", errors.len());
+        ExitCode::FAILURE
+    }
+}

@@ -80,6 +80,153 @@ pub fn header(figure: &str, what: &str, paper_avg: f64) {
     println!("================================================================");
 }
 
+/// Shared `--report` plumbing for the bench binaries.
+pub mod reporting {
+    use std::path::PathBuf;
+
+    use hsc_core::SystemConfig;
+    use hsc_obs::{ObsConfig, RunRecord, RunReport};
+    use hsc_sim::SimError;
+    use hsc_workloads::{run_workload_observed, Workload, WorkloadError};
+
+    /// Epoch width (ticks) used by report runs: fine enough to show
+    /// bursts on the scaled evaluation system (runs are a few million
+    /// ticks), coarse enough to keep reports small.
+    pub const REPORT_EPOCH_TICKS: u64 = 50_000;
+
+    /// Command-line options common to the report-emitting binaries.
+    #[derive(Debug, Clone, Default, PartialEq, Eq)]
+    pub struct CliOptions {
+        /// Write a machine-readable run report here.
+        pub report: Option<PathBuf>,
+        /// Skip the expensive full regeneration, keep the report runs.
+        pub quick: bool,
+        /// Write a Perfetto (Chrome-trace) JSON of one seeded run here.
+        pub trace: Option<PathBuf>,
+    }
+
+    /// Parses `--report <path>`, `--quick` and `--trace <path>` from the
+    /// process arguments.
+    ///
+    /// # Panics
+    ///
+    /// Panics (with usage) on an unknown flag or a missing path operand,
+    /// so typos fail a CI job instead of silently dropping the report.
+    #[must_use]
+    pub fn parse_cli(command: &str) -> CliOptions {
+        parse_args(command, std::env::args().skip(1))
+    }
+
+    fn parse_args(command: &str, args: impl Iterator<Item = String>) -> CliOptions {
+        let mut opts = CliOptions::default();
+        let mut args = args.peekable();
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--report" => {
+                    let path = args.next().unwrap_or_else(|| {
+                        panic!("usage: {command} [--quick] [--report <path>] [--trace <path>]")
+                    });
+                    opts.report = Some(PathBuf::from(path));
+                }
+                "--trace" => {
+                    let path = args.next().unwrap_or_else(|| {
+                        panic!("usage: {command} [--quick] [--report <path>] [--trace <path>]")
+                    });
+                    opts.trace = Some(PathBuf::from(path));
+                }
+                "--quick" => opts.quick = true,
+                other => panic!(
+                    "unknown argument '{other}'; usage: {command} [--quick] [--report <path>] [--trace <path>]"
+                ),
+            }
+        }
+        opts
+    }
+
+    /// Canonical rendering of a run outcome for the report's `outcome`
+    /// field: `"completed"`, `"deadlock"`, `"budget-exceeded"`,
+    /// `"wiring-error"`, or `"verification-failed"`.
+    #[must_use]
+    pub fn outcome_label(outcome: &Result<hsc_workloads::RunResult, WorkloadError>) -> &'static str {
+        match outcome {
+            Ok(_) => "completed",
+            Err(WorkloadError::Sim(SimError::Deadlock { .. })) => "deadlock",
+            Err(WorkloadError::Sim(SimError::EventBudgetExceeded { .. })) => "budget-exceeded",
+            Err(WorkloadError::Sim(SimError::Wiring { .. })) => "wiring-error",
+            Err(WorkloadError::Verification(_)) => "verification-failed",
+        }
+    }
+
+    /// Runs `w` once with observability on and turns the outcome into a
+    /// report record. Failed runs keep their time series and agent
+    /// profile; their counters are simply absent.
+    #[must_use]
+    pub fn observed_record(
+        w: &dyn Workload,
+        config_label: &str,
+        cfg: SystemConfig,
+        obs: ObsConfig,
+    ) -> RunRecord {
+        let run = run_workload_observed(w, cfg, obs);
+        let mut rec = RunRecord {
+            workload: w.name().to_owned(),
+            config: config_label.to_owned(),
+            outcome: outcome_label(&run.outcome).to_owned(),
+            ..RunRecord::default()
+        };
+        if let Ok(r) = &run.outcome {
+            rec.ticks = r.metrics.ticks;
+            rec.gpu_cycles = r.metrics.gpu_cycles;
+            rec.counters = r.metrics.stats.iter().map(|(k, v)| (k.to_owned(), v)).collect();
+        }
+        rec.attach_obs(&run.obs);
+        rec
+    }
+
+    /// Writes `report` to `path`, then prints where it went.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the file cannot be written — a report run that loses its
+    /// report must fail loudly.
+    pub fn write_report(report: &RunReport, path: &std::path::Path) {
+        report
+            .write_to(path)
+            .unwrap_or_else(|e| panic!("cannot write report to {}: {e}", path.display()));
+        println!("run report written to {}", path.display());
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        fn parse(args: &[&str]) -> CliOptions {
+            parse_args("test", args.iter().map(|s| (*s).to_owned()))
+        }
+
+        #[test]
+        fn cli_parses_all_flags() {
+            assert_eq!(parse(&[]), CliOptions::default());
+            let o = parse(&["--quick", "--report", "/tmp/r.json", "--trace", "/tmp/t.json"]);
+            assert!(o.quick);
+            assert_eq!(o.report.unwrap().to_str(), Some("/tmp/r.json"));
+            assert_eq!(o.trace.unwrap().to_str(), Some("/tmp/t.json"));
+        }
+
+        #[test]
+        #[should_panic(expected = "unknown argument")]
+        fn cli_rejects_unknown_flags() {
+            let _ = parse(&["--frobnicate"]);
+        }
+
+        #[test]
+        #[should_panic(expected = "usage:")]
+        fn cli_rejects_missing_report_path() {
+            let _ = parse(&["--report"]);
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -168,8 +168,51 @@ impl CorePair {
             mshr: Mshr::new(cfg.mshr_capacity),
             victims: VictimBuffer::new(),
             retry: RetryTracker::maybe(cfg.retry),
-            stats: StatSet::new(),
+            stats: Self::fresh_stats(),
         }
+    }
+
+    /// A `StatSet` with every fixed counter key pre-registered at 0, so
+    /// reports and time series list quiet counters instead of omitting
+    /// them.
+    fn fresh_stats() -> StatSet {
+        let mut s = StatSet::new();
+        for key in [
+            "core.loads",
+            "core.stores",
+            "core.atomics",
+            "core.compute_ops",
+            "core.done",
+            "l1d.hits",
+            "l1d.misses",
+            "l1i.hits",
+            "l1i.misses",
+            "l2.hits",
+            "l2.misses",
+            "l2.upgrades",
+            "l2.silent_e_to_m",
+            "l2.vic_clean",
+            "l2.vic_dirty",
+            "l2.probes_received",
+            "l2.probe_invalidations",
+            "l2.retries",
+        ] {
+            s.touch(key);
+        }
+        s
+    }
+
+    /// Occupied MSHR entries (an occupancy gauge for the epoch sampler).
+    #[must_use]
+    pub fn mshr_occupancy(&self) -> u64 {
+        self.mshr.len() as u64
+    }
+
+    /// Victim-buffer entries awaiting write-back (an occupancy gauge for
+    /// the epoch sampler).
+    #[must_use]
+    pub fn victim_occupancy(&self) -> u64 {
+        self.victims.len() as u64
     }
 
     /// The NoC endpoint of this CorePair's L2.

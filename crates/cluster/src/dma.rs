@@ -77,6 +77,10 @@ impl DmaEngine {
             }
         }
         commands.sort_by_key(DmaCommand::at);
+        let mut stats = StatSet::new();
+        for key in ["dma.reads", "dma.writes", "dma.retries"] {
+            stats.touch(key);
+        }
         DmaEngine {
             commands: commands.into(),
             in_flight: BTreeSet::new(),
@@ -84,9 +88,16 @@ impl DmaEngine {
             pending_lines: VecDeque::new(),
             read_data: BTreeMap::new(),
             retry: RetryTracker::maybe(None),
-            stats: StatSet::new(),
+            stats,
             started: false,
         }
+    }
+
+    /// Line requests currently in flight (an occupancy gauge for the
+    /// epoch sampler).
+    #[must_use]
+    pub fn inflight_lines(&self) -> u64 {
+        self.in_flight.len() as u64
     }
 
     /// Enables (or disables) request retry under fault injection. Both

@@ -212,8 +212,57 @@ impl GpuCluster {
             flush_waiters: BTreeMap::new(),
             sqc: CacheArray::new(CacheGeometry::new(cfg.sqc_bytes, cfg.sqc_ways)),
             retry: RetryTracker::maybe(cfg.retry),
-            stats: StatSet::new(),
+            stats: Self::fresh_stats(),
         }
+    }
+
+    /// A `StatSet` with every fixed counter key pre-registered at 0, so
+    /// reports and time series list quiet counters instead of omitting
+    /// them.
+    fn fresh_stats() -> StatSet {
+        let mut s = StatSet::new();
+        for key in [
+            "tcp.hits",
+            "tcp.misses",
+            "tcp.lane0_refetches",
+            "sqc.hits",
+            "sqc.misses",
+            "tcc.hits",
+            "tcc.misses",
+            "tcc.evict_clean",
+            "tcc.evict_dirty",
+            "tcc.flush_writebacks",
+            "tcc.glc_atomics",
+            "tcc.probes_received",
+            "tcc.probe_invalidations",
+            "tcc.wb_store_lines",
+            "tcc.retries",
+            "wf.vec_loads",
+            "wf.vec_stores",
+            "wf.atomics_glc",
+            "wf.atomics_slc",
+            "wf.acquires",
+            "wf.releases",
+            "wf.compute_ops",
+            "wf.done",
+        ] {
+            s.touch(key);
+        }
+        s
+    }
+
+    /// Occupied TCC MSHR entries (an occupancy gauge for the epoch
+    /// sampler).
+    #[must_use]
+    pub fn mshr_occupancy(&self) -> u64 {
+        self.tcc_mshr.len() as u64
+    }
+
+    /// Wavefront store/flush completions still waited on at the TCC (an
+    /// occupancy gauge for the epoch sampler).
+    #[must_use]
+    pub fn waiter_occupancy(&self) -> u64 {
+        (self.wt_waiters.len() + self.slc_waiters.len() + self.flush_waiters.len()) as u64
     }
 
     /// The NoC endpoint of this cluster's TCC.

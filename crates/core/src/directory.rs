@@ -120,6 +120,25 @@ impl Directory {
     /// `n_tcc` GPU clusters.
     #[must_use]
     pub fn new(cfg: CoherenceConfig, uncore: UncoreConfig, n_l2: usize, n_tcc: usize) -> Self {
+        let mut stats = StatSet::new();
+        // Pre-register the fixed counter keys at 0 so quiet counters show
+        // up in reports and time series instead of being omitted.
+        for key in [
+            "dir.probes_sent",
+            "dir.queued_requests",
+            "dir.entry_evictions",
+            "dir.backinval_probes",
+            "dir.early_responses",
+            "dir.atomics",
+            "dir.alloc_park_on_busy",
+            "dir.lazy_llc_reads",
+            "dir.clean_vics_dropped",
+        ] {
+            stats.touch(key);
+        }
+        for class in ["RdBlk", "RdBlkS", "RdBlkM", "VicDirty", "VicClean", "WT", "Atomic", "Flush", "DmaRd", "DmaWr"] {
+            stats.touch(&format!("dir.requests.{class}"));
+        }
         Directory {
             cfg,
             uncore,
@@ -131,9 +150,16 @@ impl Directory {
             stale_vics: BTreeSet::new(),
             internal: EventQueue::new(),
             watchdog: Watchdog::new(DEFAULT_WATCHDOG_TICKS),
-            stats: StatSet::new(),
+            stats,
             latency: Histogram::new(),
         }
+    }
+
+    /// Directory transactions currently in flight (an occupancy gauge for
+    /// the epoch sampler).
+    #[must_use]
+    pub fn inflight_txns(&self) -> u64 {
+        self.txns.len() as u64
     }
 
     /// Overrides the watchdog's per-transaction age limit (ticks).
@@ -190,6 +216,9 @@ impl Directory {
     pub fn stats(&self) -> StatSet {
         let mut s = self.stats.clone();
         s.merge(self.llc.stats());
+        for key in ["dir.txn_latency_count", "dir.txn_latency_mean_ticks", "dir.txn_latency_max_ticks"] {
+            s.touch(key);
+        }
         s.add("dir.txn_latency_count", self.latency.count());
         s.add("dir.txn_latency_mean_ticks", self.latency.mean() as u64);
         s.add("dir.txn_latency_max_ticks", self.latency.max());

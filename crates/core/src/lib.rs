@@ -48,5 +48,6 @@ pub use config::{
 pub use directory::{Directory, DEFAULT_WATCHDOG_TICKS};
 pub use llc::{Llc, LlcEviction, LlcLine};
 pub use memctl::MemoryController;
+pub use hsc_obs::{ObsConfig, ObsData};
 pub use system::{Metrics, System, SystemBuilder, TraceConfig};
 pub use tracking::{DirEntry, DirState, SharerSet};

@@ -46,9 +46,20 @@ impl Llc {
     /// Creates an empty LLC with the given geometry.
     #[must_use]
     pub fn new(geometry: CacheGeometry) -> Self {
+        let mut stats = StatSet::new();
+        for key in [
+            "llc.hits",
+            "llc.misses",
+            "llc.writes",
+            "llc.merges",
+            "llc.evictions",
+            "llc.dirty_evictions",
+        ] {
+            stats.touch(key);
+        }
         Llc {
             lines: CacheArray::new(geometry),
-            stats: StatSet::new(),
+            stats,
         }
     }
 

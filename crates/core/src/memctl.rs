@@ -25,12 +25,16 @@ impl MemoryController {
     /// per-access channel occupancy.
     #[must_use]
     pub fn new(mem: MainMemory, access_ticks: u64, occupancy_ticks: u64) -> Self {
+        let mut stats = StatSet::new();
+        for key in ["mem.reads", "mem.writes", "mem.busy_ticks"] {
+            stats.touch(key);
+        }
         MemoryController {
             mem,
             access_ticks,
             occupancy_ticks,
             busy_until: Tick::ZERO,
-            stats: StatSet::new(),
+            stats,
         }
     }
 

@@ -4,6 +4,7 @@ use hsc_cluster::{
 };
 use hsc_mem::{Addr, LineAddr, MainMemory};
 use hsc_noc::{Action, AgentId, Delivery, FaultyNetwork, Message, Outbox};
+use hsc_obs::{ObsConfig, ObsData, Observer};
 use hsc_sim::{
     DeadlockSnapshot, EventQueue, NullTracer, SimError, StatSet, StderrTracer, Tick, Tracer,
 };
@@ -99,6 +100,7 @@ pub struct SystemBuilder {
     dma_commands: Vec<DmaCommand>,
     trace: TraceConfig,
     tracer: Option<Box<dyn Tracer>>,
+    obs: ObsConfig,
 }
 
 impl SystemBuilder {
@@ -117,6 +119,7 @@ impl SystemBuilder {
             init_words: Vec::new(),
             trace: TraceConfig::from_env(),
             tracer: None,
+            obs: ObsConfig::off(),
         }
     }
 
@@ -130,6 +133,14 @@ impl SystemBuilder {
     /// one, traced lines go to a [`StderrTracer`].
     pub fn with_tracer(&mut self, tracer: Box<dyn Tracer>) -> &mut Self {
         self.tracer = Some(tracer);
+        self
+    }
+
+    /// Enables observability (transaction spans, epoch sampling, Perfetto
+    /// export, agent profiling). Off by default; a disabled observer costs
+    /// one branch per hook and changes no simulated behaviour.
+    pub fn with_observability(&mut self, obs: ObsConfig) -> &mut Self {
+        self.obs = obs;
         self
     }
 
@@ -224,6 +235,7 @@ impl SystemBuilder {
             events_processed: 0,
             trace_line,
             tracer,
+            observer: Observer::new(self.obs),
         }
     }
 }
@@ -254,6 +266,7 @@ pub struct System {
     events_processed: u64,
     trace_line: Option<u64>,
     tracer: Box<dyn Tracer>,
+    observer: Observer,
 }
 
 impl System {
@@ -313,6 +326,10 @@ impl System {
                     if self.trace_line == Some(msg.line.0) {
                         self.tracer.record(t, msg.to_string());
                     }
+                    if self.observer.is_enabled() {
+                        self.observer.on_deliver(t, &msg);
+                        self.observer.on_event(t, msg.dst);
+                    }
                     let mut out = Outbox::new(t);
                     let dst = msg.dst;
                     match dst {
@@ -327,6 +344,9 @@ impl System {
                     (dst, out)
                 }
                 Ev::Wake(agent) => {
+                    if self.observer.is_enabled() {
+                        self.observer.on_event(t, agent);
+                    }
                     let mut out = Outbox::new(t);
                     match agent {
                         AgentId::CorePairL2(i) => self.corepairs[i].on_wake(t, &mut out),
@@ -339,11 +359,51 @@ impl System {
                 }
             };
             self.apply(agent, out)?;
+            if self.observer.sample_due(self.now) {
+                self.sample_observer();
+            }
         }
         if !self.is_done() {
             return Err(self.deadlock());
         }
         Ok(self.metrics())
+    }
+
+    /// Takes one epoch snapshot of every occupancy gauge and cumulative
+    /// counter the engine can see. Only called when the sampler is armed
+    /// and due, so the allocations here are per-epoch, never per-event.
+    fn sample_observer(&mut self) {
+        let mut gauges: Vec<(String, u64)> = vec![
+            ("queue.events".to_owned(), self.queue.len() as u64),
+            ("dir.inflight_txns".to_owned(), self.directory.inflight_txns()),
+            ("dma.inflight_lines".to_owned(), self.dma.inflight_lines()),
+        ];
+        for (i, cp) in self.corepairs.iter().enumerate() {
+            gauges.push((format!("cp{i}.mshr_occupancy"), cp.mshr_occupancy()));
+            gauges.push((format!("cp{i}.victim_occupancy"), cp.victim_occupancy()));
+        }
+        for (g, gpu) in self.gpus.iter().enumerate() {
+            gauges.push((format!("tcc{g}.mshr_occupancy"), gpu.mshr_occupancy()));
+            gauges.push((format!("tcc{g}.waiter_occupancy"), gpu.waiter_occupancy()));
+        }
+        let net = self.network.network();
+        let counters: Vec<(String, u64)> = vec![
+            ("events_processed".to_owned(), self.events_processed),
+            ("net.messages".to_owned(), net.stats().sum_prefix("net.msg.")),
+            ("net.probes_total".to_owned(), net.probes_sent()),
+            ("net.mem_reads".to_owned(), net.mem_reads()),
+            ("net.mem_writes".to_owned(), net.mem_writes()),
+            ("faults.injected".to_owned(), self.network.faults_injected()),
+        ];
+        self.observer.sample(self.now, &gauges, &counters);
+    }
+
+    /// Consumes this run's observability data (latency histograms, time
+    /// series, agent profiles, Perfetto trace), leaving a disabled
+    /// observer behind. Call after [`System::run`] returns — on success
+    /// *or* failure; a deadlocked run still has its series and spans.
+    pub fn take_obs_data(&mut self) -> ObsData {
+        std::mem::take(&mut self.observer).into_data()
     }
 
     /// Builds the structured diagnostic for a stalled run: stuck directory
@@ -390,6 +450,9 @@ impl System {
             .network
             .send(at, &m)
             .map_err(|e| SimError::Wiring { detail: e.to_string() })?;
+        if self.observer.is_enabled() {
+            self.observer.on_send(at, &m, &delivery);
+        }
         match delivery {
             Delivery::Deliver(t) => self.queue.schedule(t, Ev::Deliver(m)),
             Delivery::Twice(t1, t2) => {
@@ -417,7 +480,11 @@ impl System {
         for (i, cp) in self.corepairs.iter().enumerate() {
             let mut s = StatSet::new();
             for (k, v) in cp.stats().iter() {
-                s.add(&format!("cp{i}.{k}"), v);
+                let key = format!("cp{i}.{k}");
+                // touch + add so pre-registered zero counters keep their
+                // per-pair prefix instead of being dropped by `add(_, 0)`.
+                s.touch(&key);
+                s.add(&key, v);
             }
             stats.merge(&s);
         }

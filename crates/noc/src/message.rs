@@ -326,6 +326,25 @@ impl MsgKind {
         matches!(self, MsgKind::Probe { .. })
     }
 
+    /// Whether this class terminates a requester's transaction: the
+    /// directory's (or memory's, for DMA) final answer to one of the
+    /// [`MsgKind::is_dir_request`] classes. The observability layer closes
+    /// a transaction span when one of these is delivered.
+    #[must_use]
+    pub fn is_requester_completion(&self) -> bool {
+        matches!(
+            self,
+            MsgKind::Resp { .. }
+                | MsgKind::UpgradeAck
+                | MsgKind::VicAck
+                | MsgKind::WtAck
+                | MsgKind::AtomicResp { .. }
+                | MsgKind::FlushAck
+                | MsgKind::DmaRdResp { .. }
+                | MsgKind::DmaWrAck
+        )
+    }
+
     /// Whether this request class needs *invalidating* probes (the paper's
     /// write-permission set: RdBlkM, WT, Atomic, DMAWr).
     #[must_use]
@@ -452,6 +471,20 @@ mod tests {
         assert!(!MsgKind::Unblock.is_dir_request());
         assert!(MsgKind::Probe { kind: ProbeKind::Downgrade }.is_probe());
         assert!(!MsgKind::RdBlk.is_probe());
+    }
+
+    #[test]
+    fn completion_classes_answer_requests_only() {
+        assert!(MsgKind::Resp { data: LineData::zeroed(), grant: Grant::Shared }
+            .is_requester_completion());
+        assert!(MsgKind::VicAck.is_requester_completion());
+        assert!(MsgKind::FlushAck.is_requester_completion());
+        assert!(MsgKind::DmaWrAck.is_requester_completion());
+        assert!(!MsgKind::RdBlk.is_requester_completion());
+        assert!(!MsgKind::Unblock.is_requester_completion());
+        assert!(!MsgKind::MemRdResp { data: LineData::zeroed() }.is_requester_completion());
+        assert!(!MsgKind::ProbeAck { dirty: None, had_copy: false, was_parked: false }
+            .is_requester_completion());
     }
 
     #[test]

@@ -100,10 +100,11 @@ impl Network {
     /// Creates a network with the given latencies.
     #[must_use]
     pub fn new(latency: LatencyMap) -> Self {
-        Network {
-            latency,
-            stats: StatSet::new(),
+        let mut stats = StatSet::new();
+        for key in ["net.probes_total", "net.mem_reads", "net.mem_writes"] {
+            stats.touch(key);
         }
+        Network { latency, stats }
     }
 
     /// Accepts `msg` at time `now`; returns its delivery time and records

@@ -1,0 +1,46 @@
+//! Observability layer for the HSC reproduction.
+//!
+//! Everything here is diagnostic: enabling it must never change what the
+//! simulator computes, and disabling it must cost nothing. Four pillars:
+//!
+//! * [`TxnTracker`] — a span per coherence transaction (request dispatch →
+//!   requester completion), aggregated into per-class latency
+//!   [`hsc_sim::Histogram`]s,
+//! * [`EpochSampler`] — occupancy gauges and counter deltas sampled at
+//!   fixed epochs of simulated time,
+//! * [`PerfettoTrace`] / [`PerfettoTracer`] — Chrome-trace-format JSON
+//!   loadable in `ui.perfetto.dev`,
+//! * [`RunReport`] — the versioned machine-readable JSON report emitted by
+//!   the bench binaries behind `--report`.
+//!
+//! The engine drives all of it through one [`Observer`], whose hooks are
+//! inert when built from [`ObsConfig::off`].
+//!
+//! # Examples
+//!
+//! ```
+//! use hsc_obs::{ObsConfig, Observer};
+//!
+//! let o = Observer::new(ObsConfig::off());
+//! assert!(!o.is_enabled());
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod config;
+pub mod json;
+mod observer;
+mod perfetto;
+mod report;
+mod sampler;
+mod span;
+
+pub use config::ObsConfig;
+pub use observer::{AgentProfile, ObsData, Observer};
+pub use perfetto::{PerfettoTrace, PerfettoTracer};
+pub use report::{
+    git_describe, LatencySummary, RunRecord, RunReport, REPORT_SCHEMA, REPORT_SCHEMA_VERSION,
+};
+pub use sampler::{EpochSampler, TimeSeries};
+pub use span::{ClosedSpan, TxnTracker};

@@ -1,0 +1,285 @@
+//! Chrome-trace-format export for `ui.perfetto.dev`.
+//!
+//! [`PerfettoTrace`] accumulates events and serializes them as a Chrome
+//! "JSON Array Format" trace object: one *track* (pid 0, one tid) per
+//! agent, `"X"` complete events for transaction spans, and `"i"` instant
+//! events for probes, faults, and retries. The `ts`/`dur` fields carry raw
+//! simulator ticks in the microsecond slot — one displayed microsecond is
+//! one tick (≈26 ps of modeled time); only relative durations matter when
+//! inspecting a trace.
+
+use std::collections::BTreeMap;
+use std::io;
+use std::path::Path;
+
+use hsc_sim::{format_trace_line, Tick, Tracer};
+
+use crate::json::JsonWriter;
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Phase {
+    Complete { dur: u64 },
+    Instant,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct TraceEvent {
+    name: String,
+    cat: &'static str,
+    ts: u64,
+    tid: u64,
+    phase: Phase,
+}
+
+/// An in-memory Chrome-trace event stream.
+///
+/// # Examples
+///
+/// ```
+/// use hsc_obs::PerfettoTrace;
+/// use hsc_sim::Tick;
+///
+/// let mut t = PerfettoTrace::new();
+/// t.complete("L2[0]", "RdBlk 0x40", "txn", Tick(100), 250);
+/// t.instant("DIR", "PrbInv 0x40", "probe", Tick(150));
+/// let json = t.to_json_string();
+/// assert!(json.contains("\"ph\":\"X\"") && json.contains("\"ph\":\"i\""));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct PerfettoTrace {
+    events: Vec<TraceEvent>,
+    tracks: BTreeMap<String, u64>,
+}
+
+impl PerfettoTrace {
+    /// Creates an empty trace.
+    #[must_use]
+    pub fn new() -> Self {
+        PerfettoTrace::default()
+    }
+
+    fn tid(&mut self, track: &str) -> u64 {
+        if let Some(&tid) = self.tracks.get(track) {
+            return tid;
+        }
+        let tid = self.tracks.len() as u64;
+        self.tracks.insert(track.to_owned(), tid);
+        tid
+    }
+
+    /// Adds a complete (`"X"`) event of `dur` ticks on `track`.
+    pub fn complete(&mut self, track: &str, name: &str, cat: &'static str, ts: Tick, dur: u64) {
+        let tid = self.tid(track);
+        self.events.push(TraceEvent {
+            name: name.to_owned(),
+            cat,
+            ts: ts.0,
+            tid,
+            phase: Phase::Complete { dur },
+        });
+    }
+
+    /// Adds an instant (`"i"`) event on `track`.
+    pub fn instant(&mut self, track: &str, name: &str, cat: &'static str, ts: Tick) {
+        let tid = self.tid(track);
+        self.events.push(TraceEvent {
+            name: name.to_owned(),
+            cat,
+            ts: ts.0,
+            tid,
+            phase: Phase::Instant,
+        });
+    }
+
+    /// Number of recorded events (metadata excluded).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether no event was recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Serializes the trace as a Chrome-trace JSON object with a
+    /// `traceEvents` array, starting with one `thread_name` metadata
+    /// record per track.
+    #[must_use]
+    pub fn to_json_string(&self) -> String {
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        w.key("displayTimeUnit");
+        w.string("ms");
+        w.key("traceEvents");
+        w.begin_array();
+        for (name, tid) in &self.tracks {
+            w.begin_object();
+            w.key("name");
+            w.string("thread_name");
+            w.key("ph");
+            w.string("M");
+            w.key("pid");
+            w.uint(0);
+            w.key("tid");
+            w.uint(*tid);
+            w.key("args");
+            w.begin_object();
+            w.key("name");
+            w.string(name);
+            w.end_object();
+            w.end_object();
+        }
+        for ev in &self.events {
+            w.begin_object();
+            w.key("name");
+            w.string(&ev.name);
+            w.key("cat");
+            w.string(ev.cat);
+            w.key("ph");
+            match ev.phase {
+                Phase::Complete { dur } => {
+                    w.string("X");
+                    w.key("dur");
+                    w.uint(dur);
+                }
+                Phase::Instant => {
+                    w.string("i");
+                    w.key("s");
+                    w.string("t");
+                }
+            }
+            w.key("ts");
+            w.uint(ev.ts);
+            w.key("pid");
+            w.uint(0);
+            w.key("tid");
+            w.uint(ev.tid);
+            w.end_object();
+        }
+        w.end_array();
+        w.end_object();
+        w.finish()
+    }
+
+    /// Writes the trace JSON to `path`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying filesystem error.
+    pub fn write_to(&self, path: &Path) -> io::Result<()> {
+        std::fs::write(path, self.to_json_string())
+    }
+}
+
+/// A [`Tracer`] sink that turns every filtered trace line into a Perfetto
+/// instant event on a dedicated `"trace"` track.
+///
+/// Lines are rendered through [`format_trace_line`] — the same helper
+/// [`hsc_sim::StderrTracer`] prints through — so an event reads
+/// identically in stderr output and in the Perfetto UI.
+///
+/// # Examples
+///
+/// ```
+/// use hsc_obs::PerfettoTracer;
+/// use hsc_sim::{Tick, Tracer};
+///
+/// let mut t = PerfettoTracer::new();
+/// assert!(t.enabled());
+/// t.record(Tick(12), "L2[0]→DIR RdBlk 0x40".into());
+/// let json = t.into_trace().to_json_string();
+/// assert!(json.contains("[12t] L2[0]\\u2192DIR RdBlk 0x40") || json.contains("[12t]"));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct PerfettoTracer {
+    trace: PerfettoTrace,
+}
+
+impl PerfettoTracer {
+    /// Creates a tracer with an empty trace.
+    #[must_use]
+    pub fn new() -> Self {
+        PerfettoTracer::default()
+    }
+
+    /// The accumulated trace.
+    #[must_use]
+    pub fn trace(&self) -> &PerfettoTrace {
+        &self.trace
+    }
+
+    /// Consumes the tracer and returns the accumulated trace.
+    #[must_use]
+    pub fn into_trace(self) -> PerfettoTrace {
+        self.trace
+    }
+}
+
+impl Tracer for PerfettoTracer {
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    fn record(&mut self, now: Tick, line: String) {
+        let rendered = format_trace_line(now, &line);
+        self.trace.instant("trace", &rendered, "trace", now);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::parse;
+
+    #[test]
+    fn trace_json_is_well_formed_with_track_metadata() {
+        let mut t = PerfettoTrace::new();
+        t.complete("L2[0]", "RdBlk 0x40", "txn", Tick(100), 250);
+        t.complete("L2[0]", "RdBlkM 0x80", "txn", Tick(400), 90);
+        t.instant("DIR", "fault: drop RdBlk", "fault", Tick(500));
+        let v = parse(&t.to_json_string()).expect("valid JSON");
+        let events = v.get("traceEvents").unwrap().as_array().unwrap();
+        // 2 tracks of metadata + 3 events.
+        assert_eq!(events.len(), 5);
+        let metas: Vec<&str> = events
+            .iter()
+            .filter(|e| e.get("ph").unwrap().as_str() == Some("M"))
+            .map(|e| e.get("args").unwrap().get("name").unwrap().as_str().unwrap())
+            .collect();
+        assert_eq!(metas, ["DIR", "L2[0]"]);
+        let x = events
+            .iter()
+            .find(|e| e.get("ph").unwrap().as_str() == Some("X"))
+            .unwrap();
+        assert_eq!(x.get("ts").unwrap().as_f64(), Some(100.0));
+        assert_eq!(x.get("dur").unwrap().as_f64(), Some(250.0));
+    }
+
+    #[test]
+    fn same_track_reuses_tid() {
+        let mut t = PerfettoTrace::new();
+        t.instant("A", "one", "c", Tick(1));
+        t.instant("B", "two", "c", Tick(2));
+        t.instant("A", "three", "c", Tick(3));
+        let v = parse(&t.to_json_string()).unwrap();
+        let events = v.get("traceEvents").unwrap().as_array().unwrap();
+        let tids: Vec<f64> = events
+            .iter()
+            .filter(|e| e.get("ph").unwrap().as_str() == Some("i"))
+            .map(|e| e.get("tid").unwrap().as_f64().unwrap())
+            .collect();
+        assert_eq!(tids[0], tids[2]);
+        assert_ne!(tids[0], tids[1]);
+    }
+
+    #[test]
+    fn tracer_lines_render_like_stderr() {
+        let mut t = PerfettoTracer::new();
+        t.record(Tick(7), "dir: probe".into());
+        let json = t.trace().to_json_string();
+        assert!(json.contains("[7t] dir: probe"));
+        assert_eq!(t.into_trace().len(), 1);
+    }
+}

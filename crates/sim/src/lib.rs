@@ -41,4 +41,4 @@ pub use queue::EventQueue;
 pub use rng::DetRng;
 pub use stats::{Histogram, StatSet};
 pub use tick::Tick;
-pub use trace::{NullTracer, StderrTracer, Tracer, VecTracer};
+pub use trace::{format_trace_line, NullTracer, StderrTracer, Tracer, VecTracer};

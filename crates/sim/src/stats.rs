@@ -46,6 +46,27 @@ impl StatSet {
         *self.counters.entry(key.to_owned()).or_insert(0) += amount;
     }
 
+    /// Registers `key` at 0 without incrementing it.
+    ///
+    /// [`StatSet::add`] deliberately drops zero amounts, so a counter that
+    /// never fires is absent from reports. Controllers call `touch` on
+    /// their counter keys at construction so zero-valued counters show up
+    /// deterministically in merged reports and time series.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use hsc_sim::StatSet;
+    ///
+    /// let mut s = StatSet::new();
+    /// s.touch("l2.retries");
+    /// assert_eq!(s.len(), 1);
+    /// assert_eq!(s.get("l2.retries"), 0);
+    /// ```
+    pub fn touch(&mut self, key: &str) {
+        self.counters.entry(key.to_owned()).or_insert(0);
+    }
+
     /// Current value of `key` (0 if never incremented).
     #[must_use]
     pub fn get(&self, key: &str) -> u64 {
@@ -157,10 +178,20 @@ impl Histogram {
 
     /// Records one sample.
     pub fn record(&mut self, value: u64) {
+        self.record_n(value, 1);
+    }
+
+    /// Records `n` identical samples at once; all internal tallies
+    /// saturate instead of overflowing.
+    pub fn record_n(&mut self, value: u64, n: u64) {
+        if n == 0 {
+            return;
+        }
         let idx = 64 - value.leading_zeros() as usize;
-        self.buckets[idx.saturating_sub(1).min(63)] += 1;
-        self.count += 1;
-        self.total = self.total.saturating_add(value);
+        let bucket = &mut self.buckets[idx.saturating_sub(1).min(63)];
+        *bucket = bucket.saturating_add(n);
+        self.count = self.count.saturating_add(n);
+        self.total = self.total.saturating_add(value.saturating_mul(n));
         self.max = self.max.max(value);
     }
 
@@ -199,11 +230,51 @@ impl Histogram {
     /// Merges another histogram into this one.
     pub fn merge(&mut self, other: &Histogram) {
         for (b, o) in self.buckets.iter_mut().zip(other.buckets.iter()) {
-            *b += o;
+            *b = b.saturating_add(*o);
         }
-        self.count += other.count;
+        self.count = self.count.saturating_add(other.count);
         self.total = self.total.saturating_add(other.total);
         self.max = self.max.max(other.max);
+    }
+
+    /// Estimated value at percentile `p` (in `[0, 100]`), 0 if empty.
+    ///
+    /// Returns the upper bound of the bucket holding the `ceil(p% · count)`-th
+    /// sample, clamped to the largest recorded value — so `percentile(100.0)`
+    /// is exactly [`Histogram::max`], and the estimate never exceeds it.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use hsc_sim::Histogram;
+    ///
+    /// let mut h = Histogram::new();
+    /// for v in [10, 20, 1000] {
+    ///     h.record(v);
+    /// }
+    /// assert!(h.percentile(50.0) <= 31); // bucket [16, 32)
+    /// assert_eq!(h.percentile(100.0), 1000);
+    /// ```
+    #[must_use]
+    pub fn percentile(&self, p: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let p = p.clamp(0.0, 100.0);
+        if p >= 100.0 {
+            return self.max;
+        }
+        let rank = ((p / 100.0) * self.count as f64).ceil() as u64;
+        let rank = u128::from(rank.clamp(1, self.count));
+        let mut cumulative: u128 = 0;
+        for (i, &b) in self.buckets.iter().enumerate() {
+            cumulative += u128::from(b);
+            if cumulative >= rank {
+                let upper = if i >= 63 { u64::MAX } else { (1u64 << (i + 1)) - 1 };
+                return upper.min(self.max);
+            }
+        }
+        self.max
     }
 }
 
@@ -312,5 +383,86 @@ mod tests {
     #[test]
     fn empty_histogram_mean_is_zero() {
         assert_eq!(Histogram::new().mean(), 0.0);
+    }
+
+    #[test]
+    fn touch_registers_key_at_zero_and_survives_merge() {
+        let mut s = StatSet::new();
+        s.touch("quiet");
+        s.touch("quiet"); // idempotent
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.get("quiet"), 0);
+        s.add("quiet", 0); // zero add still dropped, key stays
+        assert_eq!(s.get("quiet"), 0);
+
+        let mut merged = StatSet::new();
+        merged.merge(&s);
+        assert_eq!(merged.len(), 1, "merge must preserve touched zero keys");
+        let keys: Vec<&str> = merged.iter().map(|(k, _)| k).collect();
+        assert_eq!(keys, ["quiet"]);
+    }
+
+    #[test]
+    fn touch_does_not_reset_existing_counter() {
+        let mut s = StatSet::new();
+        s.add("k", 5);
+        s.touch("k");
+        assert_eq!(s.get("k"), 5);
+    }
+
+    #[test]
+    fn empty_histogram_percentile_is_zero() {
+        let h = Histogram::new();
+        assert_eq!(h.percentile(0.0), 0);
+        assert_eq!(h.percentile(50.0), 0);
+        assert_eq!(h.percentile(100.0), 0);
+    }
+
+    #[test]
+    fn single_bucket_percentile_is_exact() {
+        let mut h = Histogram::new();
+        for _ in 0..10 {
+            h.record(5); // all in bucket [4, 8)
+        }
+        // Every percentile lands in the same bucket, clamped to max = 5.
+        for p in [1.0, 25.0, 50.0, 99.0, 100.0] {
+            assert_eq!(h.percentile(p), 5);
+        }
+    }
+
+    #[test]
+    fn percentiles_walk_buckets_in_order() {
+        let mut h = Histogram::new();
+        h.record_n(1, 50); // bucket 0, upper bound 1
+        h.record_n(100, 49); // bucket [64, 128)
+        h.record_n(4000, 1); // bucket [2048, 4096)
+        assert_eq!(h.percentile(50.0), 1);
+        assert_eq!(h.percentile(95.0), 127);
+        assert_eq!(h.percentile(100.0), 4000);
+    }
+
+    #[test]
+    fn saturating_counts_do_not_overflow() {
+        let mut h = Histogram::new();
+        h.record_n(1, u64::MAX);
+        h.record_n(2, 5); // count saturates instead of wrapping
+        assert_eq!(h.count(), u64::MAX);
+        assert_eq!(h.max(), 2);
+        // Percentile arithmetic must survive saturated bucket counts.
+        assert_eq!(h.percentile(1.0), 1);
+        assert_eq!(h.percentile(100.0), 2);
+
+        let mut other = Histogram::new();
+        other.record_n(1, u64::MAX);
+        h.merge(&other); // merge saturates too
+        assert_eq!(h.count(), u64::MAX);
+    }
+
+    #[test]
+    fn record_n_zero_is_a_no_op() {
+        let mut h = Histogram::new();
+        h.record_n(7, 0);
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.max(), 0);
     }
 }

@@ -2,6 +2,25 @@ use std::fmt;
 
 use crate::Tick;
 
+/// Renders one trace line the way every sink presents it: the tick in
+/// brackets, then the message.
+///
+/// This is the single formatting path for traced events — [`VecTracer`],
+/// [`StderrTracer`], and the Perfetto exporter in `hsc-obs` all route
+/// through it, so a traced event reads identically wherever it lands.
+///
+/// # Examples
+///
+/// ```
+/// use hsc_sim::{format_trace_line, Tick};
+///
+/// assert_eq!(format_trace_line(Tick(12), "dir: RdBlk A=0x40"), "[12t] dir: RdBlk A=0x40");
+/// ```
+#[must_use]
+pub fn format_trace_line(now: Tick, line: &str) -> String {
+    format!("[{now}] {line}")
+}
+
 /// A sink for human-readable protocol trace lines.
 ///
 /// Controllers emit one line per interesting protocol action (request
@@ -81,7 +100,7 @@ impl Tracer for VecTracer {
     }
 
     fn record(&mut self, now: Tick, line: String) {
-        self.lines.push(format!("[{now}] {line}"));
+        self.lines.push(format_trace_line(now, &line));
     }
 }
 
@@ -106,7 +125,7 @@ impl Tracer for StderrTracer {
     }
 
     fn record(&mut self, now: Tick, line: String) {
-        eprintln!("[{now}] {line}");
+        eprintln!("{}", format_trace_line(now, &line));
     }
 }
 
@@ -128,5 +147,12 @@ mod tests {
         t.record(Tick(13), "world".into());
         assert_eq!(t.lines(), ["[12t] hello", "[13t] world"]);
         assert_eq!(t.into_lines().len(), 2);
+    }
+
+    #[test]
+    fn all_sinks_share_one_line_format() {
+        let mut t = VecTracer::new();
+        t.record(Tick(7), "dir: probe".into());
+        assert_eq!(t.lines()[0], format_trace_line(Tick(7), "dir: probe"));
     }
 }

@@ -2,7 +2,7 @@
 
 use std::fmt;
 
-use hsc_core::{CoherenceConfig, Metrics, System, SystemBuilder, SystemConfig};
+use hsc_core::{CoherenceConfig, Metrics, ObsConfig, ObsData, System, SystemBuilder, SystemConfig};
 use hsc_sim::SimError;
 
 /// A collaborative CPU/GPU benchmark: knows how to populate a system and
@@ -111,10 +111,50 @@ pub fn try_run_workload_on(
     w: &dyn Workload,
     config: SystemConfig,
 ) -> Result<RunResult, WorkloadError> {
+    let (outcome, _) = observe_workload_on(w, config, ObsConfig::off());
+    outcome
+}
+
+/// One observed run: the verified outcome plus everything the
+/// observability layer collected.
+///
+/// The [`ObsData`] is populated on failures too — a deadlocked run keeps
+/// its time series, agent profile, open-span count, and Perfetto trace,
+/// which is usually exactly what you want to look at.
+#[derive(Debug)]
+pub struct ObservedRun {
+    /// The verified run result, or the typed failure.
+    pub outcome: Result<RunResult, WorkloadError>,
+    /// What the observability layer collected (empty with
+    /// [`ObsConfig::off`]).
+    pub obs: ObsData,
+}
+
+/// Runs `w` with the given observability configuration, returning both
+/// the verified outcome and the collected observability data.
+#[must_use]
+pub fn run_workload_observed(w: &dyn Workload, config: SystemConfig, obs: ObsConfig) -> ObservedRun {
+    let (outcome, obs) = observe_workload_on(w, config, obs);
+    ObservedRun { outcome, obs }
+}
+
+fn observe_workload_on(
+    w: &dyn Workload,
+    config: SystemConfig,
+    obs: ObsConfig,
+) -> (Result<RunResult, WorkloadError>, ObsData) {
     let mut b = SystemBuilder::new(config);
+    b.with_observability(obs);
     w.build(&mut b);
     let mut sys = b.build();
-    let metrics = sys.run(DEFAULT_EVENT_BUDGET).map_err(WorkloadError::Sim)?;
-    w.verify(&sys).map_err(WorkloadError::Verification)?;
-    Ok(RunResult { workload: w.name(), metrics })
+    let run = sys.run(DEFAULT_EVENT_BUDGET);
+    let data = sys.take_obs_data();
+    let outcome = match run {
+        Ok(metrics) => match w.verify(&sys) {
+            Ok(()) => Ok(RunResult { workload: w.name(), metrics }),
+            Err(e) => Err(WorkloadError::Verification(e)),
+        },
+        Err(e) => Err(WorkloadError::Sim(e)),
+    };
+    (outcome, data)
 }

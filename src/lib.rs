@@ -24,6 +24,7 @@ pub use hsc_cluster as cluster;
 pub use hsc_core as core;
 pub use hsc_mem as mem;
 pub use hsc_noc as noc;
+pub use hsc_obs as obs;
 pub use hsc_sim as sim;
 pub use hsc_workloads as workloads;
 
@@ -36,11 +37,12 @@ pub mod prelude {
     };
     pub use hsc_mem::{Addr, AtomicKind, LineAddr};
     pub use hsc_noc::{FaultPlan, FaultTargets, RetryPolicy};
+    pub use hsc_obs::{ObsConfig, ObsData, PerfettoTracer, RunReport};
     pub use hsc_sim::{DeadlockSnapshot, RunOutcome, SimError};
     pub use hsc_workloads::{
         all_workloads, collaborative_workloads, extension_workloads, run_workload,
-        run_workload_on, try_run_workload_on, workload_by_name,
-        Bs, Cedd, Hsti, Hsto, Pad, Rscd, Rsct, RunResult, Sc, Tq, Tqh, Trns, Workload,
-        WorkloadError,
+        run_workload_observed, run_workload_on, try_run_workload_on, workload_by_name,
+        Bs, Cedd, Hsti, Hsto, ObservedRun, Pad, Rscd, Rsct, RunResult, Sc, Tq, Tqh, Trns,
+        Workload, WorkloadError,
     };
 }
