@@ -6,8 +6,11 @@
 //!
 //! Each workload is simulated once (with observability on when
 //! `--report <path>` is given) and every table below reads from that
-//! single run.
+//! single run. The per-workload runs execute as one parallel campaign
+//! (`--jobs <N>` / `HSC_JOBS`); tables and the report are assembled in
+//! submission order, identical at any worker count.
 
+use hsc_bench::par::{expect_all, Campaign};
 use hsc_bench::reporting::{parse_cli, write_report, REPORT_EPOCH_TICKS};
 use hsc_core::{CoherenceConfig, ObsConfig, SystemConfig};
 use hsc_obs::{RunRecord, RunReport};
@@ -23,6 +26,7 @@ struct Row {
 
 fn main() {
     let opts = parse_cli("characterize");
+    let par = opts.parallelism("characterize");
     let cfg = SystemConfig::scaled(CoherenceConfig::baseline());
     let obs = if opts.report.is_some() {
         ObsConfig::report(REPORT_EPOCH_TICKS)
@@ -30,10 +34,12 @@ fn main() {
         ObsConfig::off()
     };
 
-    let rows: Vec<Row> = all_workloads()
-        .iter()
-        .map(|w| {
-            let run = run_workload_observed(w.as_ref(), cfg, obs);
+    let workloads = all_workloads();
+    let mut campaign: Campaign<'_, Row> = Campaign::new("characterize");
+    for w in &workloads {
+        let w = w.as_ref();
+        campaign.push(w.name(), move || {
+            let run = run_workload_observed(w, cfg, obs);
             let r = match &run.outcome {
                 Ok(r) => r,
                 Err(e) => panic!("workload {} failed: {e}", w.name()),
@@ -54,15 +60,26 @@ fn main() {
                 stats: r.metrics.stats.clone(),
                 record,
             }
-        })
-        .collect();
+        });
+    }
+    let rows = expect_all("characterize", campaign.run(par));
 
     println!("================================================================");
     println!("Workload characterization (§V): directory request mix, baseline");
     println!("================================================================");
     println!(
         "{:8} {:>9} {:>8} {:>8} {:>8} {:>9} {:>9} {:>7} {:>7} {:>7} {:>7}",
-        "bench", "cycles", "RdBlk", "RdBlkS", "RdBlkM", "VicClean", "VicDirty", "WT", "Atomic", "DmaRW", "Flush"
+        "bench",
+        "cycles",
+        "RdBlk",
+        "RdBlkS",
+        "RdBlkM",
+        "VicClean",
+        "VicDirty",
+        "WT",
+        "Atomic",
+        "DmaRW",
+        "Flush"
     );
     for row in &rows {
         let s = &row.stats;
@@ -89,7 +106,11 @@ fn main() {
     for row in &rows {
         let s = &row.stats;
         let pct = |h: u64, m: u64| {
-            if h + m == 0 { 0.0 } else { 100.0 * h as f64 / (h + m) as f64 }
+            if h + m == 0 {
+                0.0
+            } else {
+                100.0 * h as f64 / (h + m) as f64
+            }
         };
         let l2h = s.sum_prefix("cp0.l2.hits")
             + s.sum_prefix("cp1.l2.hits")

@@ -13,17 +13,27 @@
 //!   unretryable message class, e.g. a probe, is dropped).
 //!
 //! A panic, a wiring error, an exhausted event budget or a wrong answer
-//! all fail the campaign with a non-zero exit code.
+//! all fail the campaign with a non-zero exit code. A worker panic is
+//! captured per-job by the campaign runner and reported as a named
+//! failure while sibling runs complete.
+//!
+//! Runs execute as parallel campaigns (`--jobs <N>` / `HSC_JOBS`);
+//! output and report order is submission order, identical at any worker
+//! count. With `--report`, the report additionally carries one
+//! `workload="all", config="aggregate"` record: the deterministic merge
+//! (counter sums, per-class histogram merges, epoch-aligned time-series
+//! sums) of every *completed* faulted run.
 
 use std::process::ExitCode;
 
+use hsc_bench::par::Campaign;
 use hsc_bench::reporting::{outcome_label, parse_cli, write_report, REPORT_EPOCH_TICKS};
-use hsc_core::{CoherenceConfig, ObsConfig, SystemConfig};
+use hsc_core::{CoherenceConfig, ObsConfig, ObsData, SystemConfig};
 use hsc_noc::{FaultPlan, FaultTargets, RetryPolicy};
 use hsc_obs::{RunRecord, RunReport};
-use hsc_sim::SimError;
+use hsc_sim::{SimError, StatSet};
 use hsc_workloads::{
-    run_workload_observed, try_run_workload_on, Hsti, Tq, Workload, WorkloadError,
+    run_workload_observed, try_run_workload_on, Hsti, ObservedRun, Tq, Workload, WorkloadError,
 };
 
 /// Drop rates in parts-per-million per message. 0 checks that an armed
@@ -36,8 +46,24 @@ const DROP_PPM: [u32; 4] = [0, 200, 1_000, 5_000];
 /// which no retry covers: those runs exercise the watchdog diagnosis path.
 const STRESS_ALL_PPM: u32 = 2_000;
 
+/// The per-workload fault plans, labelled as printed.
+fn fault_plans() -> Vec<(String, FaultPlan)> {
+    let mut plans: Vec<(String, FaultPlan)> = DROP_PPM
+        .iter()
+        .enumerate()
+        .map(|(i, &ppm)| {
+            let plan = FaultPlan::drops(0xFA17 + i as u64, ppm)
+                .with_targets(FaultTargets::RetryableRequests);
+            (format!("{ppm}"), plan)
+        })
+        .collect();
+    plans.push((format!("{STRESS_ALL_PPM}*"), FaultPlan::drops(0xA11, STRESS_ALL_PPM)));
+    plans
+}
+
 fn main() -> ExitCode {
     let opts = parse_cli("fault_campaign");
+    let par = opts.parallelism("fault_campaign");
     let obs = if opts.report.is_some() {
         ObsConfig::report(REPORT_EPOCH_TICKS)
     } else {
@@ -49,32 +75,86 @@ fn main() -> ExitCode {
     let mut report = RunReport::new("fault_campaign");
     report.fingerprint_config(&base);
 
+    // Phase 1 — golden, fault-free runs: prove each workload passes on
+    // this config before any faults are injected.
+    let mut goldens = Campaign::new("fault_campaign/golden");
+    for w in &workloads {
+        let w = w.as_ref();
+        goldens.push(format!("{}/golden", w.name()), move || try_run_workload_on(w, base));
+    }
+    let golden_results = goldens.run(par);
+
+    // Phase 2 — the drop-rate sweep, only for workloads whose golden run
+    // passed. Job order is workload-major, plan-minor: exactly the order
+    // the serial campaign printed in.
+    let plans = fault_plans();
+    let mut sweep: Campaign<'_, ObservedRun> = Campaign::new("fault_campaign/sweep");
+    for (w, golden) in workloads.iter().zip(&golden_results) {
+        if !matches!(golden, Ok(Ok(_))) {
+            continue;
+        }
+        let w = w.as_ref();
+        for (label, plan) in &plans {
+            let cfg = base.with_retry_everywhere(RetryPolicy::default()).with_faults(*plan);
+            sweep.push(format!("{}/drop={label}", w.name()), move || {
+                run_workload_observed(w, cfg, obs)
+            });
+        }
+    }
+    let mut sweep_results = sweep.run(par).into_iter();
+
     println!("Fault-injection campaign: drop rates × workloads, retries on");
     println!("{:8} {:>9} {:>9} {:>9}  outcome", "bench", "drop_ppm", "dropped", "retries");
 
-    let mut failures = 0;
-    for w in &workloads {
-        // Golden, fault-free run: proves the workload passes on this
-        // config before any faults are injected.
-        if let Err(e) = try_run_workload_on(w.as_ref(), base) {
-            println!("{:8} {:>9} {:>9} {:>9}  GOLDEN RUN FAILED: {e}", w.name(), "-", "-", "-");
-            failures += 1;
-            continue;
-        }
-        let mut plans: Vec<(String, FaultPlan)> = DROP_PPM
-            .iter()
-            .enumerate()
-            .map(|(i, &ppm)| {
-                let plan = FaultPlan::drops(0xFA17 + i as u64, ppm)
-                    .with_targets(FaultTargets::RetryableRequests);
-                (format!("{ppm}"), plan)
-            })
-            .collect();
-        plans.push((format!("{STRESS_ALL_PPM}*"), FaultPlan::drops(0xA11, STRESS_ALL_PPM)));
+    // Campaign-level aggregate of every completed faulted run, built by
+    // the deterministic merges (StatSet/Histogram/TimeSeries); the merge
+    // happens in submission order, so the record is identical at any
+    // worker count.
+    let mut agg_stats = StatSet::new();
+    let mut agg_obs = ObsData::default();
+    let mut agg = RunRecord {
+        workload: "all".to_owned(),
+        config: "aggregate".to_owned(),
+        outcome: "aggregate".to_owned(),
+        ..RunRecord::default()
+    };
 
-        for (label, plan) in &plans {
-            let cfg = base.with_retry_everywhere(RetryPolicy::default()).with_faults(*plan);
-            let run = run_workload_observed(w.as_ref(), cfg, obs);
+    let mut failures = 0;
+    for (w, golden) in workloads.iter().zip(&golden_results) {
+        match golden {
+            Ok(Ok(_)) => {}
+            Ok(Err(e)) => {
+                println!("{:8} {:>9} {:>9} {:>9}  GOLDEN RUN FAILED: {e}", w.name(), "-", "-", "-");
+                failures += 1;
+                continue;
+            }
+            Err(e) => {
+                println!(
+                    "{:8} {:>9} {:>9} {:>9}  GOLDEN RUN PANICKED: {e}",
+                    w.name(),
+                    "-",
+                    "-",
+                    "-"
+                );
+                failures += 1;
+                continue;
+            }
+        }
+        for (label, _) in &plans {
+            let run = match sweep_results.next().expect("one sweep result per plan") {
+                Ok(run) => run,
+                Err(e) => {
+                    println!(
+                        "{:8} {:>9} {:>9} {:>9}  UNEXPECTED PANIC: {e}",
+                        w.name(),
+                        label,
+                        "-",
+                        "-"
+                    );
+                    failures += 1;
+                    continue;
+                }
+            };
             if opts.report.is_some() {
                 let mut rec = RunRecord {
                     workload: w.name().to_owned(),
@@ -85,11 +165,16 @@ fn main() -> ExitCode {
                 if let Ok(r) = &run.outcome {
                     rec.ticks = r.metrics.ticks;
                     rec.gpu_cycles = r.metrics.gpu_cycles;
-                    rec.counters =
-                        r.metrics.stats.iter().map(|(k, v)| (k.to_owned(), v)).collect();
+                    rec.counters = r.metrics.stats.iter().map(|(k, v)| (k.to_owned(), v)).collect();
                 }
                 rec.attach_obs(&run.obs);
                 report.runs.push(rec);
+                if let Ok(r) = &run.outcome {
+                    agg_stats.merge(&r.metrics.stats);
+                    agg_obs.absorb(&run.obs);
+                    agg.ticks += r.metrics.ticks;
+                    agg.gpu_cycles += r.metrics.gpu_cycles;
+                }
             }
             match &run.outcome {
                 Ok(r) => {
@@ -135,6 +220,9 @@ fn main() -> ExitCode {
     }
 
     if let Some(path) = &opts.report {
+        agg.counters = agg_stats.iter().map(|(k, v)| (k.to_owned(), v)).collect();
+        agg.attach_obs(&agg_obs);
+        report.runs.push(agg);
         write_report(&report, path);
     }
     if failures > 0 {

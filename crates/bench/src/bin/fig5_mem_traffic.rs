@@ -2,11 +2,13 @@
 //! baseline / noWBcleanVic / llcWB / llcWB+useL3OnWT (the paper's four
 //! bars), plus the §III-B1 "drop clean victims" ablation column.
 
+use hsc_bench::par::parse_jobs_cli;
 use hsc_bench::{header, mean, paper, pct_saved, sweep};
 use hsc_core::CoherenceConfig;
 use hsc_workloads::all_workloads;
 
 fn main() {
+    let par = parse_jobs_cli("fig5_mem_traffic");
     header(
         "Figure 5",
         "#memory reads/writes from the directory per configuration",
@@ -20,11 +22,8 @@ fn main() {
         ("llcWB+useL3OnWT", CoherenceConfig::llc_write_back_l3_on_wt()),
     ];
     let workloads = all_workloads();
-    let cells = sweep(&workloads, &configs);
-    println!(
-        "{:8} {:>16} {:>7} {:>7} {:>10}",
-        "bench", "config", "memRd", "memWr", "saved%"
-    );
+    let cells = sweep(&workloads, &configs, par);
+    println!("{:8} {:>16} {:>7} {:>7} {:>10}", "bench", "config", "memRd", "memWr", "saved%");
     let mut best_saved = Vec::new();
     for chunk in cells.chunks(configs.len()) {
         let base = chunk[0].metrics.mem_reads + chunk[0].metrics.mem_writes;

@@ -2,11 +2,13 @@
 //! directory with owner- and sharer-tracking, on the five collaborative
 //! benchmarks.
 
+use hsc_bench::par::parse_jobs_cli;
 use hsc_bench::{header, mean, paper, pct_saved, sweep};
 use hsc_core::CoherenceConfig;
 use hsc_workloads::collaborative_workloads;
 
 fn main() {
+    let par = parse_jobs_cli("fig7_probe_reduction");
     header(
         "Figure 7",
         "% reduction in directory probes with §IV state tracking",
@@ -18,7 +20,7 @@ fn main() {
         ("sharerTracking", CoherenceConfig::sharer_tracking()),
     ];
     let workloads = collaborative_workloads();
-    let cells = sweep(&workloads, &configs);
+    let cells = sweep(&workloads, &configs, par);
     println!(
         "{:8} {:>10} {:>10} {:>10} {:>9} {:>10}",
         "bench", "base#", "owner#", "sharer#", "owner%", "sharers%"

@@ -17,37 +17,47 @@
 //!   loadable in `ui.perfetto.dev`.
 //! * `--quick` — skip the figure/table child binaries and run only a
 //!   reduced report set (`tq`, `hsti`); this is what CI uses.
+//! * `--jobs <N>` — campaign worker threads (default: `HSC_JOBS`, then
+//!   the machine's available parallelism). Forwarded to every sweep
+//!   child binary. Stdout and the report are **byte-identical at any
+//!   worker count**; only wall-clock changes.
 
 use std::process::Command;
 
+use hsc_bench::par::Campaign;
 use hsc_bench::reporting::{observed_record, parse_cli, write_report, REPORT_EPOCH_TICKS};
 use hsc_core::{CoherenceConfig, SystemConfig};
-use hsc_obs::{ObsConfig, RunReport};
+use hsc_obs::{ObsConfig, RunRecord, RunReport};
 use hsc_workloads::{collaborative_workloads, run_workload_observed, Hsti, Tq, Workload};
 
 fn main() {
     let opts = parse_cli("repro_all");
+    let par = opts.parallelism("repro_all");
 
     if !opts.quick {
+        // (bin, whether it takes the campaign `--jobs` flag)
         let bins = [
-            "table2_cache_config",
-            "table3_system_config",
-            "fig4_speedup",
-            "fig5_mem_traffic",
-            "fig6_tracking_speedup",
-            "fig7_probe_reduction",
-            "table1_transitions",
-            "ablation_dir_repl",
-            "characterize",
-            "extension_benchmarks",
+            ("table2_cache_config", false),
+            ("table3_system_config", false),
+            ("fig4_speedup", true),
+            ("fig5_mem_traffic", true),
+            ("fig6_tracking_speedup", true),
+            ("fig7_probe_reduction", true),
+            ("table1_transitions", false),
+            ("ablation_dir_repl", true),
+            ("characterize", true),
+            ("extension_benchmarks", true),
         ];
         let me = std::env::current_exe().expect("current exe path");
         let dir = me.parent().expect("exe directory");
-        for bin in bins {
+        for (bin, takes_jobs) in bins {
             let path = dir.join(bin);
-            let status = Command::new(&path)
-                .status()
-                .unwrap_or_else(|e| panic!("failed to run {}: {e}", path.display()));
+            let mut cmd = Command::new(&path);
+            if takes_jobs {
+                cmd.args(["--jobs", &par.jobs().to_string()]);
+            }
+            let status =
+                cmd.status().unwrap_or_else(|e| panic!("failed to run {}: {e}", path.display()));
             assert!(status.success(), "{bin} failed");
             println!();
         }
@@ -64,13 +74,20 @@ fn main() {
         };
         let mut report = RunReport::new("repro_all");
         report.fingerprint_config(&cfg);
+        let mut campaign: Campaign<'_, RunRecord> = Campaign::new("repro_all/report");
         for w in &workloads {
-            report.runs.push(observed_record(
-                w.as_ref(),
-                "baseline",
-                cfg,
-                ObsConfig::report(REPORT_EPOCH_TICKS),
-            ));
+            let w = w.as_ref();
+            campaign.push(w.name(), move || {
+                observed_record(w, "baseline", cfg, ObsConfig::report(REPORT_EPOCH_TICKS))
+            });
+        }
+        // Records land in submission order, so the report JSON is
+        // byte-identical to a serial run's.
+        for (i, record) in campaign.run(par).into_iter().enumerate() {
+            match record {
+                Ok(rec) => report.runs.push(rec),
+                Err(e) => panic!("report run for {} failed: {e}", workloads[i].name()),
+            }
         }
         write_report(&report, path);
     }

@@ -84,16 +84,14 @@ fn validate(doc: &Value) -> Vec<String> {
                 check(
                     &mut errors,
                     well_formed,
-                    &format!("runs[{i}].time_series.{name} must be an array of [tick, value] pairs"),
+                    &format!(
+                        "runs[{i}].time_series.{name} must be an array of [tick, value] pairs"
+                    ),
                 );
             }
         }
     }
-    check(
-        &mut errors,
-        total_series >= 2,
-        "report must contain at least two sampled time series",
-    );
+    check(&mut errors, total_series >= 2, "report must contain at least two sampled time series");
     errors
 }
 

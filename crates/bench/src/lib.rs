@@ -7,8 +7,12 @@
 
 #![warn(missing_docs)]
 
+pub mod par;
+
 use hsc_core::{CoherenceConfig, Metrics, SystemConfig};
 use hsc_workloads::{run_workload_on, Workload};
+
+use crate::par::{expect_all, Campaign, Parallelism};
 
 /// The paper's reported averages, for side-by-side printing.
 pub mod paper {
@@ -36,19 +40,32 @@ pub struct Cell {
 /// Runs `workloads × configs` on the scaled evaluation system (see
 /// `SystemConfig::scaled`) and returns every cell, configs-major per
 /// workload. The first config should be the baseline.
+///
+/// Cells run as one parallel [`Campaign`] over `par` threads; the
+/// returned order (and therefore every printed table) is submission
+/// order, independent of the worker count.
+///
+/// # Panics
+///
+/// Panics naming the `workload/config` job if any run fails (a protocol
+/// bug or livelock).
 #[must_use]
 pub fn sweep(
     workloads: &[Box<dyn Workload>],
     configs: &[(&'static str, CoherenceConfig)],
+    par: Parallelism,
 ) -> Vec<Cell> {
-    let mut cells = Vec::new();
+    let mut campaign = Campaign::new("sweep");
     for w in workloads {
         for (name, cfg) in configs {
-            let r = run_workload_on(w.as_ref(), SystemConfig::scaled(*cfg));
-            cells.push(Cell { workload: r.workload, config: name, metrics: r.metrics });
+            let w = w.as_ref();
+            campaign.push(format!("{}/{name}", w.name()), move || {
+                let r = run_workload_on(w, SystemConfig::scaled(*cfg));
+                Cell { workload: r.workload, config: name, metrics: r.metrics }
+            });
         }
     }
-    cells
+    expect_all("sweep", campaign.run(par))
 }
 
 /// Percentage saved: `100 × (1 − value/base)`.
@@ -84,6 +101,7 @@ pub fn header(figure: &str, what: &str, paper_avg: f64) {
 pub mod reporting {
     use std::path::PathBuf;
 
+    use crate::par::Parallelism;
     use hsc_core::SystemConfig;
     use hsc_obs::{ObsConfig, RunRecord, RunReport};
     use hsc_sim::SimError;
@@ -103,51 +121,72 @@ pub mod reporting {
         pub quick: bool,
         /// Write a Perfetto (Chrome-trace) JSON of one seeded run here.
         pub trace: Option<PathBuf>,
+        /// Explicit `--jobs <N>` campaign worker count.
+        pub jobs: Option<usize>,
     }
 
-    /// Parses `--report <path>`, `--quick` and `--trace <path>` from the
-    /// process arguments.
+    impl CliOptions {
+        /// Resolves the campaign worker count for this invocation:
+        /// `--jobs` flag, then `HSC_JOBS`, then the machine's available
+        /// parallelism. Exits with usage on an invalid `HSC_JOBS` value.
+        #[must_use]
+        pub fn parallelism(&self, command: &str) -> Parallelism {
+            Parallelism::resolve(self.jobs).unwrap_or_else(|msg| cli_usage_exit(command, &msg))
+        }
+    }
+
+    /// Parses `--report <path>`, `--quick`, `--trace <path>` and
+    /// `--jobs <N>` from the process arguments.
     ///
-    /// # Panics
-    ///
-    /// Panics (with usage) on an unknown flag or a missing path operand,
-    /// so typos fail a CI job instead of silently dropping the report.
+    /// An unknown flag, a missing operand, or a non-numeric `--jobs`
+    /// value prints the offending argument plus usage text to stderr and
+    /// exits with status 2 — so a typo fails a CI job with a readable
+    /// message instead of silently dropping the report.
     #[must_use]
     pub fn parse_cli(command: &str) -> CliOptions {
-        parse_args(command, std::env::args().skip(1))
+        match parse_args(std::env::args().skip(1)) {
+            Ok(opts) => opts,
+            Err(msg) => cli_usage_exit(command, &msg),
+        }
     }
 
-    fn parse_args(command: &str, args: impl Iterator<Item = String>) -> CliOptions {
+    fn cli_usage_exit(command: &str, message: &str) -> ! {
+        eprintln!("{command}: {message}");
+        eprintln!("usage: {command} [--quick] [--report <path>] [--trace <path>] [--jobs <N>]");
+        std::process::exit(2);
+    }
+
+    fn parse_args(args: impl Iterator<Item = String>) -> Result<CliOptions, String> {
         let mut opts = CliOptions::default();
         let mut args = args.peekable();
         while let Some(arg) = args.next() {
             match arg.as_str() {
                 "--report" => {
-                    let path = args.next().unwrap_or_else(|| {
-                        panic!("usage: {command} [--quick] [--report <path>] [--trace <path>]")
-                    });
+                    let path = args.next().ok_or("--report requires a path operand")?;
                     opts.report = Some(PathBuf::from(path));
                 }
                 "--trace" => {
-                    let path = args.next().unwrap_or_else(|| {
-                        panic!("usage: {command} [--quick] [--report <path>] [--trace <path>]")
-                    });
+                    let path = args.next().ok_or("--trace requires a path operand")?;
                     opts.trace = Some(PathBuf::from(path));
                 }
+                "--jobs" => {
+                    let raw = args.next().ok_or("--jobs requires a thread count operand")?;
+                    opts.jobs = Some(crate::par::parse_jobs_value(&raw)?);
+                }
                 "--quick" => opts.quick = true,
-                other => panic!(
-                    "unknown argument '{other}'; usage: {command} [--quick] [--report <path>] [--trace <path>]"
-                ),
+                other => return Err(format!("unknown argument '{other}'")),
             }
         }
-        opts
+        Ok(opts)
     }
 
     /// Canonical rendering of a run outcome for the report's `outcome`
     /// field: `"completed"`, `"deadlock"`, `"budget-exceeded"`,
     /// `"wiring-error"`, or `"verification-failed"`.
     #[must_use]
-    pub fn outcome_label(outcome: &Result<hsc_workloads::RunResult, WorkloadError>) -> &'static str {
+    pub fn outcome_label(
+        outcome: &Result<hsc_workloads::RunResult, WorkloadError>,
+    ) -> &'static str {
         match outcome {
             Ok(_) => "completed",
             Err(WorkloadError::Sim(SimError::Deadlock { .. })) => "deadlock",
@@ -200,29 +239,48 @@ pub mod reporting {
     mod tests {
         use super::*;
 
-        fn parse(args: &[&str]) -> CliOptions {
-            parse_args("test", args.iter().map(|s| (*s).to_owned()))
+        fn parse(args: &[&str]) -> Result<CliOptions, String> {
+            parse_args(args.iter().map(|s| (*s).to_owned()))
         }
 
         #[test]
         fn cli_parses_all_flags() {
-            assert_eq!(parse(&[]), CliOptions::default());
-            let o = parse(&["--quick", "--report", "/tmp/r.json", "--trace", "/tmp/t.json"]);
+            assert_eq!(parse(&[]).unwrap(), CliOptions::default());
+            let o = parse(&[
+                "--quick",
+                "--report",
+                "/tmp/r.json",
+                "--trace",
+                "/tmp/t.json",
+                "--jobs",
+                "4",
+            ])
+            .unwrap();
             assert!(o.quick);
             assert_eq!(o.report.unwrap().to_str(), Some("/tmp/r.json"));
             assert_eq!(o.trace.unwrap().to_str(), Some("/tmp/t.json"));
+            assert_eq!(o.jobs, Some(4));
         }
 
         #[test]
-        #[should_panic(expected = "unknown argument")]
-        fn cli_rejects_unknown_flags() {
-            let _ = parse(&["--frobnicate"]);
+        fn cli_rejects_unknown_flags_with_the_flag_named() {
+            let err = parse(&["--frobnicate"]).unwrap_err();
+            assert!(err.contains("unknown argument"));
+            assert!(err.contains("--frobnicate"));
         }
 
         #[test]
-        #[should_panic(expected = "usage:")]
-        fn cli_rejects_missing_report_path() {
-            let _ = parse(&["--report"]);
+        fn cli_rejects_missing_operands() {
+            assert!(parse(&["--report"]).unwrap_err().contains("--report"));
+            assert!(parse(&["--trace"]).unwrap_err().contains("--trace"));
+            assert!(parse(&["--jobs"]).unwrap_err().contains("--jobs"));
+        }
+
+        #[test]
+        fn cli_rejects_bad_jobs_values() {
+            assert!(parse(&["--jobs", "0"]).is_err());
+            assert!(parse(&["--jobs", "-2"]).is_err());
+            assert!(parse(&["--jobs", "many"]).is_err());
         }
     }
 }

@@ -252,15 +252,9 @@ impl CorePair {
         let mut v: Vec<(LineAddr, String)> = self
             .mshr
             .iter()
-            .map(|(la, txn)| {
-                (la, format!("{:?} miss, {} waiter(s)", txn.kind, txn.waiters.len()))
-            })
+            .map(|(la, txn)| (la, format!("{:?} miss, {} waiter(s)", txn.kind, txn.waiters.len())))
             .collect();
-        v.extend(
-            self.victims
-                .lines()
-                .map(|la| (la, String::from("parked victim write-back"))),
-        );
+        v.extend(self.victims.lines().map(|la| (la, String::from("parked victim write-back"))));
         v
     }
 
@@ -904,10 +898,7 @@ mod tests {
         ops.push(CpuOp::Done);
         let (pair, mem) = run_pair(pair_with(vec![Box::new(Script::new(ops))]), 100_000);
         assert!(pair.is_done());
-        assert!(
-            pair.stats().get("l2.vic_dirty") > 0,
-            "dirty victims must reach the directory"
-        );
+        assert!(pair.stats().get("l2.vic_dirty") > 0, "dirty victims must reach the directory");
         // Every victimized dirty line must have landed in (fake) memory.
         let survivors: std::collections::BTreeSet<u64> =
             pair.dirty_lines().iter().map(|(la, _)| la.0).collect();
@@ -953,10 +944,8 @@ mod tests {
                 CpuOp::Load(self.a)
             }
         }
-        let (pair, _) = run_pair(
-            pair_with(vec![Box::new(p0), Box::new(Spin { a, tries: 0 })]),
-            200_000,
-        );
+        let (pair, _) =
+            run_pair(pair_with(vec![Box::new(p0), Box::new(Spin { a, tries: 0 })]), 200_000);
         assert!(pair.is_done());
     }
 
@@ -970,9 +959,12 @@ mod tests {
         let mut out = Outbox::new(Tick(1_000_000));
         pair.on_message(
             Tick(1_000_000),
-            &Message::new(AgentId::Directory, pair.agent(), a.line(), MsgKind::Probe {
-                kind: ProbeKind::Invalidate,
-            }),
+            &Message::new(
+                AgentId::Directory,
+                pair.agent(),
+                a.line(),
+                MsgKind::Probe { kind: ProbeKind::Invalidate },
+            ),
             &mut out,
         );
         let acts = out.into_actions();
@@ -1000,9 +992,12 @@ mod tests {
         let mut out = Outbox::new(Tick(1_000_000));
         pair.on_message(
             Tick(1_000_000),
-            &Message::new(AgentId::Directory, pair.agent(), a.line(), MsgKind::Probe {
-                kind: ProbeKind::Downgrade,
-            }),
+            &Message::new(
+                AgentId::Directory,
+                pair.agent(),
+                a.line(),
+                MsgKind::Probe { kind: ProbeKind::Downgrade },
+            ),
             &mut out,
         );
         match out.actions()[0] {
@@ -1021,9 +1016,12 @@ mod tests {
         let mut out2 = Outbox::new(Tick(1_000_001));
         pair.on_message(
             Tick(1_000_001),
-            &Message::new(AgentId::Directory, pair.agent(), a.line(), MsgKind::Probe {
-                kind: ProbeKind::Downgrade,
-            }),
+            &Message::new(
+                AgentId::Directory,
+                pair.agent(),
+                a.line(),
+                MsgKind::Probe { kind: ProbeKind::Downgrade },
+            ),
             &mut out2,
         );
         match out2.actions()[0] {
@@ -1040,17 +1038,17 @@ mod tests {
         let mut out = Outbox::new(Tick(0));
         pair.on_message(
             Tick(0),
-            &Message::new(AgentId::Directory, pair.agent(), LineAddr(77), MsgKind::Probe {
-                kind: ProbeKind::Invalidate,
-            }),
+            &Message::new(
+                AgentId::Directory,
+                pair.agent(),
+                LineAddr(77),
+                MsgKind::Probe { kind: ProbeKind::Invalidate },
+            ),
             &mut out,
         );
         match out.actions()[0] {
             Action::Send(ref m) => {
-                assert!(matches!(
-                    m.kind,
-                    MsgKind::ProbeAck { dirty: None, had_copy: false, .. }
-                ));
+                assert!(matches!(m.kind, MsgKind::ProbeAck { dirty: None, had_copy: false, .. }));
             }
             ref other => panic!("expected send, got {other:?}"),
         }

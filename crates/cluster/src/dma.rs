@@ -131,19 +131,12 @@ impl DmaEngine {
     /// engine (in-flight line requests and not-yet-issued lines), for the
     /// watchdog's deadlock snapshot.
     pub fn pending_lines(&self) -> Vec<(LineAddr, String)> {
-        let mut v: Vec<(LineAddr, String)> = self
-            .in_flight
-            .iter()
-            .map(|&la| (la, String::from("DMA request in flight")))
-            .collect();
-        v.extend(
-            self.pending_lines
-                .iter()
-                .map(|&(la, w)| {
-                    let what = if w.is_some() { "queued DMA write" } else { "queued DMA read" };
-                    (la, String::from(what))
-                }),
-        );
+        let mut v: Vec<(LineAddr, String)> =
+            self.in_flight.iter().map(|&la| (la, String::from("DMA request in flight"))).collect();
+        v.extend(self.pending_lines.iter().map(|&(la, w)| {
+            let what = if w.is_some() { "queued DMA write" } else { "queued DMA read" };
+            (la, String::from(what))
+        }));
         v
     }
 
@@ -312,7 +305,10 @@ mod tests {
                         }
                         ref k => panic!("fake directory got {}", k.class_name()),
                     };
-                    q.schedule(now + 5, Ev::Msg(Message::new(AgentId::Directory, m.src, m.line, resp)));
+                    q.schedule(
+                        now + 5,
+                        Ev::Msg(Message::new(AgentId::Directory, m.src, m.line, resp)),
+                    );
                 }
             }
             for act in out.into_actions() {
@@ -353,7 +349,11 @@ mod tests {
     fn unaligned_start_uses_partial_masks() {
         // Start mid-line: 4 words into line 0.
         let mut dma = DmaEngine::new(
-            vec![DmaCommand::Write { base: Addr(0x1020), words: vec![9, 9, 9, 9, 9, 9], at: Tick(0) }],
+            vec![DmaCommand::Write {
+                base: Addr(0x1020),
+                words: vec![9, 9, 9, 9, 9, 9],
+                at: Tick(0),
+            }],
             8,
         );
         let mut mem = MainMemory::new();
@@ -368,27 +368,19 @@ mod tests {
 
     #[test]
     fn window_limits_in_flight_requests() {
-        let mut dma = DmaEngine::new(
-            vec![DmaCommand::Read { base: Addr(0), lines: 10, at: Tick(0) }],
-            2,
-        );
+        let mut dma =
+            DmaEngine::new(vec![DmaCommand::Read { base: Addr(0), lines: 10, at: Tick(0) }], 2);
         let mut out = Outbox::new(Tick(0));
         dma.on_wake(Tick(0), &mut out);
-        let sends = out
-            .actions()
-            .iter()
-            .filter(|a| matches!(a, Action::Send(_)))
-            .count();
+        let sends = out.actions().iter().filter(|a| matches!(a, Action::Send(_))).count();
         assert_eq!(sends, 2, "window of 2 caps the initial burst");
         assert!(!dma.is_done());
     }
 
     #[test]
     fn commands_wait_for_their_issue_time() {
-        let mut dma = DmaEngine::new(
-            vec![DmaCommand::Read { base: Addr(0), lines: 1, at: Tick(500) }],
-            4,
-        );
+        let mut dma =
+            DmaEngine::new(vec![DmaCommand::Read { base: Addr(0), lines: 1, at: Tick(500) }], 4);
         let mut out = Outbox::new(Tick(0));
         dma.on_wake(Tick(0), &mut out);
         assert!(

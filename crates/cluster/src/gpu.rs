@@ -1,11 +1,11 @@
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
-use hsc_mem::{Addr, CacheArray, CacheGeometry, LineAddr, LineData};
 use hsc_mem::Mshr;
+use hsc_mem::{Addr, CacheArray, CacheGeometry, LineAddr, LineData};
 use hsc_noc::{AgentId, Message, MsgKind, Outbox, ProbeKind, RetryPolicy, RetryTracker, WordMask};
 use hsc_sim::{StatSet, Tick};
 
-use crate::viper::{TcpLine, TccLine};
+use crate::viper::{TccLine, TcpLine};
 use crate::{gpu_cycles, GpuOp, WavefrontProgram};
 
 /// Base byte address of the shared GPU kernel code region (SQC fetches).
@@ -312,9 +312,7 @@ impl GpuCluster {
                 .map(|(&la, q)| (la, format!("{} SLC atomic response(s)", q.len()))),
         );
         v.extend(
-            self.flush_waiters
-                .iter()
-                .map(|(&la, q)| (la, format!("{} flush ack(s)", q.len()))),
+            self.flush_waiters.iter().map(|(&la, q)| (la, format!("{} flush ack(s)", q.len()))),
         );
         v
     }
@@ -322,11 +320,7 @@ impl GpuCluster {
     /// Total ops retired across all wavefronts.
     #[must_use]
     pub fn ops_retired(&self) -> u64 {
-        self.cus
-            .iter()
-            .flat_map(|cu| cu.wfs.iter())
-            .map(|w| w.ops_retired)
-            .sum()
+        self.cus.iter().flat_map(|cu| cu.wfs.iter()).map(|w| w.ops_retired).sum()
     }
 
     /// Handles a message delivered to the TCC.
@@ -409,7 +403,9 @@ impl GpuCluster {
             }
             if w.ops_since_ifetch >= self.cfg.ifetch_interval && w.pending.is_none() {
                 w.ops_since_ifetch = 0;
-                let la = LineAddr(Addr(GPU_CODE_BASE).line().0 + (w.next_code_line % self.cfg.code_lines));
+                let la = LineAddr(
+                    Addr(GPU_CODE_BASE).line().0 + (w.next_code_line % self.cfg.code_lines),
+                );
                 w.next_code_line += 1;
                 self.access_ifetch(cu, wf, la, now, out);
                 continue;
@@ -532,17 +528,12 @@ impl GpuCluster {
             // later lane's fill; fall back to the TCC, or refetch it.
             let lane0 = addrs[0];
             let l0 = lane0.line();
-            let v = self
-                .cus[cu]
-                .tcp
-                .get(l0)
-                .map(|l| l.data.word_at(lane0))
-                .or_else(|| {
-                    self.tcc
-                        .get(l0)
-                        .filter(|l| l.valid.contains(lane0.word_index()))
-                        .map(|l| l.data.word_at(lane0))
-                });
+            let v = self.cus[cu].tcp.get(l0).map(|l| l.data.word_at(lane0)).or_else(|| {
+                self.tcc
+                    .get(l0)
+                    .filter(|l| l.valid.contains(lane0.word_index()))
+                    .map(|l| l.data.word_at(lane0))
+            });
             let Some(v) = v else {
                 self.stats.bump("tcp.lane0_refetches");
                 self.request_fill(l0, Some((cu, wf)), out);
@@ -691,7 +682,14 @@ impl GpuCluster {
                     let l = self.tcc.get(la).unwrap();
                     let mut data = LineData::zeroed();
                     data.set_word_at(a, l.data.word_at(a));
-                    self.send_wt(la, data, WordMask::single(a.word_index()), Some((cu, wf)), true, out);
+                    self.send_wt(
+                        la,
+                        data,
+                        WordMask::single(a.word_index()),
+                        Some((cu, wf)),
+                        true,
+                        out,
+                    );
                 }
                 GpuWritePolicy::WriteBack => {
                     let l = self.tcc.get_mut(la).unwrap();
@@ -745,19 +743,15 @@ impl GpuCluster {
     fn begin_release(&mut self, cu: usize, wf: usize, now: Tick, out: &mut Outbox) -> bool {
         if self.cfg.tcc_policy == GpuWritePolicy::WriteBack {
             // Flush every dirty TCC line via the WT-as-writeback path.
-            let dirty: Vec<LineAddr> = self
-                .tcc
-                .iter()
-                .filter(|(_, l)| l.is_dirty())
-                .map(|(la, _)| la)
-                .collect();
+            let dirty: Vec<LineAddr> =
+                self.tcc.iter().filter(|(_, l)| l.is_dirty()).map(|(la, _)| la).collect();
             for la in dirty {
                 let l = self.tcc.get_mut(la).unwrap();
                 let data = l.data;
                 let mask = l.dirty;
                 l.clean();
                 let retains = self.tcc.contains(la);
-                    self.send_wt(la, data, mask, Some((cu, wf)), retains, out);
+                self.send_wt(la, data, mask, Some((cu, wf)), retains, out);
                 self.stats.bump("tcc.flush_writebacks");
             }
         }
@@ -1071,10 +1065,8 @@ mod tests {
     #[test]
     fn vec_store_writes_through_to_memory() {
         let stores: Vec<(Addr, u64)> = (0..16).map(|i| (Addr(0x1000 + i * 8), i)).collect();
-        let mut gpu = one_wf(
-            vec![GpuOp::VecStore(stores), GpuOp::Release, GpuOp::Done],
-            small_cfg(),
-        );
+        let mut gpu =
+            one_wf(vec![GpuOp::VecStore(stores), GpuOp::Release, GpuOp::Done], small_cfg());
         let mut mem = MainMemory::new();
         run_gpu(&mut gpu, &mut mem, 100_000);
         assert!(gpu.is_done());
@@ -1154,10 +1146,7 @@ mod tests {
         let mut cfg = small_cfg();
         cfg.tcc_policy = GpuWritePolicy::WriteBack;
         let stores: Vec<(Addr, u64)> = vec![(Addr(0x5000), 7)];
-        let mut gpu = one_wf(
-            vec![GpuOp::VecStore(stores), GpuOp::Release, GpuOp::Done],
-            cfg,
-        );
+        let mut gpu = one_wf(vec![GpuOp::VecStore(stores), GpuOp::Release, GpuOp::Done], cfg);
         let mut mem = MainMemory::new();
         run_gpu(&mut gpu, &mut mem, 100_000);
         assert!(gpu.is_done());
@@ -1173,12 +1162,7 @@ mod tests {
     fn acquire_invalidates_the_tcp() {
         let addrs = vec![Addr(0x6000)];
         let mut gpu = one_wf(
-            vec![
-                GpuOp::VecLoad(addrs.clone()),
-                GpuOp::Acquire,
-                GpuOp::VecLoad(addrs),
-                GpuOp::Done,
-            ],
+            vec![GpuOp::VecLoad(addrs.clone()), GpuOp::Acquire, GpuOp::VecLoad(addrs), GpuOp::Done],
             small_cfg(),
         );
         let mut mem = MainMemory::new();
@@ -1199,10 +1183,7 @@ mod tests {
         gpu.on_probe(Addr(0x7000).line(), ProbeKind::Invalidate, &mut out);
         match out.actions()[0] {
             Action::Send(ref m) => {
-                assert!(matches!(
-                    m.kind,
-                    MsgKind::ProbeAck { dirty: None, had_copy: true, .. }
-                ));
+                assert!(matches!(m.kind, MsgKind::ProbeAck { dirty: None, had_copy: true, .. }));
             }
             ref other => panic!("expected send, got {other:?}"),
         }

@@ -54,21 +54,13 @@ impl TccLine {
     /// A line with no valid words (write-allocate-without-fetch start).
     #[must_use]
     pub fn empty() -> Self {
-        TccLine {
-            data: LineData::zeroed(),
-            valid: WordMask::empty(),
-            dirty: WordMask::empty(),
-        }
+        TccLine { data: LineData::zeroed(), valid: WordMask::empty(), dirty: WordMask::empty() }
     }
 
     /// A clean, fully valid line (a fill from the directory).
     #[must_use]
     pub fn filled(data: LineData) -> Self {
-        TccLine {
-            data,
-            valid: WordMask::full(),
-            dirty: WordMask::empty(),
-        }
+        TccLine { data, valid: WordMask::full(), dirty: WordMask::empty() }
     }
 
     /// Whether any word is owed to the system.

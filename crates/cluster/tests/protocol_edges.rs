@@ -3,7 +3,7 @@
 //! forced deterministically here.
 
 use hsc_cluster::{
-    CoreProgram, CorePair, CpuConfig, CpuOp, DmaCommand, DmaEngine, GpuCluster, GpuConfig, GpuOp,
+    CorePair, CoreProgram, CpuConfig, CpuOp, DmaCommand, DmaEngine, GpuCluster, GpuConfig, GpuOp,
     GpuWritePolicy, WavefrontProgram,
 };
 use hsc_mem::{Addr, LineData, MainMemory};
@@ -61,7 +61,10 @@ fn inv_probe_during_pending_upgrade_invalidates_the_s_copy() {
     let a = Addr(0x9000);
     let mut pair = CorePair::new(
         0,
-        vec![Box::new(Script(vec![CpuOp::Load(a), CpuOp::Store(a, 5), CpuOp::Load(a), CpuOp::Done], 0))],
+        vec![Box::new(Script(
+            vec![CpuOp::Load(a), CpuOp::Store(a, 5), CpuOp::Load(a), CpuOp::Done],
+            0,
+        ))],
         CpuConfig::default(),
     );
     // Load miss → RdBlk.
@@ -71,10 +74,12 @@ fn inv_probe_during_pending_upgrade_invalidates_the_s_copy() {
     let mut out = Outbox::new(Tick(100));
     pair.on_message(
         Tick(100),
-        &Message::new(AgentId::Directory, pair.agent(), a.line(), MsgKind::Resp {
-            data: data(1),
-            grant: Grant::Shared,
-        }),
+        &Message::new(
+            AgentId::Directory,
+            pair.agent(),
+            a.line(),
+            MsgKind::Resp { data: data(1), grant: Grant::Shared },
+        ),
         &mut out,
     );
     // Drain the fill's actions (Unblock, wake), then pump until the store
@@ -86,9 +91,12 @@ fn inv_probe_during_pending_upgrade_invalidates_the_s_copy() {
     let mut out = Outbox::new(Tick(200));
     pair.on_message(
         Tick(200),
-        &Message::new(AgentId::Directory, pair.agent(), a.line(), MsgKind::Probe {
-            kind: ProbeKind::Invalidate,
-        }),
+        &Message::new(
+            AgentId::Directory,
+            pair.agent(),
+            a.line(),
+            MsgKind::Probe { kind: ProbeKind::Invalidate },
+        ),
         &mut out,
     );
     let acks: Vec<Message> = out
@@ -110,10 +118,12 @@ fn inv_probe_during_pending_upgrade_invalidates_the_s_copy() {
     let mut out = Outbox::new(Tick(300));
     pair.on_message(
         Tick(300),
-        &Message::new(AgentId::Directory, pair.agent(), a.line(), MsgKind::Resp {
-            data: data(9),
-            grant: Grant::Modified,
-        }),
+        &Message::new(
+            AgentId::Directory,
+            pair.agent(),
+            a.line(),
+            MsgKind::Resp { data: data(9), grant: Grant::Modified },
+        ),
         &mut out,
     );
     let mut out2 = Outbox::new(Tick(301));
@@ -129,26 +139,34 @@ fn upgrade_ack_preserves_the_owned_lines_local_stores() {
     let a = Addr(0xA000);
     let mut pair = CorePair::new(
         0,
-        vec![Box::new(Script(vec![CpuOp::Store(a, 7), CpuOp::Store(a.word(1), 8), CpuOp::Done], 0))],
+        vec![Box::new(Script(
+            vec![CpuOp::Store(a, 7), CpuOp::Store(a.word(1), 8), CpuOp::Done],
+            0,
+        ))],
         CpuConfig::default(),
     );
     let _ = run_until_request(&mut pair, "RdBlkM", 1000);
     let mut out = Outbox::new(Tick(10));
     pair.on_message(
         Tick(10),
-        &Message::new(AgentId::Directory, pair.agent(), a.line(), MsgKind::Resp {
-            data: data(0),
-            grant: Grant::Modified,
-        }),
+        &Message::new(
+            AgentId::Directory,
+            pair.agent(),
+            a.line(),
+            MsgKind::Resp { data: data(0), grant: Grant::Modified },
+        ),
         &mut out,
     );
     // First store applied; now a downgrade probe turns M into O.
     let mut out = Outbox::new(Tick(20));
     pair.on_message(
         Tick(20),
-        &Message::new(AgentId::Directory, pair.agent(), a.line(), MsgKind::Probe {
-            kind: ProbeKind::Downgrade,
-        }),
+        &Message::new(
+            AgentId::Directory,
+            pair.agent(),
+            a.line(),
+            MsgKind::Probe { kind: ProbeKind::Downgrade },
+        ),
         &mut out,
     );
     // Let the second store run: O can't write, so an upgrade goes out.
@@ -239,7 +257,9 @@ fn wb_tcc_eviction_writes_back_via_write_through() {
                         mem.write_line(m.line, line);
                         MsgKind::WtAck
                     }
-                    MsgKind::RdBlk => MsgKind::Resp { data: mem.read_line(m.line), grant: Grant::Shared },
+                    MsgKind::RdBlk => {
+                        MsgKind::Resp { data: mem.read_line(m.line), grant: Grant::Shared }
+                    }
                     MsgKind::Flush => MsgKind::FlushAck,
                     ref k => panic!("unexpected {}", k.class_name()),
                 };

@@ -113,10 +113,7 @@ impl CoherenceConfig {
     /// Baseline + §III-A early response on dirty probe acknowledgment.
     #[must_use]
     pub fn early_response() -> Self {
-        CoherenceConfig {
-            early_dirty_response: true,
-            ..CoherenceConfig::default()
-        }
+        CoherenceConfig { early_dirty_response: true, ..CoherenceConfig::default() }
     }
 
     /// Baseline + §III-B no write-back of clean victims to memory.
@@ -131,10 +128,7 @@ impl CoherenceConfig {
     /// Baseline + §III-B1 clean victims dropped entirely.
     #[must_use]
     pub fn drop_clean_victims() -> Self {
-        CoherenceConfig {
-            clean_victims: CleanVictimPolicy::Drop,
-            ..CoherenceConfig::default()
-        }
+        CoherenceConfig { clean_victims: CleanVictimPolicy::Drop, ..CoherenceConfig::default() }
     }
 
     /// §III-C write-back LLC (implies clean victims stop writing memory).
@@ -152,10 +146,7 @@ impl CoherenceConfig {
     /// `llcWB+useL3OnWT`.
     #[must_use]
     pub fn llc_write_back_l3_on_wt() -> Self {
-        CoherenceConfig {
-            use_l3_on_wt: true,
-            ..CoherenceConfig::llc_write_back()
-        }
+        CoherenceConfig { use_l3_on_wt: true, ..CoherenceConfig::llc_write_back() }
     }
 
     /// §IV owner-tracking directory on top of the write-back LLC.
@@ -272,10 +263,7 @@ impl SystemConfig {
     /// The default Table II/III system with the given coherence knobs.
     #[must_use]
     pub fn with_coherence(coherence: CoherenceConfig) -> Self {
-        SystemConfig {
-            coherence,
-            ..SystemConfig::default()
-        }
+        SystemConfig { coherence, ..SystemConfig::default() }
     }
 
     /// The **evaluation** configuration used by the figure-regeneration

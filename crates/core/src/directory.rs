@@ -10,8 +10,7 @@ use crate::tracking::{
     SharerSet,
 };
 use crate::{
-    CleanVictimPolicy, CoherenceConfig, DirReplacementPolicy, Llc, LlcWritePolicy,
-    UncoreConfig,
+    CleanVictimPolicy, CoherenceConfig, DirReplacementPolicy, Llc, LlcWritePolicy, UncoreConfig,
 };
 
 /// What an in-flight directory transaction is doing.
@@ -136,7 +135,10 @@ impl Directory {
         ] {
             stats.touch(key);
         }
-        for class in ["RdBlk", "RdBlkS", "RdBlkM", "VicDirty", "VicClean", "WT", "Atomic", "Flush", "DmaRd", "DmaWr"] {
+        for class in [
+            "RdBlk", "RdBlkS", "RdBlkM", "VicDirty", "VicClean", "WT", "Atomic", "Flush", "DmaRd",
+            "DmaWr",
+        ] {
             stats.touch(&format!("dir.requests.{class}"));
         }
         Directory {
@@ -145,7 +147,10 @@ impl Directory {
             n_l2,
             n_tcc,
             llc: Llc::new(CacheGeometry::new(uncore.llc_bytes, uncore.llc_ways)),
-            entries: CacheArray::new(CacheGeometry::from_lines(uncore.dir_entries, uncore.dir_ways)),
+            entries: CacheArray::new(CacheGeometry::from_lines(
+                uncore.dir_entries,
+                uncore.dir_ways,
+            )),
             txns: BTreeMap::new(),
             stale_vics: BTreeSet::new(),
             internal: EventQueue::new(),
@@ -216,7 +221,9 @@ impl Directory {
     pub fn stats(&self) -> StatSet {
         let mut s = self.stats.clone();
         s.merge(self.llc.stats());
-        for key in ["dir.txn_latency_count", "dir.txn_latency_mean_ticks", "dir.txn_latency_max_ticks"] {
+        for key in
+            ["dir.txn_latency_count", "dir.txn_latency_mean_ticks", "dir.txn_latency_max_ticks"]
+        {
             s.touch(key);
         }
         s.add("dir.txn_latency_count", self.latency.count());
@@ -397,7 +404,12 @@ impl Directory {
             self.stats.bump("dir.probes_sent");
             out.send_after(
                 gpu_cycles(self.uncore.dir_cycles),
-                Message::new(AgentId::Directory, *dst, msg.line, MsgKind::Probe { kind: probe_kind }),
+                Message::new(
+                    AgentId::Directory,
+                    *dst,
+                    msg.line,
+                    MsgKind::Probe { kind: probe_kind },
+                ),
             );
         }
         txn.pending_acks = targets.len() as u32;
@@ -471,9 +483,7 @@ impl Directory {
     }
 
     fn all_caches(&self) -> impl Iterator<Item = AgentId> + '_ {
-        (0..self.n_l2)
-            .map(AgentId::CorePairL2)
-            .chain((0..self.n_tcc).map(AgentId::Tcc))
+        (0..self.n_l2).map(AgentId::CorePairL2).chain((0..self.n_tcc).map(AgentId::Tcc))
     }
 
     fn resolve_probe_targets(
@@ -495,11 +505,8 @@ impl Directory {
             ProbePlan::InvalidateTracked => {
                 if self.cfg.directory.tracks_sharers() {
                     let entry = self.entry_of(la).expect("tracked plan requires an entry");
-                    let mut v: Vec<AgentId> = entry
-                        .sharers
-                        .iter()
-                        .filter(|&a| a != requester)
-                        .collect();
+                    let mut v: Vec<AgentId> =
+                        entry.sharers.iter().filter(|&a| a != requester).collect();
                     if let Some(owner) = entry.owner {
                         if owner != requester && !v.contains(&owner) {
                             v.push(owner);
@@ -660,10 +667,7 @@ impl Directory {
             if self.cfg.early_dirty_response
                 && txn.kind == TxnKind::Request
                 && !txn.responded
-                && matches!(
-                    txn.origin.kind,
-                    MsgKind::RdBlk | MsgKind::RdBlkS | MsgKind::DmaRd
-                )
+                && matches!(txn.origin.kind, MsgKind::RdBlk | MsgKind::RdBlkS | MsgKind::DmaRd)
             {
                 let origin = txn.origin;
                 txn.responded = true;
@@ -780,8 +784,7 @@ impl Directory {
                     // Lazy plan (OwnerThenLlc) whose owner turned out clean.
                     txn.llc_scheduled = true;
                     self.stats.bump("dir.lazy_llc_reads");
-                    self.internal
-                        .schedule(now + gpu_cycles(self.uncore.llc_cycles), line);
+                    self.internal.schedule(now + gpu_cycles(self.uncore.llc_cycles), line);
                     out.wake_at(now + gpu_cycles(self.uncore.llc_cycles));
                     return;
                 }
@@ -822,7 +825,12 @@ impl Directory {
                 let txn = self.txns.get_mut(&line).unwrap();
                 if grant == GrantPlan::Upgrade {
                     txn.awaiting_unblock = true;
-                    out.send(Message::new(AgentId::Directory, origin.src, line, MsgKind::UpgradeAck));
+                    out.send(Message::new(
+                        AgentId::Directory,
+                        origin.src,
+                        line,
+                        MsgKind::UpgradeAck,
+                    ));
                 } else if !responded {
                     let data = data.expect("read requests resolve data");
                     let g = match grant {
@@ -1144,7 +1152,13 @@ impl Directory {
         ));
     }
 
-    fn mem_write_masked(&mut self, line: LineAddr, data: LineData, mask: WordMask, out: &mut Outbox) {
+    fn mem_write_masked(
+        &mut self,
+        line: LineAddr,
+        data: LineData,
+        mask: WordMask,
+        out: &mut Outbox,
+    ) {
         out.send(Message::new(
             AgentId::Directory,
             AgentId::Memory,

@@ -46,8 +46,22 @@ pub use config::{
     SystemConfig, UncoreConfig,
 };
 pub use directory::{Directory, DEFAULT_WATCHDOG_TICKS};
+pub use hsc_obs::{ObsConfig, ObsData};
 pub use llc::{Llc, LlcEviction, LlcLine};
 pub use memctl::MemoryController;
-pub use hsc_obs::{ObsConfig, ObsData};
 pub use system::{Metrics, System, SystemBuilder, TraceConfig};
 pub use tracking::{DirEntry, DirState, SharerSet};
+
+// Compile-time proof that everything a parallel campaign job returns or
+// captures (`hsc_bench::par`) crosses threads. A `System` itself is built,
+// run, and dropped inside one worker and never needs to be `Send`; its
+// inputs and outputs do.
+const _: () = {
+    const fn assert_send<T: Send>() {}
+    assert_send::<Metrics>();
+    assert_send::<ObsData>();
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<SystemConfig>();
+    assert_send_sync::<CoherenceConfig>();
+    assert_send_sync::<ObsConfig>();
+};

@@ -57,10 +57,7 @@ impl Llc {
         ] {
             stats.touch(key);
         }
-        Llc {
-            lines: CacheArray::new(geometry),
-            stats,
-        }
+        Llc { lines: CacheArray::new(geometry), stats }
     }
 
     /// Looks up `la`, updating recency and hit/miss statistics.
@@ -104,11 +101,7 @@ impl Llc {
                 if ev.meta.dirty {
                     self.stats.bump("llc.dirty_evictions");
                 }
-                Some(LlcEviction {
-                    tag: ev.tag,
-                    data: ev.meta.data,
-                    dirty: ev.meta.dirty,
-                })
+                Some(LlcEviction { tag: ev.tag, data: ev.meta.data, dirty: ev.meta.dirty })
             }
         }
     }
@@ -142,11 +135,7 @@ impl Llc {
 
     /// All dirty lines (for end-of-run memory reconstruction).
     pub fn dirty_lines(&self) -> Vec<(LineAddr, LineData)> {
-        self.lines
-            .iter()
-            .filter(|(_, l)| l.dirty)
-            .map(|(la, l)| (la, l.data))
-            .collect()
+        self.lines.iter().filter(|(_, l)| l.dirty).map(|(la, l)| (la, l.data)).collect()
     }
 
     /// Number of valid lines.

@@ -29,13 +29,7 @@ impl MemoryController {
         for key in ["mem.reads", "mem.writes", "mem.busy_ticks"] {
             stats.touch(key);
         }
-        MemoryController {
-            mem,
-            access_ticks,
-            occupancy_ticks,
-            busy_until: Tick::ZERO,
-            stats,
-        }
+        MemoryController { mem, access_ticks, occupancy_ticks, busy_until: Tick::ZERO, stats }
     }
 
     /// The NoC endpoint.

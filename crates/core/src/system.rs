@@ -1,6 +1,5 @@
 use hsc_cluster::{
-    CoreProgram, CorePair, DmaCommand, DmaEngine, GpuCluster, WavefrontProgram,
-    TICKS_PER_GPU_CYCLE,
+    CorePair, CoreProgram, DmaCommand, DmaEngine, GpuCluster, WavefrontProgram, TICKS_PER_GPU_CYCLE,
 };
 use hsc_mem::{Addr, LineAddr, MainMemory};
 use hsc_noc::{Action, AgentId, Delivery, FaultyNetwork, Message, Outbox};
@@ -44,9 +43,7 @@ impl TraceConfig {
     /// unparsable values mean no tracing.
     #[must_use]
     pub fn from_env() -> Self {
-        let line = std::env::var("HSC_TRACE_LINE")
-            .ok()
-            .and_then(|v| v.parse::<u64>().ok());
+        let line = std::env::var("HSC_TRACE_LINE").ok().and_then(|v| v.parse::<u64>().ok());
         TraceConfig { line }
     }
 
@@ -186,11 +183,8 @@ impl SystemBuilder {
         for (i, p) in self.cpu_threads.into_iter().enumerate() {
             per_pair[(i / 2) % cfg.corepairs].push(p);
         }
-        let corepairs: Vec<CorePair> = per_pair
-            .into_iter()
-            .enumerate()
-            .map(|(i, ps)| CorePair::new(i, ps, cfg.cpu))
-            .collect();
+        let corepairs: Vec<CorePair> =
+            per_pair.into_iter().enumerate().map(|(i, ps)| CorePair::new(i, ps, cfg.cpu)).collect();
 
         // Wavefronts round-robin over every CU of every GPU cluster.
         let n_gpus = cfg.gpu_clusters.max(1);
@@ -228,7 +222,11 @@ impl SystemBuilder {
             gpus,
             dma: DmaEngine::new(self.dma_commands, 8).with_retry(cfg.dma_retry),
             directory,
-            memctl: MemoryController::new(mem, cfg.uncore.mem_ticks, cfg.uncore.mem_occupancy_ticks),
+            memctl: MemoryController::new(
+                mem,
+                cfg.uncore.mem_ticks,
+                cfg.uncore.mem_occupancy_ticks,
+            ),
             network: FaultyNetwork::new(cfg.network, cfg.faults),
             queue: EventQueue::new(),
             now: Tick::ZERO,
@@ -446,10 +444,8 @@ impl System {
     /// One seam for all outbound traffic: the faulty network decides
     /// whether the message arrives once, twice, or never.
     fn dispatch(&mut self, at: Tick, m: Message) -> Result<(), SimError> {
-        let delivery = self
-            .network
-            .send(at, &m)
-            .map_err(|e| SimError::Wiring { detail: e.to_string() })?;
+        let delivery =
+            self.network.send(at, &m).map_err(|e| SimError::Wiring { detail: e.to_string() })?;
         if self.observer.is_enabled() {
             self.observer.on_send(at, &m, &delivery);
         }
@@ -562,11 +558,6 @@ impl System {
     /// Lines currently dirty in the LLC (for tests).
     #[must_use]
     pub fn llc_dirty_lines(&self) -> Vec<LineAddr> {
-        self.directory
-            .llc()
-            .dirty_lines()
-            .into_iter()
-            .map(|(la, _)| la)
-            .collect()
+        self.directory.llc().dirty_lines().into_iter().map(|(la, _)| la).collect()
     }
 }

@@ -120,12 +120,8 @@ impl SharerSet {
 
     /// Iterates the members in (L2s, TCCs) order.
     pub fn iter(self) -> impl Iterator<Item = AgentId> {
-        let l2s = (0..64)
-            .filter(move |i| self.l2s & (1 << i) != 0)
-            .map(AgentId::CorePairL2);
-        let tccs = (0..64)
-            .filter(move |i| self.tccs & (1 << i) != 0)
-            .map(AgentId::Tcc);
+        let l2s = (0..64).filter(move |i| self.l2s & (1 << i) != 0).map(AgentId::CorePairL2);
+        let tccs = (0..64).filter(move |i| self.tccs & (1 << i) != 0).map(AgentId::Tcc);
         l2s.chain(tccs)
     }
 }
@@ -149,12 +145,7 @@ impl DirEntry {
     /// A reservation placeholder.
     #[must_use]
     pub fn reserved() -> Self {
-        DirEntry {
-            state: DirState::I,
-            owner: None,
-            sharers: SharerSet::new(),
-            reserved: true,
-        }
+        DirEntry { state: DirState::I, owner: None, sharers: SharerSet::new(), reserved: true }
     }
 
     /// The victim-selection score of the future-work state-aware
@@ -407,12 +398,8 @@ pub fn plan(mode: DirectoryMode, state: DirState, req: PlanReq, from: Requester)
             let next = if retains { N::SOnlyRequester } else { N::I };
             t(P::InvalidateTracked, D::None, G::None, next)
         }
-        (DirState::O, R::Atomic, _) => {
-            t(P::InvalidateTracked, D::OwnerThenLlc, G::None, N::I)
-        }
-        (DirState::O, R::DmaRd, _) => {
-            t(P::DowngradeOwner, D::OwnerThenLlc, G::None, N::Unchanged)
-        }
+        (DirState::O, R::Atomic, _) => t(P::InvalidateTracked, D::OwnerThenLlc, G::None, N::I),
+        (DirState::O, R::DmaRd, _) => t(P::DowngradeOwner, D::OwnerThenLlc, G::None, N::Unchanged),
         (DirState::O, R::DmaWr, _) => t(P::InvalidateTracked, D::None, G::None, N::I),
 
         // Flush never touches state.
@@ -456,8 +443,7 @@ pub fn describe(mode: DirectoryMode, state: DirState, req: PlanReq, from: Reques
 mod tests {
     use super::*;
 
-    const MODES: [DirectoryMode; 2] =
-        [DirectoryMode::OwnerTracking, DirectoryMode::SharerTracking];
+    const MODES: [DirectoryMode; 2] = [DirectoryMode::OwnerTracking, DirectoryMode::SharerTracking];
 
     #[test]
     fn i_state_never_probes() {
@@ -524,12 +510,8 @@ mod tests {
     #[test]
     fn owner_ifetch_relaxes_to_shared() {
         // Footnotes c/d/e of Table I.
-        let tr = plan(
-            DirectoryMode::SharerTracking,
-            DirState::O,
-            PlanReq::RdBlkS,
-            Requester::CpuOwner,
-        );
+        let tr =
+            plan(DirectoryMode::SharerTracking, DirState::O, PlanReq::RdBlkS, Requester::CpuOwner);
         assert_eq!(tr.probes, ProbePlan::None);
         assert_eq!(tr.next, NextState::SOnlyRequester);
     }
@@ -550,20 +532,11 @@ mod tests {
     #[test]
     fn clean_victim_from_o_means_the_line_was_exclusive() {
         // Footnote g, with downgraded-E sharers preserved.
-        let tr = plan(
-            DirectoryMode::OwnerTracking,
-            DirState::O,
-            PlanReq::VicClean,
-            Requester::CpuOwner,
-        );
+        let tr =
+            plan(DirectoryMode::OwnerTracking, DirState::O, PlanReq::VicClean, Requester::CpuOwner);
         assert_eq!(tr.next, NextState::SFromOwnerWriteback);
         // A dirty sharer's clean evict just drops it from the set.
-        let tr = plan(
-            DirectoryMode::OwnerTracking,
-            DirState::O,
-            PlanReq::VicClean,
-            Requester::Cpu,
-        );
+        let tr = plan(DirectoryMode::OwnerTracking, DirState::O, PlanReq::VicClean, Requester::Cpu);
         assert_eq!(tr.next, NextState::ODropSharer);
     }
 
@@ -639,10 +612,7 @@ mod tests {
         s.add(AgentId::CorePairL2(3));
         s.add(AgentId::Tcc(0));
         let members: Vec<AgentId> = s.iter().collect();
-        assert_eq!(
-            members,
-            [AgentId::CorePairL2(0), AgentId::CorePairL2(3), AgentId::Tcc(0)]
-        );
+        assert_eq!(members, [AgentId::CorePairL2(0), AgentId::CorePairL2(3), AgentId::Tcc(0)]);
         s.remove(AgentId::CorePairL2(3));
         assert!(!s.contains(AgentId::CorePairL2(3)));
         assert_eq!(s.len(), 2);

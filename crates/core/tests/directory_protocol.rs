@@ -4,9 +4,7 @@
 
 use std::collections::VecDeque;
 
-use hsc_core::{
-    CoherenceConfig, Directory, MemoryController, UncoreConfig,
-};
+use hsc_core::{CoherenceConfig, Directory, MemoryController, UncoreConfig};
 use hsc_mem::{Addr, AtomicKind, LineAddr, LineData, MainMemory};
 use hsc_noc::{Action, AgentId, Grant, Message, MsgKind, Outbox, ProbeKind, WordMask};
 use hsc_sim::Tick;
@@ -102,8 +100,7 @@ impl Harness {
 
     /// Pops every message currently queued for `dst`.
     fn drain_to(&mut self, dst: AgentId) -> Vec<Message> {
-        let (take, keep): (Vec<_>, Vec<_>) =
-            self.to_caches.drain(..).partition(|m| m.dst == dst);
+        let (take, keep): (Vec<_>, Vec<_>) = self.to_caches.drain(..).partition(|m| m.dst == dst);
         self.to_caches = keep.into();
         take
     }
@@ -112,10 +109,8 @@ impl Harness {
     /// had no copy, except `dirty_from` which forwards dirty data.
     fn ack_all_probes(&mut self, line: LineAddr, dirty_from: Option<(AgentId, LineData)>) {
         let probes: Vec<Message> = {
-            let (take, keep): (Vec<_>, Vec<_>) = self
-                .to_caches
-                .drain(..)
-                .partition(|m| m.line == line && m.kind.is_probe());
+            let (take, keep): (Vec<_>, Vec<_>) =
+                self.to_caches.drain(..).partition(|m| m.line == line && m.kind.is_probe());
             self.to_caches = keep.into();
             take
         };
@@ -125,19 +120,12 @@ impl Harness {
                 Some((who, data)) if *who == p.dst => (Some(*data), true),
                 _ => (None, false),
             };
-            self.send(
-                p.dst,
-                line,
-                MsgKind::ProbeAck { dirty, had_copy: had, was_parked: false },
-            );
+            self.send(p.dst, line, MsgKind::ProbeAck { dirty, had_copy: had, was_parked: false });
         }
     }
 
     fn probe_count(&self, line: LineAddr) -> usize {
-        self.to_caches
-            .iter()
-            .filter(|m| m.line == line && m.kind.is_probe())
-            .count()
+        self.to_caches.iter().filter(|m| m.line == line && m.kind.is_probe()).count()
     }
 }
 
@@ -193,7 +181,11 @@ fn baseline_waits_for_memory_even_with_dirty_ack() {
     // Ack only some probes: no response may be sent yet.
     let probes: Vec<Message> = h.drain_to(L2_1).into_iter().filter(|m| m.kind.is_probe()).collect();
     assert_eq!(probes.len(), 1);
-    h.send(L2_1, LINE, MsgKind::ProbeAck { dirty: Some(data(9)), had_copy: true, was_parked: false });
+    h.send(
+        L2_1,
+        LINE,
+        MsgKind::ProbeAck { dirty: Some(data(9)), had_copy: true, was_parked: false },
+    );
     assert!(h.drain_to(L2_0).is_empty(), "must wait for the remaining acks + memory");
     h.ack_all_probes(LINE, None);
     let resp = h.drain_to(L2_0);
@@ -208,7 +200,11 @@ fn early_response_fires_on_first_dirty_ack() {
     // Consume L2_1's probe, then answer it with dirty data first.
     let p1: Vec<Message> = h.drain_to(L2_1);
     assert_eq!(p1.len(), 1);
-    h.send(L2_1, LINE, MsgKind::ProbeAck { dirty: Some(data(5)), had_copy: true, was_parked: false });
+    h.send(
+        L2_1,
+        LINE,
+        MsgKind::ProbeAck { dirty: Some(data(5)), had_copy: true, was_parked: false },
+    );
     let resp = h.drain_to(L2_0);
     assert_eq!(resp.len(), 1, "§III-A: respond on the first dirty probe ack");
     assert!(matches!(resp[0].kind, MsgKind::Resp { grant: Grant::Shared, .. }));
@@ -289,13 +285,11 @@ fn stale_victim_after_parked_invalidation_is_dropped() {
     let mut h = Harness::new(CoherenceConfig::baseline());
     h.send(TCC, LINE, MsgKind::AtomicReq { word: 0, op: AtomicKind::FetchAdd(5) });
     // All L2s get invalidating probes; L2_0's ack consumes a parked victim.
-    let probes: Vec<Message> = h
-        .to_caches
+    let probes: Vec<Message> =
+        h.to_caches.iter().filter(|m| m.line == LINE && m.kind.is_probe()).cloned().collect();
+    assert!(probes
         .iter()
-        .filter(|m| m.line == LINE && m.kind.is_probe())
-        .cloned()
-        .collect();
-    assert!(probes.iter().all(|p| matches!(p.kind, MsgKind::Probe { kind: ProbeKind::Invalidate })));
+        .all(|p| matches!(p.kind, MsgKind::Probe { kind: ProbeKind::Invalidate })));
     for p in &probes {
         let parked = p.dst == L2_0;
         h.send(
@@ -354,11 +348,7 @@ fn write_through_merges_masked_words_into_memory() {
 fn use_l3_on_wt_fills_the_llc_and_skips_memory() {
     let mut h = Harness::new(CoherenceConfig::llc_write_back_l3_on_wt());
     let full = data(77);
-    h.send(
-        TCC,
-        LINE,
-        MsgKind::WriteThrough { data: full, mask: WordMask::full(), retains: false },
-    );
+    h.send(TCC, LINE, MsgKind::WriteThrough { data: full, mask: WordMask::full(), retains: false });
     h.ack_all_probes(LINE, None);
     assert!(matches!(h.drain_to(TCC)[0].kind, MsgKind::WtAck));
     let l = h.dir.llc().peek(LINE).expect("full-line WT allocates in the LLC");
@@ -439,12 +429,7 @@ fn tracked_o_state_read_probes_owner_only() {
     h.drain_to(L2_0);
     h.send(L2_0, LINE, MsgKind::Unblock);
     h.send(L2_1, LINE, MsgKind::RdBlk);
-    let probes: Vec<Message> = h
-        .to_caches
-        .iter()
-        .filter(|m| m.kind.is_probe())
-        .cloned()
-        .collect();
+    let probes: Vec<Message> = h.to_caches.iter().filter(|m| m.kind.is_probe()).cloned().collect();
     assert_eq!(probes.len(), 1, "probe the owner only");
     assert_eq!(probes[0].dst, L2_0);
     assert!(matches!(probes[0].kind, MsgKind::Probe { kind: ProbeKind::Downgrade }));
@@ -491,12 +476,8 @@ fn tracked_s_state_invalidation_multicasts_to_sharers_only() {
     // A third L2 wants to write: only the two sharers get probes.
     let l2_2 = AgentId::CorePairL2(2);
     h.send(l2_2, LINE, MsgKind::RdBlkM);
-    let probes: Vec<AgentId> = h
-        .to_caches
-        .iter()
-        .filter(|m| m.kind.is_probe())
-        .map(|m| m.dst)
-        .collect();
+    let probes: Vec<AgentId> =
+        h.to_caches.iter().filter(|m| m.kind.is_probe()).map(|m| m.dst).collect();
     assert_eq!(probes.len(), 2, "multicast, not broadcast");
     assert!(probes.contains(&L2_0) && probes.contains(&L2_1));
     h.ack_all_probes(LINE, None);
@@ -532,12 +513,7 @@ fn directory_eviction_back_invalidates_and_makes_room() {
     // The fifth allocation must evict a tracked entry: a backward
     // invalidation (transient B) reaches the victim's owner first.
     h.send(L2_1, set_lines[4], MsgKind::RdBlk);
-    let backinv: Vec<Message> = h
-        .to_caches
-        .iter()
-        .filter(|m| m.kind.is_probe())
-        .cloned()
-        .collect();
+    let backinv: Vec<Message> = h.to_caches.iter().filter(|m| m.kind.is_probe()).cloned().collect();
     assert!(!backinv.is_empty(), "entry eviction must probe the victim's caches");
     let victim_line = backinv[0].line;
     assert!(set_lines[..4].contains(&victim_line));
@@ -567,12 +543,8 @@ fn write_through_with_retains_tracks_the_tcc_as_sharer() {
     h.drain_to(TCC);
     // A CPU write must now invalidate the TCC (it is a tracked sharer).
     h.send(L2_0, LINE, MsgKind::RdBlkM);
-    let probes: Vec<AgentId> = h
-        .to_caches
-        .iter()
-        .filter(|m| m.kind.is_probe())
-        .map(|m| m.dst)
-        .collect();
+    let probes: Vec<AgentId> =
+        h.to_caches.iter().filter(|m| m.kind.is_probe()).map(|m| m.dst).collect();
     assert_eq!(probes, vec![TCC], "exactly the retaining TCC is invalidated");
     h.ack_all_probes(LINE, None);
     h.drain_to(L2_0);

@@ -186,11 +186,8 @@ impl<S> CacheArray<S> {
 
     fn find_way(&self, la: LineAddr) -> Option<usize> {
         let set = self.set_of(la);
-        (0..self.ways).find(|&w| {
-            self.lines[self.slot(set, w)]
-                .as_ref()
-                .is_some_and(|l| l.tag == la)
-        })
+        (0..self.ways)
+            .find(|&w| self.lines[self.slot(set, w)].as_ref().is_some_and(|l| l.tag == la))
     }
 
     /// Whether `la` is present.
@@ -203,8 +200,7 @@ impl<S> CacheArray<S> {
     /// recency; pair with [`CacheArray::touch`] on protocol-visible hits.
     #[must_use]
     pub fn get(&self, la: LineAddr) -> Option<&S> {
-        self.find_way(la)
-            .map(|w| &self.lines[self.slot(self.set_of(la), w)].as_ref().unwrap().meta)
+        self.find_way(la).map(|w| &self.lines[self.slot(self.set_of(la), w)].as_ref().unwrap().meta)
     }
 
     /// Exclusive access to the metadata of `la`, if present.
@@ -249,10 +245,7 @@ impl<S> CacheArray<S> {
         meta: S,
         score: impl Fn(LineAddr, &S) -> u32,
     ) -> InsertOutcome<S> {
-        assert!(
-            !self.contains(la),
-            "insert of already-present line {la} (protocol bug)"
-        );
+        assert!(!self.contains(la), "insert of already-present line {la} (protocol bug)");
         let set = self.set_of(la);
         // Prefer an invalid way.
         if let Some(way) = (0..self.ways).find(|&w| self.lines[self.slot(set, w)].is_none()) {
@@ -266,10 +259,7 @@ impl<S> CacheArray<S> {
         let slot = self.slot(set, way);
         let old = self.lines[slot].replace(Line { tag: la, meta }).unwrap();
         self.plru.touch(set, way);
-        InsertOutcome::Evicted(Eviction {
-            tag: old.tag,
-            meta: old.meta,
-        })
+        InsertOutcome::Evicted(Eviction { tag: old.tag, meta: old.meta })
     }
 
     fn scored_victim_way(&self, set: usize, score: &impl Fn(LineAddr, &S) -> u32) -> usize {
@@ -281,9 +271,7 @@ impl<S> CacheArray<S> {
             .collect();
         let min = *scores.iter().min().unwrap();
         let mask: Vec<bool> = scores.iter().map(|&s| s == min).collect();
-        self.plru
-            .victim_among(set, &mask)
-            .expect("at least one way has the minimum score")
+        self.plru.victim_among(set, &mask).expect("at least one way has the minimum score")
     }
 
     /// The line that would be displaced if `la` were inserted now, or
@@ -342,9 +330,7 @@ impl<S> CacheArray<S> {
 
     /// Iterates over all valid lines in set/way order.
     pub fn iter(&self) -> impl Iterator<Item = (LineAddr, &S)> {
-        self.lines
-            .iter()
-            .filter_map(|l| l.as_ref().map(|l| (l.tag, &l.meta)))
+        self.lines.iter().filter_map(|l| l.as_ref().map(|l| (l.tag, &l.meta)))
     }
 }
 
@@ -476,10 +462,7 @@ mod tests {
         c.insert(LineAddr(3), 13);
         let mut seen: Vec<(LineAddr, u32)> = c.iter().map(|(t, &m)| (t, m)).collect();
         seen.sort_by_key(|&(t, _)| t);
-        assert_eq!(
-            seen,
-            vec![(LineAddr(0), 10), (LineAddr(1), 11), (LineAddr(3), 13)]
-        );
+        assert_eq!(seen, vec![(LineAddr(0), 10), (LineAddr(1), 11), (LineAddr(3), 13)]);
     }
 
     #[test]

@@ -62,10 +62,7 @@ impl<T> Mshr<T> {
     #[must_use]
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "MSHR capacity must be positive");
-        Mshr {
-            capacity,
-            entries: BTreeMap::new(),
-        }
+        Mshr { capacity, entries: BTreeMap::new() }
     }
 
     /// Allocates an entry for `la`.
@@ -84,9 +81,7 @@ impl<T> Mshr<T> {
             "duplicate MSHR allocation for {la} (protocol bug)"
         );
         if self.entries.len() >= self.capacity {
-            return Err(MshrFullError {
-                capacity: self.capacity,
-            });
+            return Err(MshrFullError { capacity: self.capacity });
         }
         Ok(self.entries.entry(la).or_insert(txn))
     }

@@ -43,11 +43,7 @@ impl TreePlru {
             ways > 0 && ways.is_power_of_two(),
             "TreePlru ways must be a power of two (got {ways})"
         );
-        TreePlru {
-            sets,
-            ways,
-            bits: vec![false; sets * (ways - 1)],
-        }
+        TreePlru { sets, ways, bits: vec![false; sets * (ways - 1)] }
     }
 
     fn nodes_per_set(&self) -> usize {
@@ -99,8 +95,7 @@ impl TreePlru {
     #[must_use]
     pub fn victim(&self, set: usize) -> usize {
         let all = vec![true; self.ways];
-        self.victim_among(set, &all)
-            .expect("victim_among with full mask always finds a way")
+        self.victim_among(set, &all).expect("victim_among with full mask always finds a way")
     }
 
     /// The coldest way among those with `candidates[way] == true`.

@@ -40,8 +40,7 @@ fn cache_array_structural_invariants() {
                     match arr.insert(LineAddr(l), v) {
                         InsertOutcome::Inserted => {
                             // There must have been room in the home set.
-                            let in_set =
-                                resident.keys().filter(|&&k| k % sets == l % sets).count();
+                            let in_set = resident.keys().filter(|&&k| k % sets == l % sets).count();
                             assert!(in_set < ways, "insert without eviction in a full set");
                         }
                         InsertOutcome::Evicted(ev) => {

@@ -46,10 +46,7 @@ impl Outbox {
     /// Creates an outbox for an event being handled at `now`.
     #[must_use]
     pub fn new(now: Tick) -> Self {
-        Outbox {
-            now,
-            actions: Vec::new(),
-        }
+        Outbox { now, actions: Vec::new() }
     }
 
     /// The tick of the event being handled.
@@ -113,12 +110,7 @@ mod tests {
     fn actions_preserve_order() {
         let mut out = Outbox::new(Tick(5));
         out.wake_after(1);
-        out.send(Message::new(
-            AgentId::Dma,
-            AgentId::Directory,
-            LineAddr(0),
-            MsgKind::DmaRd,
-        ));
+        out.send(Message::new(AgentId::Dma, AgentId::Directory, LineAddr(0), MsgKind::DmaRd));
         out.wake_at(Tick(10));
         let acts = out.into_actions();
         assert_eq!(acts.len(), 3);

@@ -307,10 +307,7 @@ mod tests {
     fn duplicates_arrive_in_order_and_delays_add() {
         let mut dup = FaultyNetwork::new(
             LatencyMap::default(),
-            Some(FaultPlan {
-                dup_ppm: 1_000_000,
-                ..FaultPlan::drops(7, 0)
-            }),
+            Some(FaultPlan { dup_ppm: 1_000_000, ..FaultPlan::drops(7, 0) }),
         );
         match dup.send(Tick(0), &req(1)).unwrap() {
             Delivery::Twice(a, b) => assert!(a < b),
@@ -320,11 +317,7 @@ mod tests {
 
         let mut slow = FaultyNetwork::new(
             LatencyMap::default(),
-            Some(FaultPlan {
-                delay_ppm: 1_000_000,
-                extra_delay: 500,
-                ..FaultPlan::drops(7, 0)
-            }),
+            Some(FaultPlan { delay_ppm: 1_000_000, extra_delay: 500, ..FaultPlan::drops(7, 0) }),
         );
         let base = Tick(0) + LatencyMap::default().cache_dir;
         assert_eq!(slow.send(Tick(0), &req(1)).unwrap(), Delivery::Deliver(base + 500));

@@ -280,12 +280,8 @@ impl MsgKind {
             MsgKind::Flush => "Flush",
             MsgKind::DmaRd => "DmaRd",
             MsgKind::DmaWr { .. } => "DmaWr",
-            MsgKind::Probe {
-                kind: ProbeKind::Invalidate,
-            } => "PrbInv",
-            MsgKind::Probe {
-                kind: ProbeKind::Downgrade,
-            } => "PrbDown",
+            MsgKind::Probe { kind: ProbeKind::Invalidate } => "PrbInv",
+            MsgKind::Probe { kind: ProbeKind::Downgrade } => "PrbDown",
             MsgKind::ProbeAck { .. } => "PrbAck",
             MsgKind::Resp { .. } => "Resp",
             MsgKind::UpgradeAck => "UpgradeAck",
@@ -351,7 +347,10 @@ impl MsgKind {
     pub fn wants_invalidating_probes(&self) -> bool {
         matches!(
             self,
-            MsgKind::RdBlkM | MsgKind::WriteThrough { .. } | MsgKind::AtomicReq { .. } | MsgKind::DmaWr { .. }
+            MsgKind::RdBlkM
+                | MsgKind::WriteThrough { .. }
+                | MsgKind::AtomicReq { .. }
+                | MsgKind::DmaWr { .. }
         )
     }
 }
@@ -379,14 +378,7 @@ impl Message {
 
 impl fmt::Display for Message {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "{}→{} {} {}",
-            self.src,
-            self.dst,
-            self.kind.class_name(),
-            self.line
-        )
+        write!(f, "{}→{} {} {}", self.src, self.dst, self.kind.class_name(), self.line)
     }
 }
 
@@ -439,7 +431,11 @@ mod tests {
             MsgKind::RdBlkM,
             MsgKind::VicDirty { data: LineData::zeroed() },
             MsgKind::VicClean { data: LineData::zeroed() },
-            MsgKind::WriteThrough { data: LineData::zeroed(), mask: WordMask::full(), retains: true },
+            MsgKind::WriteThrough {
+                data: LineData::zeroed(),
+                mask: WordMask::full(),
+                retains: true,
+            },
             MsgKind::AtomicReq { word: 0, op: AtomicKind::FetchAdd(1) },
             MsgKind::Flush,
             MsgKind::DmaRd,
@@ -490,12 +486,17 @@ mod tests {
     #[test]
     fn write_permission_requests_want_invalidating_probes() {
         assert!(MsgKind::RdBlkM.wants_invalidating_probes());
-        assert!(MsgKind::AtomicReq { word: 0, op: AtomicKind::FetchAdd(1) }
-            .wants_invalidating_probes());
+        assert!(
+            MsgKind::AtomicReq { word: 0, op: AtomicKind::FetchAdd(1) }.wants_invalidating_probes()
+        );
         assert!(MsgKind::DmaWr { data: LineData::zeroed(), mask: WordMask::full() }
             .wants_invalidating_probes());
-        assert!(MsgKind::WriteThrough { data: LineData::zeroed(), mask: WordMask::full(), retains: true }
-            .wants_invalidating_probes());
+        assert!(MsgKind::WriteThrough {
+            data: LineData::zeroed(),
+            mask: WordMask::full(),
+            retains: true
+        }
+        .wants_invalidating_probes());
         assert!(!MsgKind::RdBlk.wants_invalidating_probes());
         assert!(!MsgKind::RdBlkS.wants_invalidating_probes());
         assert!(!MsgKind::DmaRd.wants_invalidating_probes());
@@ -503,12 +504,8 @@ mod tests {
 
     #[test]
     fn message_display_mentions_endpoints_and_class() {
-        let m = Message::new(
-            AgentId::CorePairL2(0),
-            AgentId::Directory,
-            LineAddr(4),
-            MsgKind::RdBlkM,
-        );
+        let m =
+            Message::new(AgentId::CorePairL2(0), AgentId::Directory, LineAddr(4), MsgKind::RdBlkM);
         let s = m.to_string();
         assert!(s.contains("L2[0]"));
         assert!(s.contains("DIR"));

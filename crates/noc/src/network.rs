@@ -44,10 +44,7 @@ impl Default for LatencyMap {
     /// 30 cycles cache↔directory, 10 cycles directory↔memory-controller
     /// (DRAM access time itself is modelled in the memory controller).
     fn default() -> Self {
-        LatencyMap {
-            cache_dir: 30,
-            dir_mem: 10,
-        }
+        LatencyMap { cache_dir: 30, dir_mem: 10 }
     }
 }
 
@@ -167,8 +164,8 @@ impl Network {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use hsc_mem::{LineAddr, LineData};
     use crate::ProbeKind;
+    use hsc_mem::{LineAddr, LineData};
 
     fn msg(src: AgentId, dst: AgentId, kind: MsgKind) -> Message {
         Message::new(src, dst, LineAddr(0), kind)
@@ -176,10 +173,7 @@ mod tests {
 
     #[test]
     fn latency_is_per_pair() {
-        let l = LatencyMap {
-            cache_dir: 7,
-            dir_mem: 3,
-        };
+        let l = LatencyMap { cache_dir: 7, dir_mem: 3 };
         assert_eq!(l.one_way(AgentId::CorePairL2(0), AgentId::Directory), Ok(7));
         assert_eq!(l.one_way(AgentId::Directory, AgentId::Tcc(0)), Ok(7));
         assert_eq!(l.one_way(AgentId::Dma, AgentId::Directory), Ok(7));
@@ -190,9 +184,7 @@ mod tests {
     #[test]
     fn cache_to_cache_is_a_wiring_error() {
         let l = LatencyMap::default();
-        let err = l
-            .one_way(AgentId::CorePairL2(0), AgentId::CorePairL2(1))
-            .unwrap_err();
+        let err = l.one_way(AgentId::CorePairL2(0), AgentId::CorePairL2(1)).unwrap_err();
         assert_eq!(err.src, AgentId::CorePairL2(0));
         assert_eq!(err.dst, AgentId::CorePairL2(1));
         assert!(err.to_string().contains("no direct link"));
@@ -206,14 +198,8 @@ mod tests {
 
     #[test]
     fn send_timestamps_with_one_way_latency() {
-        let mut net = Network::new(LatencyMap {
-            cache_dir: 5,
-            dir_mem: 2,
-        });
-        let t = net.send(
-            Tick(10),
-            &msg(AgentId::Directory, AgentId::Memory, MsgKind::MemRd),
-        );
+        let mut net = Network::new(LatencyMap { cache_dir: 5, dir_mem: 2 });
+        let t = net.send(Tick(10), &msg(AgentId::Directory, AgentId::Memory, MsgKind::MemRd));
         assert_eq!(t, Ok(Tick(12)));
     }
 
@@ -235,8 +221,7 @@ mod tests {
     #[test]
     fn memory_traffic_counters_split_reads_and_writes() {
         let mut net = Network::new(LatencyMap::default());
-        net.send(Tick(0), &msg(AgentId::Directory, AgentId::Memory, MsgKind::MemRd))
-            .unwrap();
+        net.send(Tick(0), &msg(AgentId::Directory, AgentId::Memory, MsgKind::MemRd)).unwrap();
         net.send(
             Tick(0),
             &msg(
@@ -265,16 +250,10 @@ mod tests {
         // Two messages on the same pair sent at t and t+1 arrive in order.
         let mut net = Network::new(LatencyMap::default());
         let a = net
-            .send(
-                Tick(0),
-                &msg(AgentId::CorePairL2(0), AgentId::Directory, MsgKind::RdBlk),
-            )
+            .send(Tick(0), &msg(AgentId::CorePairL2(0), AgentId::Directory, MsgKind::RdBlk))
             .unwrap();
         let b = net
-            .send(
-                Tick(1),
-                &msg(AgentId::CorePairL2(0), AgentId::Directory, MsgKind::Unblock),
-            )
+            .send(Tick(1), &msg(AgentId::CorePairL2(0), AgentId::Directory, MsgKind::Unblock))
             .unwrap();
         assert!(a < b);
     }

@@ -107,9 +107,11 @@ impl RetryTracker {
     /// requester, so a collision is a re-send of the same request).
     pub fn track(&mut self, now: Tick, msg: Message) {
         let Some(policy) = self.policy else { return };
-        self.pending
-            .entry(msg.line.0)
-            .or_insert(PendingRetry { msg, deadline: now + policy.backoff(0), attempts: 0 });
+        self.pending.entry(msg.line.0).or_insert(PendingRetry {
+            msg,
+            deadline: now + policy.backoff(0),
+            attempts: 0,
+        });
     }
 
     /// The request on `line` was acknowledged; stop tracking it.

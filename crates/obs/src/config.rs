@@ -62,10 +62,7 @@ impl ObsConfig {
     /// Panics if `epoch_ticks` is 0.
     #[must_use]
     pub fn report(epoch_ticks: u64) -> Self {
-        ObsConfig {
-            perfetto: false,
-            ..ObsConfig::full(epoch_ticks)
-        }
+        ObsConfig { perfetto: false, ..ObsConfig::full(epoch_ticks) }
     }
 
     /// Whether any subsystem is on.

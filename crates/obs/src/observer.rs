@@ -47,6 +47,62 @@ pub struct ObsData {
     pub resends: u64,
 }
 
+impl ObsData {
+    /// Folds another run's observer output into this one, the
+    /// campaign-level aggregate: latency histograms merge per class,
+    /// time series merge per name on their shared epoch grid
+    /// ([`TimeSeries::merge`]), agent profiles sum per agent, and the
+    /// span counters add. Name-keyed collections stay sorted, so the
+    /// aggregate of a fixed job list is identical however the merge
+    /// calls pair up — absorb is commutative and associative.
+    ///
+    /// Perfetto traces are **not** merged: interleaving event streams of
+    /// independent runs on one timeline is meaningless, so `self` keeps
+    /// its own trace (if any) and `other`'s is ignored.
+    pub fn absorb(&mut self, other: &ObsData) {
+        merge_sorted_by_key(
+            &mut self.latency,
+            &other.latency,
+            |(class, _)| class.clone(),
+            |(_, into), (_, from)| into.merge(from),
+        );
+        merge_sorted_by_key(
+            &mut self.time_series,
+            &other.time_series,
+            |s| s.name.clone(),
+            TimeSeries::merge,
+        );
+        merge_sorted_by_key(
+            &mut self.agents,
+            &other.agents,
+            |a| a.agent.clone(),
+            |into, from| {
+                into.events_handled = into.events_handled.saturating_add(from.events_handled);
+                into.ticks_advanced = into.ticks_advanced.saturating_add(from.ticks_advanced);
+            },
+        );
+        self.spans_completed = self.spans_completed.saturating_add(other.spans_completed);
+        self.spans_open = self.spans_open.saturating_add(other.spans_open);
+        self.resends = self.resends.saturating_add(other.resends);
+    }
+}
+
+/// Merges `from` into the key-sorted `into`: entries with matching keys
+/// combine via `combine`, the rest are inserted at their sort position.
+fn merge_sorted_by_key<T: Clone, K: Ord>(
+    into: &mut Vec<T>,
+    from: &[T],
+    key: impl Fn(&T) -> K,
+    combine: impl Fn(&mut T, &T),
+) {
+    for item in from {
+        match into.binary_search_by_key(&key(item), &key) {
+            Ok(i) => combine(&mut into[i], item),
+            Err(i) => into.insert(i, item.clone()),
+        }
+    }
+}
+
 /// Observability hook hub; one per [`hsc-core` `System`](ObsConfig).
 #[derive(Debug, Default)]
 pub struct Observer {
@@ -209,10 +265,8 @@ impl Observer {
             data.spans_completed = txns.completed();
             data.spans_open = txns.open_count();
             data.resends = txns.resends();
-            data.latency = txns
-                .histograms()
-                .map(|(class, h)| (class.to_owned(), h.clone()))
-                .collect();
+            data.latency =
+                txns.histograms().map(|(class, h)| (class.to_owned(), h.clone())).collect();
         }
         if let Some(sampler) = self.sampler {
             data.time_series = sampler.into_series();
@@ -297,17 +351,10 @@ mod tests {
         let mut o = Observer::new(ObsConfig::report(100));
         o.on_send(Tick(10), &rdblk(AgentId::CorePairL2(0)), &Delivery::Deliver(Tick(40)));
         assert!(o.sample_due(Tick(150)));
-        o.sample(
-            Tick(150),
-            &[("dir.inflight_txns".into(), 1)],
-            &[("events".into(), 42)],
-        );
+        o.sample(Tick(150), &[("dir.inflight_txns".into(), 1)], &[("events".into(), 42)]);
         let data = o.into_data();
         let names: Vec<&str> = data.time_series.iter().map(|s| s.name.as_str()).collect();
-        assert_eq!(
-            names,
-            ["dir.inflight_txns", "events", "noc.inflight.DIR", "txn.open_spans"]
-        );
+        assert_eq!(names, ["dir.inflight_txns", "events", "noc.inflight.DIR", "txn.open_spans"]);
         assert_eq!(data.spans_open, 1);
     }
 
@@ -323,5 +370,63 @@ mod tests {
         assert_eq!(dir.ticks_advanced, 25);
         let mem = data.agents.iter().find(|a| a.agent == "MEM").unwrap();
         assert_eq!((mem.events_handled, mem.ticks_advanced), (1, 0));
+    }
+}
+
+#[cfg(test)]
+mod absorb_tests {
+    use super::*;
+
+    fn data(class: &str, series: &[(u64, u64)], agent: &str) -> ObsData {
+        let mut h = Histogram::new();
+        h.record(100);
+        ObsData {
+            latency: vec![(class.to_owned(), h)],
+            time_series: vec![TimeSeries { name: "net.messages".into(), points: series.to_vec() }],
+            agents: vec![AgentProfile {
+                agent: agent.to_owned(),
+                events_handled: 2,
+                ticks_advanced: 50,
+            }],
+            perfetto: None,
+            spans_completed: 1,
+            spans_open: 0,
+            resends: 3,
+        }
+    }
+
+    #[test]
+    fn absorb_merges_by_name_and_sums_counters() {
+        let mut a = data("RdBlk", &[(100, 4)], "DIR");
+        let b = data("RdBlkM", &[(100, 6), (200, 1)], "DIR");
+        a.absorb(&b);
+        let classes: Vec<&str> = a.latency.iter().map(|(c, _)| c.as_str()).collect();
+        assert_eq!(classes, ["RdBlk", "RdBlkM"]);
+        assert_eq!(a.time_series[0].points, [(100, 10), (200, 1)]);
+        assert_eq!(a.agents.len(), 1);
+        assert_eq!(a.agents[0].events_handled, 4);
+        assert_eq!(a.agents[0].ticks_advanced, 100);
+        assert_eq!((a.spans_completed, a.resends), (2, 6));
+    }
+
+    #[test]
+    fn absorb_is_order_independent() {
+        let inputs = [
+            data("RdBlk", &[(100, 4)], "DIR"),
+            data("WT", &[(200, 9)], "MEM"),
+            data("RdBlk", &[(100, 1)], "DIR"),
+        ];
+        let mut fwd = ObsData::default();
+        for d in &inputs {
+            fwd.absorb(d);
+        }
+        let mut rev = ObsData::default();
+        for d in inputs.iter().rev() {
+            rev.absorb(d);
+        }
+        assert_eq!(fwd.latency, rev.latency);
+        assert_eq!(fwd.time_series, rev.time_series);
+        assert_eq!(fwd.agents, rev.agents);
+        assert_eq!(fwd.spans_completed, rev.spans_completed);
     }
 }

@@ -249,10 +249,7 @@ mod tests {
             .map(|e| e.get("args").unwrap().get("name").unwrap().as_str().unwrap())
             .collect();
         assert_eq!(metas, ["DIR", "L2[0]"]);
-        let x = events
-            .iter()
-            .find(|e| e.get("ph").unwrap().as_str() == Some("X"))
-            .unwrap();
+        let x = events.iter().find(|e| e.get("ph").unwrap().as_str() == Some("X")).unwrap();
         assert_eq!(x.get("ts").unwrap().as_f64(), Some(100.0));
         assert_eq!(x.get("dur").unwrap().as_f64(), Some(250.0));
     }

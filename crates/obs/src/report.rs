@@ -113,11 +113,7 @@ impl RunReport {
     /// Creates an empty report for `command`, stamping the git revision.
     #[must_use]
     pub fn new(command: &str) -> Self {
-        RunReport {
-            command: command.to_owned(),
-            git: git_describe(),
-            ..RunReport::default()
-        }
+        RunReport { command: command.to_owned(), git: git_describe(), ..RunReport::default() }
     }
 
     /// Sets the config fingerprint and summary from any `Debug`-rendered
@@ -165,6 +161,16 @@ impl RunReport {
     /// Propagates the underlying filesystem error.
     pub fn write_to(&self, path: &Path) -> io::Result<()> {
         std::fs::write(path, self.to_json_string())
+    }
+
+    /// Appends another report fragment's runs to this one, in call
+    /// order. This is how a parallel campaign assembles its report:
+    /// each job returns a fragment, and the driver merges them in
+    /// **submission** order, so the assembled report is byte-identical
+    /// to a serial run's regardless of job completion order. The
+    /// envelope (command, git, config fingerprint) stays `self`'s.
+    pub fn merge(&mut self, fragment: RunReport) {
+        self.runs.extend(fragment.runs);
     }
 }
 
@@ -293,20 +299,14 @@ mod tests {
         });
         let v = parse(&report.to_json_string()).expect("schema JSON parses");
         assert_eq!(v.get("schema").unwrap().as_str(), Some(REPORT_SCHEMA));
-        assert_eq!(
-            v.get("schema_version").unwrap().as_f64(),
-            Some(REPORT_SCHEMA_VERSION as f64)
-        );
+        assert_eq!(v.get("schema_version").unwrap().as_f64(), Some(REPORT_SCHEMA_VERSION as f64));
         assert!(!v.get("git").unwrap().as_str().unwrap().is_empty());
         let fp = v.get("config").unwrap().get("fingerprint").unwrap();
         assert_eq!(fp.as_str().unwrap().len(), 16);
         let run = &v.get("runs").unwrap().as_array().unwrap()[0];
         assert_eq!(run.get("outcome").unwrap().as_str(), Some("completed"));
         // Zero-valued counters must be present, not omitted.
-        assert_eq!(
-            run.get("counters").unwrap().get("l2.retries").unwrap().as_f64(),
-            Some(0.0)
-        );
+        assert_eq!(run.get("counters").unwrap().get("l2.retries").unwrap().as_f64(), Some(0.0));
         let rdblk = run.get("latency").unwrap().get("RdBlk").unwrap();
         assert_eq!(rdblk.get("count").unwrap().as_f64(), Some(3.0));
         assert_eq!(rdblk.get("max").unwrap().as_f64(), Some(300.0));

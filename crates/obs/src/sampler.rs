@@ -21,6 +21,52 @@ pub struct TimeSeries {
     pub points: Vec<(u64, u64)>,
 }
 
+impl TimeSeries {
+    /// Merges another series sampled on the same epoch grid into this
+    /// one: values on coinciding boundaries are (saturating) summed,
+    /// boundaries present in only one input are kept, and the result
+    /// stays in time order. The operation is commutative and
+    /// associative, so a campaign merging per-job series produces the
+    /// same aggregate regardless of job completion order.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use hsc_obs::TimeSeries;
+    ///
+    /// let mut a = TimeSeries { name: "net.messages".into(), points: vec![(100, 4), (300, 1)] };
+    /// let b = TimeSeries { name: "net.messages".into(), points: vec![(100, 6), (200, 2)] };
+    /// a.merge(&b);
+    /// assert_eq!(a.points, [(100, 10), (200, 2), (300, 1)]);
+    /// ```
+    pub fn merge(&mut self, other: &TimeSeries) {
+        let mut merged = Vec::with_capacity(self.points.len() + other.points.len());
+        let (mut i, mut j) = (0, 0);
+        while i < self.points.len() && j < other.points.len() {
+            let (ta, va) = self.points[i];
+            let (tb, vb) = other.points[j];
+            match ta.cmp(&tb) {
+                std::cmp::Ordering::Less => {
+                    merged.push((ta, va));
+                    i += 1;
+                }
+                std::cmp::Ordering::Greater => {
+                    merged.push((tb, vb));
+                    j += 1;
+                }
+                std::cmp::Ordering::Equal => {
+                    merged.push((ta, va.saturating_add(vb)));
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        merged.extend_from_slice(&self.points[i..]);
+        merged.extend_from_slice(&other.points[j..]);
+        self.points = merged;
+    }
+}
+
 /// Samples gauges and counter deltas at fixed epoch boundaries.
 ///
 /// The driver calls [`EpochSampler::due`] from its event loop; when it
@@ -97,10 +143,7 @@ impl EpochSampler {
     /// Records a monotonically increasing counter; the stored point is the
     /// delta since this counter's previous sample (first sample: vs 0).
     pub fn counter(&mut self, name: &str, cumulative: u64) {
-        let last = self
-            .last_counter
-            .insert(name.to_owned(), cumulative)
-            .unwrap_or(0);
+        let last = self.last_counter.insert(name.to_owned(), cumulative).unwrap_or(0);
         self.push(name, cumulative.saturating_sub(last));
     }
 
@@ -127,10 +170,7 @@ impl EpochSampler {
     /// Consumes the sampler, returning all series in name order.
     #[must_use]
     pub fn into_series(self) -> Vec<TimeSeries> {
-        self.series
-            .into_iter()
-            .map(|(name, points)| TimeSeries { name, points })
-            .collect()
+        self.series.into_iter().map(|(name, points)| TimeSeries { name, points }).collect()
     }
 }
 

@@ -100,17 +100,8 @@ impl TxnTracker {
     pub fn close(&mut self, now: Tick, agent: AgentId, line: u64) -> Option<ClosedSpan> {
         let span = self.open.remove(&(agent, line))?;
         self.completed += 1;
-        self.by_class
-            .entry(span.class)
-            .or_default()
-            .record(now.0 - span.start.0);
-        Some(ClosedSpan {
-            agent,
-            line,
-            class: span.class,
-            start: span.start,
-            end: now,
-        })
+        self.by_class.entry(span.class).or_default().record(now.0 - span.start.0);
+        Some(ClosedSpan { agent, line, class: span.class, start: span.start, end: now })
     }
 
     /// Per-class latency histograms in class-name order.

@@ -13,6 +13,10 @@
 //!
 //! The simulator is single-threaded by design: determinism is what lets the
 //! test-suite assert exact probe/memory-access counts against golden values.
+//! Parallelism lives one layer up, in `hsc_bench::par`, which runs whole
+//! independent simulations as campaign jobs — each worker owns its engine;
+//! only plain-data results ([`StatSet`], [`Histogram`], [`SimError`]) cross
+//! threads, merged deterministically in job-submission order.
 //!
 //! # Examples
 //!
@@ -42,3 +46,13 @@ pub use rng::DetRng;
 pub use stats::{Histogram, StatSet};
 pub use tick::Tick;
 pub use trace::{format_trace_line, NullTracer, StderrTracer, Tracer, VecTracer};
+
+// Compile-time proof that campaign job results built from this crate's
+// statistics and outcome types cross threads (`hsc_bench::par`).
+const _: () = {
+    const fn assert_send<T: Send>() {}
+    assert_send::<StatSet>();
+    assert_send::<Histogram>();
+    assert_send::<SimError>();
+    assert_send::<DeadlockSnapshot>();
+};

@@ -37,9 +37,7 @@ impl DetRng {
     /// Creates a generator seeded with `seed`.
     #[must_use]
     pub fn new(seed: u64) -> Self {
-        DetRng {
-            state: seed.wrapping_mul(GOLDEN_GAMMA) ^ 0x1234_5678_9ABC_DEF0,
-        }
+        DetRng { state: seed.wrapping_mul(GOLDEN_GAMMA) ^ 0x1234_5678_9ABC_DEF0 }
     }
 
     /// Returns the next 64-bit value in the sequence.
@@ -87,9 +85,7 @@ impl DetRng {
     /// distinct children.
     #[must_use]
     pub fn split(&mut self) -> DetRng {
-        DetRng {
-            state: mix(self.next_u64()),
-        }
+        DetRng { state: mix(self.next_u64()) }
     }
 
     /// Fisher–Yates shuffles `slice` in place.

@@ -84,10 +84,40 @@ impl StatSet {
     }
 
     /// Adds every counter of `other` into `self`.
+    ///
+    /// Merging is commutative and associative (counters add, touched
+    /// zero keys survive), so a campaign folding per-job `StatSet`s gets
+    /// the same aggregate in whatever order the folds happen — the
+    /// property `hsc_bench::par` relies on for deterministic summaries.
     pub fn merge(&mut self, other: &StatSet) {
         for (k, v) in &other.counters {
             *self.counters.entry(k.clone()).or_insert(0) += v;
         }
+    }
+
+    /// Folds any number of `StatSet`s into one aggregate.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use hsc_sim::StatSet;
+    ///
+    /// let mut a = StatSet::new();
+    /// a.add("x", 1);
+    /// let mut b = StatSet::new();
+    /// b.add("x", 2);
+    /// b.add("y", 5);
+    /// let all = StatSet::merge_all([&a, &b]);
+    /// assert_eq!(all.get("x"), 3);
+    /// assert_eq!(all.get("y"), 5);
+    /// ```
+    #[must_use]
+    pub fn merge_all<'a>(sets: impl IntoIterator<Item = &'a StatSet>) -> StatSet {
+        let mut out = StatSet::new();
+        for s in sets {
+            out.merge(s);
+        }
+        out
     }
 
     /// Iterates over `(key, value)` pairs in key order.
@@ -160,12 +190,7 @@ pub struct Histogram {
 
 impl Default for Histogram {
     fn default() -> Self {
-        Histogram {
-            buckets: [0; 64],
-            count: 0,
-            total: 0,
-            max: 0,
-        }
+        Histogram { buckets: [0; 64], count: 0, total: 0, max: 0 }
     }
 }
 
@@ -346,9 +371,7 @@ mod tests {
 
     #[test]
     fn collect_from_iterator() {
-        let s: StatSet = vec![("a".to_owned(), 1), ("a".to_owned(), 2)]
-            .into_iter()
-            .collect();
+        let s: StatSet = vec![("a".to_owned(), 1), ("a".to_owned(), 2)].into_iter().collect();
         assert_eq!(s.get("a"), 3);
     }
 

@@ -41,10 +41,7 @@ impl Tick {
     /// negative in a monotonic simulation.
     #[must_use]
     pub fn delta_since(self, earlier: Tick) -> u64 {
-        assert!(
-            earlier.0 <= self.0,
-            "delta_since called with a later tick ({earlier} > {self})"
-        );
+        assert!(earlier.0 <= self.0, "delta_since called with a later tick ({earlier} > {self})");
         self.0 - earlier.0
     }
 

@@ -77,7 +77,10 @@ enum CpuPhase {
     /// Reading the `control_points` shared words once.
     LoadCtrl(u64),
     /// Emitting compute+store per assigned point.
-    Point { next: u64, stored: bool },
+    Point {
+        next: u64,
+        stored: bool,
+    },
     Done,
 }
 
@@ -160,9 +163,7 @@ impl WavefrontProgram for GpuWorker {
         let lo = self.i;
         let hi = (lo + 16).min(self.hi);
         self.i = hi;
-        let stores = (lo..hi)
-            .map(|p| (Addr(OUT_BASE).word(p), self.bench.expected(p)))
-            .collect();
+        let stores = (lo..hi).map(|p| (Addr(OUT_BASE).word(p), self.bench.expected(p))).collect();
         GpuOp::VecStore(stores)
     }
 

@@ -262,7 +262,10 @@ impl WavefrontProgram for GpuStage {
                 GsState::Bump(f) => {
                     self.f += 1;
                     self.state = GsState::NextFrame;
-                    return GpuOp::AtomicSlc((self.bump_addr)(&self.bench, f), AtomicKind::FetchAdd(1));
+                    return GpuOp::AtomicSlc(
+                        (self.bump_addr)(&self.bench, f),
+                        AtomicKind::FetchAdd(1),
+                    );
                 }
             }
         }

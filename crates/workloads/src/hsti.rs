@@ -152,7 +152,8 @@ impl WavefrontProgram for GpuWorker {
         // The wavefront knows which elements it loads; lane values are
         // deterministic, so the bins can be computed without reading the
         // lane results back (CHAI's kernels bin per-lane in registers).
-        let addrs = lane_addrs_clipped(Addr(INPUT_BASE), self.i / self.lanes as u64, self.lanes, self.hi);
+        let addrs =
+            lane_addrs_clipped(Addr(INPUT_BASE), self.i / self.lanes as u64, self.lanes, self.hi);
         let lo = self.i;
         let hi = (self.i + self.lanes as u64).min(self.hi);
         self.i = hi;

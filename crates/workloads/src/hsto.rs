@@ -123,8 +123,7 @@ struct GpuWorker {
 impl WavefrontProgram for GpuWorker {
     fn next_op(&mut self, _last: Option<u64>) -> GpuOp {
         if self.i < self.bench.elements {
-            let addrs =
-                lane_addrs_clipped(Addr(INPUT_BASE), self.i / 16, 16, self.bench.elements);
+            let addrs = lane_addrs_clipped(Addr(INPUT_BASE), self.i / 16, 16, self.bench.elements);
             self.i = (self.i + 16).min(self.bench.elements);
             return GpuOp::VecLoad(addrs);
         }

@@ -131,9 +131,8 @@ impl CoreProgram for CpuWorker {
                 }
                 CpuState::Accumulate { i, p } => {
                     let v = last.expect("point load result");
-                    self.acc = self
-                        .acc
-                        .wrapping_add((v ^ synth_value(self.bench.seed + 1, i)) >> 52);
+                    self.acc =
+                        self.acc.wrapping_add((v ^ synth_value(self.bench.seed + 1, i)) >> 52);
                     self.state = CpuState::LoadPoint { i, p: p + 1 };
                 }
                 CpuState::AddPartial { i } => {
@@ -217,9 +216,7 @@ impl WavefrontProgram for GpuWorker {
                     }
                     let hi = (p + 16).min(self.hi);
                     self.state = GpuState::LoadPoints { i, p: hi };
-                    return GpuOp::VecLoad(
-                        (p..hi).map(|q| Addr(POINTS_BASE).word(q)).collect(),
-                    );
+                    return GpuOp::VecLoad((p..hi).map(|q| Addr(POINTS_BASE).word(q)).collect());
                 }
                 GpuState::AddPartial { i } => {
                     // Lane errors reduce in registers; one atomic add.
@@ -307,7 +304,10 @@ impl Workload for Rscd {
         for i in 0..self.iterations {
             let e = sys.final_word(self.err_addr(i));
             if e != self.iter_err(i) {
-                return Err(format!("iteration {i} error sum: got {e}, expected {}", self.iter_err(i)));
+                return Err(format!(
+                    "iteration {i} error sum: got {e}, expected {}",
+                    self.iter_err(i)
+                ));
             }
         }
         Ok(())

@@ -106,9 +106,8 @@ impl CoreProgram for CpuWorker {
                 }
                 CpuState::Accumulate { i, p } => {
                     let v = last.expect("point load result");
-                    self.acc = self
-                        .acc
-                        .wrapping_add((v ^ synth_value(self.bench.seed + 7, i)) >> 52);
+                    self.acc =
+                        self.acc.wrapping_add((v ^ synth_value(self.bench.seed + 7, i)) >> 52);
                     self.state = CpuState::LoadPoint { i, p: p + 1 };
                 }
                 CpuState::ReadBest { err } => {
@@ -251,11 +250,7 @@ impl Workload for Rsct {
         }
         b.init_word(Addr(BEST_ADDR), u64::MAX);
         for _ in 0..self.cpu_threads {
-            b.add_cpu_thread(Box::new(CpuWorker {
-                bench: *self,
-                acc: 0,
-                state: CpuState::Claim,
-            }));
+            b.add_cpu_thread(Box::new(CpuWorker { bench: *self, acc: 0, state: CpuState::Claim }));
         }
         for _ in 0..self.wavefronts {
             b.add_wavefront(Box::new(GpuWorker { bench: *self, state: GpuState::Claim }));

@@ -7,7 +7,13 @@ use hsc_sim::SimError;
 
 /// A collaborative CPU/GPU benchmark: knows how to populate a system and
 /// how to verify its own results from the final coherent memory state.
-pub trait Workload: fmt::Debug {
+///
+/// `Send + Sync` are supertraits so a `&dyn Workload` can be shared with
+/// the worker threads of a parallel campaign (`hsc_bench::par`): each job
+/// builds its own `System` from the shared, immutable workload
+/// definition. Workloads are plain data, so this costs implementors
+/// nothing.
+pub trait Workload: fmt::Debug + Send + Sync {
     /// Short CHAI-style identifier (`bs`, `cedd`, `tq`, …).
     fn name(&self) -> &'static str;
 
@@ -133,10 +139,23 @@ pub struct ObservedRun {
 /// Runs `w` with the given observability configuration, returning both
 /// the verified outcome and the collected observability data.
 #[must_use]
-pub fn run_workload_observed(w: &dyn Workload, config: SystemConfig, obs: ObsConfig) -> ObservedRun {
+pub fn run_workload_observed(
+    w: &dyn Workload,
+    config: SystemConfig,
+    obs: ObsConfig,
+) -> ObservedRun {
     let (outcome, obs) = observe_workload_on(w, config, obs);
     ObservedRun { outcome, obs }
 }
+
+// Compile-time proof that everything a campaign worker returns from a run
+// is `Send` (`hsc_bench::par` moves these across threads).
+const _: () = {
+    const fn assert_send<T: Send>() {}
+    assert_send::<RunResult>();
+    assert_send::<WorkloadError>();
+    assert_send::<ObservedRun>();
+};
 
 fn observe_workload_on(
     w: &dyn Workload,

@@ -58,10 +58,7 @@ impl Sc {
     }
 
     fn expected_kept(&self) -> Vec<u64> {
-        (0..self.elements)
-            .map(|i| self.input(i))
-            .filter(|&v| self.keeps(v))
-            .collect()
+        (0..self.elements).map(|i| self.input(i)).filter(|&v| self.keeps(v)).collect()
     }
 }
 
@@ -112,10 +109,8 @@ impl Compactor {
         if let Some((lo, hi)) = self.chunk.take() {
             // Filter the claimed chunk (values are deterministic, so the
             // survivors are known without reading lanes back).
-            self.kept = (lo..hi)
-                .map(|i| self.bench.input(i))
-                .filter(|&v| self.bench.keeps(v))
-                .collect();
+            self.kept =
+                (lo..hi).map(|i| self.bench.input(i)).filter(|&v| self.bench.keeps(v)).collect();
             return self.step(None);
         }
         match last {
@@ -252,9 +247,7 @@ impl WavefrontProgram for GpuWorker {
                 GpuPhase::LoadingChunk => {
                     let (lo, hi) = self.c.chunk.unwrap();
                     self.phase = GpuPhase::Driving;
-                    return GpuOp::VecLoad(
-                        (lo..hi).map(|i| Addr(INPUT_BASE).word(i)).collect(),
-                    );
+                    return GpuOp::VecLoad((lo..hi).map(|i| Addr(INPUT_BASE).word(i)).collect());
                 }
                 GpuPhase::Reserving => {
                     if let Some(old) = last {
@@ -265,7 +258,10 @@ impl WavefrontProgram for GpuWorker {
                 GpuPhase::Driving => match self.c.step(None) {
                     Step::ReserveOutput => {
                         self.phase = GpuPhase::Reserving;
-                        return GpuOp::AtomicSlc(self.c.bench.out_cursor(), AtomicKind::FetchAdd(1));
+                        return GpuOp::AtomicSlc(
+                            self.c.bench.out_cursor(),
+                            AtomicKind::FetchAdd(1),
+                        );
                     }
                     Step::Write(a, v) => {
                         return GpuOp::VecStore(vec![(a, v)]);
@@ -277,7 +273,7 @@ impl WavefrontProgram for GpuWorker {
                             AtomicKind::FetchAdd(self.c.bench.chunk),
                         );
                     }
-                        Step::Done => {
+                    Step::Done => {
                         if !self.released {
                             self.released = true;
                             return GpuOp::Release;
@@ -336,9 +332,8 @@ impl Workload for Sc {
             return Err(format!("kept {count}, expected {}", expected.len()));
         }
         // Order is nondeterministic across workers: compare multisets.
-        let mut got: Vec<u64> = (0..count)
-            .map(|i| sys.final_word(Addr(OUTPUT_BASE).word(i)))
-            .collect();
+        let mut got: Vec<u64> =
+            (0..count).map(|i| sys.final_word(Addr(OUTPUT_BASE).word(i))).collect();
         let mut want = expected;
         got.sort_unstable();
         want.sort_unstable();

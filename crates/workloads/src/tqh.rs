@@ -173,9 +173,7 @@ impl WavefrontProgram for Consumer {
                     }
                     let hi = (p0 + 16).min(self.bench.block_pixels);
                     self.state = GpuState::Scan { b, p: hi };
-                    return GpuOp::VecLoad(
-                        (p0..hi).map(|q| self.bench.pixel_addr(b, q)).collect(),
-                    );
+                    return GpuOp::VecLoad((p0..hi).map(|q| self.bench.pixel_addr(b, q)).collect());
                 }
                 GpuState::DrainBins { bins, i } => {
                     while *i < bins.len() && bins[*i] == 0 {

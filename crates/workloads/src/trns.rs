@@ -261,10 +261,8 @@ impl WavefrontProgram for GpuWorker {
                         continue;
                     }
                     let hi = (self.i + 16).min(self.cycle.len());
-                    let addrs = self.cycle[self.i..hi]
-                        .iter()
-                        .map(|&k| self.bench.elem_addr(k))
-                        .collect();
+                    let addrs =
+                        self.cycle[self.i..hi].iter().map(|&k| self.bench.elem_addr(k)).collect();
                     self.i = hi;
                     return GpuOp::VecLoad(addrs);
                 }

@@ -9,7 +9,14 @@
 use hsc_repro::prelude::*;
 
 fn main() {
-    let bench = Cedd { frames: 4, pixels: 512, cpu_per_stage: 2, wfs_per_stage: 4, seed: 41, frame_interval: 30_000 };
+    let bench = Cedd {
+        frames: 4,
+        pixels: 512,
+        cpu_per_stage: 2,
+        wfs_per_stage: 4,
+        seed: 41,
+        frame_interval: 30_000,
+    };
     println!(
         "{:>10} {:>10} {:>9} {:>12} {:>14}",
         "dirEntries", "cycles", "probes", "entryEvicts", "backInvProbes"

@@ -13,7 +13,8 @@
 use hsc_repro::prelude::*;
 
 fn main() {
-    let bench = Tq { tasks: 512, producers: 4, cpu_consumers: 4, wavefronts: 8, compute: 40, seed: 17 };
+    let bench =
+        Tq { tasks: 512, producers: 4, cpu_consumers: 4, wavefronts: 8, compute: 40, seed: 17 };
     let tiers: [(&str, CoherenceConfig); 5] = [
         ("baseline (stateless dir, WT LLC)", CoherenceConfig::baseline()),
         ("+ no WB of clean victims (III-B)", CoherenceConfig::no_wb_clean_victims()),

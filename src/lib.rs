@@ -20,6 +20,7 @@
 
 #![warn(missing_docs)]
 
+pub use hsc_bench as bench;
 pub use hsc_cluster as cluster;
 pub use hsc_core as core;
 pub use hsc_mem as mem;
@@ -30,6 +31,7 @@ pub use hsc_workloads as workloads;
 
 /// The names almost every user of the simulator needs.
 pub mod prelude {
+    pub use hsc_bench::par::{Campaign, JobError, JobResult, Parallelism};
     pub use hsc_cluster::{CoreProgram, CpuOp, GpuOp, WavefrontProgram};
     pub use hsc_core::{
         CleanVictimPolicy, CoherenceConfig, DirReplacementPolicy, DirectoryMode, LlcWritePolicy,
@@ -41,8 +43,8 @@ pub mod prelude {
     pub use hsc_sim::{DeadlockSnapshot, RunOutcome, SimError};
     pub use hsc_workloads::{
         all_workloads, collaborative_workloads, extension_workloads, run_workload,
-        run_workload_observed, run_workload_on, try_run_workload_on, workload_by_name,
-        Bs, Cedd, Hsti, Hsto, ObservedRun, Pad, Rscd, Rsct, RunResult, Sc, Tq, Tqh, Trns,
-        Workload, WorkloadError,
+        run_workload_observed, run_workload_on, try_run_workload_on, workload_by_name, Bs, Cedd,
+        Hsti, Hsto, ObservedRun, Pad, Rscd, Rsct, RunResult, Sc, Tq, Tqh, Trns, Workload,
+        WorkloadError,
     };
 }

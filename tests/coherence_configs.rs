@@ -22,15 +22,52 @@ fn all_configs() -> Vec<(&'static str, CoherenceConfig)> {
 fn small_suite() -> Vec<Box<dyn Workload>> {
     vec![
         Box::new(Bs { surface_points: 4096, cpu_threads: 4, wavefronts: 8, ..Bs::default() }),
-        Box::new(Cedd { frames: 2, pixels: 256, cpu_per_stage: 2, wfs_per_stage: 4, ..Cedd::default() }),
-        Box::new(Pad { rows: 64, cols: 12, pad: 4, cpu_threads: 4, wavefronts: 4, ..Pad::default() }),
+        Box::new(Cedd {
+            frames: 2,
+            pixels: 256,
+            cpu_per_stage: 2,
+            wfs_per_stage: 4,
+            ..Cedd::default()
+        }),
+        Box::new(Pad {
+            rows: 64,
+            cols: 12,
+            pad: 4,
+            cpu_threads: 4,
+            wavefronts: 4,
+            ..Pad::default()
+        }),
         Box::new(Sc { elements: 4096, cpu_threads: 4, wavefronts: 8, ..Sc::default() }),
         Box::new(Tq { tasks: 256, producers: 2, cpu_consumers: 2, wavefronts: 8, ..Tq::default() }),
-        Box::new(Hsti { elements: 2048, bins: 32, cpu_threads: 4, wavefronts: 8, ..Hsti::default() }),
-        Box::new(Hsto { elements: 2048, bins: 48, cpu_threads: 4, wavefronts: 8, ..Hsto::default() }),
+        Box::new(Hsti {
+            elements: 2048,
+            bins: 32,
+            cpu_threads: 4,
+            wavefronts: 8,
+            ..Hsti::default()
+        }),
+        Box::new(Hsto {
+            elements: 2048,
+            bins: 48,
+            cpu_threads: 4,
+            wavefronts: 8,
+            ..Hsto::default()
+        }),
         Box::new(Trns { rows: 32, cols: 33, cpu_threads: 4, wavefronts: 8, ..Trns::default() }),
-        Box::new(Rscd { iterations: 6, points: 1024, cpu_threads: 4, wavefronts: 8, ..Rscd::default() }),
-        Box::new(Rsct { iterations: 8, points: 1024, cpu_threads: 4, wavefronts: 8, ..Rsct::default() }),
+        Box::new(Rscd {
+            iterations: 6,
+            points: 1024,
+            cpu_threads: 4,
+            wavefronts: 8,
+            ..Rscd::default()
+        }),
+        Box::new(Rsct {
+            iterations: 8,
+            points: 1024,
+            cpu_threads: 4,
+            wavefronts: 8,
+            ..Rsct::default()
+        }),
     ]
 }
 
@@ -58,8 +95,10 @@ fn every_workload_verifies_on_the_full_table_ii_system() {
 fn tracking_reduces_probes_on_every_collaborative_benchmark() {
     for w in small_suite() {
         let base = run_workload_on(w.as_ref(), SystemConfig::scaled(CoherenceConfig::baseline()));
-        let own = run_workload_on(w.as_ref(), SystemConfig::scaled(CoherenceConfig::owner_tracking()));
-        let shr = run_workload_on(w.as_ref(), SystemConfig::scaled(CoherenceConfig::sharer_tracking()));
+        let own =
+            run_workload_on(w.as_ref(), SystemConfig::scaled(CoherenceConfig::owner_tracking()));
+        let shr =
+            run_workload_on(w.as_ref(), SystemConfig::scaled(CoherenceConfig::sharer_tracking()));
         assert!(
             own.metrics.probes_sent < base.metrics.probes_sent,
             "{}: owner tracking must cut probes ({} vs {})",
@@ -79,7 +118,8 @@ fn tracking_reduces_probes_on_every_collaborative_benchmark() {
 fn write_back_llc_never_increases_memory_writes() {
     for w in small_suite() {
         let base = run_workload_on(w.as_ref(), SystemConfig::scaled(CoherenceConfig::baseline()));
-        let wb = run_workload_on(w.as_ref(), SystemConfig::scaled(CoherenceConfig::llc_write_back()));
+        let wb =
+            run_workload_on(w.as_ref(), SystemConfig::scaled(CoherenceConfig::llc_write_back()));
         assert!(
             wb.metrics.mem_writes <= base.metrics.mem_writes,
             "{}: llcWB must not add memory writes ({} vs {})",
@@ -144,7 +184,8 @@ fn two_gpu_clusters_stay_coherent() {
         assert!(r.metrics.gpu_cycles > 0);
         let w = Tq { tasks: 256, producers: 2, cpu_consumers: 2, wavefronts: 8, ..Tq::default() };
         let _ = run_workload_on(&w, sys_cfg);
-        let w = Cedd { frames: 2, pixels: 256, cpu_per_stage: 2, wfs_per_stage: 4, ..Cedd::default() };
+        let w =
+            Cedd { frames: 2, pixels: 256, cpu_per_stage: 2, wfs_per_stage: 4, ..Cedd::default() };
         let _ = run_workload_on(&w, sys_cfg);
     }
 }
@@ -176,26 +217,88 @@ fn device_exclusive_variants_verify() {
     let cfg = SystemConfig::scaled(CoherenceConfig::sharer_tracking());
     let cpu_only: Vec<Box<dyn Workload>> = vec![
         Box::new(Bs { surface_points: 2048, cpu_threads: 8, wavefronts: 0, ..Bs::default() }),
-        Box::new(Hsti { elements: 1024, bins: 16, cpu_threads: 8, wavefronts: 0, ..Hsti::default() }),
-        Box::new(Hsto { elements: 1024, bins: 24, cpu_threads: 8, wavefronts: 0, ..Hsto::default() }),
+        Box::new(Hsti {
+            elements: 1024,
+            bins: 16,
+            cpu_threads: 8,
+            wavefronts: 0,
+            ..Hsti::default()
+        }),
+        Box::new(Hsto {
+            elements: 1024,
+            bins: 24,
+            cpu_threads: 8,
+            wavefronts: 0,
+            ..Hsto::default()
+        }),
         Box::new(Sc { elements: 2048, cpu_threads: 8, wavefronts: 0, ..Sc::default() }),
         Box::new(Trns { rows: 16, cols: 17, cpu_threads: 8, wavefronts: 0, ..Trns::default() }),
-        Box::new(Rscd { iterations: 4, points: 512, cpu_threads: 8, wavefronts: 0, ..Rscd::default() }),
-        Box::new(Rsct { iterations: 6, points: 512, cpu_threads: 8, wavefronts: 0, ..Rsct::default() }),
-        Box::new(Pad { rows: 32, cols: 12, pad: 4, cpu_threads: 8, wavefronts: 0, ..Pad::default() }),
+        Box::new(Rscd {
+            iterations: 4,
+            points: 512,
+            cpu_threads: 8,
+            wavefronts: 0,
+            ..Rscd::default()
+        }),
+        Box::new(Rsct {
+            iterations: 6,
+            points: 512,
+            cpu_threads: 8,
+            wavefronts: 0,
+            ..Rsct::default()
+        }),
+        Box::new(Pad {
+            rows: 32,
+            cols: 12,
+            pad: 4,
+            cpu_threads: 8,
+            wavefronts: 0,
+            ..Pad::default()
+        }),
     ];
     for w in cpu_only {
         let _ = run_workload_on(w.as_ref(), cfg);
     }
     let gpu_only: Vec<Box<dyn Workload>> = vec![
         Box::new(Bs { surface_points: 2048, cpu_threads: 0, wavefronts: 8, ..Bs::default() }),
-        Box::new(Hsti { elements: 1024, bins: 16, cpu_threads: 0, wavefronts: 8, ..Hsti::default() }),
-        Box::new(Hsto { elements: 1024, bins: 24, cpu_threads: 0, wavefronts: 8, ..Hsto::default() }),
+        Box::new(Hsti {
+            elements: 1024,
+            bins: 16,
+            cpu_threads: 0,
+            wavefronts: 8,
+            ..Hsti::default()
+        }),
+        Box::new(Hsto {
+            elements: 1024,
+            bins: 24,
+            cpu_threads: 0,
+            wavefronts: 8,
+            ..Hsto::default()
+        }),
         Box::new(Sc { elements: 2048, cpu_threads: 0, wavefronts: 8, ..Sc::default() }),
         Box::new(Trns { rows: 16, cols: 17, cpu_threads: 0, wavefronts: 8, ..Trns::default() }),
-        Box::new(Rscd { iterations: 4, points: 512, cpu_threads: 0, wavefronts: 8, ..Rscd::default() }),
-        Box::new(Rsct { iterations: 6, points: 512, cpu_threads: 0, wavefronts: 8, ..Rsct::default() }),
-        Box::new(Pad { rows: 32, cols: 12, pad: 4, cpu_threads: 0, wavefronts: 8, ..Pad::default() }),
+        Box::new(Rscd {
+            iterations: 4,
+            points: 512,
+            cpu_threads: 0,
+            wavefronts: 8,
+            ..Rscd::default()
+        }),
+        Box::new(Rsct {
+            iterations: 6,
+            points: 512,
+            cpu_threads: 0,
+            wavefronts: 8,
+            ..Rsct::default()
+        }),
+        Box::new(Pad {
+            rows: 32,
+            cols: 12,
+            pad: 4,
+            cpu_threads: 0,
+            wavefronts: 8,
+            ..Pad::default()
+        }),
     ];
     for w in gpu_only {
         let _ = run_workload_on(w.as_ref(), cfg);

@@ -7,12 +7,7 @@ use hsc_repro::prelude::*;
 fn run_once(cfg: CoherenceConfig) -> (u64, u64, u64, u64) {
     let w = Tq { tasks: 128, producers: 2, cpu_consumers: 2, wavefronts: 4, compute: 10, seed: 5 };
     let r = run_workload_on(&w, SystemConfig::scaled(cfg));
-    (
-        r.metrics.gpu_cycles,
-        r.metrics.probes_sent,
-        r.metrics.mem_reads,
-        r.metrics.mem_writes,
-    )
+    (r.metrics.gpu_cycles, r.metrics.probes_sent, r.metrics.mem_reads, r.metrics.mem_writes)
 }
 
 #[test]

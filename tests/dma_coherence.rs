@@ -130,10 +130,7 @@ fn dma_read_observes_cpu_dirty_data() {
         // prove the path: at least one dirty line was forwarded.)
         let m = sys.metrics();
         assert!(m.stats.get("dma.reads") >= LINES);
-        assert!(
-            m.probes_sent > 0,
-            "DMA reads must probe the CPU caches for dirty data"
-        );
+        assert!(m.probes_sent > 0, "DMA reads must probe the CPU caches for dirty data");
         for i in 0..LINES * 8 {
             assert_eq!(sys.final_word(REGION.word(i)), 3000 + i);
         }

@@ -1,0 +1,195 @@
+//! The parallel campaign runner must be invisible in the results: a sweep
+//! executed on 4 worker threads renders the same tables and the same
+//! `RunReport` JSON, byte for byte, as the serial run — only wall-clock
+//! may differ. A panicking job must surface as a named `JobError` while
+//! its sibling jobs complete, and the cross-job statistics merges must be
+//! order-independent.
+
+use hsc_repro::bench::par::{expect_all, Campaign, Parallelism};
+use hsc_repro::bench::reporting::{observed_record, REPORT_EPOCH_TICKS};
+use hsc_repro::bench::sweep;
+use hsc_repro::obs::TimeSeries;
+use hsc_repro::prelude::*;
+use hsc_repro::sim::StatSet;
+
+/// Small-but-real seeded workloads so the sweep exercises actual
+/// simulations, not stub closures.
+fn seeded_workloads() -> Vec<Box<dyn Workload>> {
+    vec![
+        Box::new(Tq {
+            tasks: 64,
+            producers: 2,
+            cpu_consumers: 2,
+            wavefronts: 4,
+            compute: 10,
+            seed: 5,
+        }),
+        Box::new(Hsti { elements: 256, bins: 8, cpu_threads: 2, wavefronts: 2, seed: 1 }),
+    ]
+}
+
+type ConfigCtor = fn() -> CoherenceConfig;
+const CONFIGS: [(&str, ConfigCtor); 2] =
+    [("baseline", CoherenceConfig::baseline), ("sharer", CoherenceConfig::sharer_tracking)];
+
+/// Renders a sweep result the way the figure bins do: a deterministic
+/// table string.
+fn render_sweep(par: Parallelism) -> String {
+    let workloads = seeded_workloads();
+    let configs: Vec<(&'static str, CoherenceConfig)> =
+        CONFIGS.iter().map(|(n, f)| (*n, f())).collect();
+    let cells = sweep(&workloads, &configs, par);
+    let mut out = String::new();
+    for c in &cells {
+        out.push_str(&format!(
+            "{:8} {:>16} {:>10} {:>8} {:>6} {:>6}\n",
+            c.workload,
+            c.config,
+            c.metrics.gpu_cycles,
+            c.metrics.probes_sent,
+            c.metrics.mem_reads,
+            c.metrics.mem_writes
+        ));
+    }
+    out
+}
+
+#[test]
+fn sweep_table_is_byte_identical_across_worker_counts() {
+    let serial = render_sweep(Parallelism::of(1));
+    let parallel = render_sweep(Parallelism::of(4));
+    assert!(!serial.is_empty());
+    assert_eq!(serial, parallel, "table output must not depend on the worker count");
+}
+
+#[test]
+fn report_json_is_byte_identical_across_worker_counts() {
+    let build = |par: Parallelism| {
+        let cfg = SystemConfig::scaled(CoherenceConfig::baseline());
+        let workloads = seeded_workloads();
+        let mut report = RunReport::new("parallel_runner_test");
+        report.fingerprint_config(&cfg);
+        let mut campaign = Campaign::new("report");
+        for w in &workloads {
+            let w = w.as_ref();
+            campaign.push(w.name(), move || {
+                observed_record(w, "baseline", cfg, ObsConfig::report(REPORT_EPOCH_TICKS))
+            });
+        }
+        report.runs = expect_all("report", campaign.run(par));
+        report.to_json_string()
+    };
+    let serial = build(Parallelism::of(1));
+    let parallel = build(Parallelism::of(4));
+    assert!(serial.contains("\"schema\""));
+    assert_eq!(serial, parallel, "RunReport JSON must not depend on the worker count");
+}
+
+#[test]
+fn panicking_job_is_a_named_error_and_siblings_still_run() {
+    let w = Tq { tasks: 64, producers: 2, cpu_consumers: 2, wavefronts: 4, compute: 10, seed: 5 };
+    let mut campaign = Campaign::new("mixed");
+    campaign.push("tq/before", || {
+        run_workload_on(&w, SystemConfig::scaled(CoherenceConfig::baseline())).metrics.gpu_cycles
+    });
+    campaign.push("doomed", || panic!("injected campaign failure"));
+    campaign.push("tq/after", || {
+        run_workload_on(&w, SystemConfig::scaled(CoherenceConfig::sharer_tracking()))
+            .metrics
+            .gpu_cycles
+    });
+    let results = campaign.run(Parallelism::of(3));
+    assert_eq!(results.len(), 3);
+    assert!(results[0].as_ref().is_ok_and(|&c| c > 0), "sibling before the panic completes");
+    assert!(results[2].as_ref().is_ok_and(|&c| c > 0), "sibling after the panic completes");
+    let err = results[1].as_ref().expect_err("the panicking job must fail");
+    assert_eq!(err.job, "doomed", "the error names the submitted job");
+    assert!(err.message.contains("injected campaign failure"));
+}
+
+#[test]
+fn simulation_panics_are_captured_per_job() {
+    // A run that trips the event budget panics inside `run_workload_on`;
+    // the campaign must convert it into a JobError naming the job.
+    let w = Hsti { elements: 256, bins: 8, cpu_threads: 2, wavefronts: 2, seed: 1 };
+    let mut campaign = Campaign::new("budget");
+    campaign.push("hsti/ok", || {
+        run_workload_on(&w, SystemConfig::scaled(CoherenceConfig::baseline())).metrics.ticks
+    });
+    campaign.push("hsti/starved", || {
+        let mut b = SystemBuilder::new(SystemConfig::scaled(CoherenceConfig::baseline()));
+        w.build(&mut b);
+        let mut sys = b.build();
+        match sys.run(10) {
+            Ok(m) => m.ticks,
+            Err(e) => panic!("starved run failed as expected: {e}"),
+        }
+    });
+    let results = campaign.run(Parallelism::of(2));
+    assert!(results[0].is_ok());
+    let err = results[1].as_ref().expect_err("budget-starved job must fail");
+    assert_eq!(err.job, "hsti/starved");
+    assert!(err.message.contains("starved run failed as expected"));
+}
+
+#[test]
+fn disjoint_statset_merge_is_order_independent() {
+    let mut a = StatSet::new();
+    a.add("dir.probes_sent", 7);
+    a.add("cp0.l2.hits", 100);
+    a.touch("cp0.l2.retries"); // zero key must survive in either order
+    let mut b = StatSet::new();
+    b.add("tcc.hits", 42);
+    b.add("wf.vec_loads", 9);
+
+    let mut ab = a.clone();
+    ab.merge(&b);
+    let mut ba = b.clone();
+    ba.merge(&a);
+    assert_eq!(ab, ba, "disjoint StatSet merge must commute");
+    assert_eq!(ab, StatSet::merge_all([&a, &b]));
+    assert_eq!(ab.len(), 5);
+    assert_eq!(ab.get("cp0.l2.retries"), 0);
+
+    // Overlapping keys commute too (counters add).
+    let mut c = StatSet::new();
+    c.add("dir.probes_sent", 3);
+    let mut ac = a.clone();
+    ac.merge(&c);
+    let mut ca = c.clone();
+    ca.merge(&a);
+    assert_eq!(ac, ca);
+    assert_eq!(ac.get("dir.probes_sent"), 10);
+}
+
+#[test]
+fn time_series_merge_aligns_epochs_and_commutes() {
+    let a = TimeSeries { name: "net.messages".into(), points: vec![(100, 4), (300, 1)] };
+    let b = TimeSeries { name: "net.messages".into(), points: vec![(100, 6), (200, 2)] };
+    let mut ab = a.clone();
+    ab.merge(&b);
+    let mut ba = b.clone();
+    ba.merge(&a);
+    assert_eq!(ab.points, [(100, 10), (200, 2), (300, 1)]);
+    assert_eq!(ab, ba, "time-series merge must commute");
+}
+
+#[test]
+fn campaign_results_preserve_submission_order_with_real_runs() {
+    // Submit in an order where the heavier job comes first, so under real
+    // parallelism the lighter job finishes earlier — results must still
+    // come back in submission order.
+    let heavy =
+        Tq { tasks: 128, producers: 2, cpu_consumers: 2, wavefronts: 4, compute: 10, seed: 5 };
+    let light = Hsti { elements: 128, bins: 8, cpu_threads: 2, wavefronts: 2, seed: 1 };
+    let mut campaign = Campaign::new("order");
+    campaign.push("heavy", || {
+        run_workload_on(&heavy, SystemConfig::scaled(CoherenceConfig::baseline())).workload
+    });
+    campaign.push("light", || {
+        run_workload_on(&light, SystemConfig::scaled(CoherenceConfig::baseline())).workload
+    });
+    let names: Vec<&str> =
+        expect_all("order", campaign.run(Parallelism::of(2))).into_iter().collect();
+    assert_eq!(names, ["tq", "hsti"]);
+}
