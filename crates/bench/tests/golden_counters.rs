@@ -1,0 +1,104 @@
+//! Golden determinism tests for the counter pipeline.
+//!
+//! The interned-counter refactor (dense `Counters` in the controllers,
+//! `StatSet` only at export time) must not change a single byte of any
+//! report: these fixtures were generated from the string-keyed
+//! implementation and every later change to the counter path has to
+//! reproduce them exactly — same keys, same values, same ordering, same
+//! zero-valued pre-registered entries.
+//!
+//! Regenerate with `UPDATE_GOLDEN=1 cargo test -p hsc-bench --test
+//! golden_counters` and audit the diff; a fixture change means counter
+//! *semantics* changed and must be called out in review.
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+use hsc_bench::reporting::{observed_record, REPORT_EPOCH_TICKS};
+use hsc_core::{CoherenceConfig, SystemConfig};
+use hsc_obs::{ObsConfig, RunReport};
+use hsc_workloads::{run_workload_observed, Hsti, Tq, Workload};
+
+fn quick_workloads() -> Vec<Box<dyn Workload>> {
+    // Mirrors `repro_all --quick`'s report set.
+    vec![Box::new(Tq::default()), Box::new(Hsti::default())]
+}
+
+fn fixture_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests").join("fixtures").join(name)
+}
+
+/// Compares `got` against the checked-in fixture, or rewrites the
+/// fixture when `UPDATE_GOLDEN` is set. On mismatch the panic names the
+/// first differing line so a counter regression is readable in CI logs.
+fn check_golden(name: &str, got: &str) {
+    let path = fixture_path(name);
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::create_dir_all(path.parent().expect("fixture dir")).expect("create fixture dir");
+        std::fs::write(&path, got).expect("write fixture");
+        return;
+    }
+    let want = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!("missing golden fixture {} ({e}); regenerate with UPDATE_GOLDEN=1", path.display())
+    });
+    if want != got {
+        let mismatch =
+            want.lines().zip(got.lines()).enumerate().find(|(_, (w, g))| w != g).map_or_else(
+                || {
+                    format!(
+                        "line counts differ: fixture {} vs output {}",
+                        want.lines().count(),
+                        got.lines().count()
+                    )
+                },
+                |(i, (w, g))| {
+                    format!("first diff at line {}:\n  fixture: {w}\n  output:  {g}", i + 1)
+                },
+            );
+        panic!("output diverged from golden fixture {name}; {mismatch}");
+    }
+}
+
+/// `repro_all --quick --jobs 1 --report` JSON must be byte-identical
+/// across the interning refactor. The `git` field necessarily varies per
+/// commit, so it is pinned to a fixed value before serialization; all
+/// counter keys, values, orderings, latency percentiles and time series
+/// come from the simulation and are compared exactly.
+#[test]
+fn quick_report_json_matches_golden() {
+    let cfg = SystemConfig::scaled(CoherenceConfig::baseline());
+    let mut report = RunReport::new("repro_all");
+    report.git = "golden".to_owned();
+    report.fingerprint_config(&cfg);
+    for w in &quick_workloads() {
+        report.runs.push(observed_record(
+            w.as_ref(),
+            "baseline",
+            cfg,
+            ObsConfig::report(REPORT_EPOCH_TICKS),
+        ));
+    }
+    check_golden("quick_report.golden.json", &report.to_json_string());
+}
+
+/// The end-of-run `Metrics` — scalar accessors plus the full merged
+/// `StatSet` table, exactly as stdout tables render it — for the quick
+/// workload set with observability off. Pre-registered zero-valued keys
+/// must stay present and the key ordering must stay sorted.
+#[test]
+fn quick_metrics_tables_match_golden() {
+    let cfg = SystemConfig::scaled(CoherenceConfig::baseline());
+    let mut table = String::new();
+    for w in &quick_workloads() {
+        let run = run_workload_observed(w.as_ref(), cfg, ObsConfig::off());
+        let r = run.outcome.unwrap_or_else(|e| panic!("{} failed: {e}", w.name()));
+        writeln!(table, "== {} ==", w.name()).unwrap();
+        writeln!(table, "ticks        {}", r.metrics.ticks).unwrap();
+        writeln!(table, "gpu_cycles   {}", r.metrics.gpu_cycles).unwrap();
+        writeln!(table, "probes_sent  {}", r.metrics.probes_sent).unwrap();
+        writeln!(table, "mem_reads    {}", r.metrics.mem_reads).unwrap();
+        writeln!(table, "mem_writes   {}", r.metrics.mem_writes).unwrap();
+        write!(table, "{}", r.metrics.stats).unwrap();
+    }
+    check_golden("quick_metrics.golden.txt", &table);
+}

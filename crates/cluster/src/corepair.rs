@@ -1,6 +1,8 @@
 use hsc_mem::{Addr, CacheArray, CacheGeometry, LineAddr, LineData, Mshr, VictimBuffer};
-use hsc_noc::{AgentId, Message, MsgKind, Outbox, ProbeKind, RetryPolicy, RetryTracker};
-use hsc_sim::{StatSet, Tick};
+use hsc_noc::{
+    AgentId, ClassCounters, Message, MsgKind, Outbox, ProbeKind, RetryPolicy, RetryTracker,
+};
+use hsc_sim::{CounterId, Counters, StatSet, Tick};
 
 use crate::{cpu_cycles, CoreProgram, CpuOp, MoesiState};
 
@@ -124,7 +126,69 @@ pub struct CorePair {
     mshr: Mshr<L2Txn>,
     victims: VictimBuffer,
     retry: RetryTracker,
-    stats: StatSet,
+    counters: Counters,
+    ids: CpIds,
+}
+
+/// Interned counter ids for every key a CorePair ever bumps, so the
+/// per-message and per-op paths never build a string key.
+#[derive(Debug)]
+struct CpIds {
+    loads: CounterId,
+    stores: CounterId,
+    atomics: CounterId,
+    compute_ops: CounterId,
+    done: CounterId,
+    l1d_hits: CounterId,
+    l1d_misses: CounterId,
+    l1i_hits: CounterId,
+    l1i_misses: CounterId,
+    l2_hits: CounterId,
+    l2_misses: CounterId,
+    upgrades: CounterId,
+    silent_e_to_m: CounterId,
+    vic_clean: CounterId,
+    vic_dirty: CounterId,
+    probes_received: CounterId,
+    probe_invalidations: CounterId,
+    retries: CounterId,
+    stale_resps: CounterId,
+    unexpected_msgs: CounterId,
+    unexpected: ClassCounters,
+    req: ClassCounters,
+}
+
+impl CpIds {
+    /// Registers every CorePair counter. The fixed per-pair keys are
+    /// visible (exported at 0, so reports and time series list quiet
+    /// counters instead of omitting them); diagnostic and per-class
+    /// request keys stay hidden until first bumped.
+    fn register(counters: &mut Counters) -> Self {
+        CpIds {
+            loads: counters.register("core.loads"),
+            stores: counters.register("core.stores"),
+            atomics: counters.register("core.atomics"),
+            compute_ops: counters.register("core.compute_ops"),
+            done: counters.register("core.done"),
+            l1d_hits: counters.register("l1d.hits"),
+            l1d_misses: counters.register("l1d.misses"),
+            l1i_hits: counters.register("l1i.hits"),
+            l1i_misses: counters.register("l1i.misses"),
+            l2_hits: counters.register("l2.hits"),
+            l2_misses: counters.register("l2.misses"),
+            upgrades: counters.register("l2.upgrades"),
+            silent_e_to_m: counters.register("l2.silent_e_to_m"),
+            vic_clean: counters.register("l2.vic_clean"),
+            vic_dirty: counters.register("l2.vic_dirty"),
+            probes_received: counters.register("l2.probes_received"),
+            probe_invalidations: counters.register("l2.probe_invalidations"),
+            retries: counters.register("l2.retries"),
+            stale_resps: counters.register_hidden("l2.stale_resps"),
+            unexpected_msgs: counters.register_hidden("l2.unexpected_msgs"),
+            unexpected: ClassCounters::register_hidden(counters, "l2.unexpected"),
+            req: ClassCounters::register_hidden(counters, "l2.req"),
+        }
+    }
 }
 
 impl CorePair {
@@ -138,6 +202,8 @@ impl CorePair {
     #[must_use]
     pub fn new(index: usize, programs: Vec<Box<dyn CoreProgram>>, cfg: CpuConfig) -> Self {
         assert!(programs.len() <= 2, "a CorePair has two cores");
+        let mut counters = Counters::new();
+        let ids = CpIds::register(&mut counters);
         let cores = programs
             .into_iter()
             .enumerate()
@@ -168,38 +234,9 @@ impl CorePair {
             mshr: Mshr::new(cfg.mshr_capacity),
             victims: VictimBuffer::new(),
             retry: RetryTracker::maybe(cfg.retry),
-            stats: Self::fresh_stats(),
+            counters,
+            ids,
         }
-    }
-
-    /// A `StatSet` with every fixed counter key pre-registered at 0, so
-    /// reports and time series list quiet counters instead of omitting
-    /// them.
-    fn fresh_stats() -> StatSet {
-        let mut s = StatSet::new();
-        for key in [
-            "core.loads",
-            "core.stores",
-            "core.atomics",
-            "core.compute_ops",
-            "core.done",
-            "l1d.hits",
-            "l1d.misses",
-            "l1i.hits",
-            "l1i.misses",
-            "l2.hits",
-            "l2.misses",
-            "l2.upgrades",
-            "l2.silent_e_to_m",
-            "l2.vic_clean",
-            "l2.vic_dirty",
-            "l2.probes_received",
-            "l2.probe_invalidations",
-            "l2.retries",
-        ] {
-            s.touch(key);
-        }
-        s
     }
 
     /// Occupied MSHR entries (an occupancy gauge for the epoch sampler).
@@ -235,8 +272,8 @@ impl CorePair {
 
     /// Per-pair statistics (`l2.hits`, `l2.misses`, `core.ops`, …).
     #[must_use]
-    pub fn stats(&self) -> &StatSet {
-        &self.stats
+    pub fn stats(&self) -> StatSet {
+        self.counters.export()
     }
 
     /// Total ops retired by both cores.
@@ -295,8 +332,8 @@ impl CorePair {
                 // Under fault injection (duplication) or a mis-wired
                 // topology a message this agent never expects can arrive;
                 // count and drop it instead of aborting the run.
-                self.stats.bump("l2.unexpected_msgs");
-                self.stats.bump(&format!("l2.unexpected.{}", other.class_name()));
+                self.counters.bump(self.ids.unexpected_msgs);
+                self.counters.bump(self.ids.unexpected.id(other));
             }
         }
     }
@@ -315,7 +352,7 @@ impl CorePair {
             return;
         }
         for msg in self.retry.due(now) {
-            self.stats.bump("l2.retries");
+            self.counters.bump(self.ids.retries);
             out.send(msg);
         }
         if let Some(d) = self.retry.wake_needed() {
@@ -351,7 +388,7 @@ impl CorePair {
             // as this data, so leave the cache untouched; but the
             // directory opened a transaction for the duplicate request
             // and is waiting on our Unblock, so still send it.
-            self.stats.bump("l2.stale_resps");
+            self.counters.bump(self.ids.stale_resps);
             out.send(Message::new(self.agent, AgentId::Directory, la, MsgKind::Unblock));
             return;
         };
@@ -366,7 +403,7 @@ impl CorePair {
         let Some(txn) = self.mshr.remove(la) else {
             // Stale duplicate (see on_resp); unblock the directory and
             // leave our state alone.
-            self.stats.bump("l2.stale_resps");
+            self.counters.bump(self.ids.stale_resps);
             out.send(Message::new(self.agent, AgentId::Directory, la, MsgKind::Unblock));
             return;
         };
@@ -376,7 +413,7 @@ impl CorePair {
             // The line was victimized while the upgrade was in flight
             // (possible only with fault-induced reordering); the write
             // will re-miss and fetch a fresh copy.
-            self.stats.bump("l2.stale_resps");
+            self.counters.bump(self.ids.stale_resps);
         }
         out.send(Message::new(self.agent, AgentId::Directory, la, MsgKind::Unblock));
         self.complete_waiters(now, la, &txn.waiters);
@@ -448,7 +485,7 @@ impl CorePair {
             }
             match op {
                 CpuOp::Compute(cy) => {
-                    self.stats.bump("core.compute_ops");
+                    self.counters.bump(self.ids.compute_ops);
                     if cy > 0 {
                         c.ready_at = now + cpu_cycles(cy);
                         return;
@@ -456,12 +493,12 @@ impl CorePair {
                 }
                 CpuOp::Done => {
                     c.done = true;
-                    self.stats.bump("core.done");
+                    self.counters.bump(self.ids.done);
                     return;
                 }
                 CpuOp::Load(a) => {
                     if first_attempt {
-                        self.stats.bump("core.loads");
+                        self.counters.bump(self.ids.loads);
                     }
                     if self.access_load(i, a, now, out) {
                         return; // hit with latency, or miss (blocked)
@@ -469,7 +506,7 @@ impl CorePair {
                 }
                 CpuOp::Store(a, v) => {
                     if first_attempt {
-                        self.stats.bump("core.stores");
+                        self.counters.bump(self.ids.stores);
                     }
                     if self.access_store(i, a, v, now, CpuOp::Store(a, v), out) {
                         return;
@@ -477,7 +514,7 @@ impl CorePair {
                 }
                 CpuOp::Atomic(a, k) => {
                     if first_attempt {
-                        self.stats.bump("core.atomics");
+                        self.counters.bump(self.ids.atomics);
                     }
                     if self.access_store(i, a, 0, now, CpuOp::Atomic(a, k), out) {
                         return;
@@ -494,22 +531,22 @@ impl CorePair {
             let v = line.data.word_at(a);
             let l1_hit = self.l1d[i].contains(la);
             let lat = if l1_hit {
-                self.stats.bump("l1d.hits");
+                self.counters.bump(self.ids.l1d_hits);
                 self.l1d[i].touch(la);
                 cpu_cycles(self.cfg.l1_cycles)
             } else {
-                self.stats.bump("l1d.misses");
+                self.counters.bump(self.ids.l1d_misses);
                 fill_tag(&mut self.l1d[i], la);
                 cpu_cycles(self.cfg.l1_cycles + self.cfg.l2_cycles)
             };
-            self.stats.bump("l2.hits");
+            self.counters.bump(self.ids.l2_hits);
             self.l2.touch(la);
             let c = &mut self.cores[i];
             c.last_value = Some(v);
             c.ready_at = now + lat;
             true
         } else {
-            self.stats.bump("l2.misses");
+            self.counters.bump(self.ids.l2_misses);
             self.miss(i, la, TxnKind::Read, CpuOp::Load(a), out);
             true
         }
@@ -532,7 +569,7 @@ impl CorePair {
                 let line = self.l2.get_mut(la).unwrap();
                 if line.state == MoesiState::Exclusive {
                     line.state = MoesiState::Modified; // silent E→M (§II-B)
-                    self.stats.bump("l2.silent_e_to_m");
+                    self.counters.bump(self.ids.silent_e_to_m);
                 }
                 let c = &mut self.cores[i];
                 match op {
@@ -546,7 +583,7 @@ impl CorePair {
                     }
                     _ => unreachable!("access_store only handles stores/atomics"),
                 }
-                self.stats.bump("l2.hits");
+                self.counters.bump(self.ids.l2_hits);
                 let l1_hit = self.l1d[i].contains(la);
                 let lat = if l1_hit {
                     self.l1d[i].touch(la);
@@ -561,12 +598,12 @@ impl CorePair {
             }
             Some(false) => {
                 // Present but S/O: upgrade.
-                self.stats.bump("l2.upgrades");
+                self.counters.bump(self.ids.upgrades);
                 self.miss(i, la, TxnKind::Write, op, out);
                 true
             }
             None => {
-                self.stats.bump("l2.misses");
+                self.counters.bump(self.ids.l2_misses);
                 self.miss(i, la, TxnKind::Write, op, out);
                 true
             }
@@ -575,21 +612,21 @@ impl CorePair {
 
     fn access_ifetch(&mut self, i: usize, la: LineAddr, now: Tick, out: &mut Outbox) {
         if self.l1i.contains(la) {
-            self.stats.bump("l1i.hits");
+            self.counters.bump(self.ids.l1i_hits);
             self.l1i.touch(la);
             self.cores[i].ready_at = now + cpu_cycles(self.cfg.l1_cycles);
             return;
         }
         if self.l2.contains(la) {
-            self.stats.bump("l1i.misses");
-            self.stats.bump("l2.hits");
+            self.counters.bump(self.ids.l1i_misses);
+            self.counters.bump(self.ids.l2_hits);
             fill_tag(&mut self.l1i, la);
             self.l2.touch(la);
             self.cores[i].ready_at = now + cpu_cycles(self.cfg.l1_cycles + self.cfg.l2_cycles);
             return;
         }
-        self.stats.bump("l1i.misses");
-        self.stats.bump("l2.misses");
+        self.counters.bump(self.ids.l1i_misses);
+        self.counters.bump(self.ids.l2_misses);
         let c = &mut self.cores[i];
         c.pending_ifetch = true;
         c.blocked_line = Some(la);
@@ -603,7 +640,7 @@ impl CorePair {
             let msg = Message::new(self.agent, AgentId::Directory, la, MsgKind::RdBlkS);
             out.send(msg);
             self.track_request(msg, out);
-            self.stats.bump("l2.req.RdBlkS");
+            self.counters.bump(self.ids.req.id(&MsgKind::RdBlkS));
         }
     }
 
@@ -623,7 +660,7 @@ impl CorePair {
             TxnKind::ReadInstr => MsgKind::RdBlkS,
             TxnKind::Write => MsgKind::RdBlkM,
         };
-        self.stats.bump(&format!("l2.req.{}", msg.class_name()));
+        self.counters.bump(self.ids.req.id(&msg));
         let msg = Message::new(self.agent, AgentId::Directory, la, msg);
         out.send(msg);
         self.track_request(msg, out);
@@ -654,10 +691,10 @@ impl CorePair {
             let vline = self.l2.invalidate(vtag).unwrap();
             let dirty = vline.state.forwards_dirty();
             let kind = if dirty {
-                self.stats.bump("l2.vic_dirty");
+                self.counters.bump(self.ids.vic_dirty);
                 MsgKind::VicDirty { data: vline.data }
             } else {
-                self.stats.bump("l2.vic_clean");
+                self.counters.bump(self.ids.vic_clean);
                 MsgKind::VicClean { data: vline.data }
             };
             self.victims.park(vtag, vline.data, dirty);
@@ -674,7 +711,7 @@ impl CorePair {
     }
 
     fn on_probe(&mut self, la: LineAddr, kind: ProbeKind, out: &mut Outbox) {
-        self.stats.bump("l2.probes_received");
+        self.counters.bump(self.ids.probes_received);
         let mut dirty: Option<LineData> = None;
         let mut had_copy = false;
         let mut was_parked = false;
@@ -710,7 +747,7 @@ impl CorePair {
                         l1.invalidate(la);
                     }
                     self.l1i.invalidate(la);
-                    self.stats.bump("l2.probe_invalidations");
+                    self.counters.bump(self.ids.probe_invalidations);
                 }
                 ProbeKind::Downgrade => {
                     let line = self.l2.get_mut(la).unwrap();

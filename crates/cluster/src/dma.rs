@@ -2,7 +2,7 @@ use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 use hsc_mem::{Addr, LineAddr, LineData, WORDS_PER_LINE};
 use hsc_noc::{AgentId, Message, MsgKind, Outbox, RetryPolicy, RetryTracker, WordMask};
-use hsc_sim::{StatSet, Tick};
+use hsc_sim::{CounterId, Counters, StatSet, Tick};
 
 /// One DMA transfer, issued when simulated time reaches `at`.
 ///
@@ -57,8 +57,33 @@ pub struct DmaEngine {
     pending_lines: VecDeque<(LineAddr, Option<(LineData, WordMask)>)>,
     read_data: BTreeMap<LineAddr, LineData>,
     retry: RetryTracker,
-    stats: StatSet,
+    counters: Counters,
+    ids: DmaIds,
     started: bool,
+}
+
+/// Interned counter ids for every key the DMA engine ever bumps.
+#[derive(Debug)]
+struct DmaIds {
+    reads: CounterId,
+    writes: CounterId,
+    retries: CounterId,
+    stale_resps: CounterId,
+    unexpected_msgs: CounterId,
+}
+
+impl DmaIds {
+    /// Registers every DMA counter: the fixed keys visible (exported at
+    /// 0), the diagnostic keys hidden until first bumped.
+    fn register(counters: &mut Counters) -> Self {
+        DmaIds {
+            reads: counters.register("dma.reads"),
+            writes: counters.register("dma.writes"),
+            retries: counters.register("dma.retries"),
+            stale_resps: counters.register_hidden("dma.stale_resps"),
+            unexpected_msgs: counters.register_hidden("dma.unexpected_msgs"),
+        }
+    }
 }
 
 impl DmaEngine {
@@ -77,10 +102,8 @@ impl DmaEngine {
             }
         }
         commands.sort_by_key(DmaCommand::at);
-        let mut stats = StatSet::new();
-        for key in ["dma.reads", "dma.writes", "dma.retries"] {
-            stats.touch(key);
-        }
+        let mut counters = Counters::new();
+        let ids = DmaIds::register(&mut counters);
         DmaEngine {
             commands: commands.into(),
             in_flight: BTreeSet::new(),
@@ -88,7 +111,8 @@ impl DmaEngine {
             pending_lines: VecDeque::new(),
             read_data: BTreeMap::new(),
             retry: RetryTracker::maybe(None),
-            stats,
+            counters,
+            ids,
             started: false,
         }
     }
@@ -148,8 +172,8 @@ impl DmaEngine {
 
     /// Engine statistics (`dma.reads`, `dma.writes`).
     #[must_use]
-    pub fn stats(&self) -> &StatSet {
-        &self.stats
+    pub fn stats(&self) -> StatSet {
+        self.counters.export()
     }
 
     /// Handles a completion from the directory.
@@ -161,18 +185,18 @@ impl DmaEngine {
                     self.retry.acked(msg.line);
                 } else {
                     // Duplicate response (original + retry both answered).
-                    self.stats.bump("dma.stale_resps");
+                    self.counters.bump(self.ids.stale_resps);
                 }
             }
             MsgKind::DmaWrAck => {
                 if self.in_flight.remove(&msg.line) {
                     self.retry.acked(msg.line);
                 } else {
-                    self.stats.bump("dma.stale_resps");
+                    self.counters.bump(self.ids.stale_resps);
                 }
             }
             ref other => {
-                self.stats.bump("dma.unexpected_msgs");
+                self.counters.bump(self.ids.unexpected_msgs);
                 let _ = other;
             }
         }
@@ -192,7 +216,7 @@ impl DmaEngine {
             return;
         }
         for msg in self.retry.due(now) {
-            self.stats.bump("dma.retries");
+            self.counters.bump(self.ids.retries);
             out.send(msg);
         }
         if let Some(d) = self.retry.wake_needed() {
@@ -244,11 +268,11 @@ impl DmaEngine {
             self.in_flight.insert(la);
             let kind = match write {
                 None => {
-                    self.stats.bump("dma.reads");
+                    self.counters.bump(self.ids.reads);
                     MsgKind::DmaRd
                 }
                 Some((data, mask)) => {
-                    self.stats.bump("dma.writes");
+                    self.counters.bump(self.ids.writes);
                     MsgKind::DmaWr { data, mask }
                 }
             };

@@ -2,8 +2,11 @@ use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 use hsc_mem::Mshr;
 use hsc_mem::{Addr, CacheArray, CacheGeometry, LineAddr, LineData};
-use hsc_noc::{AgentId, Message, MsgKind, Outbox, ProbeKind, RetryPolicy, RetryTracker, WordMask};
-use hsc_sim::{StatSet, Tick};
+use hsc_noc::{
+    AgentId, ClassCounters, Message, MsgKind, Outbox, ProbeKind, RetryPolicy, RetryTracker,
+    WordMask,
+};
+use hsc_sim::{CounterId, Counters, StatSet, Tick};
 
 use crate::viper::{TccLine, TcpLine};
 use crate::{gpu_cycles, GpuOp, WavefrontProgram};
@@ -159,7 +162,85 @@ pub struct GpuCluster {
     flush_waiters: BTreeMap<LineAddr, VecDeque<(usize, usize)>>,
     sqc: CacheArray<()>,
     retry: RetryTracker,
-    stats: StatSet,
+    counters: Counters,
+    ids: GpuIds,
+}
+
+/// Interned counter ids for every key a GPU cluster ever bumps, so the
+/// per-message and per-op paths never build a string key.
+#[derive(Debug)]
+struct GpuIds {
+    tcp_hits: CounterId,
+    tcp_misses: CounterId,
+    lane0_refetches: CounterId,
+    sqc_hits: CounterId,
+    sqc_misses: CounterId,
+    tcc_hits: CounterId,
+    tcc_misses: CounterId,
+    evict_clean: CounterId,
+    evict_dirty: CounterId,
+    flush_writebacks: CounterId,
+    glc_atomics: CounterId,
+    probes_received: CounterId,
+    probe_invalidations: CounterId,
+    wb_store_lines: CounterId,
+    retries: CounterId,
+    vec_loads: CounterId,
+    vec_stores: CounterId,
+    atomics_glc: CounterId,
+    atomics_slc: CounterId,
+    acquires: CounterId,
+    releases: CounterId,
+    compute_ops: CounterId,
+    done: CounterId,
+    stale_resps: CounterId,
+    unexpected_msgs: CounterId,
+    unexpected: ClassCounters,
+    req_rd_blk: CounterId,
+    req_wt: CounterId,
+    req_atomic: CounterId,
+    req_flush: CounterId,
+}
+
+impl GpuIds {
+    /// Registers every GPU-cluster counter. The fixed keys are visible
+    /// (exported at 0, so reports and time series list quiet counters
+    /// instead of omitting them); diagnostic and per-class request keys
+    /// stay hidden until first bumped.
+    fn register(counters: &mut Counters) -> Self {
+        GpuIds {
+            tcp_hits: counters.register("tcp.hits"),
+            tcp_misses: counters.register("tcp.misses"),
+            lane0_refetches: counters.register("tcp.lane0_refetches"),
+            sqc_hits: counters.register("sqc.hits"),
+            sqc_misses: counters.register("sqc.misses"),
+            tcc_hits: counters.register("tcc.hits"),
+            tcc_misses: counters.register("tcc.misses"),
+            evict_clean: counters.register("tcc.evict_clean"),
+            evict_dirty: counters.register("tcc.evict_dirty"),
+            flush_writebacks: counters.register("tcc.flush_writebacks"),
+            glc_atomics: counters.register("tcc.glc_atomics"),
+            probes_received: counters.register("tcc.probes_received"),
+            probe_invalidations: counters.register("tcc.probe_invalidations"),
+            wb_store_lines: counters.register("tcc.wb_store_lines"),
+            retries: counters.register("tcc.retries"),
+            vec_loads: counters.register("wf.vec_loads"),
+            vec_stores: counters.register("wf.vec_stores"),
+            atomics_glc: counters.register("wf.atomics_glc"),
+            atomics_slc: counters.register("wf.atomics_slc"),
+            acquires: counters.register("wf.acquires"),
+            releases: counters.register("wf.releases"),
+            compute_ops: counters.register("wf.compute_ops"),
+            done: counters.register("wf.done"),
+            stale_resps: counters.register_hidden("tcc.stale_resps"),
+            unexpected_msgs: counters.register_hidden("tcc.unexpected_msgs"),
+            unexpected: ClassCounters::register_hidden(counters, "tcc.unexpected"),
+            req_rd_blk: counters.register_hidden("tcc.req.RdBlk"),
+            req_wt: counters.register_hidden("tcc.req.WT"),
+            req_atomic: counters.register_hidden("tcc.req.Atomic"),
+            req_flush: counters.register_hidden("tcc.req.Flush"),
+        }
+    }
 }
 
 impl GpuCluster {
@@ -176,6 +257,8 @@ impl GpuCluster {
         cfg: GpuConfig,
     ) -> Self {
         assert_eq!(programs.len(), cfg.cus, "one wavefront list per CU");
+        let mut counters = Counters::new();
+        let ids = GpuIds::register(&mut counters);
         let cus = programs
             .into_iter()
             .map(|wfs| Cu {
@@ -212,43 +295,9 @@ impl GpuCluster {
             flush_waiters: BTreeMap::new(),
             sqc: CacheArray::new(CacheGeometry::new(cfg.sqc_bytes, cfg.sqc_ways)),
             retry: RetryTracker::maybe(cfg.retry),
-            stats: Self::fresh_stats(),
+            counters,
+            ids,
         }
-    }
-
-    /// A `StatSet` with every fixed counter key pre-registered at 0, so
-    /// reports and time series list quiet counters instead of omitting
-    /// them.
-    fn fresh_stats() -> StatSet {
-        let mut s = StatSet::new();
-        for key in [
-            "tcp.hits",
-            "tcp.misses",
-            "tcp.lane0_refetches",
-            "sqc.hits",
-            "sqc.misses",
-            "tcc.hits",
-            "tcc.misses",
-            "tcc.evict_clean",
-            "tcc.evict_dirty",
-            "tcc.flush_writebacks",
-            "tcc.glc_atomics",
-            "tcc.probes_received",
-            "tcc.probe_invalidations",
-            "tcc.wb_store_lines",
-            "tcc.retries",
-            "wf.vec_loads",
-            "wf.vec_stores",
-            "wf.atomics_glc",
-            "wf.atomics_slc",
-            "wf.acquires",
-            "wf.releases",
-            "wf.compute_ops",
-            "wf.done",
-        ] {
-            s.touch(key);
-        }
-        s
     }
 
     /// Occupied TCC MSHR entries (an occupancy gauge for the epoch
@@ -288,8 +337,8 @@ impl GpuCluster {
 
     /// Cluster statistics (`tcp.hits`, `tcc.misses`, `wf.ops`, …).
     #[must_use]
-    pub fn stats(&self) -> &StatSet {
-        &self.stats
+    pub fn stats(&self) -> StatSet {
+        self.counters.export()
     }
 
     /// Human-readable descriptions of everything still outstanding at
@@ -335,8 +384,8 @@ impl GpuCluster {
             ref other => {
                 // Duplicated or mis-routed message under fault injection:
                 // count and drop instead of aborting the run.
-                self.stats.bump("tcc.unexpected_msgs");
-                self.stats.bump(&format!("tcc.unexpected.{}", other.class_name()));
+                self.counters.bump(self.ids.unexpected_msgs);
+                self.counters.bump(self.ids.unexpected.id(other));
             }
         }
     }
@@ -355,7 +404,7 @@ impl GpuCluster {
             return;
         }
         for msg in self.retry.due(now) {
-            self.stats.bump("tcc.retries");
+            self.counters.bump(self.ids.retries);
             out.send(msg);
         }
         if let Some(d) = self.retry.wake_needed() {
@@ -425,7 +474,7 @@ impl GpuCluster {
             }
             match op {
                 GpuOp::Compute(cy) => {
-                    self.stats.bump("wf.compute_ops");
+                    self.counters.bump(self.ids.compute_ops);
                     if cy > 0 {
                         w.ready_at = now + gpu_cycles(cy);
                         return;
@@ -433,37 +482,37 @@ impl GpuCluster {
                 }
                 GpuOp::Done => {
                     w.done = true;
-                    self.stats.bump("wf.done");
+                    self.counters.bump(self.ids.done);
                     return;
                 }
                 GpuOp::VecLoad(addrs) => {
                     if first_attempt {
-                        self.stats.bump("wf.vec_loads");
+                        self.counters.bump(self.ids.vec_loads);
                     }
                     if self.access_vec_load(cu, wf, addrs, now, out) {
                         return;
                     }
                 }
                 GpuOp::VecStore(stores) => {
-                    self.stats.bump("wf.vec_stores");
+                    self.counters.bump(self.ids.vec_stores);
                     self.access_vec_store(cu, wf, &stores, now, out);
                     return;
                 }
                 GpuOp::AtomicGlc(a, k) => {
                     if first_attempt {
-                        self.stats.bump("wf.atomics_glc");
+                        self.counters.bump(self.ids.atomics_glc);
                     }
                     if self.access_glc_atomic(cu, wf, a, k, now, out) {
                         return;
                     }
                 }
                 GpuOp::AtomicSlc(a, k) => {
-                    self.stats.bump("wf.atomics_slc");
+                    self.counters.bump(self.ids.atomics_slc);
                     self.access_slc_atomic(cu, wf, a, k, out);
                     return;
                 }
                 GpuOp::Acquire => {
-                    self.stats.bump("wf.acquires");
+                    self.counters.bump(self.ids.acquires);
                     // VIPER acquire: bulk-invalidate this CU's TCP.
                     let tcp = &mut self.cus[cu].tcp;
                     let lines: Vec<LineAddr> = tcp.iter().map(|(la, _)| la).collect();
@@ -474,7 +523,7 @@ impl GpuCluster {
                     return;
                 }
                 GpuOp::Release => {
-                    self.stats.bump("wf.releases");
+                    self.counters.bump(self.ids.releases);
                     if self.begin_release(cu, wf, now, out) {
                         return;
                     }
@@ -499,20 +548,20 @@ impl GpuCluster {
         let mut missing: Vec<LineAddr> = Vec::new();
         for &la in &lines {
             if self.cus[cu].tcp.contains(la) {
-                self.stats.bump("tcp.hits");
+                self.counters.bump(self.ids.tcp_hits);
                 self.cus[cu].tcp.touch(la);
             } else {
-                self.stats.bump("tcp.misses");
+                self.counters.bump(self.ids.tcp_misses);
                 needs_tcc = true;
                 // Try the TCC.
                 let usable = self.tcc.get(la).is_some_and(TccLine::fully_valid);
                 if usable {
-                    self.stats.bump("tcc.hits");
+                    self.counters.bump(self.ids.tcc_hits);
                     self.tcc.touch(la);
                     let data = self.tcc.get(la).unwrap().data;
                     fill_tcp(&mut self.cus[cu].tcp, la, data);
                 } else {
-                    self.stats.bump("tcc.misses");
+                    self.counters.bump(self.ids.tcc_misses);
                     missing.push(la);
                 }
             }
@@ -535,7 +584,7 @@ impl GpuCluster {
                     .map(|l| l.data.word_at(lane0))
             });
             let Some(v) = v else {
-                self.stats.bump("tcp.lane0_refetches");
+                self.counters.bump(self.ids.lane0_refetches);
                 self.request_fill(l0, Some((cu, wf)), out);
                 let w = &mut self.cus[cu].wfs[wf];
                 w.pending_lines.insert(l0);
@@ -567,7 +616,7 @@ impl GpuCluster {
         self.tcc_mshr
             .alloc(la, TccTxn { waiters: vec![waiter] })
             .expect("TCC MSHR capacity exceeded");
-        self.stats.bump("tcc.req.RdBlk");
+        self.counters.bump(self.ids.req_rd_blk);
         let msg = Message::new(self.agent, AgentId::Directory, la, MsgKind::RdBlk);
         out.send(msg);
         self.track_request(msg, out);
@@ -624,7 +673,7 @@ impl GpuCluster {
                     }
                     self.tcc.touch(la);
                     self.cus[cu].wfs[wf].last_wt_line = Some(la);
-                    self.stats.bump("tcc.wb_store_lines");
+                    self.counters.bump(self.ids.wb_store_lines);
                 }
             }
         }
@@ -642,7 +691,7 @@ impl GpuCluster {
         retains: bool,
         out: &mut Outbox,
     ) {
-        self.stats.bump("tcc.req.WT");
+        self.counters.bump(self.ids.req_wt);
         if let Some((cu, wf)) = waiter {
             let w = &mut self.cus[cu].wfs[wf];
             w.outstanding_wt += 1;
@@ -676,7 +725,7 @@ impl GpuCluster {
             let old = l.data.apply_atomic(a, k);
             l.valid.set(a.word_index());
             self.tcc.touch(la);
-            self.stats.bump("tcc.glc_atomics");
+            self.counters.bump(self.ids.glc_atomics);
             match self.cfg.tcc_policy {
                 GpuWritePolicy::WriteThrough => {
                     let l = self.tcc.get(la).unwrap();
@@ -726,7 +775,7 @@ impl GpuCluster {
         // cannot read stale data afterwards.
         self.tcc.invalidate(la);
         self.cus[cu].tcp.invalidate(la);
-        self.stats.bump("tcc.req.Atomic");
+        self.counters.bump(self.ids.req_atomic);
         self.slc_waiters.entry(la).or_default().push_back((cu, wf));
         let w = &mut self.cus[cu].wfs[wf];
         w.pending = None;
@@ -752,7 +801,7 @@ impl GpuCluster {
                 l.clean();
                 let retains = self.tcc.contains(la);
                 self.send_wt(la, data, mask, Some((cu, wf)), retains, out);
-                self.stats.bump("tcc.flush_writebacks");
+                self.counters.bump(self.ids.flush_writebacks);
             }
         }
         let fence_line = self.cus[cu].wfs[wf].last_wt_line;
@@ -768,7 +817,7 @@ impl GpuCluster {
             // after all our write-through acks for that line.
             w.flush_pending = true;
             self.flush_waiters.entry(la).or_default().push_back((cu, wf));
-            self.stats.bump("tcc.req.Flush");
+            self.counters.bump(self.ids.req_flush);
             let msg = Message::new(self.agent, AgentId::Directory, la, MsgKind::Flush);
             out.send(msg);
             self.track_request(msg, out);
@@ -780,22 +829,22 @@ impl GpuCluster {
 
     fn access_ifetch(&mut self, cu: usize, wf: usize, la: LineAddr, now: Tick, out: &mut Outbox) {
         if self.sqc.contains(la) {
-            self.stats.bump("sqc.hits");
+            self.counters.bump(self.ids.sqc_hits);
             self.sqc.touch(la);
             self.cus[cu].wfs[wf].ready_at = now + gpu_cycles(self.cfg.sqc_cycles);
             return;
         }
-        self.stats.bump("sqc.misses");
+        self.counters.bump(self.ids.sqc_misses);
         let usable = self.tcc.get(la).is_some_and(TccLine::fully_valid);
         if usable {
-            self.stats.bump("tcc.hits");
+            self.counters.bump(self.ids.tcc_hits);
             self.tcc.touch(la);
             fill_tag(&mut self.sqc, la);
             self.cus[cu].wfs[wf].ready_at =
                 now + gpu_cycles(self.cfg.sqc_cycles + self.cfg.tcc_cycles);
             return;
         }
-        self.stats.bump("tcc.misses");
+        self.counters.bump(self.ids.tcc_misses);
         let w = &mut self.cus[cu].wfs[wf];
         w.pending_ifetch = true;
         w.pending_lines.insert(la);
@@ -813,10 +862,10 @@ impl GpuCluster {
             let victim = self.tcc.invalidate(vtag).unwrap();
             if victim.is_dirty() {
                 // WT doubles as the write-back request (§II-A).
-                self.stats.bump("tcc.evict_dirty");
+                self.counters.bump(self.ids.evict_dirty);
                 self.send_wt(vtag, victim.data, victim.dirty, None, false, out);
             } else {
-                self.stats.bump("tcc.evict_clean");
+                self.counters.bump(self.ids.evict_clean);
             }
         }
         self.tcc.insert(la, line);
@@ -830,7 +879,7 @@ impl GpuCluster {
             // original, or a duplicated Resp under fault injection). TCC
             // requests carry no Unblock, so there is nothing to answer;
             // drop it.
-            self.stats.bump("tcc.stale_resps");
+            self.counters.bump(self.ids.stale_resps);
             return;
         };
         if let Some(l) = self.tcc.get_mut(la) {
@@ -869,7 +918,7 @@ impl GpuCluster {
     fn on_wt_ack(&mut self, now: Tick, la: LineAddr, out: &mut Outbox) {
         self.retry.acked(la);
         let Some(q) = self.wt_waiters.get_mut(&la) else {
-            self.stats.bump("tcc.stale_resps");
+            self.counters.bump(self.ids.stale_resps);
             return;
         };
         let waiter = q.pop_front().expect("WtAck queue empty");
@@ -889,7 +938,7 @@ impl GpuCluster {
 
     fn on_atomic_resp(&mut self, now: Tick, la: LineAddr, old: u64, out: &mut Outbox) {
         let Some(q) = self.slc_waiters.get_mut(&la) else {
-            self.stats.bump("tcc.stale_resps");
+            self.counters.bump(self.ids.stale_resps);
             return;
         };
         let (cu, wf) = q.pop_front().expect("SLC waiter queue empty");
@@ -907,7 +956,7 @@ impl GpuCluster {
     fn on_flush_ack(&mut self, now: Tick, la: LineAddr, out: &mut Outbox) {
         self.retry.acked(la);
         let Some(q) = self.flush_waiters.get_mut(&la) else {
-            self.stats.bump("tcc.stale_resps");
+            self.counters.bump(self.ids.stale_resps);
             return;
         };
         let (cu, wf) = q.pop_front().expect("flush waiter queue empty");
@@ -925,13 +974,13 @@ impl GpuCluster {
     }
 
     fn on_probe(&mut self, la: LineAddr, kind: ProbeKind, out: &mut Outbox) {
-        self.stats.bump("tcc.probes_received");
+        self.counters.bump(self.ids.probes_received);
         // §II-C: the TCC never forwards modified data on probes but does
         // invalidate itself.
         let had_copy = self.tcc.contains(la);
         if kind == ProbeKind::Invalidate && had_copy {
             self.tcc.invalidate(la);
-            self.stats.bump("tcc.probe_invalidations");
+            self.counters.bump(self.ids.probe_invalidations);
         }
         out.send(Message::new(
             self.agent,

@@ -232,7 +232,7 @@ pub struct SystemConfig {
     pub faults: Option<FaultPlan>,
     /// Retry policy for the DMA engine (CPU and GPU retry lives in
     /// [`CpuConfig::retry`] / [`GpuConfig::retry`]; see
-    /// [`SystemConfig::with_retry`] to set all three at once).
+    /// [`SystemConfig::with_retry_everywhere`] to set all three at once).
     pub dma_retry: Option<RetryPolicy>,
     /// Watchdog limit: a directory transaction older than this many ticks
     /// makes `System::run` return `SimError::Deadlock`.

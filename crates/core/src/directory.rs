@@ -2,8 +2,8 @@ use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 use hsc_cluster::gpu_cycles;
 use hsc_mem::{CacheArray, CacheGeometry, LineAddr, LineData};
-use hsc_noc::{AgentId, Grant, Message, MsgKind, Outbox, ProbeKind, WordMask};
-use hsc_sim::{EventQueue, Histogram, StatSet, StuckLine, Tick, Watchdog};
+use hsc_noc::{AgentId, ClassCounters, Grant, Message, MsgKind, Outbox, ProbeKind, WordMask};
+use hsc_sim::{CounterId, Counters, EventQueue, Histogram, StatSet, StuckLine, Tick, Watchdog};
 
 use crate::tracking::{
     plan, DataPlan, DirEntry, DirState, GrantPlan, NextState, PlanReq, ProbePlan, Requester,
@@ -105,8 +105,64 @@ pub struct Directory {
     stale_vics: BTreeSet<(LineAddr, AgentId)>,
     internal: EventQueue<LineAddr>,
     watchdog: Watchdog,
-    stats: StatSet,
+    counters: Counters,
+    ids: DirIds,
     latency: Histogram,
+}
+
+/// Interned ids for the directory's counters: the fixed keys and the
+/// per-request-class array are registered visible (the old `touch`
+/// pre-registration), the fault/race diagnostics hidden so they surface
+/// in reports only when they fire — matching the string-keyed behavior
+/// byte for byte.
+#[derive(Debug, Clone)]
+struct DirIds {
+    probes_sent: CounterId,
+    queued_requests: CounterId,
+    entry_evictions: CounterId,
+    backinval_probes: CounterId,
+    early_responses: CounterId,
+    atomics: CounterId,
+    alloc_park_on_busy: CounterId,
+    lazy_llc_reads: CounterId,
+    clean_vics_dropped: CounterId,
+    requests: ClassCounters,
+    unexpected_msgs: CounterId,
+    unexpected: ClassCounters,
+    stale_vics_dropped: CounterId,
+    stale_probe_acks: CounterId,
+    stale_mem_resps: CounterId,
+    stale_unblocks: CounterId,
+}
+
+impl DirIds {
+    fn register(counters: &mut Counters) -> DirIds {
+        DirIds {
+            probes_sent: counters.register("dir.probes_sent"),
+            queued_requests: counters.register("dir.queued_requests"),
+            entry_evictions: counters.register("dir.entry_evictions"),
+            backinval_probes: counters.register("dir.backinval_probes"),
+            early_responses: counters.register("dir.early_responses"),
+            atomics: counters.register("dir.atomics"),
+            alloc_park_on_busy: counters.register("dir.alloc_park_on_busy"),
+            lazy_llc_reads: counters.register("dir.lazy_llc_reads"),
+            clean_vics_dropped: counters.register("dir.clean_vics_dropped"),
+            requests: ClassCounters::register(
+                counters,
+                "dir.requests",
+                &[
+                    "RdBlk", "RdBlkS", "RdBlkM", "VicDirty", "VicClean", "WT", "Atomic", "Flush",
+                    "DmaRd", "DmaWr",
+                ],
+            ),
+            unexpected_msgs: counters.register_hidden("dir.unexpected_msgs"),
+            unexpected: ClassCounters::register_hidden(counters, "dir.unexpected"),
+            stale_vics_dropped: counters.register_hidden("dir.stale_vics_dropped"),
+            stale_probe_acks: counters.register_hidden("dir.stale_probe_acks"),
+            stale_mem_resps: counters.register_hidden("dir.stale_mem_resps"),
+            stale_unblocks: counters.register_hidden("dir.stale_unblocks"),
+        }
+    }
 }
 
 /// Default per-transaction age limit in ticks before the watchdog calls a
@@ -119,28 +175,10 @@ impl Directory {
     /// `n_tcc` GPU clusters.
     #[must_use]
     pub fn new(cfg: CoherenceConfig, uncore: UncoreConfig, n_l2: usize, n_tcc: usize) -> Self {
-        let mut stats = StatSet::new();
-        // Pre-register the fixed counter keys at 0 so quiet counters show
-        // up in reports and time series instead of being omitted.
-        for key in [
-            "dir.probes_sent",
-            "dir.queued_requests",
-            "dir.entry_evictions",
-            "dir.backinval_probes",
-            "dir.early_responses",
-            "dir.atomics",
-            "dir.alloc_park_on_busy",
-            "dir.lazy_llc_reads",
-            "dir.clean_vics_dropped",
-        ] {
-            stats.touch(key);
-        }
-        for class in [
-            "RdBlk", "RdBlkS", "RdBlkM", "VicDirty", "VicClean", "WT", "Atomic", "Flush", "DmaRd",
-            "DmaWr",
-        ] {
-            stats.touch(&format!("dir.requests.{class}"));
-        }
+        // Register every counter key once; visible registrations show up
+        // in reports and time series at 0 instead of being omitted.
+        let mut counters = Counters::new();
+        let ids = DirIds::register(&mut counters);
         Directory {
             cfg,
             uncore,
@@ -155,7 +193,8 @@ impl Directory {
             stale_vics: BTreeSet::new(),
             internal: EventQueue::new(),
             watchdog: Watchdog::new(DEFAULT_WATCHDOG_TICKS),
-            stats,
+            counters,
+            ids,
             latency: Histogram::new(),
         }
     }
@@ -219,16 +258,14 @@ impl Directory {
     /// transaction-latency summary `dir.txn_latency_*`).
     #[must_use]
     pub fn stats(&self) -> StatSet {
-        let mut s = self.stats.clone();
-        s.merge(self.llc.stats());
-        for key in
-            ["dir.txn_latency_count", "dir.txn_latency_mean_ticks", "dir.txn_latency_max_ticks"]
-        {
-            s.touch(key);
-        }
-        s.add("dir.txn_latency_count", self.latency.count());
-        s.add("dir.txn_latency_mean_ticks", self.latency.mean() as u64);
-        s.add("dir.txn_latency_max_ticks", self.latency.max());
+        // Export-time only: materialize the interned counters, fold in
+        // the LLC's, and append the latency summary — no clone of a
+        // pre-built map anywhere.
+        let mut s = self.counters.export();
+        s.merge(&self.llc.stats());
+        s.set("dir.txn_latency_count", self.latency.count());
+        s.set("dir.txn_latency_mean_ticks", self.latency.mean() as u64);
+        s.set("dir.txn_latency_max_ticks", self.latency.max());
         s
     }
 
@@ -286,8 +323,8 @@ impl Directory {
                 // A message class the directory never consumes (possible
                 // only with a mis-wired controller or duplication faults):
                 // count and drop instead of aborting.
-                self.stats.bump("dir.unexpected_msgs");
-                self.stats.bump(&format!("dir.unexpected.{}", other.class_name()));
+                self.counters.bump(self.ids.unexpected_msgs);
+                self.counters.bump(self.ids.unexpected.id(other));
             }
         }
     }
@@ -312,7 +349,7 @@ impl Directory {
     fn handle_request(&mut self, now: Tick, msg: Message, out: &mut Outbox) {
         if let Some(txn) = self.txns.get_mut(&msg.line) {
             txn.queued.push_back(msg);
-            self.stats.bump("dir.queued_requests");
+            self.counters.bump(self.ids.queued_requests);
             return;
         }
         self.start_txn(now, msg, VecDeque::new(), out);
@@ -322,13 +359,13 @@ impl Directory {
     /// predecessor on the same line.
     fn start_txn(&mut self, now: Tick, msg: Message, carry: VecDeque<Message>, out: &mut Outbox) {
         debug_assert!(!self.txns.contains_key(&msg.line));
-        self.stats.bump(&format!("dir.requests.{}", msg.kind.class_name()));
+        self.counters.bump(self.ids.requests.id(&msg.kind));
 
         // Stale-victim filter: a probe already consumed this write-back.
         if matches!(msg.kind, MsgKind::VicDirty { .. } | MsgKind::VicClean { .. })
             && self.stale_vics.remove(&(msg.line, msg.src))
         {
-            self.stats.bump("dir.stale_vics_dropped");
+            self.counters.bump(self.ids.stale_vics_dropped);
             out.send_after(
                 gpu_cycles(self.uncore.dir_cycles),
                 Message::new(AgentId::Directory, msg.src, msg.line, MsgKind::VicAck),
@@ -344,7 +381,7 @@ impl Directory {
                     .entry_of(msg.line)
                     .is_some_and(|e| e.state == DirState::O && e.owner == Some(msg.src));
                 if !is_owner {
-                    self.stats.bump("dir.stale_vics_dropped");
+                    self.counters.bump(self.ids.stale_vics_dropped);
                     out.send_after(
                         gpu_cycles(self.uncore.dir_cycles),
                         Message::new(AgentId::Directory, msg.src, msg.line, MsgKind::VicAck),
@@ -401,7 +438,7 @@ impl Directory {
         };
 
         for dst in &targets {
-            self.stats.bump("dir.probes_sent");
+            self.counters.bump(self.ids.probes_sent);
             out.send_after(
                 gpu_cycles(self.uncore.dir_cycles),
                 Message::new(
@@ -582,14 +619,14 @@ impl Directory {
                 })
                 .map(|(tag, _)| tag)
                 .expect("a full set with no evictable way has a busy transaction");
-            self.stats.bump("dir.alloc_park_on_busy");
+            self.counters.bump(self.ids.alloc_park_on_busy);
             let busy = self.txns.get_mut(&any_busy).unwrap();
             busy.parked_allocs.push(parked);
             busy.parked_allocs.extend(carry);
             return;
         }
         // Start the backward invalidation (transient B state).
-        self.stats.bump("dir.entry_evictions");
+        self.counters.bump(self.ids.entry_evictions);
         let ventry = *ventry;
         let origin = Message::new(AgentId::Directory, AgentId::Directory, victim, MsgKind::Flush);
         let mut txn = DirTxn::new(TxnKind::BackInval, origin, Requester::Dma, ventry.state);
@@ -607,8 +644,8 @@ impl Directory {
             self.all_caches().collect()
         };
         for dst in &targets {
-            self.stats.bump("dir.probes_sent");
-            self.stats.bump("dir.backinval_probes");
+            self.counters.bump(self.ids.probes_sent);
+            self.counters.bump(self.ids.backinval_probes);
             out.send_after(
                 gpu_cycles(self.uncore.dir_cycles),
                 Message::new(
@@ -644,13 +681,13 @@ impl Directory {
             // A duplicated probe ack (fault injection) or an ack that
             // arrived after an early response + prompt unblock finished
             // the transaction.
-            self.stats.bump("dir.stale_probe_acks");
+            self.counters.bump(self.ids.stale_probe_acks);
             return;
         };
         if txn.pending_acks == 0 {
             // Extra ack for a transaction that already collected its
             // round (duplication fault); ignore it.
-            self.stats.bump("dir.stale_probe_acks");
+            self.counters.bump(self.ids.stale_probe_acks);
             return;
         }
         txn.pending_acks -= 1;
@@ -672,7 +709,7 @@ impl Directory {
                 let origin = txn.origin;
                 txn.responded = true;
                 txn.awaiting_unblock = origin.src.is_cpu_cache();
-                self.stats.bump("dir.early_responses");
+                self.counters.bump(self.ids.early_responses);
                 let kind = if origin.kind == MsgKind::DmaRd {
                     MsgKind::DmaRdResp { data: d }
                 } else {
@@ -688,14 +725,14 @@ impl Directory {
         let Some(txn) = self.txns.get_mut(&line) else {
             // The transaction already finished (an early response plus a
             // prompt unblock can beat the memory reply home).
-            self.stats.bump("dir.stale_mem_resps");
+            self.counters.bump(self.ids.stale_mem_resps);
             return;
         };
         if !txn.mem_requested || txn.mem_data.is_some() {
             // A duplicated memory response (fault injection), or a reply
             // outliving its transaction into a successor on the same line
             // that never asked for memory: data would be stale — drop it.
-            self.stats.bump("dir.stale_mem_resps");
+            self.counters.bump(self.ids.stale_mem_resps);
             return;
         }
         txn.mem_data = Some(data);
@@ -714,7 +751,7 @@ impl Directory {
         if finish {
             self.finish_txn(now, line, out);
         } else {
-            self.stats.bump("dir.stale_unblocks");
+            self.counters.bump(self.ids.stale_unblocks);
         }
     }
 
@@ -783,7 +820,7 @@ impl Directory {
                 if !txn.llc_scheduled {
                     // Lazy plan (OwnerThenLlc) whose owner turned out clean.
                     txn.llc_scheduled = true;
-                    self.stats.bump("dir.lazy_llc_reads");
+                    self.counters.bump(self.ids.lazy_llc_reads);
                     self.internal.schedule(now + gpu_cycles(self.uncore.llc_cycles), line);
                     out.wake_at(now + gpu_cycles(self.uncore.llc_cycles));
                     return;
@@ -865,7 +902,7 @@ impl Directory {
             MsgKind::VicClean { data } => {
                 match self.cfg.clean_victims {
                     CleanVictimPolicy::Drop => {
-                        self.stats.bump("dir.clean_vics_dropped");
+                        self.counters.bump(self.ids.clean_vics_dropped);
                     }
                     CleanVictimPolicy::WriteLlcOnly => {
                         self.write_victim(line, data, false, out);
@@ -890,7 +927,7 @@ impl Directory {
                 let old = base.apply_atomic(line.word_addr(word as usize), op);
                 self.perform_system_write(line, &base, WordMask::full(), None, out);
                 self.apply_transition(line, &origin, role);
-                self.stats.bump("dir.atomics");
+                self.counters.bump(self.ids.atomics);
                 out.send(Message::new(
                     AgentId::Directory,
                     origin.src,

@@ -1,6 +1,6 @@
 use hsc_mem::{CacheArray, CacheGeometry, InsertOutcome, LineAddr, LineData};
 use hsc_noc::WordMask;
-use hsc_sim::StatSet;
+use hsc_sim::{CounterId, Counters, StatSet};
 
 /// One LLC line: data plus the §III-C dirty bit.
 ///
@@ -39,25 +39,35 @@ pub struct LlcEviction {
 #[derive(Debug)]
 pub struct Llc {
     lines: CacheArray<LlcLine>,
-    stats: StatSet,
+    counters: Counters,
+    ids: LlcIds,
+}
+
+/// Interned ids for the LLC counters, all pre-registered visible.
+#[derive(Debug, Clone)]
+struct LlcIds {
+    hits: CounterId,
+    misses: CounterId,
+    writes: CounterId,
+    merges: CounterId,
+    evictions: CounterId,
+    dirty_evictions: CounterId,
 }
 
 impl Llc {
     /// Creates an empty LLC with the given geometry.
     #[must_use]
     pub fn new(geometry: CacheGeometry) -> Self {
-        let mut stats = StatSet::new();
-        for key in [
-            "llc.hits",
-            "llc.misses",
-            "llc.writes",
-            "llc.merges",
-            "llc.evictions",
-            "llc.dirty_evictions",
-        ] {
-            stats.touch(key);
-        }
-        Llc { lines: CacheArray::new(geometry), stats }
+        let mut counters = Counters::new();
+        let ids = LlcIds {
+            hits: counters.register("llc.hits"),
+            misses: counters.register("llc.misses"),
+            writes: counters.register("llc.writes"),
+            merges: counters.register("llc.merges"),
+            evictions: counters.register("llc.evictions"),
+            dirty_evictions: counters.register("llc.dirty_evictions"),
+        };
+        Llc { lines: CacheArray::new(geometry), counters, ids }
     }
 
     /// Looks up `la`, updating recency and hit/miss statistics.
@@ -65,10 +75,10 @@ impl Llc {
         if let Some(l) = self.lines.get(la) {
             let data = l.data;
             self.lines.touch(la);
-            self.stats.bump("llc.hits");
+            self.counters.bump(self.ids.hits);
             Some(data)
         } else {
-            self.stats.bump("llc.misses");
+            self.counters.bump(self.ids.misses);
             None
         }
     }
@@ -85,7 +95,7 @@ impl Llc {
     ///
     /// Returns the eviction the insert caused, if any.
     pub fn write(&mut self, la: LineAddr, data: LineData, dirty: bool) -> Option<LlcEviction> {
-        self.stats.bump("llc.writes");
+        self.counters.bump(self.ids.writes);
         if let Some(l) = self.lines.get_mut(la) {
             l.data = data;
             l.dirty |= dirty;
@@ -97,9 +107,9 @@ impl Llc {
         match out {
             InsertOutcome::Inserted => None,
             InsertOutcome::Evicted(ev) => {
-                self.stats.bump("llc.evictions");
+                self.counters.bump(self.ids.evictions);
                 if ev.meta.dirty {
-                    self.stats.bump("llc.dirty_evictions");
+                    self.counters.bump(self.ids.dirty_evictions);
                 }
                 Some(LlcEviction { tag: ev.tag, data: ev.meta.data, dirty: ev.meta.dirty })
             }
@@ -114,7 +124,7 @@ impl Llc {
             mask.apply(&mut l.data, data);
             l.dirty |= dirty;
             self.lines.touch(la);
-            self.stats.bump("llc.merges");
+            self.counters.bump(self.ids.merges);
             true
         } else {
             false
@@ -127,10 +137,11 @@ impl Llc {
         self.lines.invalidate(la)
     }
 
-    /// LLC statistics (`llc.hits`, `llc.misses`, `llc.writes`, …).
+    /// LLC statistics (`llc.hits`, `llc.misses`, `llc.writes`, …),
+    /// exported for reports.
     #[must_use]
-    pub fn stats(&self) -> &StatSet {
-        &self.stats
+    pub fn stats(&self) -> StatSet {
+        self.counters.export()
     }
 
     /// All dirty lines (for end-of-run memory reconstruction).

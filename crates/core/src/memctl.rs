@@ -1,6 +1,6 @@
 use hsc_mem::{LineAddr, LineData, MainMemory};
 use hsc_noc::{AgentId, Message, MsgKind, Outbox};
-use hsc_sim::{StatSet, Tick};
+use hsc_sim::{CounterId, Counters, StatSet, Tick};
 
 /// The main-memory controller behind the directory's ordered memory port.
 ///
@@ -17,7 +17,10 @@ pub struct MemoryController {
     access_ticks: u64,
     occupancy_ticks: u64,
     busy_until: Tick,
-    stats: StatSet,
+    counters: Counters,
+    reads: CounterId,
+    writes: CounterId,
+    busy_ticks: CounterId,
 }
 
 impl MemoryController {
@@ -25,11 +28,20 @@ impl MemoryController {
     /// per-access channel occupancy.
     #[must_use]
     pub fn new(mem: MainMemory, access_ticks: u64, occupancy_ticks: u64) -> Self {
-        let mut stats = StatSet::new();
-        for key in ["mem.reads", "mem.writes", "mem.busy_ticks"] {
-            stats.touch(key);
+        let mut counters = Counters::new();
+        let reads = counters.register("mem.reads");
+        let writes = counters.register("mem.writes");
+        let busy_ticks = counters.register("mem.busy_ticks");
+        MemoryController {
+            mem,
+            access_ticks,
+            occupancy_ticks,
+            busy_until: Tick::ZERO,
+            counters,
+            reads,
+            writes,
+            busy_ticks,
         }
-        MemoryController { mem, access_ticks, occupancy_ticks, busy_until: Tick::ZERO, stats }
     }
 
     /// The NoC endpoint.
@@ -56,10 +68,11 @@ impl MemoryController {
         self.mem
     }
 
-    /// Controller statistics (`mem.reads`, `mem.writes`, `mem.busy_ticks`).
+    /// Controller statistics (`mem.reads`, `mem.writes`,
+    /// `mem.busy_ticks`), exported for reports.
     #[must_use]
-    pub fn stats(&self) -> &StatSet {
-        &self.stats
+    pub fn stats(&self) -> StatSet {
+        self.counters.export()
     }
 
     /// Handles a memory request from the directory.
@@ -67,10 +80,10 @@ impl MemoryController {
         let start = self.busy_until.max(now);
         let finish = start + self.access_ticks;
         self.busy_until = start + self.occupancy_ticks;
-        self.stats.add("mem.busy_ticks", self.occupancy_ticks);
+        self.counters.add(self.busy_ticks, self.occupancy_ticks);
         match msg.kind {
             MsgKind::MemRd => {
-                self.stats.bump("mem.reads");
+                self.counters.bump(self.reads);
                 let data = self.mem.read_line(msg.line);
                 out.send_after(
                     finish.delta_since(now),
@@ -83,7 +96,7 @@ impl MemoryController {
                 );
             }
             MsgKind::MemWr { data, mask } => {
-                self.stats.bump("mem.writes");
+                self.counters.bump(self.writes);
                 let mut line = self.mem.read_line(msg.line);
                 mask.apply(&mut line, &data);
                 self.mem.write_line(msg.line, line);

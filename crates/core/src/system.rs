@@ -67,6 +67,10 @@ pub struct Metrics {
     pub mem_reads: u64,
     /// Directory→memory writes (Fig. 5).
     pub mem_writes: u64,
+    /// Events the driver loop processed to reach this point. Not a
+    /// protocol statistic (it never appears in reports); the perf
+    /// harness divides it by wall-clock time to get events/second.
+    pub events: u64,
     /// Every counter from every controller, merged.
     pub stats: StatSet,
 }
@@ -234,6 +238,7 @@ impl SystemBuilder {
             trace_line,
             tracer,
             observer: Observer::new(self.obs),
+            gauge_labels: GaugeLabels::new(cfg.corepairs, n_gpus),
         }
     }
 }
@@ -265,6 +270,30 @@ pub struct System {
     trace_line: Option<u64>,
     tracer: Box<dyn Tracer>,
     observer: Observer,
+    gauge_labels: GaugeLabels,
+}
+
+/// Per-agent gauge label strings for the epoch sampler, formatted once at
+/// construction instead of once per epoch.
+#[derive(Debug)]
+struct GaugeLabels {
+    /// `(mshr_occupancy, victim_occupancy)` labels per CorePair.
+    cp: Vec<(String, String)>,
+    /// `(mshr_occupancy, waiter_occupancy)` labels per GPU cluster.
+    tcc: Vec<(String, String)>,
+}
+
+impl GaugeLabels {
+    fn new(corepairs: usize, gpus: usize) -> Self {
+        GaugeLabels {
+            cp: (0..corepairs)
+                .map(|i| (format!("cp{i}.mshr_occupancy"), format!("cp{i}.victim_occupancy")))
+                .collect(),
+            tcc: (0..gpus)
+                .map(|g| (format!("tcc{g}.mshr_occupancy"), format!("tcc{g}.waiter_occupancy")))
+                .collect(),
+        }
+    }
 }
 
 impl System {
@@ -292,20 +321,25 @@ impl System {
     /// * [`SimError::Wiring`] — a message was sent between agents with no
     ///   link in the topology.
     pub fn run(&mut self, max_events: u64) -> Result<Metrics, SimError> {
+        // One outbox for the whole run: `reset` clears it between events
+        // while keeping its buffer, so staging actions never allocates on
+        // the steady-state path.
+        let mut out = Outbox::new(self.now);
+
         // Initial wake-ups.
         for i in 0..self.corepairs.len() {
-            let mut out = Outbox::new(self.now);
+            out.reset(self.now);
             self.corepairs[i].start(&mut out);
-            self.apply(AgentId::CorePairL2(i), out)?;
+            self.apply(AgentId::CorePairL2(i), &mut out)?;
         }
         for g in 0..self.gpus.len() {
-            let mut out = Outbox::new(self.now);
+            out.reset(self.now);
             self.gpus[g].start(&mut out);
-            self.apply(AgentId::Tcc(g), out)?;
+            self.apply(AgentId::Tcc(g), &mut out)?;
         }
-        let mut out = Outbox::new(self.now);
+        out.reset(self.now);
         self.dma.start(&mut out);
-        self.apply(AgentId::Dma, out)?;
+        self.apply(AgentId::Dma, &mut out)?;
 
         while let Some((t, ev)) = self.queue.pop() {
             debug_assert!(t >= self.now, "time went backwards");
@@ -319,7 +353,8 @@ impl System {
             {
                 return Err(self.deadlock());
             }
-            let (agent, out) = match ev {
+            out.reset(t);
+            let agent = match ev {
                 Ev::Deliver(msg) => {
                     if self.trace_line == Some(msg.line.0) {
                         self.tracer.record(t, msg.to_string());
@@ -328,7 +363,6 @@ impl System {
                         self.observer.on_deliver(t, &msg);
                         self.observer.on_event(t, msg.dst);
                     }
-                    let mut out = Outbox::new(t);
                     let dst = msg.dst;
                     match dst {
                         AgentId::CorePairL2(i) => {
@@ -339,13 +373,12 @@ impl System {
                         AgentId::Directory => self.directory.on_message(t, &msg, &mut out),
                         AgentId::Memory => self.memctl.on_message(t, &msg, &mut out),
                     }
-                    (dst, out)
+                    dst
                 }
                 Ev::Wake(agent) => {
                     if self.observer.is_enabled() {
                         self.observer.on_event(t, agent);
                     }
-                    let mut out = Outbox::new(t);
                     match agent {
                         AgentId::CorePairL2(i) => self.corepairs[i].on_wake(t, &mut out),
                         AgentId::Tcc(g) => self.gpus[g].on_wake(t, &mut out),
@@ -353,10 +386,10 @@ impl System {
                         AgentId::Directory => self.directory.on_wake(t, &mut out),
                         AgentId::Memory => {}
                     }
-                    (agent, out)
+                    agent
                 }
             };
-            self.apply(agent, out)?;
+            self.apply(agent, &mut out)?;
             if self.observer.sample_due(self.now) {
                 self.sample_observer();
             }
@@ -371,27 +404,27 @@ impl System {
     /// counter the engine can see. Only called when the sampler is armed
     /// and due, so the allocations here are per-epoch, never per-event.
     fn sample_observer(&mut self) {
-        let mut gauges: Vec<(String, u64)> = vec![
-            ("queue.events".to_owned(), self.queue.len() as u64),
-            ("dir.inflight_txns".to_owned(), self.directory.inflight_txns()),
-            ("dma.inflight_lines".to_owned(), self.dma.inflight_lines()),
-        ];
-        for (i, cp) in self.corepairs.iter().enumerate() {
-            gauges.push((format!("cp{i}.mshr_occupancy"), cp.mshr_occupancy()));
-            gauges.push((format!("cp{i}.victim_occupancy"), cp.victim_occupancy()));
+        let mut gauges: Vec<(&str, u64)> =
+            Vec::with_capacity(3 + 2 * self.corepairs.len() + 2 * self.gpus.len());
+        gauges.push(("queue.events", self.queue.len() as u64));
+        gauges.push(("dir.inflight_txns", self.directory.inflight_txns()));
+        gauges.push(("dma.inflight_lines", self.dma.inflight_lines()));
+        for (cp, labels) in self.corepairs.iter().zip(&self.gauge_labels.cp) {
+            gauges.push((&labels.0, cp.mshr_occupancy()));
+            gauges.push((&labels.1, cp.victim_occupancy()));
         }
-        for (g, gpu) in self.gpus.iter().enumerate() {
-            gauges.push((format!("tcc{g}.mshr_occupancy"), gpu.mshr_occupancy()));
-            gauges.push((format!("tcc{g}.waiter_occupancy"), gpu.waiter_occupancy()));
+        for (gpu, labels) in self.gpus.iter().zip(&self.gauge_labels.tcc) {
+            gauges.push((&labels.0, gpu.mshr_occupancy()));
+            gauges.push((&labels.1, gpu.waiter_occupancy()));
         }
         let net = self.network.network();
-        let counters: Vec<(String, u64)> = vec![
-            ("events_processed".to_owned(), self.events_processed),
-            ("net.messages".to_owned(), net.stats().sum_prefix("net.msg.")),
-            ("net.probes_total".to_owned(), net.probes_sent()),
-            ("net.mem_reads".to_owned(), net.mem_reads()),
-            ("net.mem_writes".to_owned(), net.mem_writes()),
-            ("faults.injected".to_owned(), self.network.faults_injected()),
+        let counters: [(&str, u64); 6] = [
+            ("events_processed", self.events_processed),
+            ("net.messages", net.messages_total()),
+            ("net.probes_total", net.probes_sent()),
+            ("net.mem_reads", net.mem_reads()),
+            ("net.mem_writes", net.mem_writes()),
+            ("faults.injected", self.network.faults_injected()),
         ];
         self.observer.sample(self.now, &gauges, &counters);
     }
@@ -430,8 +463,8 @@ impl System {
         SimError::Deadlock { snapshot: Box::new(self.deadlock_snapshot()) }
     }
 
-    fn apply(&mut self, agent: AgentId, out: Outbox) -> Result<(), SimError> {
-        for act in out.into_actions() {
+    fn apply(&mut self, agent: AgentId, out: &mut Outbox) -> Result<(), SimError> {
+        for act in out.drain_actions() {
             match act {
                 Action::Send(m) => self.dispatch(self.now, m)?,
                 Action::SendLater(t, m) => self.dispatch(t, m)?,
@@ -485,19 +518,20 @@ impl System {
             stats.merge(&s);
         }
         for g in &self.gpus {
-            stats.merge(g.stats());
+            stats.merge(&g.stats());
         }
-        stats.merge(self.dma.stats());
+        stats.merge(&self.dma.stats());
         stats.merge(&self.directory.stats());
-        stats.merge(self.memctl.stats());
-        stats.merge(self.network.network().stats());
-        stats.merge(self.network.fault_stats());
+        stats.merge(&self.memctl.stats());
+        stats.merge(&self.network.network().stats());
+        stats.merge(&self.network.fault_stats());
         Metrics {
             ticks: self.now.cycles(),
             gpu_cycles: self.now.cycles() / TICKS_PER_GPU_CYCLE,
             probes_sent: self.network.network().probes_sent(),
             mem_reads: self.network.network().mem_reads(),
             mem_writes: self.network.network().mem_writes(),
+            events: self.events_processed,
             stats,
         }
     }

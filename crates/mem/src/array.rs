@@ -152,12 +152,21 @@ impl<S: fmt::Debug> fmt::Debug for CacheArray<S> {
     }
 }
 
+/// Upper bound on associativity, sized for the stack buffers used during
+/// victim selection (the largest config in this repo is 32 ways).
+const MAX_WAYS: usize = 64;
+
 impl<S> CacheArray<S> {
     /// Creates an empty array with the given geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry's associativity exceeds 64 ways.
     #[must_use]
     pub fn new(geometry: CacheGeometry) -> Self {
         let sets = geometry.sets();
         let ways = geometry.ways();
+        assert!(ways <= MAX_WAYS, "associativity {ways} exceeds supported maximum {MAX_WAYS}");
         CacheArray {
             geometry,
             sets,
@@ -263,15 +272,22 @@ impl<S> CacheArray<S> {
     }
 
     fn scored_victim_way(&self, set: usize, score: &impl Fn(LineAddr, &S) -> u32) -> usize {
-        let scores: Vec<u32> = (0..self.ways)
-            .map(|w| {
-                let l = self.lines[self.slot(set, w)].as_ref().unwrap();
-                score(l.tag, &l.meta)
-            })
-            .collect();
-        let min = *scores.iter().min().unwrap();
-        let mask: Vec<bool> = scores.iter().map(|&s| s == min).collect();
-        self.plru.victim_among(set, &mask).expect("at least one way has the minimum score")
+        // Fixed stack buffers: victim choice runs on every miss in a full
+        // set, so it must not allocate. MAX_WAYS bounds associativity
+        // (checked in `new`); every config in this repo is ≤32 ways.
+        let mut scores = [0u32; MAX_WAYS];
+        for (w, s) in scores.iter_mut().enumerate().take(self.ways) {
+            let l = self.lines[self.slot(set, w)].as_ref().unwrap();
+            *s = score(l.tag, &l.meta);
+        }
+        let min = *scores[..self.ways].iter().min().unwrap();
+        let mut mask = [false; MAX_WAYS];
+        for (m, s) in mask.iter_mut().zip(&scores).take(self.ways) {
+            *m = *s == min;
+        }
+        self.plru
+            .victim_among(set, &mask[..self.ways])
+            .expect("at least one way has the minimum score")
     }
 
     /// The line that would be displaced if `la` were inserted now, or

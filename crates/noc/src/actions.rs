@@ -55,6 +55,21 @@ impl Outbox {
         self.now
     }
 
+    /// Rewinds the outbox for reuse at a new event time: staged actions
+    /// are cleared but allocated capacity is kept. An event loop handling
+    /// hundreds of thousands of events can reuse one outbox instead of
+    /// allocating a fresh action buffer per event.
+    pub fn reset(&mut self, now: Tick) {
+        self.now = now;
+        self.actions.clear();
+    }
+
+    /// Drains the staged actions in order, leaving the outbox empty but
+    /// with its capacity intact (pairs with [`Outbox::reset`]).
+    pub fn drain_actions(&mut self) -> std::vec::Drain<'_, Action> {
+        self.actions.drain(..)
+    }
+
     /// Stages a message send.
     pub fn send(&mut self, msg: Message) {
         self.actions.push(Action::Send(msg));

@@ -15,10 +15,10 @@
 //! tolerance the protocol does not promise — use `delay_ppm` for targeted
 //! stress tests, and drops/duplicates for campaigns that assert recovery.
 
-use hsc_sim::{DetRng, StatSet, Tick};
+use hsc_sim::{CounterId, Counters, DetRng, StatSet, Tick};
 
 use crate::network::{Network, WiringError};
-use crate::Message;
+use crate::{ClassCounters, Message};
 
 /// Which message classes a [`FaultPlan`] may touch.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -161,19 +161,48 @@ pub struct FaultyNetwork {
     plan: Option<FaultPlan>,
     rng: DetRng,
     injected: u64,
-    fault_stats: StatSet,
+    counters: Counters,
+    ids: FaultIds,
+}
+
+/// Interned ids for the fault counters, all hidden: a fault-free run
+/// exports an empty set, exactly like the old on-demand string keys.
+#[derive(Debug, Clone)]
+struct FaultIds {
+    dropped: CounterId,
+    dropped_by_class: ClassCounters,
+    duplicated: CounterId,
+    duplicated_by_class: ClassCounters,
+    delayed: CounterId,
+    delayed_by_class: ClassCounters,
+}
+
+impl FaultIds {
+    fn register(counters: &mut Counters) -> FaultIds {
+        FaultIds {
+            dropped: counters.register_hidden("faults.dropped"),
+            dropped_by_class: ClassCounters::register_hidden(counters, "faults.dropped"),
+            duplicated: counters.register_hidden("faults.duplicated"),
+            duplicated_by_class: ClassCounters::register_hidden(counters, "faults.duplicated"),
+            delayed: counters.register_hidden("faults.delayed"),
+            delayed_by_class: ClassCounters::register_hidden(counters, "faults.delayed"),
+        }
+    }
 }
 
 impl FaultyNetwork {
     /// Creates a network with the given latencies and optional fault plan.
     #[must_use]
     pub fn new(latency: crate::LatencyMap, plan: Option<FaultPlan>) -> FaultyNetwork {
+        let mut counters = Counters::new();
+        let ids = FaultIds::register(&mut counters);
         FaultyNetwork {
             inner: Network::new(latency),
             plan,
             rng: DetRng::new(plan.map_or(0, |p| p.seed)),
             injected: 0,
-            fault_stats: StatSet::new(),
+            counters,
+            ids,
         }
     }
 
@@ -196,14 +225,14 @@ impl FaultyNetwork {
         const PPM: u64 = 1_000_000;
         if plan.drop_ppm > 0 && self.rng.chance(u64::from(plan.drop_ppm), PPM) {
             self.injected += 1;
-            self.fault_stats.bump("faults.dropped");
-            self.fault_stats.bump(&format!("faults.dropped.{}", msg.kind.class_name()));
+            self.counters.bump(self.ids.dropped);
+            self.counters.bump(self.ids.dropped_by_class.id(&msg.kind));
             return Ok(Delivery::Dropped);
         }
         if plan.dup_ppm > 0 && self.rng.chance(u64::from(plan.dup_ppm), PPM) {
             self.injected += 1;
-            self.fault_stats.bump("faults.duplicated");
-            self.fault_stats.bump(&format!("faults.duplicated.{}", msg.kind.class_name()));
+            self.counters.bump(self.ids.duplicated);
+            self.counters.bump(self.ids.duplicated_by_class.id(&msg.kind));
             // The copy takes one extra hop worth of latency so the pair
             // stays ordered (original first).
             let copy_at = arrive + self.inner.latency_map().cache_dir;
@@ -211,8 +240,8 @@ impl FaultyNetwork {
         }
         if plan.delay_ppm > 0 && self.rng.chance(u64::from(plan.delay_ppm), PPM) {
             self.injected += 1;
-            self.fault_stats.bump("faults.delayed");
-            self.fault_stats.bump(&format!("faults.delayed.{}", msg.kind.class_name()));
+            self.counters.bump(self.ids.delayed);
+            self.counters.bump(self.ids.delayed_by_class.id(&msg.kind));
             return Ok(Delivery::Deliver(arrive + plan.extra_delay));
         }
         Ok(Delivery::Deliver(arrive))
@@ -230,11 +259,13 @@ impl FaultyNetwork {
         self.injected
     }
 
-    /// Per-kind fault counters: `faults.dropped[.<Class>]`,
-    /// `faults.duplicated[.<Class>]`, `faults.delayed[.<Class>]`.
+    /// Per-kind fault counters exported for reports:
+    /// `faults.dropped[.<Class>]`, `faults.duplicated[.<Class>]`,
+    /// `faults.delayed[.<Class>]`. Counters that never fired are absent,
+    /// so a fault-free run exports an empty set.
     #[must_use]
-    pub fn fault_stats(&self) -> &StatSet {
-        &self.fault_stats
+    pub fn fault_stats(&self) -> StatSet {
+        self.counters.export()
     }
 
     /// The underlying network (traffic statistics, latency map).

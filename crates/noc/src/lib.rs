@@ -23,6 +23,7 @@
 
 mod actions;
 mod agent;
+mod classctr;
 mod fault;
 mod message;
 mod network;
@@ -30,6 +31,7 @@ mod retry;
 
 pub use actions::{Action, Outbox};
 pub use agent::AgentId;
+pub use classctr::ClassCounters;
 pub use fault::{Delivery, FaultPlan, FaultTargets, FaultyNetwork};
 pub use message::{Grant, Message, MsgKind, ProbeKind, WordMask};
 pub use network::{LatencyMap, Network, WiringError};

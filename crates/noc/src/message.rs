@@ -266,36 +266,79 @@ pub enum MsgKind {
 }
 
 impl MsgKind {
+    /// Number of distinct statistics classes (the two probe kinds count
+    /// separately). [`MsgKind::class_index`] is always below this.
+    pub const NUM_CLASSES: usize = 25;
+
+    /// Class names indexed by [`MsgKind::class_index`].
+    pub const CLASS_NAMES: [&'static str; MsgKind::NUM_CLASSES] = [
+        "RdBlk",
+        "RdBlkS",
+        "RdBlkM",
+        "VicDirty",
+        "VicClean",
+        "WT",
+        "Atomic",
+        "Flush",
+        "DmaRd",
+        "DmaWr",
+        "PrbInv",
+        "PrbDown",
+        "PrbAck",
+        "Resp",
+        "UpgradeAck",
+        "VicAck",
+        "WtAck",
+        "AtomicResp",
+        "FlushAck",
+        "DmaRdResp",
+        "DmaWrAck",
+        "Unblock",
+        "MemRd",
+        "MemWr",
+        "MemRdResp",
+    ];
+
+    /// Dense index of this message's statistics class, in
+    /// `0..`[`MsgKind::NUM_CLASSES`]. Hot counter paths use this to index
+    /// pre-interned per-class counter arrays instead of formatting a
+    /// string key per message.
+    #[must_use]
+    #[inline]
+    pub fn class_index(&self) -> usize {
+        match self {
+            MsgKind::RdBlk => 0,
+            MsgKind::RdBlkS => 1,
+            MsgKind::RdBlkM => 2,
+            MsgKind::VicDirty { .. } => 3,
+            MsgKind::VicClean { .. } => 4,
+            MsgKind::WriteThrough { .. } => 5,
+            MsgKind::AtomicReq { .. } => 6,
+            MsgKind::Flush => 7,
+            MsgKind::DmaRd => 8,
+            MsgKind::DmaWr { .. } => 9,
+            MsgKind::Probe { kind: ProbeKind::Invalidate } => 10,
+            MsgKind::Probe { kind: ProbeKind::Downgrade } => 11,
+            MsgKind::ProbeAck { .. } => 12,
+            MsgKind::Resp { .. } => 13,
+            MsgKind::UpgradeAck => 14,
+            MsgKind::VicAck => 15,
+            MsgKind::WtAck => 16,
+            MsgKind::AtomicResp { .. } => 17,
+            MsgKind::FlushAck => 18,
+            MsgKind::DmaRdResp { .. } => 19,
+            MsgKind::DmaWrAck => 20,
+            MsgKind::Unblock => 21,
+            MsgKind::MemRd => 22,
+            MsgKind::MemWr { .. } => 23,
+            MsgKind::MemRdResp { .. } => 24,
+        }
+    }
+
     /// A short stable name used as the statistics key for this class.
     #[must_use]
     pub fn class_name(&self) -> &'static str {
-        match self {
-            MsgKind::RdBlk => "RdBlk",
-            MsgKind::RdBlkS => "RdBlkS",
-            MsgKind::RdBlkM => "RdBlkM",
-            MsgKind::VicDirty { .. } => "VicDirty",
-            MsgKind::VicClean { .. } => "VicClean",
-            MsgKind::WriteThrough { .. } => "WT",
-            MsgKind::AtomicReq { .. } => "Atomic",
-            MsgKind::Flush => "Flush",
-            MsgKind::DmaRd => "DmaRd",
-            MsgKind::DmaWr { .. } => "DmaWr",
-            MsgKind::Probe { kind: ProbeKind::Invalidate } => "PrbInv",
-            MsgKind::Probe { kind: ProbeKind::Downgrade } => "PrbDown",
-            MsgKind::ProbeAck { .. } => "PrbAck",
-            MsgKind::Resp { .. } => "Resp",
-            MsgKind::UpgradeAck => "UpgradeAck",
-            MsgKind::VicAck => "VicAck",
-            MsgKind::WtAck => "WtAck",
-            MsgKind::AtomicResp { .. } => "AtomicResp",
-            MsgKind::FlushAck => "FlushAck",
-            MsgKind::DmaRdResp { .. } => "DmaRdResp",
-            MsgKind::DmaWrAck => "DmaWrAck",
-            MsgKind::Unblock => "Unblock",
-            MsgKind::MemRd => "MemRd",
-            MsgKind::MemWr { .. } => "MemWr",
-            MsgKind::MemRdResp { .. } => "MemRdResp",
-        }
+        MsgKind::CLASS_NAMES[self.class_index()]
     }
 
     /// Whether this is one of the directory-bound request classes.
@@ -458,6 +501,11 @@ mod tests {
         ];
         let names: BTreeSet<&str> = kinds.iter().map(|k| k.class_name()).collect();
         assert_eq!(names.len(), kinds.len(), "duplicate class name");
+        assert_eq!(kinds.len(), MsgKind::NUM_CLASSES, "class count drifted");
+        for (i, kind) in kinds.iter().enumerate() {
+            assert_eq!(kind.class_index(), i, "class_index order drifted for {kind:?}");
+            assert_eq!(kind.class_name(), MsgKind::CLASS_NAMES[i]);
+        }
     }
 
     #[test]

@@ -1,8 +1,8 @@
 use std::fmt;
 
-use hsc_sim::{StatSet, Tick};
+use hsc_sim::{CounterId, Counters, StatSet, Tick};
 
-use crate::{AgentId, Message, MsgKind};
+use crate::{AgentId, ClassCounters, Message, MsgKind};
 
 /// A message was sent between two agents that share no link in this
 /// topology (every path goes through the directory).
@@ -90,18 +90,23 @@ impl LatencyMap {
 #[derive(Debug, Clone)]
 pub struct Network {
     latency: LatencyMap,
-    stats: StatSet,
+    counters: Counters,
+    by_class: ClassCounters,
+    probes_total: CounterId,
+    mem_reads: CounterId,
+    mem_writes: CounterId,
 }
 
 impl Network {
     /// Creates a network with the given latencies.
     #[must_use]
     pub fn new(latency: LatencyMap) -> Self {
-        let mut stats = StatSet::new();
-        for key in ["net.probes_total", "net.mem_reads", "net.mem_writes"] {
-            stats.touch(key);
-        }
-        Network { latency, stats }
+        let mut counters = Counters::new();
+        let by_class = ClassCounters::register_hidden(&mut counters, "net.msg");
+        let probes_total = counters.register("net.probes_total");
+        let mem_reads = counters.register("net.mem_reads");
+        let mem_writes = counters.register("net.mem_writes");
+        Network { latency, counters, by_class, probes_total, mem_reads, mem_writes }
     }
 
     /// Accepts `msg` at time `now`; returns its delivery time and records
@@ -118,40 +123,48 @@ impl Network {
     }
 
     fn count(&mut self, msg: &Message) {
-        self.stats.bump(&format!("net.msg.{}", msg.kind.class_name()));
+        self.counters.bump(self.by_class.id(&msg.kind));
         if msg.kind.is_probe() {
-            self.stats.bump("net.probes_total");
+            self.counters.bump(self.probes_total);
         }
         match msg.kind {
-            MsgKind::MemRd => self.stats.bump("net.mem_reads"),
-            MsgKind::MemWr { .. } => self.stats.bump("net.mem_writes"),
+            MsgKind::MemRd => self.counters.bump(self.mem_reads),
+            MsgKind::MemWr { .. } => self.counters.bump(self.mem_writes),
             _ => {}
         }
     }
 
-    /// Traffic counters: `net.msg.<Class>`, `net.probes_total`,
-    /// `net.mem_reads`, `net.mem_writes`.
+    /// Traffic counters exported for reports: `net.msg.<Class>`,
+    /// `net.probes_total`, `net.mem_reads`, `net.mem_writes`.
     #[must_use]
-    pub fn stats(&self) -> &StatSet {
-        &self.stats
+    pub fn stats(&self) -> StatSet {
+        self.counters.export()
+    }
+
+    /// Total messages accepted, all classes — the dense-array replacement
+    /// for summing the exported `net.msg.*` keys (the per-epoch sampler
+    /// reads this every boundary).
+    #[must_use]
+    pub fn messages_total(&self) -> u64 {
+        self.by_class.total(&self.counters)
     }
 
     /// Total probes the directory has sent.
     #[must_use]
     pub fn probes_sent(&self) -> u64 {
-        self.stats.get("net.probes_total")
+        self.counters.get(self.probes_total)
     }
 
     /// Total directory→memory reads.
     #[must_use]
     pub fn mem_reads(&self) -> u64 {
-        self.stats.get("net.mem_reads")
+        self.counters.get(self.mem_reads)
     }
 
     /// Total directory→memory writes.
     #[must_use]
     pub fn mem_writes(&self) -> u64 {
-        self.stats.get("net.mem_writes")
+        self.counters.get(self.mem_writes)
     }
 
     /// The configured latencies.

@@ -112,6 +112,7 @@ pub struct Observer {
     perfetto: Option<PerfettoTrace>,
     profile: Option<BTreeMap<AgentId, (u64, u64)>>,
     inflight: BTreeMap<AgentId, u64>,
+    inflight_labels: BTreeMap<AgentId, String>,
     last_event_tick: Tick,
 }
 
@@ -127,6 +128,7 @@ impl Observer {
             perfetto: cfg.perfetto.then(PerfettoTrace::new),
             profile: cfg.profile_agents.then(BTreeMap::new),
             inflight: BTreeMap::new(),
+            inflight_labels: BTreeMap::new(),
             last_event_tick: Tick::ZERO,
         }
     }
@@ -237,7 +239,7 @@ impl Observer {
     /// are cumulative values stored as per-epoch deltas. The observer adds
     /// its own gauges (per-channel NoC in-flight depth and open-span
     /// count) on top.
-    pub fn sample(&mut self, now: Tick, gauges: &[(String, u64)], counters: &[(String, u64)]) {
+    pub fn sample(&mut self, now: Tick, gauges: &[(&str, u64)], counters: &[(&str, u64)]) {
         let open = self.txns.as_ref().map(TxnTracker::open_count);
         let Some(s) = &mut self.sampler else {
             return;
@@ -250,7 +252,12 @@ impl Observer {
             s.counter(name, *v);
         }
         for (agent, depth) in &self.inflight {
-            s.gauge(&format!("noc.inflight.{agent}"), *depth);
+            // The label is formatted once per agent, not once per epoch.
+            let label = self
+                .inflight_labels
+                .entry(*agent)
+                .or_insert_with(|| format!("noc.inflight.{agent}"));
+            s.gauge(label, *depth);
         }
         if let Some(open) = open {
             s.gauge("txn.open_spans", open);
@@ -351,7 +358,7 @@ mod tests {
         let mut o = Observer::new(ObsConfig::report(100));
         o.on_send(Tick(10), &rdblk(AgentId::CorePairL2(0)), &Delivery::Deliver(Tick(40)));
         assert!(o.sample_due(Tick(150)));
-        o.sample(Tick(150), &[("dir.inflight_txns".into(), 1)], &[("events".into(), 42)]);
+        o.sample(Tick(150), &[("dir.inflight_txns", 1)], &[("events", 42)]);
         let data = o.into_data();
         let names: Vec<&str> = data.time_series.iter().map(|s| s.name.as_str()).collect();
         assert_eq!(names, ["dir.inflight_txns", "events", "noc.inflight.DIR", "txn.open_spans"]);

@@ -143,7 +143,15 @@ impl EpochSampler {
     /// Records a monotonically increasing counter; the stored point is the
     /// delta since this counter's previous sample (first sample: vs 0).
     pub fn counter(&mut self, name: &str, cumulative: u64) {
-        let last = self.last_counter.insert(name.to_owned(), cumulative).unwrap_or(0);
+        // Allocation-free on the repeat path: the key is only cloned the
+        // first time a counter is seen.
+        let last = match self.last_counter.get_mut(name) {
+            Some(slot) => std::mem::replace(slot, cumulative),
+            None => {
+                self.last_counter.insert(name.to_owned(), cumulative);
+                0
+            }
+        };
         self.push(name, cumulative.saturating_sub(last));
     }
 

@@ -8,6 +8,9 @@
 //!   deterministic FIFO tie-breaking,
 //! * [`StatSet`] and [`Histogram`] — the statistics containers from which
 //!   every figure of the paper is regenerated,
+//! * [`Counters`] — interned-name counter slots for the per-event hot
+//!   path; controllers bump dense [`CounterId`]s and export a [`StatSet`]
+//!   only at report time,
 //! * [`DetRng`] — a small, seedable, splittable PRNG so that workload
 //!   generation is reproducible bit-for-bit across runs and platforms.
 //!
@@ -33,6 +36,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod counters;
 mod outcome;
 mod queue;
 mod rng;
@@ -40,6 +44,7 @@ mod stats;
 mod tick;
 mod trace;
 
+pub use counters::{CounterId, Counters};
 pub use outcome::{DeadlockSnapshot, RunOutcome, SimError, StuckLine, Watchdog};
 pub use queue::EventQueue;
 pub use rng::DetRng;
@@ -52,6 +57,7 @@ pub use trace::{format_trace_line, NullTracer, StderrTracer, Tracer, VecTracer};
 const _: () = {
     const fn assert_send<T: Send>() {}
     assert_send::<StatSet>();
+    assert_send::<Counters>();
     assert_send::<Histogram>();
     assert_send::<SimError>();
     assert_send::<DeadlockSnapshot>();

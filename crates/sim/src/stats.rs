@@ -67,6 +67,16 @@ impl StatSet {
         self.counters.entry(key.to_owned()).or_insert(0);
     }
 
+    /// Sets `key` to `value`, registering it even when `value` is 0.
+    ///
+    /// This is the export-time complement of [`StatSet::touch`]: the
+    /// interned [`Counters`](crate::Counters) store uses it to materialize
+    /// a visible slot at its exact value — including pre-registered slots
+    /// that never fired — in one insertion.
+    pub fn set(&mut self, key: &str, value: u64) {
+        self.counters.insert(key.to_owned(), value);
+    }
+
     /// Current value of `key` (0 if never incremented).
     #[must_use]
     pub fn get(&self, key: &str) -> u64 {
