@@ -1,0 +1,127 @@
+//! Model-checking campaign: exhaustive litmus exploration plus seeded
+//! fault sweeps, run as a parallel [`Campaign`].
+//!
+//! For every scenario in [`Litmus::catalog`]:
+//!
+//! * **exhaustive** — every delivery order, fault-free and (where the
+//!   scenario defines one) under its deterministic fault plan, with SWMR,
+//!   value-coherence, stuck-state and final-state invariants asserted at
+//!   each distinct state;
+//! * **sweep** — timed runs under seeded probabilistic message loss with
+//!   retries enabled.
+//!
+//! Output is submission-ordered and byte-identical at any `--jobs` count,
+//! including the per-scenario distinct-state counts — CI compares those
+//! across runs to pin down state-hash determinism. On a violation the
+//! minimized counterexample is printed as a numbered event sequence and
+//! exported as a Perfetto trace under `target/check/` (or the `--trace`
+//! directory), then the process exits non-zero.
+//!
+//! `--quick` shrinks the sweep seed range.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use hsc_bench::par::Campaign;
+use hsc_bench::reporting::parse_cli;
+use hsc_check::litmus::{Litmus, LitmusReport, SweepSummary};
+use hsc_check::CheckConfig;
+
+/// Seeds per scenario sweep (full / `--quick`).
+const SWEEP_SEEDS: u64 = 20;
+const SWEEP_SEEDS_QUICK: u64 = 5;
+
+enum ModeResult {
+    Exhaustive(LitmusReport),
+    Sweep(SweepSummary),
+}
+
+fn main() -> ExitCode {
+    let opts = parse_cli("model_check");
+    let par = opts.parallelism("model_check");
+    let sweep_seeds = if opts.quick { SWEEP_SEEDS_QUICK } else { SWEEP_SEEDS };
+    let trace_dir = opts.trace.clone().unwrap_or_else(|| PathBuf::from("target/check"));
+
+    let catalog = Litmus::catalog();
+    println!("model_check: {} scenarios, {} sweep seeds each", catalog.len(), sweep_seeds);
+
+    let mut campaign = Campaign::new("model_check");
+    for l in Litmus::catalog() {
+        let name = l.name;
+        campaign.push(format!("{name}/exhaustive"), move || {
+            ModeResult::Exhaustive(l.check_exhaustive(&CheckConfig::default()))
+        });
+    }
+    for l in Litmus::catalog() {
+        let name = l.name;
+        campaign.push(format!("{name}/sweep"), move || ModeResult::Sweep(l.sweep(0..sweep_seeds)));
+    }
+    let results = campaign.run(par);
+
+    let mut failed = false;
+    for (l, result) in catalog.iter().chain(catalog.iter()).zip(results) {
+        let r = match result {
+            Ok(r) => r,
+            Err(e) => {
+                println!("{:<22} PANIC: {e}", l.name);
+                failed = true;
+                continue;
+            }
+        };
+        match r {
+            ModeResult::Exhaustive(rep) => {
+                let summarize = |x: &Option<hsc_check::ExploreReport>| match x {
+                    Some(r) => format!(
+                        "{} states, {} terminal{}{}",
+                        r.states,
+                        r.terminal_states,
+                        if r.truncated { ", TRUNCATED" } else { "" },
+                        if r.passed() { "" } else { ", VIOLATION" },
+                    ),
+                    None => "-".to_owned(),
+                };
+                println!(
+                    "{:<22} exhaustive  fault-free: {:<40} faulty: {}",
+                    rep.name,
+                    summarize(&rep.fault_free),
+                    summarize(&rep.faulty),
+                );
+                if let Some(cx) = rep.counterexample() {
+                    failed = true;
+                    println!("{cx}");
+                    if std::fs::create_dir_all(&trace_dir).is_ok() {
+                        let path = trace_dir.join(format!("counterexample_{}.json", rep.name));
+                        match cx.to_perfetto().write_to(&path) {
+                            Ok(()) => println!("  trace written to {}", path.display()),
+                            Err(e) => eprintln!("  trace write failed: {e}"),
+                        }
+                    }
+                }
+            }
+            ModeResult::Sweep(s) => {
+                println!(
+                    "{:<22} sweep       {} runs: {} completed, {} deadlocked, {} failed",
+                    l.name,
+                    s.runs,
+                    s.completed,
+                    s.deadlocked,
+                    s.failures.len()
+                );
+                if !s.passed() {
+                    failed = true;
+                    for f in &s.failures {
+                        println!("  FAIL: {f}");
+                    }
+                }
+            }
+        }
+    }
+
+    if failed {
+        println!("model_check: FAILED");
+        ExitCode::FAILURE
+    } else {
+        println!("model_check: all scenarios passed");
+        ExitCode::SUCCESS
+    }
+}

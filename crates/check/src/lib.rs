@@ -1,0 +1,557 @@
+//! Exhaustive protocol state-space explorer and litmus harness.
+//!
+//! The simulator proper (`hsc-core`) runs one *timed* interleaving per
+//! seed: deterministic, fast, and blind to orderings its latency model
+//! never produces. This crate closes that gap for tiny configurations
+//! (2–3 agents, 1–2 cache lines, programs of a handful of ops) by
+//! enumerating **every** legal delivery order of the pending events via
+//! [`System::step_choice`] and asserting protocol invariants at each
+//! reached state:
+//!
+//! * **SWMR** — a settled line never has two writable copies, nor a
+//!   writable copy alongside stale readers;
+//! * **value coherence** — all settled copies of a line agree, and clean
+//!   copies match the freshest backing store (LLC, then memory);
+//! * **no stuck states** — the only state with nothing left to deliver is
+//!   clean completion (unless a fault scenario explicitly expects loss).
+//!
+//! States are deduplicated with the time-abstracted
+//! [`System::state_hash`], so interleavings that differ only in *when*
+//! (not *in what order*) things happened collapse, keeping exploration
+//! tractable. When a violation is found, a breadth-first pass over the
+//! same choice DAG produces a **minimized counterexample**: the shortest
+//! event sequence reaching any violating state, printable as a numbered
+//! event list and exportable as a Perfetto trace.
+//!
+//! The [`litmus`] module packages the directed race scenarios (victim
+//! vs. probe, duplicated reply, DMA vs. dirty L2, …) that PR 1's fault
+//! campaigns probed statistically, now checked exhaustively.
+//!
+//! # Examples
+//!
+//! ```
+//! use hsc_check::{explore, litmus, CheckConfig};
+//! use hsc_core::SystemBuilder;
+//!
+//! // An empty system completes from every delivery order of its
+//! // initial wake-ups: one terminal state, no violations.
+//! let report = explore(
+//!     &|| SystemBuilder::new(litmus::tiny_config()).build(),
+//!     &CheckConfig::default(),
+//! );
+//! assert!(report.counterexample.is_none());
+//! assert_eq!(report.terminal_states, 1);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+use std::collections::{BTreeMap, HashSet};
+use std::fmt;
+
+use hsc_mem::{LineAddr, LineData};
+use hsc_obs::PerfettoTrace;
+use hsc_sim::{PendingKind, Tick};
+
+use hsc_cluster::MoesiState;
+use hsc_core::System;
+
+pub mod litmus;
+
+/// A function producing a fresh [`System`] in its initial state. The
+/// explorer rebuilds and replays instead of cloning (a `System` owns
+/// boxed programs and tracers), so construction must be deterministic.
+pub type BuildFn<'a> = &'a dyn Fn() -> System;
+
+/// A predicate over a cleanly completed system: `Err(reason)` marks the
+/// final state as a violation (e.g. "a store was lost").
+pub type FinalCheck = fn(&System) -> Result<(), String>;
+
+/// Exploration limits and expectations.
+#[derive(Debug, Clone)]
+pub struct CheckConfig {
+    /// Stop after this many *distinct* states (truncates, not fails).
+    pub max_states: u64,
+    /// Do not explore interleavings longer than this many events.
+    pub max_depth: usize,
+    /// A state with no deliverable events but unfinished work is normally
+    /// a stuck-state violation; scenarios that inject message loss with
+    /// retries off set this to accept the resulting stall as an outcome.
+    pub deadlock_ok: bool,
+    /// Predicate applied to every cleanly completed terminal state.
+    pub final_check: Option<FinalCheck>,
+    /// After finding a violation, run the breadth-first minimizer to
+    /// report the *shortest* violating event sequence instead of the
+    /// DFS path that happened to find it first.
+    pub minimize: bool,
+}
+
+impl Default for CheckConfig {
+    fn default() -> Self {
+        CheckConfig {
+            max_states: 2_000_000,
+            max_depth: 256,
+            deadlock_ok: false,
+            final_check: None,
+            minimize: true,
+        }
+    }
+}
+
+/// What a counterexample violates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ViolationKind {
+    /// Two writable copies, or a writable copy alongside other readers.
+    Swmr,
+    /// Copies of a settled line disagree, or clean copies diverge from
+    /// the freshest backing store.
+    ValueCoherence,
+    /// No deliverable events left but some agent still has work.
+    Stuck,
+    /// A cleanly completed run failed the scenario's final-state check.
+    FinalState,
+}
+
+impl fmt::Display for ViolationKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            ViolationKind::Swmr => "SWMR",
+            ViolationKind::ValueCoherence => "value-coherence",
+            ViolationKind::Stuck => "stuck-state",
+            ViolationKind::FinalState => "final-state",
+        })
+    }
+}
+
+/// A violating interleaving: the event sequence (one rendered
+/// [`hsc_sim::PendingEvent`] per step, in delivery order) that drives a
+/// fresh system into the violation.
+#[derive(Debug, Clone)]
+pub struct Counterexample {
+    /// Which invariant broke.
+    pub kind: ViolationKind,
+    /// Human-readable specifics ("line 0x1000: 2 writable copies", …).
+    pub detail: String,
+    /// The choice indices to replay via [`System::step_choice`].
+    pub choices: Vec<usize>,
+    /// The chosen events, rendered at the moment each was delivered.
+    pub steps: Vec<String>,
+    /// Whether the minimizer produced this (shortest known) or it is the
+    /// raw DFS path.
+    pub minimized: bool,
+}
+
+impl Counterexample {
+    /// The counterexample as a Perfetto trace: one instant event per
+    /// delivery, on a single `counterexample` track, timestamped by step
+    /// index so the viewer shows the order, not the (abstracted) time.
+    #[must_use]
+    pub fn to_perfetto(&self) -> PerfettoTrace {
+        let mut t = PerfettoTrace::new();
+        for (i, s) in self.steps.iter().enumerate() {
+            t.instant("counterexample", s, "check", Tick(i as u64));
+        }
+        t.instant(
+            "counterexample",
+            &format!("{}: {}", self.kind, self.detail),
+            "violation",
+            Tick(self.steps.len() as u64),
+        );
+        t
+    }
+}
+
+impl fmt::Display for Counterexample {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{} violation after {} event(s){}: {}",
+            self.kind,
+            self.steps.len(),
+            if self.minimized { " (minimized)" } else { "" },
+            self.detail
+        )?;
+        for (i, s) in self.steps.iter().enumerate() {
+            writeln!(f, "  {:>3}. {s}", i + 1)?;
+        }
+        Ok(())
+    }
+}
+
+/// What an exhaustive exploration found.
+#[derive(Debug, Clone)]
+pub struct ExploreReport {
+    /// Distinct (time-abstracted) states reached.
+    pub states: u64,
+    /// States with nothing left to deliver and all work done.
+    pub terminal_states: u64,
+    /// Longest interleaving explored, in events.
+    pub deepest: usize,
+    /// Whether `max_states`/`max_depth` cut the exploration short.
+    pub truncated: bool,
+    /// The first violation found (minimized if configured), or `None` if
+    /// every reachable state passed.
+    pub counterexample: Option<Counterexample>,
+}
+
+impl ExploreReport {
+    /// Whether every explored state satisfied every invariant.
+    #[must_use]
+    pub fn passed(&self) -> bool {
+        self.counterexample.is_none()
+    }
+}
+
+/// Exhaustively explores every delivery order of `build()`'s event DAG
+/// under `cfg`, returning statistics and the first violation found.
+///
+/// # Panics
+///
+/// Panics if the built system reports a wiring error — that is a
+/// configuration bug, not a protocol state to explore.
+#[must_use]
+pub fn explore(build: BuildFn<'_>, cfg: &CheckConfig) -> ExploreReport {
+    let mut st = Search {
+        build,
+        cfg,
+        visited: HashSet::new(),
+        states: 0,
+        terminals: 0,
+        deepest: 0,
+        truncated: false,
+        stop: false,
+        violation: None,
+    };
+    let mut sys = fresh(build);
+    let mut path = Vec::new();
+    st.dfs(&mut sys, &mut path);
+
+    let counterexample = st.violation.take().map(|(kind, detail, choices)| {
+        if cfg.minimize {
+            minimize(build, cfg)
+                .unwrap_or_else(|| render_path(build, kind, detail, &choices, false))
+        } else {
+            render_path(build, kind, detail, &choices, false)
+        }
+    });
+    ExploreReport {
+        states: st.states,
+        terminal_states: st.terminals,
+        deepest: st.deepest,
+        truncated: st.truncated,
+        counterexample,
+    }
+}
+
+/// Builds a system and switches it into choice mode.
+fn fresh(build: BuildFn<'_>) -> System {
+    let mut sys = build();
+    sys.enable_choice_mode().expect("litmus systems must be wired correctly");
+    sys
+}
+
+/// Rebuilds a system and replays a choice path.
+fn replay(build: BuildFn<'_>, path: &[usize]) -> System {
+    let mut sys = fresh(build);
+    for &i in path {
+        sys.step_choice(i).expect("replayed step cannot fail");
+    }
+    sys
+}
+
+/// Renders a choice path into a [`Counterexample`] by replaying it and
+/// recording each chosen event's description.
+fn render_path(
+    build: BuildFn<'_>,
+    kind: ViolationKind,
+    detail: String,
+    choices: &[usize],
+    minimized: bool,
+) -> Counterexample {
+    let mut sys = fresh(build);
+    let mut steps = Vec::with_capacity(choices.len());
+    for &i in choices {
+        steps.push(sys.pending_events()[i].to_string());
+        sys.step_choice(i).expect("replayed step cannot fail");
+    }
+    Counterexample { kind, detail, choices: choices.to_vec(), steps, minimized }
+}
+
+struct Search<'a> {
+    build: BuildFn<'a>,
+    cfg: &'a CheckConfig,
+    visited: HashSet<u64>,
+    states: u64,
+    terminals: u64,
+    deepest: usize,
+    truncated: bool,
+    stop: bool,
+    violation: Option<(ViolationKind, String, Vec<usize>)>,
+}
+
+impl fmt::Debug for Search<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Search").field("states", &self.states).finish_non_exhaustive()
+    }
+}
+
+impl Search<'_> {
+    fn dfs(&mut self, sys: &mut System, path: &mut Vec<usize>) {
+        if self.stop {
+            return;
+        }
+        if !self.visited.insert(sys.state_hash()) {
+            return;
+        }
+        self.states += 1;
+        self.deepest = self.deepest.max(path.len());
+        if self.states >= self.cfg.max_states {
+            self.truncated = true;
+            self.stop = true;
+        }
+        let n = sys.choice_count();
+        if let Some((kind, detail)) = classify(sys, n, self.cfg) {
+            self.violation = Some((kind, detail, path.clone()));
+            self.stop = true;
+            return;
+        }
+        if n == 0 {
+            self.terminals += 1;
+            return;
+        }
+        if path.len() >= self.cfg.max_depth {
+            self.truncated = true;
+            return;
+        }
+        for i in 0..n {
+            path.push(i);
+            sys.step_choice(i).expect("explored step cannot fail");
+            self.dfs(sys, path);
+            path.pop();
+            if self.stop {
+                return;
+            }
+            if i + 1 < n {
+                *sys = replay(self.build, path);
+            }
+        }
+    }
+}
+
+/// Checks every invariant at one state. `n` is the pending-choice count
+/// (passed in because the caller already fetched it).
+fn classify(sys: &System, n: usize, cfg: &CheckConfig) -> Option<(ViolationKind, String)> {
+    if let Some(v) = check_coherence(sys) {
+        return Some(v);
+    }
+    if n == 0 {
+        if !sys.is_done() {
+            if cfg.deadlock_ok {
+                return None;
+            }
+            let busy: Vec<String> =
+                sys.deadlock_snapshot().agents.iter().map(String::clone).collect();
+            return Some((
+                ViolationKind::Stuck,
+                format!("nothing deliverable but work remains: [{}]", busy.join("; ")),
+            ));
+        }
+        if let Some(f) = cfg.final_check {
+            if let Err(reason) = f(sys) {
+                return Some((ViolationKind::FinalState, reason));
+            }
+        }
+    }
+    None
+}
+
+/// The SWMR and value-coherence invariants over every *settled* line — a
+/// line with no directory transaction, no L2 miss outstanding, no parked
+/// victim and no pending message touching it. Lines mid-transaction are
+/// legitimately incoherent (that is what the transaction is fixing);
+/// TCP/TCC copies are exempt by design — VIPER tolerates stale GPU lines
+/// until the next acquire.
+fn check_coherence(sys: &System) -> Option<(ViolationKind, String)> {
+    let mut unsettled: HashSet<LineAddr> = HashSet::new();
+    for ev in sys.pending_events() {
+        if let PendingKind::Deliver { line, .. } = ev.kind {
+            unsettled.insert(LineAddr(line));
+        }
+    }
+    let mut copies: BTreeMap<LineAddr, Vec<(usize, MoesiState, LineData)>> = BTreeMap::new();
+    for cp in 0..sys.corepair_count() {
+        for la in sys.mshr_lines(cp) {
+            unsettled.insert(la);
+        }
+        for (la, _) in sys.victim_snapshot(cp) {
+            unsettled.insert(la);
+        }
+        for (la, state, data) in sys.l2_snapshot(cp) {
+            copies.entry(la).or_default().push((cp, state, data));
+        }
+    }
+    let llc: BTreeMap<LineAddr, (LineData, bool)> =
+        sys.llc_snapshot().into_iter().map(|(la, d, dirty)| (la, (d, dirty))).collect();
+
+    for (la, cs) in &copies {
+        if unsettled.contains(la) || sys.dir_busy(*la) {
+            continue;
+        }
+        let writers = cs.iter().filter(|(_, s, _)| s.can_write()).count();
+        let owners = cs.iter().filter(|(_, s, _)| *s == MoesiState::Owned).count();
+        if writers > 1 {
+            return Some((
+                ViolationKind::Swmr,
+                format!("line {:#x}: {writers} writable copies in {}", la.0, describe(cs)),
+            ));
+        }
+        if writers == 1 && cs.len() > 1 {
+            return Some((
+                ViolationKind::Swmr,
+                format!(
+                    "line {:#x}: a writable copy coexists with {} other(s) in {}",
+                    la.0,
+                    cs.len() - 1,
+                    describe(cs)
+                ),
+            ));
+        }
+        if owners > 1 {
+            return Some((
+                ViolationKind::Swmr,
+                format!("line {:#x}: {owners} Owned copies in {}", la.0, describe(cs)),
+            ));
+        }
+        let first = cs[0].2;
+        if cs.iter().any(|(_, _, d)| *d != first) {
+            return Some((
+                ViolationKind::ValueCoherence,
+                format!("line {:#x}: copies disagree in {}", la.0, describe(cs)),
+            ));
+        }
+        let dirty_cached = cs.iter().any(|(_, s, _)| s.forwards_dirty());
+        if !dirty_cached {
+            // No dirty copy: every clean copy must match the freshest
+            // backing — the LLC if it holds the line, else memory.
+            let backing = match llc.get(la) {
+                Some((d, _)) => *d,
+                None => sys.memory_line(*la),
+            };
+            if first != backing {
+                return Some((
+                    ViolationKind::ValueCoherence,
+                    format!(
+                        "line {:#x}: clean copies (word0={:#x}) diverge from backing (word0={:#x})",
+                        la.0,
+                        first.word(0),
+                        backing.word(0)
+                    ),
+                ));
+            }
+        }
+    }
+    None
+}
+
+fn describe(cs: &[(usize, MoesiState, LineData)]) -> String {
+    let parts: Vec<String> =
+        cs.iter().map(|(cp, s, d)| format!("L2[{cp}]:{s:?}(word0={:#x})", d.word(0))).collect();
+    format!("[{}]", parts.join(", "))
+}
+
+/// Breadth-first search for the *shortest* path to any violating state,
+/// using the same visited-set abstraction as the DFS. Returns `None` only
+/// if the violation is unreachable within the config budget (possible
+/// when the DFS truncated).
+fn minimize(build: BuildFn<'_>, cfg: &CheckConfig) -> Option<Counterexample> {
+    struct Node {
+        parent: usize,
+        choice: usize,
+    }
+    let mut nodes: Vec<Node> = vec![Node { parent: usize::MAX, choice: usize::MAX }];
+    let mut visited: HashSet<u64> = HashSet::new();
+    let mut frontier: Vec<usize> = vec![0];
+    let mut expanded: u64 = 0;
+
+    let path_of = |nodes: &[Node], mut idx: usize| {
+        let mut p = Vec::new();
+        while nodes[idx].parent != usize::MAX {
+            p.push(nodes[idx].choice);
+            idx = nodes[idx].parent;
+        }
+        p.reverse();
+        p
+    };
+
+    visited.insert(fresh(build).state_hash());
+    while !frontier.is_empty() {
+        let mut next = Vec::new();
+        for &idx in &frontier {
+            let choices = path_of(&nodes, idx);
+            let mut sys = replay(build, &choices);
+            let n = sys.choice_count();
+            if let Some((kind, detail)) = classify(&sys, n, cfg) {
+                return Some(render_path(build, kind, detail, &choices, true));
+            }
+            expanded += 1;
+            if expanded >= cfg.max_states || choices.len() >= cfg.max_depth {
+                continue;
+            }
+            for i in 0..n {
+                sys.step_choice(i).expect("minimizer step cannot fail");
+                if visited.insert(sys.state_hash()) {
+                    nodes.push(Node { parent: idx, choice: i });
+                    next.push(nodes.len() - 1);
+                }
+                if i + 1 < n {
+                    sys = replay(build, &choices);
+                }
+            }
+        }
+        frontier = next;
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hsc_core::SystemBuilder;
+
+    fn empty() -> System {
+        SystemBuilder::new(litmus::tiny_config()).build()
+    }
+
+    #[test]
+    fn empty_system_has_one_terminal_state() {
+        let r = explore(&empty, &CheckConfig::default());
+        assert!(r.passed());
+        // Orders of the initial wake-ups are distinct states, but they
+        // all drain into the single completed state.
+        assert_eq!(r.terminal_states, 1);
+        assert!(r.states >= 1);
+        assert!(!r.truncated);
+    }
+
+    #[test]
+    fn final_check_failures_become_counterexamples() {
+        let cfg = CheckConfig {
+            final_check: Some(|_s: &System| Err("always wrong".to_owned())),
+            ..CheckConfig::default()
+        };
+        let r = explore(&empty, &cfg);
+        let cx = r.counterexample.expect("must fail");
+        assert_eq!(cx.kind, ViolationKind::FinalState);
+        assert!(cx.minimized);
+        assert!(cx.to_string().contains("always wrong"));
+        assert_eq!(cx.to_perfetto().len(), cx.steps.len() + 1, "one instant per step + verdict");
+    }
+
+    #[test]
+    fn state_count_is_deterministic() {
+        let a = explore(&empty, &CheckConfig::default());
+        let b = explore(&empty, &CheckConfig::default());
+        assert_eq!(a.states, b.states);
+        assert_eq!(a.terminal_states, b.terminal_states);
+    }
+}

@@ -65,13 +65,13 @@ impl Default for CpuConfig {
     }
 }
 
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Hash)]
 struct L2Line {
     state: MoesiState,
     data: LineData,
 }
 
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 enum TxnKind {
     Read,
     ReadInstr,
@@ -315,6 +315,54 @@ impl CorePair {
             .filter(|(_, l)| l.state.forwards_dirty())
             .map(|(la, l)| (la, l.data))
             .collect()
+    }
+
+    /// Every valid line in the L2 with its MOESI state and data, in
+    /// address order — the protocol-visible cache contents the model
+    /// checker's SWMR and value-coherence invariants range over.
+    pub fn l2_snapshot(&self) -> Vec<(LineAddr, MoesiState, LineData)> {
+        self.l2.iter().map(|(la, l)| (la, l.state, l.data)).collect()
+    }
+
+    /// Entries parked in the victim buffer, in address order.
+    pub fn victim_snapshot(&self) -> Vec<(LineAddr, hsc_mem::VictimEntry)> {
+        self.victims.iter().map(|(la, &e)| (la, e)).collect()
+    }
+
+    /// Lines with an in-flight L2 miss transaction, in address order.
+    pub fn mshr_lines(&self) -> Vec<LineAddr> {
+        self.mshr.iter().map(|(la, _)| la).collect()
+    }
+
+    /// Folds all protocol-relevant state into `h` for the system state
+    /// fingerprint. Deliberately *excludes* timing (`ready_at`), the retry
+    /// tracker's deadlines and statistics, so states that differ only in
+    /// when things happen hash alike; cache arrays (including the tag-only
+    /// L1s, whose hit pattern steers L2 recency) are hashed with their
+    /// placement and replacement bits, which decide future evictions.
+    pub fn hash_state<H: std::hash::Hasher>(&self, h: &mut H) {
+        use std::hash::Hash;
+        for c in &self.cores {
+            c.done.hash(h);
+            c.blocked_line.hash(h);
+            c.last_value.hash(h);
+            c.pending.hash(h);
+            c.pending_ifetch.hash(h);
+            c.ops_since_ifetch.hash(h);
+            c.next_code_line.hash(h);
+            c.ops_retired.hash(h);
+        }
+        for l1 in &self.l1d {
+            l1.hash_state(h);
+        }
+        self.l1i.hash_state(h);
+        self.l2.hash_state(h);
+        for (la, txn) in self.mshr.iter() {
+            (la, txn.kind, &txn.waiters).hash(h);
+        }
+        for (la, e) in self.victims.iter() {
+            (la, e).hash(h);
+        }
     }
 
     /// Handles a message delivered to this CorePair's L2.
@@ -737,7 +785,9 @@ impl CorePair {
             }
         } else if let Some(line) = self.l2.get_mut(la) {
             had_copy = true;
-            if line.state.forwards_dirty() {
+            // `mutation`: suppressing this forward is the seeded coherence
+            // bug the model-checker tests must catch (lost update).
+            if line.state.forwards_dirty() && !crate::mutation::drop_dirty_probe_data() {
                 dirty = Some(line.data);
             }
             match kind {

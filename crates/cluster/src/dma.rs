@@ -9,7 +9,7 @@ use hsc_sim::{CounterId, Counters, StatSet, Tick};
 /// Reads fetch whole lines; writes store consecutive 64-bit words starting
 /// at `base` (partial first/last lines use word masks, as a real engine's
 /// byte enables would).
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub enum DmaCommand {
     /// Read `lines` consecutive cache lines starting at the line
     /// containing `base`.
@@ -174,6 +174,21 @@ impl DmaEngine {
     #[must_use]
     pub fn stats(&self) -> StatSet {
         self.counters.export()
+    }
+
+    /// Folds all protocol-relevant state into `h` for the system state
+    /// fingerprint: remaining commands, queued and in-flight lines, and
+    /// completed read data. Excludes retry deadlines and statistics —
+    /// same scoping rules as `CorePair::hash_state`. (Command issue times
+    /// are part of the scenario definition, identical in every explored
+    /// interleaving, so hashing them costs nothing.)
+    pub fn hash_state<H: std::hash::Hasher>(&self, h: &mut H) {
+        use std::hash::Hash;
+        self.commands.hash(h);
+        self.in_flight.hash(h);
+        self.pending_lines.hash(h);
+        self.read_data.hash(h);
+        self.started.hash(h);
     }
 
     /// Handles a completion from the directory.

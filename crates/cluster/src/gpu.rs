@@ -93,7 +93,7 @@ impl Default for GpuConfig {
     }
 }
 
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 enum BlockKind {
     /// Waiting for TCC line fills of `pending_lines`.
     Fill,
@@ -370,6 +370,40 @@ impl GpuCluster {
     #[must_use]
     pub fn ops_retired(&self) -> u64 {
         self.cus.iter().flat_map(|cu| cu.wfs.iter()).map(|w| w.ops_retired).sum()
+    }
+
+    /// Folds all protocol-relevant state into `h` for the system state
+    /// fingerprint. Excludes timing (`ready_at`), retry deadlines and
+    /// statistics — same scoping rules as `CorePair::hash_state`; cache
+    /// arrays (TCPs, TCC, SQC — whose misses trigger fills) are hashed
+    /// with placement and replacement bits.
+    pub fn hash_state<H: std::hash::Hasher>(&self, h: &mut H) {
+        use std::hash::Hash;
+        for cu in &self.cus {
+            for w in &cu.wfs {
+                w.done.hash(h);
+                w.blocked.hash(h);
+                w.last_value.hash(h);
+                w.pending.hash(h);
+                w.pending_ifetch.hash(h);
+                w.pending_lines.hash(h);
+                w.outstanding_wt.hash(h);
+                w.flush_pending.hash(h);
+                w.last_wt_line.hash(h);
+                w.ops_since_ifetch.hash(h);
+                w.next_code_line.hash(h);
+                w.ops_retired.hash(h);
+            }
+            cu.tcp.hash_state(h);
+        }
+        self.tcc.hash_state(h);
+        self.sqc.hash_state(h);
+        for (la, txn) in self.tcc_mshr.iter() {
+            (la, &txn.waiters).hash(h);
+        }
+        self.wt_waiters.hash(h);
+        self.slc_waiters.hash(h);
+        self.flush_waiters.hash(h);
     }
 
     /// Handles a message delivered to the TCC.

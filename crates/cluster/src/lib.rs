@@ -32,6 +32,7 @@ mod corepair;
 mod dma;
 mod gpu;
 mod moesi;
+pub mod mutation;
 mod ops;
 mod viper;
 

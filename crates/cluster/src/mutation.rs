@@ -1,0 +1,50 @@
+//! Seeded protocol mutations for validating the model checker.
+//!
+//! A checker that has never caught a bug proves nothing. This module hosts
+//! deliberately injectable protocol bugs — each one a single suppressed
+//! step in an otherwise-correct MOESI transition — so the test-suite can
+//! demonstrate that `hsc-check` turns the mutation into a minimized
+//! counterexample naming the violating interleaving.
+//!
+//! Mutations are process-global switches compiled only under
+//! `debug_assertions`; in release builds the query functions are `const
+//! false` and the mutated branches fold away, so shipping simulators carry
+//! zero overhead and cannot be switched into a buggy mode. They are global
+//! (not per-`System`) because the mutated code sits deep inside a
+//! controller with no config plumbing — which is precisely why a test that
+//! arms one must run in its own process (own integration-test file) and
+//! disarm it on exit.
+
+#[cfg(debug_assertions)]
+use std::sync::atomic::{AtomicBool, Ordering};
+
+#[cfg(debug_assertions)]
+static DROP_DIRTY_PROBE_DATA: AtomicBool = AtomicBool::new(false);
+
+/// Arms or disarms the `drop_dirty_probe_data` mutation: an L2 answering a
+/// probe that hits a dirty (M/O) line *forgets to forward the dirty data*,
+/// so the directory hands out stale bytes — a classic lost-update
+/// coherence bug.
+///
+/// Only available in debug builds. Tests that arm this must disarm it
+/// before exiting (use a drop guard) and must not share a process with
+/// unrelated simulations.
+#[cfg(debug_assertions)]
+pub fn set_drop_dirty_probe_data(on: bool) {
+    DROP_DIRTY_PROBE_DATA.store(on, Ordering::SeqCst);
+}
+
+/// Whether the `drop_dirty_probe_data` mutation is armed.
+#[cfg(debug_assertions)]
+#[must_use]
+pub fn drop_dirty_probe_data() -> bool {
+    DROP_DIRTY_PROBE_DATA.load(Ordering::SeqCst)
+}
+
+/// Release builds: the mutation does not exist and the branch folds away.
+#[cfg(not(debug_assertions))]
+#[inline(always)]
+#[must_use]
+pub const fn drop_dirty_probe_data() -> bool {
+    false
+}

@@ -8,7 +8,7 @@ use hsc_mem::{Addr, AtomicKind};
 /// requested, and the previous load/atomic result is handed back to the
 /// program, which is how data-dependent control flow (spin loops, CAS retry
 /// loops, work-stealing) is expressed.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum CpuOp {
     /// Busy computation for the given number of *CPU* cycles.
     Compute(u64),
@@ -81,7 +81,7 @@ pub trait CoreProgram: fmt::Debug {
 /// into line requests. Scope-annotated atomics follow the paper: GLC
 /// (device scope) executes at the TCC, SLC (system scope) bypasses the TCC
 /// and executes at the directory.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub enum GpuOp {
     /// Busy computation for the given number of *GPU* cycles.
     Compute(u64),

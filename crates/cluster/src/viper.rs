@@ -16,7 +16,7 @@ pub enum ViState {
 ///
 /// TCPs are write-through and never forward data on probes, so the only
 /// payload is the (possibly stale until the next acquire) data copy.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub struct TcpLine {
     /// Cached copy of the line.
     pub data: LineData,
@@ -40,7 +40,7 @@ pub struct TcpLine {
 /// assert!(l.is_dirty());
 /// assert!(!l.fully_valid());
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct TccLine {
     /// Line contents (only `valid` words are meaningful).
     pub data: LineData,

@@ -14,7 +14,7 @@ use crate::{
 };
 
 /// What an in-flight directory transaction is doing.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 enum TxnKind {
     /// A request from a cache/DMA (the `origin` message says which).
     Request,
@@ -279,6 +279,53 @@ impl Directory {
     #[must_use]
     pub fn is_idle(&self) -> bool {
         self.txns.is_empty() && self.internal.is_empty()
+    }
+
+    /// Whether a transaction is currently active on `la`. The model
+    /// checker only asserts cache-copy invariants on *settled* lines —
+    /// mid-transaction states legitimately hold transient combinations.
+    #[must_use]
+    pub fn has_active_txn(&self, la: LineAddr) -> bool {
+        self.txns.contains_key(&la)
+    }
+
+    /// Folds all protocol-relevant directory state into `h` for the system
+    /// state fingerprint: LLC contents, directory entries, every in-flight
+    /// transaction (minus its arrival time), stale-victim bookkeeping and
+    /// the multiset of internally queued pipeline slots. Timing and
+    /// statistics are excluded — same scoping rules as
+    /// `CorePair::hash_state`.
+    pub fn hash_state<H: std::hash::Hasher>(&self, h: &mut H) {
+        use std::hash::Hash;
+        self.llc.hash_state(h);
+        self.entries.hash_state(h);
+        for (la, t) in &self.txns {
+            la.hash(h);
+            t.kind.hash(h);
+            t.origin.hash(h);
+            t.planned.hash(h);
+            t.requester_role.hash(h);
+            t.pending_acks.hash(h);
+            t.dirty_data.hash(h);
+            t.copies_found.hash(h);
+            t.llc_ready.hash(h);
+            t.llc_scheduled.hash(h);
+            t.llc_data.hash(h);
+            t.llc_was_hit.hash(h);
+            t.mem_requested.hash(h);
+            t.mem_data.hash(h);
+            t.responded.hash(h);
+            t.awaiting_unblock.hash(h);
+            t.queued.hash(h);
+            t.parked_allocs.hash(h);
+            t.start_state.hash(h);
+        }
+        self.stale_vics.hash(h);
+        // Internal pipeline slots, as a multiset: their ticks are timing.
+        let mut slots: Vec<LineAddr> =
+            self.internal.snapshot().into_iter().map(|(_, _, &la)| la).collect();
+        slots.sort_unstable();
+        slots.hash(h);
     }
 
     /// The LLC, for end-of-run memory reconstruction.

@@ -7,7 +7,7 @@ use hsc_sim::{CounterId, Counters, StatSet};
 /// Under the baseline write-through policy the dirty bit is always false
 /// (every LLC write also writes memory); under the write-back policy it is
 /// set by the first dirty victim write and cleared only by eviction.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct LlcLine {
     /// Line contents.
     pub data: LineData,
@@ -147,6 +147,18 @@ impl Llc {
     /// All dirty lines (for end-of-run memory reconstruction).
     pub fn dirty_lines(&self) -> Vec<(LineAddr, LineData)> {
         self.lines.iter().filter(|(_, l)| l.dirty).map(|(la, l)| (la, l.data)).collect()
+    }
+
+    /// All valid lines in set/way order (for state fingerprints and
+    /// whole-cache coherence checks).
+    pub fn iter(&self) -> impl Iterator<Item = (LineAddr, &LlcLine)> + '_ {
+        self.lines.iter()
+    }
+
+    /// Folds contents, placement and replacement state into `h` (see
+    /// [`CacheArray::hash_state`]).
+    pub fn hash_state<H: std::hash::Hasher>(&self, h: &mut H) {
+        self.lines.hash_state(h);
     }
 
     /// Number of valid lines.

@@ -1,11 +1,13 @@
 use hsc_cluster::{
-    CorePair, CoreProgram, DmaCommand, DmaEngine, GpuCluster, WavefrontProgram, TICKS_PER_GPU_CYCLE,
+    CorePair, CoreProgram, DmaCommand, DmaEngine, GpuCluster, MoesiState, WavefrontProgram,
+    TICKS_PER_GPU_CYCLE,
 };
-use hsc_mem::{Addr, LineAddr, MainMemory};
+use hsc_mem::{Addr, LineAddr, LineData, MainMemory, VictimEntry};
 use hsc_noc::{Action, AgentId, Delivery, FaultyNetwork, Message, Outbox};
 use hsc_obs::{ObsConfig, ObsData, Observer};
 use hsc_sim::{
-    DeadlockSnapshot, EventQueue, NullTracer, SimError, StatSet, StderrTracer, Tick, Tracer,
+    DeadlockSnapshot, EventQueue, Fnv1a, NullTracer, PendingEvent, PendingKind, SimError, StatSet,
+    StderrTracer, Tick, Tracer,
 };
 
 use crate::{Directory, MemoryController, SystemConfig};
@@ -15,8 +17,12 @@ use crate::{Directory, MemoryController, SystemConfig};
 /// cannot perturb simulated behaviour.
 const WATCHDOG_POLL_EVENTS: u64 = 1024;
 
-/// Message tracing for the event loop, resolved once at build time
-/// (replacing the old per-event `HSC_TRACE_LINE` environment lookup).
+/// Message tracing for the event loop, configured through the builder.
+///
+/// The builder is the *only* source of truth: the old `HSC_TRACE_LINE`
+/// environment path is gone. Tools that want an environment knob parse it
+/// themselves and call [`TraceConfig::line`] (see `repro_all`'s flags for
+/// the pattern).
 ///
 /// Every delivery whose line number matches is recorded through an
 /// [`hsc_sim::Tracer`] — [`StderrTracer`] by default, or whatever
@@ -37,14 +43,6 @@ impl TraceConfig {
     #[must_use]
     pub fn line(line: u64) -> Self {
         TraceConfig { line: Some(line) }
-    }
-
-    /// Reads `HSC_TRACE_LINE` (a decimal line number) once; unset or
-    /// unparsable values mean no tracing.
-    #[must_use]
-    pub fn from_env() -> Self {
-        let line = std::env::var("HSC_TRACE_LINE").ok().and_then(|v| v.parse::<u64>().ok());
-        TraceConfig { line }
     }
 
     /// The traced line number, if any.
@@ -105,11 +103,8 @@ pub struct SystemBuilder {
 }
 
 impl SystemBuilder {
-    /// Starts a builder for the given configuration.
-    ///
-    /// Tracing defaults to [`TraceConfig::from_env`], preserving the
-    /// historical `HSC_TRACE_LINE` behaviour — but the variable is now read
-    /// exactly once, here, instead of on every delivered event.
+    /// Starts a builder for the given configuration. Tracing defaults to
+    /// off; opt in with [`SystemBuilder::with_trace`].
     #[must_use]
     pub fn new(config: SystemConfig) -> Self {
         SystemBuilder {
@@ -118,7 +113,7 @@ impl SystemBuilder {
             wavefronts: Vec::new(),
             dma_commands: Vec::new(),
             init_words: Vec::new(),
-            trace: TraceConfig::from_env(),
+            trace: TraceConfig::off(),
             tracer: None,
             obs: ObsConfig::off(),
         }
@@ -235,6 +230,7 @@ impl SystemBuilder {
             queue: EventQueue::new(),
             now: Tick::ZERO,
             events_processed: 0,
+            started: false,
             trace_line,
             tracer,
             observer: Observer::new(self.obs),
@@ -267,6 +263,7 @@ pub struct System {
     queue: EventQueue<Ev>,
     now: Tick,
     events_processed: u64,
+    started: bool,
     trace_line: Option<u64>,
     tracer: Box<dyn Tracer>,
     observer: Observer,
@@ -325,21 +322,7 @@ impl System {
         // while keeping its buffer, so staging actions never allocates on
         // the steady-state path.
         let mut out = Outbox::new(self.now);
-
-        // Initial wake-ups.
-        for i in 0..self.corepairs.len() {
-            out.reset(self.now);
-            self.corepairs[i].start(&mut out);
-            self.apply(AgentId::CorePairL2(i), &mut out)?;
-        }
-        for g in 0..self.gpus.len() {
-            out.reset(self.now);
-            self.gpus[g].start(&mut out);
-            self.apply(AgentId::Tcc(g), &mut out)?;
-        }
-        out.reset(self.now);
-        self.dma.start(&mut out);
-        self.apply(AgentId::Dma, &mut out)?;
+        self.start(&mut out)?;
 
         while let Some((t, ev)) = self.queue.pop() {
             debug_assert!(t >= self.now, "time went backwards");
@@ -354,41 +337,7 @@ impl System {
                 return Err(self.deadlock());
             }
             out.reset(t);
-            let agent = match ev {
-                Ev::Deliver(msg) => {
-                    if self.trace_line == Some(msg.line.0) {
-                        self.tracer.record(t, msg.to_string());
-                    }
-                    if self.observer.is_enabled() {
-                        self.observer.on_deliver(t, &msg);
-                        self.observer.on_event(t, msg.dst);
-                    }
-                    let dst = msg.dst;
-                    match dst {
-                        AgentId::CorePairL2(i) => {
-                            self.corepairs[i].on_message(t, &msg, &mut out);
-                        }
-                        AgentId::Tcc(g) => self.gpus[g].on_message(t, &msg, &mut out),
-                        AgentId::Dma => self.dma.on_message(t, &msg, &mut out),
-                        AgentId::Directory => self.directory.on_message(t, &msg, &mut out),
-                        AgentId::Memory => self.memctl.on_message(t, &msg, &mut out),
-                    }
-                    dst
-                }
-                Ev::Wake(agent) => {
-                    if self.observer.is_enabled() {
-                        self.observer.on_event(t, agent);
-                    }
-                    match agent {
-                        AgentId::CorePairL2(i) => self.corepairs[i].on_wake(t, &mut out),
-                        AgentId::Tcc(g) => self.gpus[g].on_wake(t, &mut out),
-                        AgentId::Dma => self.dma.on_wake(t, &mut out),
-                        AgentId::Directory => self.directory.on_wake(t, &mut out),
-                        AgentId::Memory => {}
-                    }
-                    agent
-                }
-            };
+            let agent = self.handle(t, ev, &mut out);
             self.apply(agent, &mut out)?;
             if self.observer.sample_due(self.now) {
                 self.sample_observer();
@@ -398,6 +347,72 @@ impl System {
             return Err(self.deadlock());
         }
         Ok(self.metrics())
+    }
+
+    /// Delivers the initial wake-ups exactly once. Both [`System::run`]
+    /// and the model checker's choice-stepping path call this; a second
+    /// call is a no-op, so a partially stepped system may be handed back
+    /// to [`System::run`].
+    fn start(&mut self, out: &mut Outbox) -> Result<(), SimError> {
+        if self.started {
+            return Ok(());
+        }
+        self.started = true;
+        for i in 0..self.corepairs.len() {
+            out.reset(self.now);
+            self.corepairs[i].start(out);
+            self.apply(AgentId::CorePairL2(i), out)?;
+        }
+        for g in 0..self.gpus.len() {
+            out.reset(self.now);
+            self.gpus[g].start(out);
+            self.apply(AgentId::Tcc(g), out)?;
+        }
+        out.reset(self.now);
+        self.dma.start(out);
+        self.apply(AgentId::Dma, out)?;
+        Ok(())
+    }
+
+    /// Routes one event to its controller: the shared body of the `run`
+    /// loop and [`System::step_choice`]. Returns the agent whose staged
+    /// actions the caller must `apply`.
+    fn handle(&mut self, t: Tick, ev: Ev, out: &mut Outbox) -> AgentId {
+        match ev {
+            Ev::Deliver(msg) => {
+                if self.trace_line == Some(msg.line.0) {
+                    self.tracer.record(t, msg.to_string());
+                }
+                if self.observer.is_enabled() {
+                    self.observer.on_deliver(t, &msg);
+                    self.observer.on_event(t, msg.dst);
+                }
+                let dst = msg.dst;
+                match dst {
+                    AgentId::CorePairL2(i) => {
+                        self.corepairs[i].on_message(t, &msg, out);
+                    }
+                    AgentId::Tcc(g) => self.gpus[g].on_message(t, &msg, out),
+                    AgentId::Dma => self.dma.on_message(t, &msg, out),
+                    AgentId::Directory => self.directory.on_message(t, &msg, out),
+                    AgentId::Memory => self.memctl.on_message(t, &msg, out),
+                }
+                dst
+            }
+            Ev::Wake(agent) => {
+                if self.observer.is_enabled() {
+                    self.observer.on_event(t, agent);
+                }
+                match agent {
+                    AgentId::CorePairL2(i) => self.corepairs[i].on_wake(t, out),
+                    AgentId::Tcc(g) => self.gpus[g].on_wake(t, out),
+                    AgentId::Dma => self.dma.on_wake(t, out),
+                    AgentId::Directory => self.directory.on_wake(t, out),
+                    AgentId::Memory => {}
+                }
+                agent
+            }
+        }
     }
 
     /// Takes one epoch snapshot of every occupancy gauge and cumulative
@@ -456,7 +471,191 @@ impl System {
         for (la, detail) in self.dma.pending_lines() {
             agents.push(format!("DMA: line {:#x}: {detail}", la.0));
         }
-        DeadlockSnapshot { now: self.now, lines: self.directory.stuck_lines(self.now), agents }
+        DeadlockSnapshot {
+            now: self.now,
+            lines: self.directory.stuck_lines(self.now),
+            agents,
+            pending: self.pending_events(),
+        }
+    }
+
+    /// The undelivered events in the queue as typed [`PendingEvent`]s, in
+    /// deterministic `(tick, seq)` order. This is the model checker's
+    /// "choice set" view — index `i` here is the `i` for
+    /// [`System::step_choice`] — and also what [`DeadlockSnapshot`]
+    /// carries so stall reports can name in-flight traffic.
+    #[must_use]
+    pub fn pending_events(&self) -> Vec<PendingEvent> {
+        self.queue
+            .snapshot()
+            .into_iter()
+            .map(|(at, seq, ev)| {
+                let kind = match ev {
+                    Ev::Deliver(m) => PendingKind::Deliver {
+                        class: m.kind.class_name(),
+                        src: m.src.to_string(),
+                        dst: m.dst.to_string(),
+                        line: m.line.0,
+                    },
+                    Ev::Wake(a) => PendingKind::Wake { agent: a.to_string() },
+                };
+                PendingEvent { at, seq, kind }
+            })
+            .collect()
+    }
+
+    /// Switches this system into model-checking mode: delivers the initial
+    /// wake-ups (if [`System::run`] has not already) and flattens network
+    /// latency so every undelivered message is immediately choosable. Fault
+    /// plans still apply — drops, duplicates and *extra* delays survive —
+    /// only the base topology latency is removed, because the explorer
+    /// subsumes timing by enumerating delivery orders.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SimError::Wiring`] from the initial wake-ups.
+    pub fn enable_choice_mode(&mut self) -> Result<(), SimError> {
+        let mut out = Outbox::new(self.now);
+        self.start(&mut out)?;
+        self.network.set_immediate_delivery(true);
+        Ok(())
+    }
+
+    /// Number of deliverable events the explorer can pick from (the length
+    /// of [`System::pending_events`]).
+    #[must_use]
+    pub fn choice_count(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Delivers the `i`-th pending event (in `(tick, seq)` order) out of
+    /// turn, advancing time to `max(now, its tick)` so time never runs
+    /// backwards even when the explorer picks a late wake-up first.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SimError::Wiring`] from the handler's sends.
+    ///
+    /// # Panics
+    ///
+    /// If `i >= choice_count()` — the explorer owns the indices.
+    pub fn step_choice(&mut self, i: usize) -> Result<(), SimError> {
+        let seq = {
+            let snap = self.queue.snapshot();
+            snap.get(i).unwrap_or_else(|| panic!("choice index {i} out of range")).1
+        };
+        let (t, ev) = self.queue.remove_seq(seq).expect("snapshot seq must be removable");
+        self.now = self.now.max(t);
+        self.events_processed += 1;
+        let mut out = Outbox::new(self.now);
+        let agent = self.handle(self.now, ev, &mut out);
+        self.apply(agent, &mut out)
+    }
+
+    /// A compact FNV-1a fingerprint of all protocol-visible state:
+    /// controller programs and transactions, cache contents *including*
+    /// placement and replacement bits (they decide future victims),
+    /// directory entries, touched memory, and the pending-event multiset.
+    ///
+    /// Deliberately excluded: absolute ticks, retry deadlines and
+    /// statistics counters. Two states that differ only in when things
+    /// happened hash identically — that time abstraction is what makes
+    /// exhaustive exploration of the choice DAG tractable.
+    #[must_use]
+    pub fn state_hash(&self) -> u64 {
+        use std::hash::{Hash, Hasher};
+        let mut h = Fnv1a::default();
+        for cp in &self.corepairs {
+            cp.hash_state(&mut h);
+        }
+        for g in &self.gpus {
+            g.hash_state(&mut h);
+        }
+        self.dma.hash_state(&mut h);
+        self.directory.hash_state(&mut h);
+        for (la, data) in self.memctl.memory().iter() {
+            (la, data).hash(&mut h);
+        }
+        // The injected-fault count stands in for the fault plan's
+        // remaining behaviour. Exhaustive exploration therefore requires
+        // *deterministic* plans (rate 1e6 ppm, class-targeted, small
+        // `max_faults`) where the count alone decides future injections;
+        // probabilistic plans belong to the seeded sweep mode.
+        self.network.faults_injected().hash(&mut h);
+        // Pending events as an order-insensitive multiset: each event
+        // hashed on its own and the sub-hashes folded with a commutative
+        // op, so heap-internal (tick, seq) ordering — pure timing — never
+        // distinguishes states.
+        let mut pending: u64 = 0;
+        for (_, _, ev) in self.queue.snapshot() {
+            let mut eh = Fnv1a::default();
+            match ev {
+                Ev::Deliver(m) => {
+                    0u8.hash(&mut eh);
+                    m.hash(&mut eh);
+                }
+                Ev::Wake(a) => {
+                    1u8.hash(&mut eh);
+                    a.hash(&mut eh);
+                }
+            }
+            pending = pending.wrapping_add(eh.finish());
+        }
+        pending.hash(&mut h);
+        (self.queue.len() as u64).hash(&mut h);
+        h.finish()
+    }
+
+    /// Number of CorePairs in this system.
+    #[must_use]
+    pub fn corepair_count(&self) -> usize {
+        self.corepairs.len()
+    }
+
+    /// CorePair `cp`'s valid L2 lines as `(line, MOESI state, data)`, for
+    /// whole-cache invariant checks.
+    #[must_use]
+    pub fn l2_snapshot(&self, cp: usize) -> Vec<(LineAddr, MoesiState, LineData)> {
+        self.corepairs[cp].l2_snapshot()
+    }
+
+    /// CorePair `cp`'s in-flight victim-buffer entries.
+    #[must_use]
+    pub fn victim_snapshot(&self, cp: usize) -> Vec<(LineAddr, VictimEntry)> {
+        self.corepairs[cp].victim_snapshot()
+    }
+
+    /// Lines CorePair `cp` has outstanding L2 transactions for; the
+    /// checker treats these lines as unsettled.
+    #[must_use]
+    pub fn mshr_lines(&self, cp: usize) -> Vec<LineAddr> {
+        self.corepairs[cp].mshr_lines()
+    }
+
+    /// Valid LLC lines as `(line, data, dirty)`.
+    #[must_use]
+    pub fn llc_snapshot(&self) -> Vec<(LineAddr, LineData, bool)> {
+        self.directory.llc().iter().map(|(la, l)| (la, l.data, l.dirty)).collect()
+    }
+
+    /// Main-memory contents of `la` (zeroed if never written).
+    #[must_use]
+    pub fn memory_line(&self, la: LineAddr) -> LineData {
+        self.memctl.memory().read_line(la)
+    }
+
+    /// Whether the directory has an in-flight transaction on `la`; the
+    /// checker only asserts coherence on settled lines.
+    #[must_use]
+    pub fn dir_busy(&self, la: LineAddr) -> bool {
+        self.directory.has_active_txn(la)
+    }
+
+    /// Data the DMA engine has read so far, keyed by line (for litmus
+    /// final-state checks on DMA-vs-cache races).
+    #[must_use]
+    pub fn dma_read_data(&self) -> Vec<(LineAddr, LineData)> {
+        self.dma.read_data().iter().map(|(la, d)| (*la, *d)).collect()
     }
 
     fn deadlock(&self) -> SimError {
@@ -568,12 +767,6 @@ impl System {
     #[must_use]
     pub fn memory_word(&self, a: Addr) -> u64 {
         self.memctl.memory().read_word(a)
-    }
-
-    /// Human-readable dump of stuck directory transactions.
-    #[must_use]
-    pub fn debug_pending(&self) -> Vec<String> {
-        self.directory.pending_transactions()
     }
 
     /// Number of events the run processed (a determinism fingerprint).

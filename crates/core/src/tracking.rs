@@ -61,7 +61,7 @@ impl fmt::Display for DirState {
 /// s.remove(AgentId::CorePairL2(1));
 /// assert_eq!(s.len(), 1);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub struct SharerSet {
     l2s: u64,
     tccs: u64,
@@ -127,7 +127,7 @@ impl SharerSet {
 }
 
 /// One tracked directory entry (state `S` or `O`; `I` is absence).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct DirEntry {
     /// Stable state (never `I`: absent entries are `I`).
     pub state: DirState,
@@ -163,7 +163,7 @@ impl DirEntry {
 }
 
 /// The request classes the transition table distinguishes.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum PlanReq {
     /// Read-permission request (may earn Exclusive).
     RdBlk,
@@ -191,7 +191,7 @@ pub enum PlanReq {
 }
 
 /// Who is asking, as far as the transition table cares.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Requester {
     /// A CorePair L2 that is not the tracked owner.
     Cpu,
@@ -204,7 +204,7 @@ pub enum Requester {
 }
 
 /// Which caches to probe.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ProbePlan {
     /// No probes (the §IV headline saving).
     None,
@@ -216,7 +216,7 @@ pub enum ProbePlan {
 }
 
 /// Where the response data comes from.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum DataPlan {
     /// No data movement needed.
     None,
@@ -230,7 +230,7 @@ pub enum DataPlan {
 }
 
 /// What to send the requester.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum GrantPlan {
     /// No response payload (victims get VicAck, etc.).
     None,
@@ -245,7 +245,7 @@ pub enum GrantPlan {
 }
 
 /// The directory-entry state after the transaction.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum NextState {
     /// Entry removed (or never created).
     I,
@@ -272,7 +272,7 @@ pub enum NextState {
 }
 
 /// A full transition-table row.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Transition {
     /// Probes to send.
     pub probes: ProbePlan,

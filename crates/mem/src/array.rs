@@ -348,6 +348,26 @@ impl<S> CacheArray<S> {
     pub fn iter(&self) -> impl Iterator<Item = (LineAddr, &S)> {
         self.lines.iter().filter_map(|l| l.as_ref().map(|l| (l.tag, &l.meta)))
     }
+
+    /// Folds the complete array state — every valid line *with its slot*
+    /// plus the Tree-PLRU direction bits — into `h`.
+    ///
+    /// Slot indexes and replacement bits are included because they decide
+    /// future victims: two arrays with identical contents but different
+    /// placement or recency can evict different lines later, so a state
+    /// fingerprint that merged them would be unsound for model checking.
+    pub fn hash_state<H: std::hash::Hasher>(&self, h: &mut H)
+    where
+        S: std::hash::Hash,
+    {
+        use std::hash::Hash;
+        for (slot, l) in self.lines.iter().enumerate() {
+            if let Some(l) = l.as_ref() {
+                (slot, l.tag, &l.meta).hash(h);
+            }
+        }
+        self.plru.raw_bits().hash(h);
+    }
 }
 
 #[cfg(test)]

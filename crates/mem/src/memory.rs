@@ -64,6 +64,13 @@ impl MainMemory {
     pub fn touched_lines(&self) -> usize {
         self.lines.len()
     }
+
+    /// All written lines in address order (for state fingerprints and
+    /// memory-wide coherence checks). Never-written lines are implicitly
+    /// zero and not iterated.
+    pub fn iter(&self) -> impl Iterator<Item = (LineAddr, &LineData)> + '_ {
+        self.lines.iter().map(|(&la, d)| (la, d))
+    }
 }
 
 #[cfg(test)]

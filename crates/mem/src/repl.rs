@@ -143,6 +143,14 @@ impl TreePlru {
     pub fn sets(&self) -> usize {
         self.sets
     }
+
+    /// The raw direction bits, set-major (for state fingerprints: the
+    /// replacement state decides future victims, so two cache states that
+    /// differ only here can still diverge).
+    #[must_use]
+    pub fn raw_bits(&self) -> &[bool] {
+        &self.bits
+    }
 }
 
 #[cfg(test)]

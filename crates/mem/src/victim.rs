@@ -4,7 +4,7 @@ use crate::{LineAddr, LineData};
 
 /// One entry parked in a [`VictimBuffer`]: the evicted line's data and
 /// whether it is dirty with respect to the LLC/memory.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct VictimEntry {
     /// The line's contents at eviction time.
     pub data: LineData,
@@ -93,6 +93,12 @@ impl VictimBuffer {
     /// The parked line addresses, in address order (for diagnostics).
     pub fn lines(&self) -> impl Iterator<Item = LineAddr> + '_ {
         self.entries.keys().copied()
+    }
+
+    /// All parked entries in address order (for state fingerprints and
+    /// whole-buffer invariant checks).
+    pub fn iter(&self) -> impl Iterator<Item = (LineAddr, &VictimEntry)> + '_ {
+        self.entries.iter().map(|(&la, e)| (la, e))
     }
 
     /// Number of parked lines.

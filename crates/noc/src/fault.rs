@@ -161,6 +161,7 @@ pub struct FaultyNetwork {
     plan: Option<FaultPlan>,
     rng: DetRng,
     injected: u64,
+    immediate: bool,
     counters: Counters,
     ids: FaultIds,
 }
@@ -201,9 +202,30 @@ impl FaultyNetwork {
             plan,
             rng: DetRng::new(plan.map_or(0, |p| p.seed)),
             injected: 0,
+            immediate: false,
             counters,
             ids,
         }
+    }
+
+    /// Switches to *immediate delivery*: every accepted message arrives at
+    /// its send tick instead of after the modelled latency (duplicates
+    /// collapse to two same-tick copies; extra-delay faults still add their
+    /// delay so the fault stays observable).
+    ///
+    /// This hands delivery *ordering* to whoever drains the event queue —
+    /// with latencies flattened to zero, which message is handled next is
+    /// purely the driver's choice. The model checker uses this to explore
+    /// all interleavings rather than the one FIFO timing would pick.
+    /// Wiring validation and traffic statistics are unaffected.
+    pub fn set_immediate_delivery(&mut self, on: bool) {
+        self.immediate = on;
+    }
+
+    /// Whether immediate delivery is active.
+    #[must_use]
+    pub fn immediate_delivery(&self) -> bool {
+        self.immediate
     }
 
     /// Accepts `msg` at `now`, applying any planned fault.
@@ -215,7 +237,10 @@ impl FaultyNetwork {
     ///
     /// Returns [`WiringError`] when no link exists between the endpoints.
     pub fn send(&mut self, now: Tick, msg: &Message) -> Result<Delivery, WiringError> {
-        let arrive = self.inner.send(now, msg)?;
+        let mut arrive = self.inner.send(now, msg)?;
+        if self.immediate {
+            arrive = now;
+        }
         let Some(plan) = self.plan else {
             return Ok(Delivery::Deliver(arrive));
         };
@@ -234,8 +259,10 @@ impl FaultyNetwork {
             self.counters.bump(self.ids.duplicated);
             self.counters.bump(self.ids.duplicated_by_class.id(&msg.kind));
             // The copy takes one extra hop worth of latency so the pair
-            // stays ordered (original first).
-            let copy_at = arrive + self.inner.latency_map().cache_dir;
+            // stays ordered (original first). Under immediate delivery both
+            // land now; the explorer owns their relative order.
+            let copy_at =
+                if self.immediate { arrive } else { arrive + self.inner.latency_map().cache_dir };
             return Ok(Delivery::Twice(arrive, copy_at));
         }
         if plan.delay_ppm > 0 && self.rng.chance(u64::from(plan.delay_ppm), PPM) {
@@ -353,6 +380,26 @@ mod tests {
         let base = Tick(0) + LatencyMap::default().cache_dir;
         assert_eq!(slow.send(Tick(0), &req(1)).unwrap(), Delivery::Deliver(base + 500));
         assert_eq!(slow.fault_stats().get("faults.delayed"), 1);
+    }
+
+    #[test]
+    fn immediate_delivery_flattens_latency_but_keeps_faults() {
+        let mut net =
+            FaultyNetwork::new(LatencyMap::default(), Some(FaultPlan::drop_first("Resp")));
+        net.set_immediate_delivery(true);
+        assert!(net.immediate_delivery());
+        assert_eq!(net.send(Tick(40), &req(1)).unwrap(), Delivery::Deliver(Tick(40)));
+        assert_eq!(net.send(Tick(41), &resp(1)).unwrap(), Delivery::Dropped);
+        assert_eq!(net.faults_injected(), 1);
+        // Traffic stats still count accepted messages.
+        assert_eq!(net.network().stats().get("net.msg.RdBlk"), 1);
+
+        let mut dup = FaultyNetwork::new(
+            LatencyMap::default(),
+            Some(FaultPlan { dup_ppm: 1_000_000, ..FaultPlan::drops(7, 0) }),
+        );
+        dup.set_immediate_delivery(true);
+        assert_eq!(dup.send(Tick(9), &req(1)).unwrap(), Delivery::Twice(Tick(9), Tick(9)));
     }
 
     #[test]

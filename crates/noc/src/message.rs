@@ -143,7 +143,7 @@ impl WordMask {
 ///
 /// The naming follows §II of the paper exactly; see the table in the
 /// module docs of [`crate`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum MsgKind {
     // ---- requests to the directory ----
     /// Read-permission request; may be granted Shared or Exclusive.
@@ -399,7 +399,7 @@ impl MsgKind {
 }
 
 /// One message in flight on the system NoC.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Message {
     /// Sender.
     pub src: AgentId,

@@ -9,7 +9,7 @@
 use std::io;
 use std::path::Path;
 
-use hsc_sim::Histogram;
+use hsc_sim::{fnv1a, Histogram};
 
 use crate::json::JsonWriter;
 use crate::observer::{AgentProfile, ObsData};
@@ -240,16 +240,6 @@ fn write_run(w: &mut JsonWriter, run: &RunRecord) {
     }
     w.end_object();
     w.end_object();
-}
-
-/// FNV-1a, the workspace's stock dependency-free stable hash.
-fn fnv1a(bytes: &[u8]) -> u64 {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for &b in bytes {
-        h ^= u64::from(b);
-        h = h.wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    h
 }
 
 /// `git describe --always --dirty` of the current tree, `"unknown"` when

@@ -1,0 +1,113 @@
+//! FNV-1a hashing, shared by every fingerprint in the workspace.
+//!
+//! One implementation serves two consumers: the run-report config
+//! fingerprint (`hsc_obs::RunReport`) and the model checker's compact
+//! state hash (`hsc_core::System::state_hash`). FNV-1a is used instead of
+//! `DefaultHasher` because its output is *stable* — the same bytes hash to
+//! the same value on every platform and toolchain version, so state
+//! counts and config fingerprints recorded in reports are comparable
+//! across machines and over time.
+//!
+//! # Examples
+//!
+//! ```
+//! use std::hash::{Hash, Hasher};
+//! use hsc_sim::Fnv1a;
+//!
+//! let mut h = Fnv1a::new();
+//! 42u64.hash(&mut h);
+//! let a = h.finish();
+//! let mut h2 = Fnv1a::new();
+//! 42u64.hash(&mut h2);
+//! assert_eq!(a, h2.finish(), "FNV-1a is deterministic");
+//! assert_eq!(hsc_sim::fnv1a(b"hsc"), hsc_sim::fnv1a(b"hsc"));
+//! ```
+
+/// 64-bit FNV-1a offset basis.
+const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// 64-bit FNV-1a prime.
+const PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// A [`std::hash::Hasher`] implementing 64-bit FNV-1a.
+///
+/// Deterministic and platform-stable (unlike `DefaultHasher`, which is
+/// randomly seeded per process), so anything that derives [`Hash`] can be
+/// folded into a reproducible fingerprint.
+#[derive(Debug, Clone)]
+pub struct Fnv1a(u64);
+
+impl Fnv1a {
+    /// Starts a hash at the FNV offset basis.
+    #[must_use]
+    pub fn new() -> Self {
+        Fnv1a(OFFSET)
+    }
+}
+
+impl Default for Fnv1a {
+    fn default() -> Self {
+        Fnv1a::new()
+    }
+}
+
+impl std::hash::Hasher for Fnv1a {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(PRIME);
+        }
+    }
+}
+
+/// Hashes a byte slice with 64-bit FNV-1a in one call.
+#[must_use]
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    use std::hash::Hasher;
+    let mut h = Fnv1a::new();
+    h.write(bytes);
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::{Hash, Hasher};
+
+    #[test]
+    fn matches_known_vectors() {
+        // Classic FNV-1a test vectors.
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn hasher_trait_composes_with_derive() {
+        #[derive(Hash)]
+        struct S {
+            a: u64,
+            b: Option<u32>,
+        }
+        let h1 = {
+            let mut h = Fnv1a::new();
+            S { a: 1, b: Some(2) }.hash(&mut h);
+            h.finish()
+        };
+        let h2 = {
+            let mut h = Fnv1a::new();
+            S { a: 1, b: Some(2) }.hash(&mut h);
+            h.finish()
+        };
+        let h3 = {
+            let mut h = Fnv1a::new();
+            S { a: 1, b: None }.hash(&mut h);
+            h.finish()
+        };
+        assert_eq!(h1, h2);
+        assert_ne!(h1, h3);
+    }
+}

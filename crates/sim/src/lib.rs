@@ -37,6 +37,7 @@
 #![warn(missing_debug_implementations)]
 
 mod counters;
+mod fnv;
 mod outcome;
 mod queue;
 mod rng;
@@ -45,7 +46,10 @@ mod tick;
 mod trace;
 
 pub use counters::{CounterId, Counters};
-pub use outcome::{DeadlockSnapshot, RunOutcome, SimError, StuckLine, Watchdog};
+pub use fnv::{fnv1a, Fnv1a};
+pub use outcome::{
+    DeadlockSnapshot, PendingEvent, PendingKind, RunOutcome, SimError, StuckLine, Watchdog,
+};
 pub use queue::EventQueue;
 pub use rng::DetRng;
 pub use stats::{Histogram, StatSet};

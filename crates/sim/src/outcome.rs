@@ -35,6 +35,54 @@ impl fmt::Display for StuckLine {
     }
 }
 
+/// One undelivered event at the moment a diagnostic was taken.
+///
+/// The shared currency between diagnostics ([`DeadlockSnapshot`]) and
+/// exploration (the model checker's choice view): both need to describe
+/// "what could still happen" without exposing the driver's private event
+/// type, so the driver summarises each pending entry into this.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct PendingEvent {
+    /// Tick the event was scheduled for.
+    pub at: Tick,
+    /// Queue sequence number (stable handle; FIFO tie-break within a tick).
+    pub seq: u64,
+    /// What kind of event is pending.
+    pub kind: PendingKind,
+}
+
+/// The kind of a [`PendingEvent`].
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum PendingKind {
+    /// An in-flight protocol message awaiting delivery.
+    Deliver {
+        /// Message class name (e.g. `"RdBlk"`, `"Probe"`).
+        class: &'static str,
+        /// Sender, rendered by the owning layer (e.g. `"L2#0"`).
+        src: String,
+        /// Receiver, rendered by the owning layer.
+        dst: String,
+        /// Raw line number the message concerns.
+        line: u64,
+    },
+    /// A scheduled controller wake-up (timer, retry deadline, batching).
+    Wake {
+        /// The agent to be woken, rendered by the owning layer.
+        agent: String,
+    },
+}
+
+impl fmt::Display for PendingEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.kind {
+            PendingKind::Deliver { class, src, dst, line } => {
+                write!(f, "@{} deliver {src}→{dst} {class} line {line:#x}", self.at)
+            }
+            PendingKind::Wake { agent } => write!(f, "@{} wake {agent}", self.at),
+        }
+    }
+}
+
 /// Structured picture of the system at the moment a stall was diagnosed.
 ///
 /// Built from the directory's in-flight transaction dump plus each
@@ -48,15 +96,22 @@ pub struct DeadlockSnapshot {
     pub lines: Vec<StuckLine>,
     /// Per-agent summaries of outstanding work (one string per busy agent).
     pub agents: Vec<String>,
+    /// Events still undelivered when the stall was diagnosed (empty when
+    /// the queue drained — the classic lost-message deadlock).
+    pub pending: Vec<PendingEvent>,
 }
 
 impl DeadlockSnapshot {
-    /// Whether the snapshot mentions `line` anywhere (directory transaction
-    /// or agent-side outstanding miss).
+    /// Whether the snapshot mentions `line` anywhere (directory transaction,
+    /// agent-side outstanding miss, or undelivered message).
     #[must_use]
     pub fn mentions_line(&self, line: u64) -> bool {
         self.lines.iter().any(|l| l.line == line)
             || self.agents.iter().any(|a| a.contains(&format!("{line:#x}")))
+            || self
+                .pending
+                .iter()
+                .any(|p| matches!(p.kind, PendingKind::Deliver { line: l, .. } if l == line))
     }
 }
 
@@ -64,16 +119,20 @@ impl fmt::Display for DeadlockSnapshot {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(
             f,
-            "protocol stall at {}: {} stuck line(s), {} busy agent(s)",
+            "protocol stall at {}: {} stuck line(s), {} busy agent(s), {} pending event(s)",
             self.now,
             self.lines.len(),
-            self.agents.len()
+            self.agents.len(),
+            self.pending.len()
         )?;
         for l in &self.lines {
             writeln!(f, "  {l}")?;
         }
         for a in &self.agents {
             writeln!(f, "  {a}")?;
+        }
+        for p in &self.pending {
+            writeln!(f, "  pending: {p}")?;
         }
         Ok(())
     }
@@ -291,14 +350,33 @@ mod tests {
             now: Tick(500),
             lines: vec![StuckLine { line: 0x40, age: 400, detail: "Request acks=1".into() }],
             agents: vec!["L2#0: awaiting 0x40".into()],
+            pending: vec![PendingEvent {
+                at: Tick(480),
+                seq: 9,
+                kind: PendingKind::Deliver {
+                    class: "Probe",
+                    src: "Dir".into(),
+                    dst: "L2#1".into(),
+                    line: 0x77,
+                },
+            }],
         };
         assert!(snap.mentions_line(0x40));
+        assert!(snap.mentions_line(0x77), "pending deliveries count as mentions");
         assert!(!snap.mentions_line(0x41));
         let text = snap.to_string();
         assert!(text.contains("1 stuck line(s)"));
         assert!(text.contains("0x40"));
+        assert!(text.contains("pending: @480t deliver Dir→L2#1 Probe line 0x77"));
         let err = SimError::Deadlock { snapshot: Box::new(snap) };
         assert!(err.to_string().starts_with("deadlock"));
+    }
+
+    #[test]
+    fn pending_event_displays_wakes() {
+        let p =
+            PendingEvent { at: Tick(12), seq: 0, kind: PendingKind::Wake { agent: "DMA".into() } };
+        assert_eq!(p.to_string(), "@12t wake DMA");
     }
 
     #[test]

@@ -115,6 +115,44 @@ impl<E> EventQueue<E> {
     pub fn is_empty(&self) -> bool {
         self.heap.is_empty()
     }
+
+    /// All pending events in delivery order, without removing them.
+    ///
+    /// Returns `(tick, seq, &event)` triples sorted exactly the way
+    /// [`pop`](Self::pop) would drain them. This is the "pending choice
+    /// set" view the model checker explores: each `seq` is a stable handle
+    /// that [`remove_seq`](Self::remove_seq) accepts.
+    #[must_use]
+    pub fn snapshot(&self) -> Vec<(Tick, u64, &E)> {
+        let mut entries: Vec<&Entry> = self.heap.iter().collect();
+        entries.sort_by_key(|e| (e.tick, e.seq));
+        entries
+            .into_iter()
+            .map(|e| {
+                let ev = self.slab[e.idx as usize].as_ref().expect("slab slot vacated early");
+                (e.tick, e.seq, ev)
+            })
+            .collect()
+    }
+
+    /// Removes the pending event with sequence number `seq`, if present.
+    ///
+    /// This is how an explorer delivers events out of timestamp order:
+    /// pick any entry from [`snapshot`](Self::snapshot) and pull it by its
+    /// `seq`. Costs a heap rebuild (`O(n)`), which is fine for the tiny
+    /// queues model checking operates on; the simulation hot path never
+    /// calls this.
+    pub fn remove_seq(&mut self, seq: u64) -> Option<(Tick, E)> {
+        // Check for presence first so a miss leaves the heap untouched.
+        self.heap.iter().find(|e| e.seq == seq)?;
+        let mut entries: Vec<Entry> = std::mem::take(&mut self.heap).into_vec();
+        let pos = entries.iter().position(|e| e.seq == seq).expect("entry vanished");
+        let e = entries.swap_remove(pos);
+        self.heap = BinaryHeap::from(entries);
+        let event = self.slab[e.idx as usize].take().expect("slab slot vacated early");
+        self.free.push(e.idx);
+        Some((e.tick, event))
+    }
 }
 
 impl<E> Default for EventQueue<E> {
@@ -179,6 +217,36 @@ mod tests {
     fn default_is_empty() {
         let q: EventQueue<u8> = EventQueue::default();
         assert!(q.is_empty());
+    }
+
+    #[test]
+    fn snapshot_orders_like_pop_and_leaves_queue_intact() {
+        let mut q = EventQueue::new();
+        q.schedule(Tick(9), 'c');
+        q.schedule(Tick(1), 'a');
+        q.schedule(Tick(1), 'b'); // same tick: FIFO after 'a'
+        let snap: Vec<(Tick, char)> = q.snapshot().iter().map(|&(t, _, &e)| (t, e)).collect();
+        assert_eq!(snap, [(Tick(1), 'a'), (Tick(1), 'b'), (Tick(9), 'c')]);
+        assert_eq!(q.len(), 3, "snapshot must not consume events");
+        assert_eq!(q.pop(), Some((Tick(1), 'a')));
+    }
+
+    #[test]
+    fn remove_seq_pulls_an_arbitrary_event() {
+        let mut q = EventQueue::new();
+        q.schedule(Tick(1), 'a');
+        q.schedule(Tick(2), 'b');
+        q.schedule(Tick(3), 'c');
+        let seq_b = q.snapshot()[1].1;
+        assert_eq!(q.remove_seq(seq_b), Some((Tick(2), 'b')));
+        assert_eq!(q.remove_seq(seq_b), None, "already removed");
+        assert_eq!(q.remove_seq(999), None, "unknown seq is a no-op");
+        // Remaining events still drain in order, and the slab slot is reused.
+        q.schedule(Tick(0), 'z');
+        assert_eq!(q.pop(), Some((Tick(0), 'z')));
+        assert_eq!(q.pop(), Some((Tick(1), 'a')));
+        assert_eq!(q.pop(), Some((Tick(3), 'c')));
+        assert_eq!(q.pop(), None);
     }
 
     #[test]

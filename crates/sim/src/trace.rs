@@ -105,7 +105,7 @@ impl Tracer for VecTracer {
 }
 
 /// A tracer that prints every line to stderr as it is recorded, for
-/// interactive debugging of live runs (e.g. via `HSC_TRACE_LINE`).
+/// interactive debugging of live runs.
 ///
 /// # Examples
 ///

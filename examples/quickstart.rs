@@ -3,6 +3,8 @@
 //!
 //! ```sh
 //! cargo run --release --example quickstart
+//! # watch one cache line's protocol traffic on stderr:
+//! cargo run --release --example quickstart -- --trace-line 16386
 //! ```
 //!
 //! The scenario is a minimal CPU→GPU handoff: the CPU writes a value and
@@ -69,9 +71,27 @@ impl WavefrontProgram for Doubler {
     }
 }
 
+/// Parses `--trace-line <n>` (decimal line number = addr/64), the
+/// pattern `TraceConfig` docs describe: tracing is configured through
+/// the builder, so tools that want a knob parse it themselves.
+fn trace_from_args() -> TraceConfig {
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--trace-line" {
+            let n = args
+                .next()
+                .and_then(|v| v.parse().ok())
+                .expect("--trace-line takes a decimal line number");
+            return TraceConfig::line(n);
+        }
+    }
+    TraceConfig::off()
+}
+
 fn main() {
     let cfg = SystemConfig::with_coherence(CoherenceConfig::sharer_tracking());
     let mut b = SystemBuilder::new(cfg);
+    b.with_trace(trace_from_args());
     b.add_cpu_thread(Box::new(Publisher::default()));
     b.add_wavefront(Box::new(Doubler::default()));
     let mut sys = b.build();

@@ -21,6 +21,7 @@
 #![warn(missing_docs)]
 
 pub use hsc_bench as bench;
+pub use hsc_check as check;
 pub use hsc_cluster as cluster;
 pub use hsc_core as core;
 pub use hsc_mem as mem;
@@ -32,6 +33,8 @@ pub use hsc_workloads as workloads;
 /// The names almost every user of the simulator needs.
 pub mod prelude {
     pub use hsc_bench::par::{Campaign, JobError, JobResult, Parallelism};
+    pub use hsc_check::litmus::Litmus;
+    pub use hsc_check::{explore, CheckConfig, Counterexample, ExploreReport, ViolationKind};
     pub use hsc_cluster::{CoreProgram, CpuOp, GpuOp, WavefrontProgram};
     pub use hsc_core::{
         CleanVictimPolicy, CoherenceConfig, DirReplacementPolicy, DirectoryMode, LlcWritePolicy,
@@ -40,7 +43,7 @@ pub mod prelude {
     pub use hsc_mem::{Addr, AtomicKind, LineAddr};
     pub use hsc_noc::{FaultPlan, FaultTargets, RetryPolicy};
     pub use hsc_obs::{ObsConfig, ObsData, PerfettoTracer, RunReport};
-    pub use hsc_sim::{DeadlockSnapshot, RunOutcome, SimError};
+    pub use hsc_sim::{DeadlockSnapshot, PendingEvent, PendingKind, RunOutcome, SimError};
     pub use hsc_workloads::{
         all_workloads, collaborative_workloads, extension_workloads, run_workload,
         run_workload_observed, run_workload_on, try_run_workload_on, workload_by_name, Bs, Cedd,

@@ -67,6 +67,125 @@ fn dropped_request_with_retries_recovers() {
     assert_eq!(sys.final_word(TARGET), 42);
 }
 
+/// A lost *response* leaves the directory's transaction open, so the
+/// stall report must name all three dimensions: the stuck line (with its
+/// transaction phase), the busy agent, and the stall time — all through
+/// the plain `Display` rendering a CLI user would see.
+#[test]
+fn deadlock_display_names_line_phase_and_agents() {
+    let cfg = SystemConfig::default().with_faults(FaultPlan::drop_first("Resp"));
+    let mut sys = one_load_system(cfg);
+    let err = sys.run(10_000_000).expect_err("a dropped response cannot complete");
+    let SimError::Deadlock { snapshot } = &err else {
+        panic!("expected a diagnosed deadlock, got {err:?}");
+    };
+    assert!(
+        !snapshot.lines.is_empty(),
+        "the directory transaction must be reported stuck:\n{snapshot}"
+    );
+    let text = err.to_string();
+    assert!(text.starts_with("deadlock: protocol stall at"), "header missing:\n{text}");
+    assert!(text.contains("0x1000"), "must name the stuck line:\n{text}");
+    assert!(text.contains("stuck for"), "must give the transaction age:\n{text}");
+    assert!(text.contains("responded="), "must show the transaction phase flags:\n{text}");
+    assert!(text.contains("L2[0]"), "must name the waiting agent:\n{text}");
+}
+
+/// The stall report and the model checker's choice view share one event
+/// vocabulary ([`PendingEvent`]): wakes and message deliveries both
+/// render as readable one-liners naming the participants.
+#[test]
+fn pending_events_render_wakes_and_deliveries() {
+    let mut sys = one_load_system(SystemConfig::default());
+    sys.enable_choice_mode().expect("choice mode on a fresh system");
+    let pend = sys.pending_events();
+    assert_eq!(pend.len(), sys.choice_count());
+    assert!(
+        pend.iter().any(|p| p.to_string().contains("wake")),
+        "initial agent wake-ups must be pending: {pend:?}"
+    );
+    for _ in 0..64 {
+        if let Some(p) = sys
+            .pending_events()
+            .iter()
+            .find(|p| matches!(p.kind, PendingKind::Deliver { line: 0x1000, .. }))
+        {
+            let s = p.to_string();
+            assert!(s.contains("deliver"), "{s}");
+            assert!(s.contains("RdBlk"), "{s}");
+            assert!(s.contains("line 0x1000"), "{s}");
+            return;
+        }
+        assert!(sys.choice_count() > 0, "queue drained before the load's request appeared");
+        sys.step_choice(0).expect("fault-free stepping cannot fail");
+    }
+    panic!("the load's RdBlk never became a pending delivery");
+}
+
+/// Exactly one SLC fetch-add, then done.
+#[derive(Debug, Default)]
+struct OneAtomic {
+    fired: bool,
+}
+
+impl WavefrontProgram for OneAtomic {
+    fn next_op(&mut self, _last: Option<u64>) -> GpuOp {
+        if self.fired {
+            GpuOp::Done
+        } else {
+            self.fired = true;
+            GpuOp::AtomicSlc(TARGET, AtomicKind::FetchAdd(1))
+        }
+    }
+}
+
+/// SLC atomics are non-idempotent at the directory — a retried fetch-add
+/// whose original survived would apply twice — so the retry layer must
+/// *never* re-send one. A lost atomic therefore deadlocks even with
+/// retries enabled everywhere, with zero retry attempts recorded.
+#[test]
+fn slc_atomics_are_never_retried() {
+    let cfg = SystemConfig::default()
+        .with_retry_everywhere(RetryPolicy::default())
+        .with_faults(FaultPlan::drop_first("Atomic"));
+    let mut b = SystemBuilder::new(cfg);
+    b.with_trace(TraceConfig::off());
+    b.init_word(TARGET, 7);
+    b.add_wavefront(Box::new(OneAtomic::default()));
+    let mut sys = b.build();
+    match sys.run(10_000_000) {
+        Err(SimError::Deadlock { snapshot }) => {
+            assert!(
+                snapshot.mentions_line(TARGET.line().0),
+                "the lost atomic's line must be diagnosed:\n{snapshot}"
+            );
+        }
+        other => panic!("a lost SLC atomic must deadlock, not be retried: {other:?}"),
+    }
+    assert_eq!(sys.faults_injected(), 1);
+    assert_eq!(
+        sys.metrics().stats.get("tcc.retries"),
+        0,
+        "the TCC must not have re-sent the atomic"
+    );
+}
+
+/// The target-set logic behind that invariant: `RetryableRequests`
+/// excludes the `Atomic` class that plain `Requests` includes.
+#[test]
+fn retryable_targets_exclude_atomics() {
+    use hsc_repro::noc::{AgentId, Message, MsgKind};
+    let atomic = Message {
+        src: AgentId::Tcc(0),
+        dst: AgentId::Directory,
+        line: TARGET.line(),
+        kind: MsgKind::AtomicReq { word: 0, op: AtomicKind::FetchAdd(1) },
+    };
+    assert!(FaultTargets::Requests.matches(&atomic));
+    assert!(!FaultTargets::RetryableRequests.matches(&atomic));
+    assert!(FaultTargets::Class("Atomic").matches(&atomic));
+}
+
 fn run_hsti(plan: Option<FaultPlan>, retry: Option<RetryPolicy>) -> Result<Metrics, SimError> {
     let w = Hsti { elements: 256, bins: 8, cpu_threads: 2, wavefronts: 2, seed: 1 };
     let mut cfg = SystemConfig::scaled(CoherenceConfig::sharer_tracking());
