@@ -168,6 +168,11 @@ fn main() -> ExitCode {
                     rec.counters = r.metrics.stats.iter().map(|(k, v)| (k.to_owned(), v)).collect();
                 }
                 rec.attach_obs(&run.obs);
+                if run.outcome.is_err() {
+                    // Failed rows carry their post-mortem: the last
+                    // deliveries the engine made before the failure.
+                    rec.attach_flight(&run.obs.flight);
+                }
                 report.runs.push(rec);
                 if let Ok(r) = &run.outcome {
                     agg_stats.merge(&r.metrics.stats);

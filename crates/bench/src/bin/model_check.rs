@@ -32,7 +32,7 @@ const SWEEP_SEEDS: u64 = 20;
 const SWEEP_SEEDS_QUICK: u64 = 5;
 
 enum ModeResult {
-    Exhaustive(LitmusReport),
+    Exhaustive(Box<LitmusReport>),
     Sweep(SweepSummary),
 }
 
@@ -49,7 +49,7 @@ fn main() -> ExitCode {
     for l in Litmus::catalog() {
         let name = l.name;
         campaign.push(format!("{name}/exhaustive"), move || {
-            ModeResult::Exhaustive(l.check_exhaustive(&CheckConfig::default()))
+            ModeResult::Exhaustive(Box::new(l.check_exhaustive(&CheckConfig::default())))
         });
     }
     for l in Litmus::catalog() {

@@ -1,0 +1,267 @@
+//! Simulator-throughput trajectory: every committed perf baseline next to
+//! a fresh measurement of this tree.
+//!
+//! Reads all `BENCH_*.json` files (the `hsc-perf-baseline/v1` records
+//! `perf_baseline` writes, one committed per optimization PR), measures
+//! the current tree on the quick workload pair (`tq`, `hsti`), and prints
+//! the events-per-second trajectory. To keep full-suite and `--quick`
+//! baselines comparable, each row's headline rate is recomputed over only
+//! the workloads the fresh run also measured.
+//!
+//! Exits non-zero if the fresh measurement is more than `--threshold`
+//! percent (default 15%) below the **best** committed baseline — strict
+//! enough to flag a real hot-path regression, loose enough for scheduler
+//! noise. CI runs this as a non-gating warning step (shared runners are
+//! too noisy to fail a PR on); locally it is the quickest "did my change
+//! cost throughput?" answer.
+//!
+//! Flags:
+//!
+//! * `--dir <path>` — where to scan for `BENCH_*.json` (default `.`);
+//! * `--reps <N>` — timed repetitions per workload (default 3);
+//! * `--threshold <pct>` — allowed regression vs the best baseline.
+
+use std::process::ExitCode;
+use std::time::Instant;
+
+use hsc_core::{CoherenceConfig, SystemConfig};
+use hsc_obs::git_describe;
+use hsc_obs::json::{parse, Value};
+use hsc_workloads::{run_workload_on, Hsti, Tq, Workload};
+
+/// The quick pair every baseline contains, full suite or `--quick`.
+const QUICK_WORKLOADS: [&str; 2] = ["tq", "hsti"];
+
+struct Options {
+    dir: String,
+    reps: u32,
+    threshold_pct: f64,
+}
+
+fn usage_exit(message: &str) -> ! {
+    eprintln!("perf_trend: {message}");
+    eprintln!("usage: perf_trend [--dir <path>] [--reps <N>] [--threshold <pct>]");
+    std::process::exit(2);
+}
+
+fn parse_args(args: impl Iterator<Item = String>) -> Result<Options, String> {
+    let mut opts = Options { dir: ".".to_owned(), reps: 3, threshold_pct: 15.0 };
+    let mut args = args.peekable();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--dir" => opts.dir = args.next().ok_or("--dir requires a path operand")?,
+            "--reps" => {
+                let raw = args.next().ok_or("--reps requires a count operand")?;
+                opts.reps = raw
+                    .parse::<u32>()
+                    .ok()
+                    .filter(|&n| n >= 1)
+                    .ok_or_else(|| format!("--reps: '{raw}' is not a positive integer"))?;
+            }
+            "--threshold" => {
+                let raw = args.next().ok_or("--threshold requires a percentage operand")?;
+                opts.threshold_pct = raw
+                    .parse::<f64>()
+                    .ok()
+                    .filter(|p| p.is_finite() && *p >= 0.0)
+                    .ok_or_else(|| format!("--threshold: '{raw}' is not a percentage"))?;
+            }
+            other => return Err(format!("unknown argument '{other}'")),
+        }
+    }
+    Ok(opts)
+}
+
+/// One baseline row: a committed record or the fresh measurement,
+/// restricted to the quick workload pair.
+struct Row {
+    label: String,
+    rev: String,
+    /// `(events, wall_ms_min)` summed over the quick pair.
+    events: u64,
+    wall_ms: f64,
+    workloads_present: usize,
+}
+
+impl Row {
+    fn events_per_sec(&self) -> f64 {
+        if self.wall_ms > 0.0 {
+            self.events as f64 / (self.wall_ms / 1000.0)
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Parses one `BENCH_*.json` into a quick-pair row. Returns an error
+/// string naming the problem so a malformed record is reported, not
+/// silently skipped.
+fn parse_baseline(name: &str, text: &str) -> Result<Row, String> {
+    let doc = parse(text).map_err(|e| format!("not valid JSON: {e}"))?;
+    if doc.get("schema").and_then(Value::as_str) != Some("hsc-perf-baseline/v1") {
+        return Err("schema is not hsc-perf-baseline/v1".to_owned());
+    }
+    let rev =
+        doc.get("git").and_then(Value::as_str).ok_or("field 'git' must be a string")?.to_owned();
+    let workloads = doc
+        .get("workloads")
+        .and_then(Value::as_array)
+        .ok_or("field 'workloads' must be an array")?;
+    let mut events = 0u64;
+    let mut wall_ms = 0.0f64;
+    let mut present = 0usize;
+    for w in workloads {
+        let wname = w.get("name").and_then(Value::as_str).unwrap_or("");
+        if !QUICK_WORKLOADS.contains(&wname) {
+            continue;
+        }
+        let ev = w
+            .get("events")
+            .and_then(Value::as_f64)
+            .ok_or_else(|| format!("workload {wname}: 'events' must be a number"))?;
+        let ms = w
+            .get("wall_ms_min")
+            .and_then(Value::as_f64)
+            .ok_or_else(|| format!("workload {wname}: 'wall_ms_min' must be a number"))?;
+        events += ev as u64;
+        wall_ms += ms;
+        present += 1;
+    }
+    if present == 0 {
+        return Err(format!("record contains none of {QUICK_WORKLOADS:?}"));
+    }
+    Ok(Row { label: name.to_owned(), rev, events, wall_ms, workloads_present: present })
+}
+
+/// Measures the quick pair on this tree, `reps` timed runs each after one
+/// warm-up, keeping the minimum wall-clock per workload (the
+/// `perf_baseline` methodology).
+fn measure_fresh(reps: u32) -> Row {
+    let workloads: [Box<dyn Workload>; 2] = [Box::new(Tq::default()), Box::new(Hsti::default())];
+    let cfg = || SystemConfig::scaled(CoherenceConfig::baseline());
+    let mut events = 0u64;
+    let mut wall_ms = 0.0f64;
+    for w in &workloads {
+        let warm = run_workload_on(w.as_ref(), cfg());
+        let mut min_ms = f64::INFINITY;
+        for _ in 0..reps {
+            let start = Instant::now();
+            let r = run_workload_on(w.as_ref(), cfg());
+            min_ms = min_ms.min(start.elapsed().as_secs_f64() * 1000.0);
+            assert_eq!(
+                r.metrics.events,
+                warm.metrics.events,
+                "{} is not deterministic across reps",
+                w.name()
+            );
+        }
+        events += warm.metrics.events;
+        wall_ms += min_ms;
+    }
+    Row {
+        label: "(this tree)".to_owned(),
+        rev: git_describe(),
+        events,
+        wall_ms,
+        workloads_present: QUICK_WORKLOADS.len(),
+    }
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args(std::env::args().skip(1)) {
+        Ok(o) => o,
+        Err(msg) => usage_exit(&msg),
+    };
+
+    let mut names: Vec<String> = match std::fs::read_dir(&opts.dir) {
+        Ok(entries) => entries
+            .filter_map(Result::ok)
+            .filter_map(|e| e.file_name().into_string().ok())
+            .filter(|n| n.starts_with("BENCH_") && n.ends_with(".json"))
+            .collect(),
+        Err(e) => usage_exit(&format!("cannot read directory {}: {e}", opts.dir)),
+    };
+    names.sort();
+
+    let mut rows = Vec::new();
+    let mut malformed = 0;
+    for name in &names {
+        let path = std::path::Path::new(&opts.dir).join(name);
+        match std::fs::read_to_string(&path) {
+            Ok(text) => match parse_baseline(name, &text) {
+                Ok(row) => rows.push(row),
+                Err(e) => {
+                    eprintln!("perf_trend: {name}: {e}");
+                    malformed += 1;
+                }
+            },
+            Err(e) => {
+                eprintln!("perf_trend: cannot read {name}: {e}");
+                malformed += 1;
+            }
+        }
+    }
+
+    println!(
+        "perf_trend: {} committed baseline(s) in {}, fresh run over {:?} ({} rep(s))",
+        rows.len(),
+        opts.dir,
+        QUICK_WORKLOADS,
+        opts.reps
+    );
+    let fresh = measure_fresh(opts.reps);
+    let best = rows.iter().map(Row::events_per_sec).fold(0.0f64, f64::max);
+
+    println!(
+        "{:<24} {:<12} {:>9} {:>10} {:>8}  note",
+        "baseline", "rev", "events", "wall_ms", "Mev/s"
+    );
+    for row in rows.iter().chain(std::iter::once(&fresh)) {
+        let partial =
+            if row.workloads_present < QUICK_WORKLOADS.len() { " (partial pair)" } else { "" };
+        let note = if row.label == "(this tree)" {
+            let delta = if best > 0.0 {
+                format!("{:+.1}% vs best", 100.0 * (row.events_per_sec() / best - 1.0))
+            } else {
+                "no baseline to compare".to_owned()
+            };
+            format!("{delta}{partial}")
+        } else {
+            partial.trim_start().to_owned()
+        };
+        println!(
+            "{:<24} {:<12} {:>9} {:>10.2} {:>8.2}  {note}",
+            row.label,
+            row.rev,
+            row.events,
+            row.wall_ms,
+            row.events_per_sec() / 1e6,
+        );
+    }
+
+    if malformed > 0 {
+        println!("perf_trend: FAILED — {malformed} malformed baseline record(s)");
+        return ExitCode::FAILURE;
+    }
+    if best > 0.0 {
+        let floor = best * (1.0 - opts.threshold_pct / 100.0);
+        if fresh.events_per_sec() < floor {
+            println!(
+                "perf_trend: REGRESSION — {:.2} M events/s is more than {:.0}% below the best baseline ({:.2} M events/s)",
+                fresh.events_per_sec() / 1e6,
+                opts.threshold_pct,
+                best / 1e6
+            );
+            return ExitCode::FAILURE;
+        }
+        println!(
+            "perf_trend: ok — within {:.0}% of the best baseline ({:.2} vs {:.2} M events/s)",
+            opts.threshold_pct,
+            fresh.events_per_sec() / 1e6,
+            best / 1e6
+        );
+    } else {
+        println!("perf_trend: ok — no committed baselines to compare against");
+    }
+    ExitCode::SUCCESS
+}

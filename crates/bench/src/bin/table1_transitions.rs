@@ -2,11 +2,31 @@
 //! tracking directory, printed from the *implementation* (the same
 //! [`hsc_core::tracking::plan`] function the directory executes), so the
 //! table can never drift from the simulator's behaviour.
+//!
+//! With `--observed`, a second section follows: the directory's
+//! *measured* transition matrix from a live `cedd` run on the
+//! sharer-tracking configuration, recorded by the protocol-analytics
+//! hooks. The static table is the specification; the observed matrix is
+//! evidence of which rows the collaborative workloads actually exercise
+//! (see EXPERIMENTS.md). The default output is unchanged by this flag's
+//! existence, so table-diff checks against earlier revisions still hold.
 
 use hsc_core::tracking::{describe, DirState, PlanReq, Requester};
-use hsc_core::DirectoryMode;
+use hsc_core::{CoherenceConfig, DirectoryMode, ObsConfig, SystemConfig};
+use hsc_workloads::{run_workload_observed, Cedd};
 
 fn main() {
+    let mut observed = false;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--observed" => observed = true,
+            other => {
+                eprintln!("table1_transitions: unknown argument '{other}'");
+                eprintln!("usage: table1_transitions [--observed]");
+                std::process::exit(2);
+            }
+        }
+    }
     println!("=================================================================");
     println!("Table I: state machine of the precise state-tracking directory");
     println!("(rows printed from hsc_core::tracking::plan — the live protocol)");
@@ -20,6 +40,32 @@ fn main() {
         }
     }
     println!("\nOmitted rows (e.g. VicDirty in S) are illegal, as in the paper.");
+    if observed {
+        print_observed();
+    }
+}
+
+/// Prints the measured directory matrix of a live run next to the static
+/// table above, so exercised rows can be checked off against the spec.
+fn print_observed() {
+    let w = Cedd::default();
+    let obs = ObsConfig { protocol_analytics: true, ..ObsConfig::off() };
+    let run =
+        run_workload_observed(&w, SystemConfig::scaled(CoherenceConfig::sharer_tracking()), obs);
+    println!("\n--- observed: directory transitions of one cedd run (sharer tracking) ---");
+    if let Err(e) = &run.outcome {
+        println!("run FAILED ({e}); counts cover the run up to the failure");
+    }
+    let Some(m) = run.obs.transitions.iter().find(|m| m.protocol() == "directory") else {
+        println!("(no directory matrix collected)");
+        return;
+    };
+    let states = m.states();
+    let causes = m.causes();
+    println!("{} transition(s) recorded:", m.total());
+    for (fi, ti, ci, n) in m.nonzero() {
+        println!("  {:>2} --{:-<14}-> {:<2} {n:>8}", states[fi], causes[ci], states[ti]);
+    }
 }
 
 fn legal_rows(state: DirState) -> Vec<(PlanReq, Requester)> {

@@ -1,18 +1,156 @@
 //! Validates a machine-readable run report against the `hsc-run-report`
-//! schema: JSON well-formedness, envelope field presence, the exact
-//! schema version this tree produces, and per-run structure (counters,
-//! latency summaries, and at least two sampled time series somewhere in
-//! the report). CI runs this on the artifact `repro_all --report` emits.
+//! schema: JSON well-formedness, envelope field presence, a schema
+//! version this tree understands (1, or 2 when analytics sections are
+//! present), and per-run structure (counters, latency summaries, at
+//! least two sampled time series somewhere in the report, and — at v2 —
+//! well-formed transition-matrix, sharing, and flight-recorder
+//! sections). Every violation is accumulated and reported, never just
+//! the first. CI runs this on the artifacts `repro_all --report` and
+//! `analyze --report` emit.
 
 use std::process::ExitCode;
 
 use hsc_obs::json::{parse, Value};
-use hsc_obs::{REPORT_SCHEMA, REPORT_SCHEMA_VERSION};
+use hsc_obs::{REPORT_SCHEMA, REPORT_SCHEMA_VERSION, REPORT_SCHEMA_VERSION_V2};
+
+/// The sharing-classification keys, in emission order.
+const SHARING_CLASSES: [&str; 4] = ["private", "read_shared", "migratory", "ping_pong"];
 
 fn check(errors: &mut Vec<String>, ok: bool, what: &str) {
     if !ok {
         errors.push(what.to_owned());
     }
+}
+
+/// Whether this run record carries any schema-v2 analytics section.
+fn has_analytics(run: &Value) -> bool {
+    run.get("transitions").is_some()
+        || run.get("sharing").is_some()
+        || run.get("flight_recorder").is_some()
+}
+
+/// Validates one `transitions` object: per-protocol state/cause
+/// vocabularies plus non-zero cells with in-range indices summing to
+/// `total`.
+fn validate_transitions(errors: &mut Vec<String>, i: usize, transitions: &Value) {
+    let Some(protocols) = transitions.as_object() else {
+        check(errors, false, &format!("runs[{i}].transitions must be an object"));
+        return;
+    };
+    check(errors, !protocols.is_empty(), &format!("runs[{i}].transitions must not be empty"));
+    for (proto, m) in protocols {
+        let at = format!("runs[{i}].transitions.{proto}");
+        let mut vocab = |field: &str| -> usize {
+            let ok = m
+                .get(field)
+                .and_then(Value::as_array)
+                .is_some_and(|xs| !xs.is_empty() && xs.iter().all(|x| x.as_str().is_some()));
+            check(errors, ok, &format!("{at}.{field} must be a non-empty string array"));
+            m.get(field).and_then(Value::as_array).map_or(0, <[Value]>::len)
+        };
+        let n_states = vocab("states");
+        let n_causes = vocab("causes");
+        let total = m.get("total").and_then(Value::as_f64);
+        check(errors, total.is_some(), &format!("{at}.total must be a number"));
+        let Some(cells) = m.get("cells").and_then(Value::as_array) else {
+            check(errors, false, &format!("{at}.cells must be an array"));
+            continue;
+        };
+        let mut sum = 0.0;
+        let mut well_formed = true;
+        for cell in cells {
+            let quad = cell
+                .as_array()
+                .filter(|q| q.len() == 4)
+                .map(|q| [0, 1, 2, 3].map(|k| q[k].as_f64().unwrap_or(-1.0)));
+            match quad {
+                Some([from, to, cause, count])
+                    if from >= 0.0
+                        && (from as usize) < n_states
+                        && to >= 0.0
+                        && (to as usize) < n_states
+                        && cause >= 0.0
+                        && (cause as usize) < n_causes
+                        && count > 0.0 =>
+                {
+                    sum += count;
+                }
+                _ => well_formed = false,
+            }
+        }
+        check(
+            errors,
+            well_formed,
+            &format!("{at}.cells must be [from, to, cause, count>0] quads with in-range indices"),
+        );
+        if let Some(t) = total {
+            check(
+                errors,
+                well_formed && (sum - t).abs() < 0.5,
+                &format!("{at}: cell counts must sum to 'total'"),
+            );
+        }
+    }
+}
+
+/// Validates one `sharing` object: the two histograms, the four-class
+/// breakdown, the tracker counters, and the offender list.
+fn validate_sharing(errors: &mut Vec<String>, i: usize, sharing: &Value) {
+    let at = format!("runs[{i}].sharing");
+    for field in ["sharer_hist", "fanout_hist"] {
+        let ok = sharing
+            .get(field)
+            .and_then(Value::as_array)
+            .is_some_and(|xs| !xs.is_empty() && xs.iter().all(|x| x.as_f64().is_some()));
+        check(errors, ok, &format!("{at}.{field} must be a non-empty number array"));
+    }
+    let classes = sharing.get("classes").and_then(Value::as_object);
+    check(
+        errors,
+        classes.is_some_and(|c| {
+            c.len() == SHARING_CLASSES.len()
+                && SHARING_CLASSES
+                    .iter()
+                    .all(|k| c.iter().any(|(name, v)| name == k && v.as_f64().is_some()))
+        }),
+        &format!("{at}.classes must map exactly {SHARING_CLASSES:?} to numbers"),
+    );
+    for field in ["tracked_lines", "dropped_lines"] {
+        check(
+            errors,
+            sharing.get(field).and_then(Value::as_f64).is_some(),
+            &format!("{at}.{field} must be a number"),
+        );
+    }
+    let offenders_ok = sharing.get("top_pingpong").and_then(Value::as_array).is_some_and(|os| {
+        os.iter().all(|o| {
+            ["line", "writer_flips", "writes"]
+                .iter()
+                .all(|f| o.get(f).and_then(Value::as_f64).is_some())
+        })
+    });
+    check(
+        errors,
+        offenders_ok,
+        &format!("{at}.top_pingpong must be an array of {{line, writer_flips, writes}} objects"),
+    );
+}
+
+/// Validates one `flight_recorder` array of post-mortem delivery records.
+fn validate_flight(errors: &mut Vec<String>, i: usize, flight: &Value) {
+    let at = format!("runs[{i}].flight_recorder");
+    let Some(entries) = flight.as_array() else {
+        check(errors, false, &format!("{at} must be an array"));
+        return;
+    };
+    check(errors, !entries.is_empty(), &format!("{at} must not be empty when present"));
+    let well_formed = entries.iter().all(|e| {
+        e.get("at").and_then(Value::as_f64).is_some()
+            && e.get("agent").and_then(Value::as_str).is_some()
+            && e.get("kind").and_then(Value::as_str).is_some()
+            && e.get("line").and_then(Value::as_f64).is_some()
+    });
+    check(errors, well_formed, &format!("{at} entries must carry at/agent/kind/line"));
 }
 
 fn validate(doc: &Value) -> Vec<String> {
@@ -22,10 +160,12 @@ fn validate(doc: &Value) -> Vec<String> {
         doc.get("schema").and_then(Value::as_str) == Some(REPORT_SCHEMA),
         "field 'schema' must be \"hsc-run-report\"",
     );
+    let version = doc.get("schema_version").and_then(Value::as_f64);
     check(
         &mut errors,
-        doc.get("schema_version").and_then(Value::as_f64) == Some(REPORT_SCHEMA_VERSION as f64),
-        "field 'schema_version' must match this tree's version",
+        version == Some(REPORT_SCHEMA_VERSION as f64)
+            || version == Some(REPORT_SCHEMA_VERSION_V2 as f64),
+        "field 'schema_version' must be a version this tree understands (1 or 2)",
     );
     for field in ["command", "git"] {
         check(
@@ -90,8 +230,33 @@ fn validate(doc: &Value) -> Vec<String> {
                 );
             }
         }
+        if let Some(t) = run.get("transitions") {
+            validate_transitions(&mut errors, i, t);
+        }
+        if let Some(sh) = run.get("sharing") {
+            validate_sharing(&mut errors, i, sh);
+        }
+        if let Some(fl) = run.get("flight_recorder") {
+            validate_flight(&mut errors, i, fl);
+        }
     }
     check(&mut errors, total_series >= 2, "report must contain at least two sampled time series");
+    // The version and the sections must agree in both directions: a v2
+    // envelope without analytics is as wrong as analytics under a v1 one.
+    let any_analytics = runs.iter().any(has_analytics);
+    if version == Some(REPORT_SCHEMA_VERSION_V2 as f64) {
+        check(
+            &mut errors,
+            any_analytics,
+            "a v2 report must carry at least one transitions/sharing/flight_recorder section",
+        );
+    } else if version == Some(REPORT_SCHEMA_VERSION as f64) {
+        check(
+            &mut errors,
+            !any_analytics,
+            "a report with analytics sections must declare schema_version 2",
+        );
+    }
     errors
 }
 
@@ -118,7 +283,8 @@ fn main() -> ExitCode {
     let errors = validate(&doc);
     if errors.is_empty() {
         let runs = doc.get("runs").and_then(Value::as_array).map_or(0, <[Value]>::len);
-        println!("{path}: valid {REPORT_SCHEMA} v{REPORT_SCHEMA_VERSION} ({runs} run(s))");
+        let version = doc.get("schema_version").and_then(Value::as_f64).unwrap_or(0.0);
+        println!("{path}: valid {REPORT_SCHEMA} v{version:.0} ({runs} run(s))");
         ExitCode::SUCCESS
     } else {
         for e in &errors {

@@ -219,6 +219,11 @@ pub mod reporting {
             rec.counters = r.metrics.stats.iter().map(|(k, v)| (k.to_owned(), v)).collect();
         }
         rec.attach_obs(&run.obs);
+        if run.outcome.is_err() {
+            // Failed runs carry their post-mortem: the last deliveries
+            // the engine made before the failure.
+            rec.attach_flight(&run.obs.flight);
+        }
         rec
     }
 

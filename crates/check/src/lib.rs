@@ -51,7 +51,7 @@ use std::fmt;
 
 use hsc_mem::{LineAddr, LineData};
 use hsc_obs::PerfettoTrace;
-use hsc_sim::{PendingKind, Tick};
+use hsc_sim::{FlightEntry, PendingKind, Tick};
 
 use hsc_cluster::MoesiState;
 use hsc_core::System;
@@ -139,6 +139,10 @@ pub struct Counterexample {
     /// Whether the minimizer produced this (shortest known) or it is the
     /// raw DFS path.
     pub minimized: bool,
+    /// The replayed system's flight-recorder tail at the violating state:
+    /// the last delivered messages (tick, destination, class, line),
+    /// oldest first — the post-mortem view the steps list abstracts.
+    pub flight: Vec<FlightEntry>,
 }
 
 impl Counterexample {
@@ -157,6 +161,10 @@ impl Counterexample {
             "violation",
             Tick(self.steps.len() as u64),
         );
+        // The flight tail keeps its own (real-tick) track: the
+        // counterexample track is ordered by step index, the flight track
+        // by simulated time.
+        t.append_flight_tail(&self.flight);
         t
     }
 }
@@ -173,6 +181,16 @@ impl fmt::Display for Counterexample {
         )?;
         for (i, s) in self.steps.iter().enumerate() {
             writeln!(f, "  {:>3}. {s}", i + 1)?;
+        }
+        if !self.flight.is_empty() {
+            writeln!(
+                f,
+                "  flight recorder ({} delivered event(s), oldest first):",
+                self.flight.len()
+            )?;
+            for e in &self.flight {
+                writeln!(f, "    {e}")?;
+            }
         }
         Ok(())
     }
@@ -274,7 +292,8 @@ fn render_path(
         steps.push(sys.pending_events()[i].to_string());
         sys.step_choice(i).expect("replayed step cannot fail");
     }
-    Counterexample { kind, detail, choices: choices.to_vec(), steps, minimized }
+    let flight = sys.flight_tail();
+    Counterexample { kind, detail, choices: choices.to_vec(), steps, minimized, flight }
 }
 
 struct Search<'a> {
@@ -544,7 +563,11 @@ mod tests {
         assert_eq!(cx.kind, ViolationKind::FinalState);
         assert!(cx.minimized);
         assert!(cx.to_string().contains("always wrong"));
-        assert_eq!(cx.to_perfetto().len(), cx.steps.len() + 1, "one instant per step + verdict");
+        assert_eq!(
+            cx.to_perfetto().len(),
+            cx.steps.len() + 1 + cx.flight.len(),
+            "one instant per step + verdict + flight tail"
+        );
     }
 
     #[test]

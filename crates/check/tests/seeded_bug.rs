@@ -51,5 +51,9 @@ fn seeded_moesi_mutation_yields_a_minimized_counterexample() {
     );
     // And it replays: the choices drive a fresh system into the same
     // violation (render_path already did; spot-check the Perfetto export).
-    assert_eq!(cx.to_perfetto().len(), cx.steps.len() + 1);
+    assert_eq!(cx.to_perfetto().len(), cx.steps.len() + 1 + cx.flight.len());
+    // The replayed flight tail names the deliveries leading to the
+    // violation, so the rendering ends with a post-mortem.
+    assert!(!cx.flight.is_empty(), "deliveries happened, so the tail must too");
+    assert!(rendered.contains("flight recorder ("), "rendering carries the tail:\n{rendered}");
 }

@@ -2,9 +2,37 @@ use hsc_mem::{Addr, CacheArray, CacheGeometry, LineAddr, LineData, Mshr, VictimB
 use hsc_noc::{
     AgentId, ClassCounters, Message, MsgKind, Outbox, ProbeKind, RetryPolicy, RetryTracker,
 };
-use hsc_sim::{CounterId, Counters, StatSet, Tick};
+use hsc_sim::{CounterId, Counters, StatSet, Tick, TransitionMatrix};
 
 use crate::{cpu_cycles, CoreProgram, CpuOp, MoesiState};
+
+/// State vocabulary of the CorePair's transition matrix: I (absent from
+/// the L2) plus the four [`MoesiState`] variants.
+const MOESI_STATES: &[&str] = &["I", "S", "E", "O", "M"];
+/// Cause vocabulary: what made an L2 line change state.
+const MOESI_CAUSES: &[&str] = &["Fill", "SilentEM", "UpgradeAck", "ProbeInv", "ProbeDown", "Evict"];
+
+const ST_I: usize = 0;
+const ST_S: usize = 1;
+const ST_E: usize = 2;
+const ST_O: usize = 3;
+const ST_M: usize = 4;
+const CAUSE_FILL: usize = 0;
+const CAUSE_SILENT_EM: usize = 1;
+const CAUSE_UPGRADE_ACK: usize = 2;
+const CAUSE_PROBE_INV: usize = 3;
+const CAUSE_PROBE_DOWN: usize = 4;
+const CAUSE_EVICT: usize = 5;
+
+/// Dense matrix index of a present line's state.
+fn st(s: MoesiState) -> usize {
+    match s {
+        MoesiState::Shared => ST_S,
+        MoesiState::Exclusive => ST_E,
+        MoesiState::Owned => ST_O,
+        MoesiState::Modified => ST_M,
+    }
+}
 
 /// Base byte address of the synthetic per-core instruction regions.
 ///
@@ -128,6 +156,9 @@ pub struct CorePair {
     retry: RetryTracker,
     counters: Counters,
     ids: CpIds,
+    /// MOESI state-transition analytics; disabled (and free) by default,
+    /// excluded from `hash_state` and `stats`.
+    transitions: TransitionMatrix,
 }
 
 /// Interned counter ids for every key a CorePair ever bumps, so the
@@ -236,7 +267,20 @@ impl CorePair {
             retry: RetryTracker::maybe(cfg.retry),
             counters,
             ids,
+            transitions: TransitionMatrix::new("moesi-l2", MOESI_STATES, MOESI_CAUSES),
         }
+    }
+
+    /// Switches on the MOESI transition matrix (protocol analytics).
+    pub fn enable_analytics(&mut self) {
+        self.transitions.enable();
+    }
+
+    /// This L2's state-transition matrix (all-zero unless
+    /// [`CorePair::enable_analytics`] ran).
+    #[must_use]
+    pub fn transitions(&self) -> &TransitionMatrix {
+        &self.transitions
     }
 
     /// Occupied MSHR entries (an occupancy gauge for the epoch sampler).
@@ -456,7 +500,9 @@ impl CorePair {
             return;
         };
         if let Some(line) = self.l2.get_mut(la) {
+            let from = st(line.state);
             line.state = MoesiState::Modified;
+            self.transitions.record(from, ST_M, CAUSE_UPGRADE_ACK);
         } else {
             // The line was victimized while the upgrade was in flight
             // (possible only with fault-induced reordering); the write
@@ -618,6 +664,7 @@ impl CorePair {
                 if line.state == MoesiState::Exclusive {
                     line.state = MoesiState::Modified; // silent E→M (§II-B)
                     self.counters.bump(self.ids.silent_e_to_m);
+                    self.transitions.record(ST_E, ST_M, CAUSE_SILENT_EM);
                 }
                 let c = &mut self.cores[i];
                 match op {
@@ -716,6 +763,7 @@ impl CorePair {
 
     fn fill_line(&mut self, la: LineAddr, state: MoesiState, data: LineData, out: &mut Outbox) {
         if let Some(line) = self.l2.get_mut(la) {
+            self.transitions.record(st(line.state), st(state), CAUSE_FILL);
             // Upgrade response for a line still held (S/O → M). An Owned
             // line is *dirtier* than anything the directory can send (the
             // stateless directory reads the possibly-stale LLC/memory for
@@ -737,6 +785,7 @@ impl CorePair {
                 .would_evict_scored(la, |tag, _| u32::from(mshr.contains(tag)))
                 .expect("set is full, so some line must be evictable");
             let vline = self.l2.invalidate(vtag).unwrap();
+            self.transitions.record(st(vline.state), ST_I, CAUSE_EVICT);
             let dirty = vline.state.forwards_dirty();
             let kind = if dirty {
                 self.counters.bump(self.ids.vic_dirty);
@@ -754,6 +803,7 @@ impl CorePair {
             }
             self.l1i.invalidate(vtag);
         }
+        self.transitions.record(ST_I, st(state), CAUSE_FILL);
         self.l2.insert(la, L2Line { state, data });
         self.l2.touch(la);
     }
@@ -785,6 +835,7 @@ impl CorePair {
             }
         } else if let Some(line) = self.l2.get_mut(la) {
             had_copy = true;
+            let from = st(line.state);
             // `mutation`: suppressing this forward is the seeded coherence
             // bug the model-checker tests must catch (lost update).
             if line.state.forwards_dirty() && !crate::mutation::drop_dirty_probe_data() {
@@ -798,10 +849,13 @@ impl CorePair {
                     }
                     self.l1i.invalidate(la);
                     self.counters.bump(self.ids.probe_invalidations);
+                    self.transitions.record(from, ST_I, CAUSE_PROBE_INV);
                 }
                 ProbeKind::Downgrade => {
                     let line = self.l2.get_mut(la).unwrap();
                     line.state = line.state.after_downgrade();
+                    let to = st(line.state);
+                    self.transitions.record(from, to, CAUSE_PROBE_DOWN);
                 }
             }
         }
@@ -1155,6 +1209,43 @@ mod tests {
         let (pair, _) = run_pair(pair, 100_000);
         assert!(pair.is_done());
         assert!(pair.stats().get("l2.req.RdBlkS") > 0, "I-fetches must miss at least once");
+    }
+
+    #[test]
+    fn transition_matrix_tracks_fills_upgrades_and_probes() {
+        let a = Addr(0x7000);
+        let prog = Script::new(vec![CpuOp::Load(a), CpuOp::Store(a, 7), CpuOp::Done]);
+        let mut pair = pair_with(vec![Box::new(prog)]);
+        pair.enable_analytics();
+        let mut mem = MainMemory::new();
+        run_pair_with_mem(&mut pair, &mut mem, 10_000);
+        assert!(pair.is_done());
+        let t = pair.transitions();
+        assert_eq!(t.get(ST_I, ST_E, CAUSE_FILL), 1, "RdBlk granted E fills I→E");
+        assert_eq!(t.get(ST_E, ST_M, CAUSE_SILENT_EM), 1, "the store upgrades silently");
+        // An invalidating probe then retires the Modified line.
+        let mut out = Outbox::new(Tick(1_000_000));
+        pair.on_message(
+            Tick(1_000_000),
+            &Message::new(
+                AgentId::Directory,
+                pair.agent(),
+                a.line(),
+                MsgKind::Probe { kind: ProbeKind::Invalidate },
+            ),
+            &mut out,
+        );
+        assert_eq!(pair.transitions().get(ST_M, ST_I, CAUSE_PROBE_INV), 1);
+        assert_eq!(pair.transitions().total(), 3);
+    }
+
+    #[test]
+    fn transition_matrix_is_free_and_silent_when_disabled() {
+        let a = Addr(0x7000);
+        let prog = Script::new(vec![CpuOp::Load(a), CpuOp::Store(a, 7), CpuOp::Done]);
+        let (pair, _mem) = run_pair(pair_with(vec![Box::new(prog)]), 10_000);
+        assert_eq!(pair.transitions().total(), 0);
+        assert!(!pair.transitions().is_enabled());
     }
 
     #[test]

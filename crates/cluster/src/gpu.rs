@@ -6,13 +6,42 @@ use hsc_noc::{
     AgentId, ClassCounters, Message, MsgKind, Outbox, ProbeKind, RetryPolicy, RetryTracker,
     WordMask,
 };
-use hsc_sim::{CounterId, Counters, StatSet, Tick};
+use hsc_sim::{CounterId, Counters, StatSet, Tick, TransitionMatrix};
 
 use crate::viper::{TccLine, TcpLine};
 use crate::{gpu_cycles, GpuOp, WavefrontProgram};
 
 /// Base byte address of the shared GPU kernel code region (SQC fetches).
 const GPU_CODE_BASE: u64 = 0x5000_0000_0000;
+
+/// VIPER TCC transition-matrix vocabulary. `I` is absence from the cache
+/// array; `P` is partially valid (write-allocate-without-fetch), `V` fully
+/// valid and clean, `D` dirty (words owed to the system).
+const VIPER_STATES: &[&str] = &["I", "P", "V", "D"];
+const VIPER_CAUSES: &[&str] =
+    &["Fill", "WbStore", "ProbeInv", "AtomicSelfInval", "EvictClean", "EvictDirty", "Flush"];
+const VT_I: usize = 0;
+const VT_P: usize = 1;
+const VT_V: usize = 2;
+const VT_D: usize = 3;
+const VC_FILL: usize = 0;
+const VC_WB_STORE: usize = 1;
+const VC_PROBE_INV: usize = 2;
+const VC_ATOMIC_SELF_INVAL: usize = 3;
+const VC_EVICT_CLEAN: usize = 4;
+const VC_EVICT_DIRTY: usize = 5;
+const VC_FLUSH: usize = 6;
+
+/// Transition-matrix state index of a resident TCC line.
+fn vt(l: &TccLine) -> usize {
+    if l.is_dirty() {
+        VT_D
+    } else if l.fully_valid() {
+        VT_V
+    } else {
+        VT_P
+    }
+}
 
 /// Write policy of the TCC (the paper's `WB_L2` knob; TCPs stay
 /// write-through, which is the configuration the paper evaluates).
@@ -162,6 +191,10 @@ pub struct GpuCluster {
     flush_waiters: BTreeMap<LineAddr, VecDeque<(usize, usize)>>,
     sqc: CacheArray<()>,
     retry: RetryTracker,
+    /// TCC transition analytics; disabled (and free) unless the
+    /// observability layer enables it. Excluded from `hash_state` and
+    /// `stats` by construction.
+    transitions: TransitionMatrix,
     counters: Counters,
     ids: GpuIds,
 }
@@ -295,9 +328,21 @@ impl GpuCluster {
             flush_waiters: BTreeMap::new(),
             sqc: CacheArray::new(CacheGeometry::new(cfg.sqc_bytes, cfg.sqc_ways)),
             retry: RetryTracker::maybe(cfg.retry),
+            transitions: TransitionMatrix::new("viper-tcc", VIPER_STATES, VIPER_CAUSES),
             counters,
             ids,
         }
+    }
+
+    /// Switches on protocol analytics (TCC transition matrix).
+    pub fn enable_analytics(&mut self) {
+        self.transitions.enable();
+    }
+
+    /// The TCC's transition matrix (all-zero unless analytics enabled).
+    #[must_use]
+    pub fn transitions(&self) -> &TransitionMatrix {
+        &self.transitions
     }
 
     /// Occupied TCC MSHR entries (an occupancy gauge for the epoch
@@ -698,6 +743,7 @@ impl GpuCluster {
                 }
                 GpuWritePolicy::WriteBack => {
                     // Allocate-without-fetch; dirty words accumulate.
+                    let from = self.tcc.get(la).map_or(VT_I, vt);
                     if !self.tcc.contains(la) {
                         self.tcc_insert(la, TccLine::empty(), out);
                     }
@@ -705,6 +751,7 @@ impl GpuCluster {
                     for &(a, v) in &writes {
                         l.write_word(a, v);
                     }
+                    self.transitions.record(from, vt(l), VC_WB_STORE);
                     self.tcc.touch(la);
                     self.cus[cu].wfs[wf].last_wt_line = Some(la);
                     self.counters.bump(self.ids.wb_store_lines);
@@ -807,6 +854,9 @@ impl GpuCluster {
         let la = a.line();
         // SLC requests bypass the TCC (§II-C); drop any local copies so we
         // cannot read stale data afterwards.
+        if let Some(from) = self.tcc.get(la).map(vt) {
+            self.transitions.record(from, VT_I, VC_ATOMIC_SELF_INVAL);
+        }
         self.tcc.invalidate(la);
         self.cus[cu].tcp.invalidate(la);
         self.counters.bump(self.ids.req_atomic);
@@ -833,6 +883,8 @@ impl GpuCluster {
                 let data = l.data;
                 let mask = l.dirty;
                 l.clean();
+                let to = vt(l);
+                self.transitions.record(VT_D, to, VC_FLUSH);
                 let retains = self.tcc.contains(la);
                 self.send_wt(la, data, mask, Some((cu, wf)), retains, out);
                 self.counters.bump(self.ids.flush_writebacks);
@@ -897,9 +949,11 @@ impl GpuCluster {
             if victim.is_dirty() {
                 // WT doubles as the write-back request (§II-A).
                 self.counters.bump(self.ids.evict_dirty);
+                self.transitions.record(VT_D, VT_I, VC_EVICT_DIRTY);
                 self.send_wt(vtag, victim.data, victim.dirty, None, false, out);
             } else {
                 self.counters.bump(self.ids.evict_clean);
+                self.transitions.record(vt(&victim), VT_I, VC_EVICT_CLEAN);
             }
         }
         self.tcc.insert(la, line);
@@ -917,10 +971,14 @@ impl GpuCluster {
             return;
         };
         if let Some(l) = self.tcc.get_mut(la) {
+            let from = vt(l);
             l.merge_fill(data);
+            let to = vt(l);
+            self.transitions.record(from, to, VC_FILL);
             self.tcc.touch(la);
         } else {
             self.tcc_insert(la, TccLine::filled(data), out);
+            self.transitions.record(VT_I, VT_V, VC_FILL);
         }
         let full = self.tcc.get(la).unwrap().data;
         for waiter in txn.waiters {
@@ -1013,7 +1071,9 @@ impl GpuCluster {
         // invalidate itself.
         let had_copy = self.tcc.contains(la);
         if kind == ProbeKind::Invalidate && had_copy {
+            let from = vt(self.tcc.get(la).unwrap());
             self.tcc.invalidate(la);
+            self.transitions.record(from, VT_I, VC_PROBE_INV);
             self.counters.bump(self.ids.probe_invalidations);
         }
         out.send(Message::new(
@@ -1271,6 +1331,30 @@ mod tests {
             ref other => panic!("expected send, got {other:?}"),
         }
         assert!(!gpu.tcc.contains(Addr(0x7000).line()), "TCC self-invalidated");
+    }
+
+    #[test]
+    fn transition_matrix_tracks_viper_writeback_lifecycle() {
+        let mut cfg = small_cfg();
+        cfg.tcc_policy = GpuWritePolicy::WriteBack;
+        let stores = vec![(Addr(0x5000), 7)];
+        let mut gpu = one_wf(vec![GpuOp::VecStore(stores), GpuOp::Release, GpuOp::Done], cfg);
+        gpu.enable_analytics();
+        let mut mem = MainMemory::new();
+        run_gpu(&mut gpu, &mut mem, 100_000);
+        let m = gpu.transitions();
+        assert_eq!(m.get(VT_I, VT_D, VC_WB_STORE), 1, "allocate-without-fetch dirties the line");
+        assert_eq!(m.get(VT_D, VT_P, VC_FLUSH), 1, "release flush cleans the partial line");
+        assert_eq!(m.total(), 2);
+    }
+
+    #[test]
+    fn transition_matrix_stays_silent_when_disabled() {
+        let mut gpu = one_wf(vec![GpuOp::VecLoad(vec![Addr(0x7000)]), GpuOp::Done], small_cfg());
+        let mut mem = MainMemory::new();
+        run_gpu(&mut gpu, &mut mem, 100_000);
+        assert!(!gpu.transitions().is_enabled());
+        assert_eq!(gpu.transitions().total(), 0);
     }
 
     #[test]

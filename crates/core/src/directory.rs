@@ -3,7 +3,11 @@ use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use hsc_cluster::gpu_cycles;
 use hsc_mem::{CacheArray, CacheGeometry, LineAddr, LineData};
 use hsc_noc::{AgentId, ClassCounters, Grant, Message, MsgKind, Outbox, ProbeKind, WordMask};
-use hsc_sim::{CounterId, Counters, EventQueue, Histogram, StatSet, StuckLine, Tick, Watchdog};
+use hsc_obs::SharingTracker;
+use hsc_sim::{
+    CounterId, Counters, EventQueue, Histogram, StatSet, StuckLine, Tick, TransitionMatrix,
+    Watchdog,
+};
 
 use crate::tracking::{
     plan, DataPlan, DirEntry, DirState, GrantPlan, NextState, PlanReq, ProbePlan, Requester,
@@ -12,6 +16,57 @@ use crate::tracking::{
 use crate::{
     CleanVictimPolicy, CoherenceConfig, DirReplacementPolicy, Llc, LlcWritePolicy, UncoreConfig,
 };
+
+/// Directory transition-matrix vocabulary: the §IV stable states plus
+/// the transient backward-invalidation state **B**. Causes are the
+/// request classes that drive transitions, plus the entry eviction
+/// itself. The matrix only fills in tracking modes — stateless runs
+/// keep no entries, so there is nothing to transition.
+const DIR_STATES: &[&str] = &["I", "S", "O", "B"];
+const DIR_CAUSES: &[&str] = &[
+    "RdBlk",
+    "RdBlkS",
+    "RdBlkM",
+    "VicDirty",
+    "VicClean",
+    "WriteThrough",
+    "Atomic",
+    "DmaRd",
+    "DmaWr",
+    "Flush",
+    "BackInval",
+];
+const DT_I: usize = 0;
+const DT_S: usize = 1;
+const DT_O: usize = 2;
+const DT_B: usize = 3;
+const DC_BACK_INVAL: usize = 10;
+
+/// Transition-matrix state index of a directory entry state.
+fn dt(s: DirState) -> usize {
+    match s {
+        DirState::I => DT_I,
+        DirState::S => DT_S,
+        DirState::O => DT_O,
+    }
+}
+
+/// Transition-matrix cause index of a directory request.
+fn dir_cause(kind: &MsgKind) -> usize {
+    match kind {
+        MsgKind::RdBlk => 0,
+        MsgKind::RdBlkS => 1,
+        MsgKind::RdBlkM => 2,
+        MsgKind::VicDirty { .. } => 3,
+        MsgKind::VicClean { .. } => 4,
+        MsgKind::WriteThrough { .. } => 5,
+        MsgKind::AtomicReq { .. } => 6,
+        MsgKind::DmaRd => 7,
+        MsgKind::DmaWr { .. } => 8,
+        MsgKind::Flush => 9,
+        other => panic!("{} is not a directory request", other.class_name()),
+    }
+}
 
 /// What an in-flight directory transaction is doing.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -105,6 +160,12 @@ pub struct Directory {
     stale_vics: BTreeSet<(LineAddr, AgentId)>,
     internal: EventQueue<LineAddr>,
     watchdog: Watchdog,
+    /// Entry-state transition analytics; disabled (and free) unless the
+    /// observability layer enables it. Excluded from `hash_state` and
+    /// `stats`.
+    transitions: TransitionMatrix,
+    /// Sharing-pattern analytics; `None` costs one branch per hook.
+    sharing: Option<SharingTracker>,
     counters: Counters,
     ids: DirIds,
     latency: Histogram,
@@ -193,10 +254,39 @@ impl Directory {
             stale_vics: BTreeSet::new(),
             internal: EventQueue::new(),
             watchdog: Watchdog::new(DEFAULT_WATCHDOG_TICKS),
+            transitions: TransitionMatrix::new("directory", DIR_STATES, DIR_CAUSES),
+            sharing: None,
             counters,
             ids,
             latency: Histogram::new(),
         }
+    }
+
+    /// Switches on protocol analytics: the directory and LLC transition
+    /// matrices plus the sharing-pattern tracker.
+    pub fn enable_analytics(&mut self) {
+        self.transitions.enable();
+        self.llc.enable_analytics();
+        self.sharing = Some(SharingTracker::new());
+    }
+
+    /// The directory's entry-state transition matrix (all-zero unless
+    /// analytics enabled).
+    #[must_use]
+    pub fn transitions(&self) -> &TransitionMatrix {
+        &self.transitions
+    }
+
+    /// The co-located LLC's transition matrix.
+    #[must_use]
+    pub fn llc_transitions(&self) -> &TransitionMatrix {
+        self.llc.transitions()
+    }
+
+    /// Sharing-pattern analytics, if enabled.
+    #[must_use]
+    pub fn sharing(&self) -> Option<&SharingTracker> {
+        self.sharing.as_ref()
     }
 
     /// Directory transactions currently in flight (an occupancy gauge for
@@ -204,6 +294,18 @@ impl Directory {
     #[must_use]
     pub fn inflight_txns(&self) -> u64 {
         self.txns.len() as u64
+    }
+
+    /// Total sharer registrations (sharer-vector bits plus owners) across
+    /// present directory entries — the epoch sampler's "sharer count"
+    /// gauge. O(entries), so call per epoch, never per event.
+    #[must_use]
+    pub fn tracked_sharers(&self) -> u64 {
+        self.entries
+            .iter()
+            .filter(|(_, e)| !e.reserved)
+            .map(|(_, e)| e.sharers.len() as u64 + u64::from(e.owner.is_some()))
+            .sum()
     }
 
     /// Overrides the watchdog's per-transaction age limit (ticks).
@@ -452,6 +554,27 @@ impl Directory {
 
         let role = self.role_of(&msg);
         let start_state = self.dir_state(msg.line);
+        if self.sharing.is_some() {
+            let sharers = self
+                .entry_of(msg.line)
+                .map_or(0, |e| e.sharers.len() as usize + usize::from(e.owner.is_some()));
+            let access = match msg.kind {
+                MsgKind::RdBlk | MsgKind::RdBlkS | MsgKind::DmaRd => Some(false),
+                MsgKind::RdBlkM
+                | MsgKind::WriteThrough { .. }
+                | MsgKind::AtomicReq { .. }
+                | MsgKind::DmaWr { .. } => Some(true),
+                _ => None,
+            };
+            // Fresh borrow: the sharer count above needs `entry_of`
+            // while the tracker needs `self.sharing` mutably.
+            if let Some(sh) = &mut self.sharing {
+                sh.on_lookup(sharers);
+                if let Some(is_write) = access {
+                    sh.on_access(msg.line.0, msg.src.flight_code(), is_write);
+                }
+            }
+        }
         let mut txn = DirTxn::new(TxnKind::Request, msg, role, start_state);
         txn.arrived = now;
         txn.queued = carry;
@@ -497,6 +620,9 @@ impl Directory {
             );
         }
         txn.pending_acks = targets.len() as u32;
+        if let Some(sh) = self.sharing.as_mut() {
+            sh.on_probes(targets.len());
+        }
 
         // Schedule the directory+LLC pipeline slot. Lazy data plans
         // (OwnerThenLlc) skip it until the owner turns out clean.
@@ -675,6 +801,7 @@ impl Directory {
         // Start the backward invalidation (transient B state).
         self.counters.bump(self.ids.entry_evictions);
         let ventry = *ventry;
+        self.transitions.record(dt(ventry.state), DT_B, DC_BACK_INVAL);
         let origin = Message::new(AgentId::Directory, AgentId::Directory, victim, MsgKind::Flush);
         let mut txn = DirTxn::new(TxnKind::BackInval, origin, Requester::Dma, ventry.state);
         txn.parked_allocs.push(parked);
@@ -826,6 +953,7 @@ impl Directory {
                 self.write_victim(line, data, true, out);
             }
             self.entries.invalidate(line);
+            self.transitions.record(DT_B, DT_I, DC_BACK_INVAL);
             self.finish_txn(now, line, out);
             return;
         }
@@ -1138,6 +1266,9 @@ impl Directory {
                 }
             }),
         };
+        let from = base.map_or(DT_I, |e| dt(e.state));
+        let to = next.as_ref().map_or(DT_I, |e| dt(e.state));
+        self.transitions.record(from, to, dir_cause(&origin.kind));
         match (current.is_some(), next) {
             (true, Some(e)) => {
                 *self.entries.get_mut(line).unwrap() = e;

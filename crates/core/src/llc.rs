@@ -1,6 +1,29 @@
 use hsc_mem::{CacheArray, CacheGeometry, InsertOutcome, LineAddr, LineData};
 use hsc_noc::WordMask;
-use hsc_sim::{CounterId, Counters, StatSet};
+use hsc_sim::{CounterId, Counters, StatSet, TransitionMatrix};
+
+/// LLC transition-matrix vocabulary. `I` is absence from the victim
+/// cache, `V` a resident clean line, `D` a resident line whose memory
+/// copy is stale.
+const LLC_STATES: &[&str] = &["I", "V", "D"];
+const LLC_CAUSES: &[&str] = &["Insert", "Update", "Merge", "Invalidate", "Evict"];
+const LL_I: usize = 0;
+const LL_V: usize = 1;
+const LL_D: usize = 2;
+const LC_INSERT: usize = 0;
+const LC_UPDATE: usize = 1;
+const LC_MERGE: usize = 2;
+const LC_INVALIDATE: usize = 3;
+const LC_EVICT: usize = 4;
+
+/// Transition-matrix state index of a resident LLC line.
+fn lst(dirty: bool) -> usize {
+    if dirty {
+        LL_D
+    } else {
+        LL_V
+    }
+}
 
 /// One LLC line: data plus the §III-C dirty bit.
 ///
@@ -39,6 +62,9 @@ pub struct LlcEviction {
 #[derive(Debug)]
 pub struct Llc {
     lines: CacheArray<LlcLine>,
+    /// Transition analytics; disabled (and free) unless the observability
+    /// layer enables it. Excluded from `hash_state` and `stats`.
+    transitions: TransitionMatrix,
     counters: Counters,
     ids: LlcIds,
 }
@@ -67,7 +93,23 @@ impl Llc {
             evictions: counters.register("llc.evictions"),
             dirty_evictions: counters.register("llc.dirty_evictions"),
         };
-        Llc { lines: CacheArray::new(geometry), counters, ids }
+        Llc {
+            lines: CacheArray::new(geometry),
+            transitions: TransitionMatrix::new("llc", LLC_STATES, LLC_CAUSES),
+            counters,
+            ids,
+        }
+    }
+
+    /// Switches on protocol analytics (the LLC transition matrix).
+    pub fn enable_analytics(&mut self) {
+        self.transitions.enable();
+    }
+
+    /// The LLC's transition matrix (all-zero unless analytics enabled).
+    #[must_use]
+    pub fn transitions(&self) -> &TransitionMatrix {
+        &self.transitions
     }
 
     /// Looks up `la`, updating recency and hit/miss statistics.
@@ -97,17 +139,22 @@ impl Llc {
     pub fn write(&mut self, la: LineAddr, data: LineData, dirty: bool) -> Option<LlcEviction> {
         self.counters.bump(self.ids.writes);
         if let Some(l) = self.lines.get_mut(la) {
+            let from = lst(l.dirty);
             l.data = data;
             l.dirty |= dirty;
+            let to = lst(l.dirty);
+            self.transitions.record(from, to, LC_UPDATE);
             self.lines.touch(la);
             return None;
         }
         let out = self.lines.insert(la, LlcLine { data, dirty });
+        self.transitions.record(LL_I, lst(dirty), LC_INSERT);
         self.lines.touch(la);
         match out {
             InsertOutcome::Inserted => None,
             InsertOutcome::Evicted(ev) => {
                 self.counters.bump(self.ids.evictions);
+                self.transitions.record(lst(ev.meta.dirty), LL_I, LC_EVICT);
                 if ev.meta.dirty {
                     self.counters.bump(self.ids.dirty_evictions);
                 }
@@ -121,8 +168,11 @@ impl Llc {
     /// decides whether to allocate via [`Llc::write`] or bypass to memory.
     pub fn merge(&mut self, la: LineAddr, data: &LineData, mask: WordMask, dirty: bool) -> bool {
         if let Some(l) = self.lines.get_mut(la) {
+            let from = lst(l.dirty);
             mask.apply(&mut l.data, data);
             l.dirty |= dirty;
+            let to = lst(l.dirty);
+            self.transitions.record(from, to, LC_MERGE);
             self.lines.touch(la);
             self.counters.bump(self.ids.merges);
             true
@@ -134,7 +184,11 @@ impl Llc {
     /// Drops `la` (DMA writes and non-`useL3OnWT` write-throughs keep the
     /// LLC coherent by invalidation). Returns the line if it was present.
     pub fn invalidate(&mut self, la: LineAddr) -> Option<LlcLine> {
-        self.lines.invalidate(la)
+        let l = self.lines.invalidate(la);
+        if let Some(l) = &l {
+            self.transitions.record(lst(l.dirty), LL_I, LC_INVALIDATE);
+        }
+        l
     }
 
     /// LLC statistics (`llc.hits`, `llc.misses`, `llc.writes`, …),
@@ -239,6 +293,24 @@ mod tests {
     fn merge_into_absent_line_reports_false() {
         let mut llc = tiny_llc();
         assert!(!llc.merge(LineAddr(9), &data(1), WordMask::single(0), false));
+    }
+
+    #[test]
+    fn transition_matrix_tracks_llc_lifecycle() {
+        let mut llc = tiny_llc();
+        llc.enable_analytics();
+        llc.write(LineAddr(0), data(1), true); // I → D Insert
+        llc.write(LineAddr(0), data(2), false); // D → D Update (sticky dirty)
+        llc.write(LineAddr(2), data(3), false); // I → V Insert
+        llc.write(LineAddr(4), data(4), false); // I → V Insert, evicts dirty 0
+        llc.invalidate(LineAddr(2)); // V → I Invalidate
+        let m = llc.transitions();
+        assert_eq!(m.get(LL_I, LL_D, LC_INSERT), 1);
+        assert_eq!(m.get(LL_D, LL_D, LC_UPDATE), 1);
+        assert_eq!(m.get(LL_I, LL_V, LC_INSERT), 2);
+        assert_eq!(m.get(LL_D, LL_I, LC_EVICT), 1);
+        assert_eq!(m.get(LL_V, LL_I, LC_INVALIDATE), 1);
+        assert_eq!(m.total(), 6);
     }
 
     #[test]

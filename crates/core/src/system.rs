@@ -3,11 +3,11 @@ use hsc_cluster::{
     TICKS_PER_GPU_CYCLE,
 };
 use hsc_mem::{Addr, LineAddr, LineData, MainMemory, VictimEntry};
-use hsc_noc::{Action, AgentId, Delivery, FaultyNetwork, Message, Outbox};
+use hsc_noc::{Action, AgentId, Delivery, FaultyNetwork, Message, MsgKind, Outbox};
 use hsc_obs::{ObsConfig, ObsData, Observer};
 use hsc_sim::{
-    DeadlockSnapshot, EventQueue, Fnv1a, NullTracer, PendingEvent, PendingKind, SimError, StatSet,
-    StderrTracer, Tick, Tracer,
+    DeadlockSnapshot, EventQueue, FlightEntry, FlightRecorder, Fnv1a, NullTracer, PendingEvent,
+    PendingKind, SimError, StatSet, StderrTracer, Tick, Tracer, TransitionMatrix,
 };
 
 use crate::{Directory, MemoryController, SystemConfig};
@@ -182,7 +182,7 @@ impl SystemBuilder {
         for (i, p) in self.cpu_threads.into_iter().enumerate() {
             per_pair[(i / 2) % cfg.corepairs].push(p);
         }
-        let corepairs: Vec<CorePair> =
+        let mut corepairs: Vec<CorePair> =
             per_pair.into_iter().enumerate().map(|(i, ps)| CorePair::new(i, ps, cfg.cpu)).collect();
 
         // Wavefronts round-robin over every CU of every GPU cluster.
@@ -207,6 +207,16 @@ impl SystemBuilder {
 
         let mut directory = Directory::new(cfg.coherence, cfg.uncore, cfg.corepairs, n_gpus);
         directory.set_watchdog_limit(cfg.watchdog_ticks);
+
+        if self.obs.protocol_analytics {
+            for cp in &mut corepairs {
+                cp.enable_analytics();
+            }
+            for g in &mut gpus {
+                g.enable_analytics();
+            }
+            directory.enable_analytics();
+        }
 
         let trace_line = self.trace.traced_line();
         let tracer: Box<dyn Tracer> = match self.tracer {
@@ -234,6 +244,7 @@ impl SystemBuilder {
             trace_line,
             tracer,
             observer: Observer::new(self.obs),
+            flight: FlightRecorder::default(),
             gauge_labels: GaugeLabels::new(cfg.corepairs, n_gpus),
         }
     }
@@ -267,6 +278,9 @@ pub struct System {
     trace_line: Option<u64>,
     tracer: Box<dyn Tracer>,
     observer: Observer,
+    /// Always-on post-mortem ring of the last delivered events: two plain
+    /// stores per delivery, rendered only when a run fails.
+    flight: FlightRecorder,
     gauge_labels: GaugeLabels,
 }
 
@@ -380,6 +394,12 @@ impl System {
     fn handle(&mut self, t: Tick, ev: Ev, out: &mut Outbox) -> AgentId {
         match ev {
             Ev::Deliver(msg) => {
+                self.flight.push(
+                    t,
+                    msg.dst.flight_code(),
+                    msg.kind.class_index() as u8,
+                    msg.line.0,
+                );
                 if self.trace_line == Some(msg.line.0) {
                     self.tracer.record(t, msg.to_string());
                 }
@@ -424,6 +444,11 @@ impl System {
         gauges.push(("queue.events", self.queue.len() as u64));
         gauges.push(("dir.inflight_txns", self.directory.inflight_txns()));
         gauges.push(("dma.inflight_lines", self.dma.inflight_lines()));
+        // Only with protocol analytics on: keeps analytics-off reports
+        // byte-identical to pre-analytics builds.
+        if self.directory.sharing().is_some() {
+            gauges.push(("dir.sharers", self.directory.tracked_sharers()));
+        }
         for (cp, labels) in self.corepairs.iter().zip(&self.gauge_labels.cp) {
             gauges.push((&labels.0, cp.mshr_occupancy()));
             gauges.push((&labels.1, cp.victim_occupancy()));
@@ -445,11 +470,51 @@ impl System {
     }
 
     /// Consumes this run's observability data (latency histograms, time
-    /// series, agent profiles, Perfetto trace), leaving a disabled
-    /// observer behind. Call after [`System::run`] returns — on success
-    /// *or* failure; a deadlocked run still has its series and spans.
+    /// series, agent profiles, Perfetto trace, protocol analytics),
+    /// leaving a disabled observer behind. Call after [`System::run`]
+    /// returns — on success *or* failure; a deadlocked run still has its
+    /// series, spans and flight tail.
     pub fn take_obs_data(&mut self) -> ObsData {
-        std::mem::take(&mut self.observer).into_data()
+        fn add_matrix(out: &mut Vec<TransitionMatrix>, m: &TransitionMatrix) {
+            if !m.is_enabled() {
+                return;
+            }
+            match out.binary_search_by_key(&m.protocol(), |x| x.protocol()) {
+                Ok(i) => out[i].merge(m),
+                Err(i) => out.insert(i, m.clone()),
+            }
+        }
+        let mut data = std::mem::take(&mut self.observer).into_data();
+        let mut transitions = Vec::new();
+        for cp in &self.corepairs {
+            add_matrix(&mut transitions, cp.transitions());
+        }
+        for g in &self.gpus {
+            add_matrix(&mut transitions, g.transitions());
+        }
+        add_matrix(&mut transitions, self.directory.transitions());
+        add_matrix(&mut transitions, self.directory.llc_transitions());
+        data.transitions = transitions;
+        data.sharing = self.directory.sharing().cloned();
+        data.flight = self.flight_tail();
+        data
+    }
+
+    /// The flight-recorder tail (oldest surviving delivery first), decoded
+    /// into human-readable entries. Cheap to call only at dump time: each
+    /// entry formats its agent name.
+    #[must_use]
+    pub fn flight_tail(&self) -> Vec<FlightEntry> {
+        self.flight
+            .tail()
+            .into_iter()
+            .map(|r| FlightEntry {
+                at: r.at,
+                agent: AgentId::from_flight_code(r.agent).to_string(),
+                kind: MsgKind::CLASS_NAMES[usize::from(r.kind)],
+                line: r.line,
+            })
+            .collect()
     }
 
     /// Builds the structured diagnostic for a stalled run: stuck directory
@@ -476,6 +541,7 @@ impl System {
             lines: self.directory.stuck_lines(self.now),
             agents,
             pending: self.pending_events(),
+            flight: self.flight_tail(),
         }
     }
 

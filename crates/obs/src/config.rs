@@ -16,6 +16,8 @@
 /// let full = ObsConfig::full(10_000);
 /// assert!(full.enabled() && full.track_transactions && full.perfetto);
 /// assert_eq!(full.sample_epoch_ticks, Some(10_000));
+/// assert!(full.protocol_analytics);
+/// assert!(!ObsConfig::report(10_000).protocol_analytics);
 /// ```
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ObsConfig {
@@ -29,6 +31,10 @@ pub struct ObsConfig {
     pub perfetto: bool,
     /// Count events handled and simulated time advanced per agent.
     pub profile_agents: bool,
+    /// Enable the engine-side protocol analytics: per-protocol
+    /// state-transition matrices and directory sharing-pattern tracking.
+    /// Reports carrying these sections are emitted at schema version 2.
+    pub protocol_analytics: bool,
 }
 
 impl ObsConfig {
@@ -51,21 +57,28 @@ impl ObsConfig {
             sample_epoch_ticks: Some(epoch_ticks),
             perfetto: true,
             profile_agents: true,
+            protocol_analytics: true,
         }
     }
 
     /// Latency tracking, sampling, and agent profiling — everything the
     /// run report needs — without the (much larger) Perfetto event stream.
     ///
+    /// Protocol analytics stay off: `report()` is the schema-version-1
+    /// baseline config and its output (including the golden fixtures) must
+    /// not change shape when new analytics pillars are added.
+    ///
     /// # Panics
     ///
     /// Panics if `epoch_ticks` is 0.
     #[must_use]
     pub fn report(epoch_ticks: u64) -> Self {
-        ObsConfig { perfetto: false, ..ObsConfig::full(epoch_ticks) }
+        ObsConfig { perfetto: false, protocol_analytics: false, ..ObsConfig::full(epoch_ticks) }
     }
 
-    /// Whether any subsystem is on.
+    /// Whether any observer-hook subsystem is on. Protocol analytics are
+    /// engine-side (recorded inside the controllers, not the observer
+    /// hooks) and deliberately not part of this predicate.
     #[must_use]
     pub fn enabled(&self) -> bool {
         self.track_transactions

@@ -11,7 +11,10 @@
 //! * [`PerfettoTrace`] / [`PerfettoTracer`] — Chrome-trace-format JSON
 //!   loadable in `ui.perfetto.dev`,
 //! * [`RunReport`] — the versioned machine-readable JSON report emitted by
-//!   the bench binaries behind `--report`.
+//!   the bench binaries behind `--report`,
+//! * [`SharingTracker`] — directory-side sharing-pattern analytics
+//!   (sharer-count and probe-fan-out histograms, per-line lifetime
+//!   classification into private / read-shared / migratory / ping-pong).
 //!
 //! The engine drives all of it through one [`Observer`], whose hooks are
 //! inert when built from [`ObsConfig::off`].
@@ -28,6 +31,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod analytics;
 mod config;
 pub mod json;
 mod observer;
@@ -36,11 +40,16 @@ mod report;
 mod sampler;
 mod span;
 
+pub use analytics::{
+    LineSharing, Offender, SharingClass, SharingReport, SharingTracker, SHARING_HIST_SLOTS,
+    SHARING_LINE_CAP, TOP_OFFENDERS,
+};
 pub use config::ObsConfig;
 pub use observer::{AgentProfile, ObsData, Observer};
 pub use perfetto::{PerfettoTrace, PerfettoTracer};
 pub use report::{
     git_describe, LatencySummary, RunRecord, RunReport, REPORT_SCHEMA, REPORT_SCHEMA_VERSION,
+    REPORT_SCHEMA_VERSION_V2,
 };
 pub use sampler::{EpochSampler, TimeSeries};
 pub use span::{ClosedSpan, TxnTracker};
@@ -56,4 +65,6 @@ const _: () = {
     assert_send::<TimeSeries>();
     assert_send::<AgentProfile>();
     assert_send::<PerfettoTrace>();
+    assert_send::<SharingTracker>();
+    assert_send::<SharingReport>();
 };

@@ -9,8 +9,9 @@
 use std::collections::BTreeMap;
 
 use hsc_noc::{AgentId, Delivery, Message};
-use hsc_sim::{Histogram, Tick};
+use hsc_sim::{FlightEntry, Histogram, Tick, TransitionMatrix};
 
+use crate::analytics::SharingTracker;
 use crate::config::ObsConfig;
 use crate::perfetto::PerfettoTrace;
 use crate::sampler::{EpochSampler, TimeSeries};
@@ -45,6 +46,15 @@ pub struct ObsData {
     pub spans_open: u64,
     /// Request resends observed by the span tracker.
     pub resends: u64,
+    /// Per-protocol state-transition matrices, sorted by protocol name.
+    /// Empty unless [`ObsConfig::protocol_analytics`] was on.
+    pub transitions: Vec<TransitionMatrix>,
+    /// Directory-side sharing-pattern analytics, if collected.
+    pub sharing: Option<SharingTracker>,
+    /// The flight-recorder tail (newest events, oldest first) at the
+    /// moment the data was taken. Always populated — the recorder is
+    /// free-running — but chiefly useful after a failed run.
+    pub flight: Vec<FlightEntry>,
 }
 
 impl ObsData {
@@ -56,9 +66,15 @@ impl ObsData {
     /// aggregate of a fixed job list is identical however the merge
     /// calls pair up — absorb is commutative and associative.
     ///
-    /// Perfetto traces are **not** merged: interleaving event streams of
-    /// independent runs on one timeline is meaningless, so `self` keeps
-    /// its own trace (if any) and `other`'s is ignored.
+    /// Transition matrices merge cell-wise per protocol
+    /// ([`TransitionMatrix::merge`]) and sharing trackers merge their
+    /// histograms, class counts and per-line lifetimes
+    /// ([`SharingTracker::merge`]).
+    ///
+    /// Perfetto traces and flight-recorder tails are **not** merged:
+    /// interleaving event streams of independent runs on one timeline is
+    /// meaningless, so `self` keeps its own (if any) and `other`'s are
+    /// ignored.
     pub fn absorb(&mut self, other: &ObsData) {
         merge_sorted_by_key(
             &mut self.latency,
@@ -84,6 +100,15 @@ impl ObsData {
         self.spans_completed = self.spans_completed.saturating_add(other.spans_completed);
         self.spans_open = self.spans_open.saturating_add(other.spans_open);
         self.resends = self.resends.saturating_add(other.resends);
+        merge_sorted_by_key(
+            &mut self.transitions,
+            &other.transitions,
+            |m| m.protocol(),
+            TransitionMatrix::merge,
+        );
+        if let Some(sh) = &other.sharing {
+            self.sharing.get_or_insert_with(SharingTracker::new).merge(sh);
+        }
     }
 }
 
@@ -238,7 +263,9 @@ impl Observer {
     /// Takes one epoch snapshot. `gauges` are recorded as-is; `counters`
     /// are cumulative values stored as per-epoch deltas. The observer adds
     /// its own gauges (per-channel NoC in-flight depth and open-span
-    /// count) on top.
+    /// count) on top. When a Perfetto trace is being collected, every
+    /// gauge also lands on a counter track, so the trace carries sharer
+    /// counts and per-channel NoC utilization alongside the spans.
     pub fn sample(&mut self, now: Tick, gauges: &[(&str, u64)], counters: &[(&str, u64)]) {
         let open = self.txns.as_ref().map(TxnTracker::open_count);
         let Some(s) = &mut self.sampler else {
@@ -251,6 +278,11 @@ impl Observer {
         for (name, v) in counters {
             s.counter(name, *v);
         }
+        if let Some(p) = &mut self.perfetto {
+            for (name, v) in gauges {
+                p.counter(name, now, *v);
+            }
+        }
         for (agent, depth) in &self.inflight {
             // The label is formatted once per agent, not once per epoch.
             let label = self
@@ -258,9 +290,15 @@ impl Observer {
                 .entry(*agent)
                 .or_insert_with(|| format!("noc.inflight.{agent}"));
             s.gauge(label, *depth);
+            if let Some(p) = &mut self.perfetto {
+                p.counter(label, now, *depth);
+            }
         }
         if let Some(open) = open {
             s.gauge("txn.open_spans", open);
+            if let Some(p) = &mut self.perfetto {
+                p.counter("txn.open_spans", now, open);
+            }
         }
     }
 
@@ -399,6 +437,9 @@ mod absorb_tests {
             spans_completed: 1,
             spans_open: 0,
             resends: 3,
+            transitions: Vec::new(),
+            sharing: None,
+            flight: Vec::new(),
         }
     }
 

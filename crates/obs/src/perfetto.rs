@@ -12,7 +12,7 @@ use std::collections::BTreeMap;
 use std::io;
 use std::path::Path;
 
-use hsc_sim::{format_trace_line, Tick, Tracer};
+use hsc_sim::{format_trace_line, FlightEntry, Tick, Tracer};
 
 use crate::json::JsonWriter;
 
@@ -20,6 +20,7 @@ use crate::json::JsonWriter;
 enum Phase {
     Complete { dur: u64 },
     Instant,
+    Counter { value: u64 },
 }
 
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -91,6 +92,31 @@ impl PerfettoTrace {
         });
     }
 
+    /// Adds a counter (`"C"`) sample: `track` becomes a dedicated counter
+    /// track (sharer counts, per-channel NoC depth, …) whose value
+    /// Perfetto renders as a stepped area chart.
+    pub fn counter(&mut self, track: &str, ts: Tick, value: u64) {
+        let tid = self.tid(track);
+        self.events.push(TraceEvent {
+            name: track.to_owned(),
+            cat: "counter",
+            ts: ts.0,
+            tid,
+            phase: Phase::Counter { value },
+        });
+    }
+
+    /// Appends a flight-recorder tail as instant events on a dedicated
+    /// `"flight"` track: the post-mortem view of the last deliveries,
+    /// attached when a run dies so the trace ends with what happened
+    /// just before.
+    pub fn append_flight_tail(&mut self, tail: &[FlightEntry]) {
+        for e in tail {
+            let name = format!("{} ← {} line {:#x}", e.agent, e.kind, e.line);
+            self.instant("flight", &name, "flight", e.at);
+        }
+    }
+
     /// Number of recorded events (metadata excluded).
     #[must_use]
     pub fn len(&self) -> usize {
@@ -148,6 +174,14 @@ impl PerfettoTrace {
                     w.string("i");
                     w.key("s");
                     w.string("t");
+                }
+                Phase::Counter { value } => {
+                    w.string("C");
+                    w.key("args");
+                    w.begin_object();
+                    w.key("value");
+                    w.uint(value);
+                    w.end_object();
                 }
             }
             w.key("ts");
@@ -269,6 +303,33 @@ mod tests {
             .collect();
         assert_eq!(tids[0], tids[2]);
         assert_ne!(tids[0], tids[1]);
+    }
+
+    #[test]
+    fn counter_samples_serialize_with_value_args() {
+        let mut t = PerfettoTrace::new();
+        t.counter("noc.inflight.DIR", Tick(100), 3);
+        t.counter("noc.inflight.DIR", Tick(200), 1);
+        let v = parse(&t.to_json_string()).unwrap();
+        let events = v.get("traceEvents").unwrap().as_array().unwrap();
+        let counters: Vec<f64> = events
+            .iter()
+            .filter(|e| e.get("ph").unwrap().as_str() == Some("C"))
+            .map(|e| e.get("args").unwrap().get("value").unwrap().as_f64().unwrap())
+            .collect();
+        assert_eq!(counters, [3.0, 1.0]);
+    }
+
+    #[test]
+    fn flight_tail_lands_on_one_flight_track() {
+        let mut t = PerfettoTrace::new();
+        t.append_flight_tail(&[
+            FlightEntry { at: Tick(5), agent: "DIR".into(), kind: "RdBlk", line: 0x40 },
+            FlightEntry { at: Tick(9), agent: "L2[0]".into(), kind: "NackRetry", line: 0x40 },
+        ]);
+        assert_eq!(t.len(), 2);
+        let json = t.to_json_string();
+        assert!(json.contains("DIR \\u2190 RdBlk line 0x40") || json.contains("DIR ← RdBlk"));
     }
 
     #[test]

@@ -9,8 +9,9 @@
 use std::io;
 use std::path::Path;
 
-use hsc_sim::{fnv1a, Histogram};
+use hsc_sim::{fnv1a, FlightEntry, Histogram, TransitionMatrix};
 
+use crate::analytics::{SharingClass, SharingReport, SharingTracker};
 use crate::json::JsonWriter;
 use crate::observer::{AgentProfile, ObsData};
 use crate::sampler::TimeSeries;
@@ -18,8 +19,17 @@ use crate::sampler::TimeSeries;
 /// The schema identifier every report carries.
 pub const REPORT_SCHEMA: &str = "hsc-run-report";
 
-/// Current schema version; bump on any incompatible field change.
+/// Baseline schema version: the shape reports have had since the report
+/// layer existed. Reports whose runs carry none of the protocol-analytics
+/// sections still serialize at this version, byte-identical to before
+/// those sections existed.
 pub const REPORT_SCHEMA_VERSION: u64 = 1;
+
+/// Schema version stamped when any run carries a protocol-analytics
+/// section (`transitions`, `sharing`, `flight_recorder`). Version-2
+/// reports are a strict superset of version 1: every v1 field keeps its
+/// meaning and position.
+pub const REPORT_SCHEMA_VERSION_V2: u64 = 2;
 
 /// Latency percentiles for one request class, precomputed from its
 /// [`Histogram`] so report consumers need no bucket math.
@@ -78,10 +88,23 @@ pub struct RunRecord {
     pub time_series: Vec<TimeSeries>,
     /// Per-agent engine profile.
     pub agents: Vec<AgentProfile>,
+    /// Per-protocol state-transition matrices (schema v2; empty on v1
+    /// records).
+    pub transitions: Vec<TransitionMatrix>,
+    /// Directory sharing-pattern summary (schema v2; absent on v1
+    /// records).
+    pub sharing: Option<SharingReport>,
+    /// Flight-recorder tail, attached only to failed runs
+    /// ([`RunRecord::attach_flight`]) so clean reports stay version 1.
+    pub flight: Vec<FlightEntry>,
 }
 
 impl RunRecord {
-    /// Fills the observability-derived fields from `data`.
+    /// Fills the observability-derived fields from `data`, including the
+    /// protocol-analytics sections when they were collected. The flight
+    /// tail is *not* attached here — it is always non-empty (the recorder
+    /// is free-running), so a clean run would needlessly carry it; failure
+    /// paths call [`RunRecord::attach_flight`] explicitly.
     pub fn attach_obs(&mut self, data: &ObsData) {
         self.latency = data
             .latency
@@ -90,6 +113,19 @@ impl RunRecord {
             .collect();
         self.time_series = data.time_series.clone();
         self.agents = data.agents.clone();
+        self.transitions = data.transitions.clone();
+        self.sharing = data.sharing.as_ref().map(SharingTracker::report);
+    }
+
+    /// Attaches a flight-recorder tail (the post-mortem of a failed run).
+    pub fn attach_flight(&mut self, tail: &[FlightEntry]) {
+        self.flight = tail.to_vec();
+    }
+
+    /// Whether this record carries any schema-v2 analytics section.
+    #[must_use]
+    pub fn has_analytics(&self) -> bool {
+        !self.transitions.is_empty() || self.sharing.is_some() || !self.flight.is_empty()
     }
 }
 
@@ -124,6 +160,18 @@ impl RunReport {
         self.config_summary = rendered;
     }
 
+    /// The schema version this report serializes at: version 2 as soon as
+    /// any run carries an analytics section, the byte-stable version 1
+    /// otherwise.
+    #[must_use]
+    pub fn schema_version(&self) -> u64 {
+        if self.runs.iter().any(RunRecord::has_analytics) {
+            REPORT_SCHEMA_VERSION_V2
+        } else {
+            REPORT_SCHEMA_VERSION
+        }
+    }
+
     /// Serializes the report to its JSON schema.
     #[must_use]
     pub fn to_json_string(&self) -> String {
@@ -132,7 +180,7 @@ impl RunReport {
         w.key("schema");
         w.string(REPORT_SCHEMA);
         w.key("schema_version");
-        w.uint(REPORT_SCHEMA_VERSION);
+        w.uint(self.schema_version());
         w.key("command");
         w.string(&self.command);
         w.key("git");
@@ -239,6 +287,101 @@ fn write_run(w: &mut JsonWriter, run: &RunRecord) {
         w.end_object();
     }
     w.end_object();
+    // Schema-v2 sections, emitted only when present so v1 reports stay
+    // byte-identical to pre-analytics builds.
+    if !run.transitions.is_empty() {
+        w.key("transitions");
+        w.begin_object();
+        for m in &run.transitions {
+            w.key(m.protocol());
+            w.begin_object();
+            w.key("states");
+            w.begin_array();
+            for s in m.states() {
+                w.string(s);
+            }
+            w.end_array();
+            w.key("causes");
+            w.begin_array();
+            for c in m.causes() {
+                w.string(c);
+            }
+            w.end_array();
+            w.key("total");
+            w.uint(m.total());
+            w.key("cells");
+            w.begin_array();
+            for (from, to, cause, count) in m.nonzero() {
+                w.begin_array();
+                w.uint(from as u64);
+                w.uint(to as u64);
+                w.uint(cause as u64);
+                w.uint(count);
+                w.end_array();
+            }
+            w.end_array();
+            w.end_object();
+        }
+        w.end_object();
+    }
+    if let Some(sh) = &run.sharing {
+        w.key("sharing");
+        w.begin_object();
+        w.key("sharer_hist");
+        w.begin_array();
+        for &c in &sh.sharer_hist {
+            w.uint(c);
+        }
+        w.end_array();
+        w.key("fanout_hist");
+        w.begin_array();
+        for &c in &sh.fanout_hist {
+            w.uint(c);
+        }
+        w.end_array();
+        w.key("classes");
+        w.begin_object();
+        for (class, &count) in SharingClass::ALL.iter().zip(&sh.class_counts) {
+            w.key(class.name());
+            w.uint(count);
+        }
+        w.end_object();
+        w.key("tracked_lines");
+        w.uint(sh.tracked_lines);
+        w.key("dropped_lines");
+        w.uint(sh.dropped_lines);
+        w.key("top_pingpong");
+        w.begin_array();
+        for o in &sh.top_pingpong {
+            w.begin_object();
+            w.key("line");
+            w.uint(o.line);
+            w.key("writer_flips");
+            w.uint(o.writer_flips);
+            w.key("writes");
+            w.uint(o.writes);
+            w.end_object();
+        }
+        w.end_array();
+        w.end_object();
+    }
+    if !run.flight.is_empty() {
+        w.key("flight_recorder");
+        w.begin_array();
+        for e in &run.flight {
+            w.begin_object();
+            w.key("at");
+            w.uint(e.at.0);
+            w.key("agent");
+            w.string(&e.agent);
+            w.key("kind");
+            w.string(e.kind);
+            w.key("line");
+            w.uint(e.line);
+            w.end_object();
+        }
+        w.end_array();
+    }
     w.end_object();
 }
 
@@ -286,6 +429,9 @@ mod tests {
                 events_handled: 9,
                 ticks_advanced: 1000,
             }],
+            transitions: Vec::new(),
+            sharing: None,
+            flight: Vec::new(),
         });
         let v = parse(&report.to_json_string()).expect("schema JSON parses");
         assert_eq!(v.get("schema").unwrap().as_str(), Some(REPORT_SCHEMA));
@@ -303,6 +449,55 @@ mod tests {
         assert!(rdblk.get("p50").unwrap().as_f64().unwrap() >= 100.0);
         let ts = run.get("time_series").unwrap().as_object().unwrap();
         assert_eq!(ts.len(), 2);
+    }
+
+    #[test]
+    fn analytics_sections_bump_schema_version() {
+        let mut report = RunReport::new("unit-test");
+        let mut run = RunRecord {
+            workload: "tq".into(),
+            outcome: "completed".into(),
+            ..RunRecord::default()
+        };
+        report.runs.push(run.clone());
+        assert_eq!(report.schema_version(), REPORT_SCHEMA_VERSION);
+        let json = report.to_json_string();
+        assert!(!json.contains("\"transitions\""));
+        assert!(!json.contains("\"flight_recorder\""));
+
+        let mut m = TransitionMatrix::new("moesi-l2", &["I", "M"], &["Fill"]);
+        m.enable();
+        m.record(0, 1, 0);
+        run.transitions = vec![m];
+        run.sharing = Some({
+            let mut t = SharingTracker::new();
+            t.on_lookup(2);
+            t.on_access(0x40, 3, true);
+            t.on_access(0x40, 4, true);
+            t.report()
+        });
+        run.attach_flight(&[FlightEntry {
+            at: hsc_sim::Tick(7),
+            agent: "DIR".into(),
+            kind: "RdBlk",
+            line: 0x40,
+        }]);
+        let mut v2 = RunReport::new("unit-test");
+        v2.runs.push(run);
+        assert_eq!(v2.schema_version(), REPORT_SCHEMA_VERSION_V2);
+        let v = parse(&v2.to_json_string()).expect("v2 JSON parses");
+        assert_eq!(v.get("schema_version").unwrap().as_f64(), Some(2.0));
+        let run = &v.get("runs").unwrap().as_array().unwrap()[0];
+        let moesi = run.get("transitions").unwrap().get("moesi-l2").unwrap();
+        assert_eq!(moesi.get("total").unwrap().as_f64(), Some(1.0));
+        let cell = &moesi.get("cells").unwrap().as_array().unwrap()[0];
+        let cell: Vec<f64> = cell.as_array().unwrap().iter().map(|x| x.as_f64().unwrap()).collect();
+        assert_eq!(cell, [0.0, 1.0, 0.0, 1.0]);
+        let sharing = run.get("sharing").unwrap();
+        assert_eq!(sharing.get("tracked_lines").unwrap().as_f64(), Some(1.0));
+        assert_eq!(sharing.get("classes").unwrap().get("ping_pong").unwrap().as_f64(), Some(1.0));
+        let flight = run.get("flight_recorder").unwrap().as_array().unwrap();
+        assert_eq!(flight[0].get("agent").unwrap().as_str(), Some("DIR"));
     }
 
     #[test]

@@ -1,0 +1,187 @@
+//! Always-on flight recorder: the last N events, post-mortem cheap.
+//!
+//! When a run dies — deadlock, exhausted budget, invariant violation —
+//! the question is always "what happened *just before*?". Full tracing
+//! answers it but costs a string per event; the [`FlightRecorder`]
+//! answers it for two plain stores per event: a fixed-size power-of-two
+//! ring of compact [`FlightRecord`]s (tick, agent code, message-class
+//! index, line) that the driver overwrites forever and only *renders*
+//! when something goes wrong.
+//!
+//! The recorder knows nothing about agent names or message classes —
+//! callers encode both as small integers and decode them at dump time.
+//! That keeps this crate's dependency surface at zero and the push path
+//! free of any formatting.
+//!
+//! # Examples
+//!
+//! ```
+//! use hsc_sim::{FlightRecorder, Tick};
+//!
+//! let mut fr = FlightRecorder::new(4);
+//! for i in 0..6 {
+//!     fr.push(Tick(i), 0, 1, 0x40);
+//! }
+//! assert_eq!(fr.total(), 6);
+//! let tail = fr.tail();
+//! assert_eq!(tail.len(), 4, "only the newest 4 survive");
+//! assert_eq!(tail.first().unwrap().at, Tick(2));
+//! assert_eq!(tail.last().unwrap().at, Tick(5));
+//! ```
+
+use std::fmt;
+
+use crate::tick::Tick;
+
+/// One compact flight-recorder sample: who delivered what, where, when.
+/// `agent` and `kind` are caller-defined small-integer encodings.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FlightRecord {
+    /// Delivery tick.
+    pub at: Tick,
+    /// Caller-encoded destination agent.
+    pub agent: u8,
+    /// Caller-encoded message class.
+    pub kind: u8,
+    /// Raw line number the event concerns.
+    pub line: u64,
+}
+
+/// A flight-recorder sample rendered for humans: the decoded form of a
+/// [`FlightRecord`], carried by diagnostics such as `DeadlockSnapshot`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FlightEntry {
+    /// Delivery tick.
+    pub at: Tick,
+    /// Destination agent, rendered by the owning layer (e.g. `"L2[0]"`).
+    pub agent: String,
+    /// Message class name (e.g. `"RdBlk"`).
+    pub kind: &'static str,
+    /// Raw line number the event concerns.
+    pub line: u64,
+}
+
+impl fmt::Display for FlightEntry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "@{} {} ← {} line {:#x}", self.at, self.agent, self.kind, self.line)
+    }
+}
+
+/// Fixed-capacity ring buffer of the most recent [`FlightRecord`]s.
+#[derive(Debug, Clone)]
+pub struct FlightRecorder {
+    /// Pre-filled storage; `head & mask` is the next slot to overwrite.
+    buf: Vec<FlightRecord>,
+    mask: usize,
+    /// Monotonic push count; doubles as the ring cursor.
+    head: u64,
+}
+
+/// Default ring capacity: enough to cover the full fan-out of a stuck
+/// transaction plus its neighbours without bloating `System`.
+pub const DEFAULT_FLIGHT_CAPACITY: usize = 64;
+
+impl Default for FlightRecorder {
+    fn default() -> Self {
+        FlightRecorder::new(DEFAULT_FLIGHT_CAPACITY)
+    }
+}
+
+impl FlightRecorder {
+    /// Creates a recorder keeping the newest `capacity` records.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is not a nonzero power of two (the ring
+    /// index is a mask, not a modulo).
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity.is_power_of_two(), "flight capacity must be a power of two");
+        FlightRecorder { buf: vec![FlightRecord::default(); capacity], mask: capacity - 1, head: 0 }
+    }
+
+    /// Records one event. The hot path: one store, one increment.
+    #[inline]
+    pub fn push(&mut self, at: Tick, agent: u8, kind: u8, line: u64) {
+        self.buf[self.head as usize & self.mask] = FlightRecord { at, agent, kind, line };
+        self.head += 1;
+    }
+
+    /// Ring capacity.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Events recorded over the recorder's lifetime (≥ [`Self::len`]).
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.head
+    }
+
+    /// Records currently held (capped at capacity).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.head.min(self.buf.len() as u64) as usize
+    }
+
+    /// Whether nothing was ever recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.head == 0
+    }
+
+    /// The surviving records, oldest first.
+    #[must_use]
+    pub fn tail(&self) -> Vec<FlightRecord> {
+        let n = self.len();
+        let mut out = Vec::with_capacity(n);
+        let start = self.head - n as u64;
+        for i in 0..n as u64 {
+            out.push(self.buf[(start + i) as usize & self.mask]);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn partial_fill_keeps_everything_in_order() {
+        let mut fr = FlightRecorder::new(8);
+        assert!(fr.is_empty());
+        fr.push(Tick(1), 3, 0, 0x40);
+        fr.push(Tick(2), 0, 13, 0x80);
+        assert_eq!(fr.len(), 2);
+        assert_eq!(fr.total(), 2);
+        let tail = fr.tail();
+        assert_eq!(tail[0], FlightRecord { at: Tick(1), agent: 3, kind: 0, line: 0x40 });
+        assert_eq!(tail[1], FlightRecord { at: Tick(2), agent: 0, kind: 13, line: 0x80 });
+    }
+
+    #[test]
+    fn wraparound_drops_oldest_first() {
+        let mut fr = FlightRecorder::new(4);
+        for i in 0..11u64 {
+            fr.push(Tick(i), (i % 3) as u8, 0, i);
+        }
+        assert_eq!(fr.total(), 11);
+        assert_eq!(fr.len(), 4);
+        let at: Vec<u64> = fr.tail().iter().map(|r| r.at.0).collect();
+        assert_eq!(at, [7, 8, 9, 10], "the ring keeps exactly the newest capacity records");
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn capacity_must_be_a_power_of_two() {
+        let _ = FlightRecorder::new(6);
+    }
+
+    #[test]
+    fn flight_entry_renders_one_line() {
+        let e = FlightEntry { at: Tick(42), agent: "L2[1]".into(), kind: "PrbInv", line: 0x1000 };
+        assert_eq!(e.to_string(), "@42t L2[1] ← PrbInv line 0x1000");
+    }
+}

@@ -12,7 +12,11 @@
 //!   path; controllers bump dense [`CounterId`]s and export a [`StatSet`]
 //!   only at report time,
 //! * [`DetRng`] — a small, seedable, splittable PRNG so that workload
-//!   generation is reproducible bit-for-bit across runs and platforms.
+//!   generation is reproducible bit-for-bit across runs and platforms,
+//! * [`TransitionMatrix`] — dense `[from][to][cause]` protocol-transition
+//!   counters (disabled by default, one array increment when enabled),
+//! * [`FlightRecorder`] — an always-on fixed-size ring of compact recent
+//!   events, dumped into diagnostics when a run fails.
 //!
 //! The simulator is single-threaded by design: determinism is what lets the
 //! test-suite assert exact probe/memory-access counts against golden values.
@@ -37,6 +41,7 @@
 #![warn(missing_debug_implementations)]
 
 mod counters;
+mod flight;
 mod fnv;
 mod outcome;
 mod queue;
@@ -44,8 +49,10 @@ mod rng;
 mod stats;
 mod tick;
 mod trace;
+mod transition;
 
 pub use counters::{CounterId, Counters};
+pub use flight::{FlightEntry, FlightRecord, FlightRecorder, DEFAULT_FLIGHT_CAPACITY};
 pub use fnv::{fnv1a, Fnv1a};
 pub use outcome::{
     DeadlockSnapshot, PendingEvent, PendingKind, RunOutcome, SimError, StuckLine, Watchdog,
@@ -55,6 +62,7 @@ pub use rng::DetRng;
 pub use stats::{Histogram, StatSet};
 pub use tick::Tick;
 pub use trace::{format_trace_line, NullTracer, StderrTracer, Tracer, VecTracer};
+pub use transition::TransitionMatrix;
 
 // Compile-time proof that campaign job results built from this crate's
 // statistics and outcome types cross threads (`hsc_bench::par`).
@@ -65,4 +73,7 @@ const _: () = {
     assert_send::<Histogram>();
     assert_send::<SimError>();
     assert_send::<DeadlockSnapshot>();
+    assert_send::<TransitionMatrix>();
+    assert_send::<FlightRecorder>();
+    assert_send::<FlightEntry>();
 };

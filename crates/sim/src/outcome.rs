@@ -16,6 +16,7 @@
 use std::collections::BTreeMap;
 use std::fmt;
 
+use crate::flight::FlightEntry;
 use crate::tick::Tick;
 
 /// One stuck cache line inside a [`DeadlockSnapshot`].
@@ -99,6 +100,9 @@ pub struct DeadlockSnapshot {
     /// Events still undelivered when the stall was diagnosed (empty when
     /// the queue drained — the classic lost-message deadlock).
     pub pending: Vec<PendingEvent>,
+    /// The flight recorder's tail: the most recent *delivered* events,
+    /// oldest first — what actually happened just before the stall.
+    pub flight: Vec<FlightEntry>,
 }
 
 impl DeadlockSnapshot {
@@ -133,6 +137,12 @@ impl fmt::Display for DeadlockSnapshot {
         }
         for p in &self.pending {
             writeln!(f, "  pending: {p}")?;
+        }
+        if !self.flight.is_empty() {
+            writeln!(f, "  last {} delivered event(s), oldest first:", self.flight.len())?;
+            for e in &self.flight {
+                writeln!(f, "    {e}")?;
+            }
         }
         Ok(())
     }
@@ -360,6 +370,12 @@ mod tests {
                     line: 0x77,
                 },
             }],
+            flight: vec![FlightEntry {
+                at: Tick(470),
+                agent: "L2#0".into(),
+                kind: "Resp",
+                line: 0x40,
+            }],
         };
         assert!(snap.mentions_line(0x40));
         assert!(snap.mentions_line(0x77), "pending deliveries count as mentions");
@@ -368,6 +384,8 @@ mod tests {
         assert!(text.contains("1 stuck line(s)"));
         assert!(text.contains("0x40"));
         assert!(text.contains("pending: @480t deliver Dir→L2#1 Probe line 0x77"));
+        assert!(text.contains("last 1 delivered event(s)"));
+        assert!(text.contains("@470t L2#0 ← Resp line 0x40"));
         let err = SimError::Deadlock { snapshot: Box::new(snap) };
         assert!(err.to_string().starts_with("deadlock"));
     }

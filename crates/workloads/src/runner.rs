@@ -167,7 +167,15 @@ fn observe_workload_on(
     w.build(&mut b);
     let mut sys = b.build();
     let run = sys.run(DEFAULT_EVENT_BUDGET);
-    let data = sys.take_obs_data();
+    let mut data = sys.take_obs_data();
+    if run.is_err() {
+        // Post-mortem: a failed run's Perfetto trace ends with the
+        // flight-recorder tail, so the viewer shows what was delivered
+        // just before the failure.
+        if let Some(p) = &mut data.perfetto {
+            p.append_flight_tail(&data.flight);
+        }
+    }
     let outcome = match run {
         Ok(metrics) => match w.verify(&sys) {
             Ok(()) => Ok(RunResult { workload: w.name(), metrics }),

@@ -91,6 +91,42 @@ fn deadlock_display_names_line_phase_and_agents() {
     assert!(text.contains("L2[0]"), "must name the waiting agent:\n{text}");
 }
 
+/// An induced deadlock's snapshot carries the flight recorder's tail: the
+/// last deliveries the engine made, oldest first, rendered as part of the
+/// post-mortem. The tail must name the request that started the stuck
+/// transaction and stay within the ring's bounded capacity.
+#[test]
+fn deadlock_snapshot_carries_the_flight_recorder_tail() {
+    let cfg = SystemConfig::default().with_faults(FaultPlan::drop_first("Resp"));
+    let mut sys = one_load_system(cfg);
+    let err = sys.run(10_000_000).expect_err("a dropped response cannot complete");
+    let SimError::Deadlock { snapshot } = &err else {
+        panic!("expected a diagnosed deadlock, got {err:?}");
+    };
+    assert!(
+        !snapshot.flight.is_empty(),
+        "deliveries happened before the stall, so the tail must too"
+    );
+    assert!(
+        snapshot.flight.len() <= hsc_repro::sim::DEFAULT_FLIGHT_CAPACITY,
+        "the ring is bounded"
+    );
+    for w in snapshot.flight.windows(2) {
+        assert!(w[0].at <= w[1].at, "the tail must be oldest-first");
+    }
+    assert!(
+        snapshot.flight.iter().any(|e| e.kind == "RdBlk" && e.agent == "DIR"),
+        "the load's request reaching the directory must be on record: {:?}",
+        snapshot.flight
+    );
+    let text = err.to_string();
+    assert!(
+        text.contains("delivered event(s), oldest first"),
+        "the rendering must include the post-mortem:\n{text}"
+    );
+    assert!(text.contains("DIR ← RdBlk"), "entries render agent and class:\n{text}");
+}
+
 /// The stall report and the model checker's choice view share one event
 /// vocabulary ([`PendingEvent`]): wakes and message deliveries both
 /// render as readable one-liners naming the participants.

@@ -5,7 +5,7 @@
 //! JSON with the documented structure.
 
 use hsc_repro::obs::json::{parse, Value};
-use hsc_repro::obs::{RunRecord, REPORT_SCHEMA, REPORT_SCHEMA_VERSION};
+use hsc_repro::obs::{RunRecord, REPORT_SCHEMA, REPORT_SCHEMA_VERSION, REPORT_SCHEMA_VERSION_V2};
 use hsc_repro::prelude::*;
 
 /// Epoch fine enough that the small seeded run below crosses several
@@ -97,6 +97,67 @@ fn run_report_json_has_the_documented_schema() {
     }
     let series = run.get("time_series").and_then(Value::as_object).expect("time_series");
     assert!(series.len() >= 2, "report must carry at least two time series");
+}
+
+/// The protocol-analytics pillar is free when off and additive when on:
+/// the simulated machine's metrics are identical either way, the
+/// analytics-off report stays at schema version 1 with no v2 sections,
+/// and the analytics-on record differs from it **only** by the added
+/// sections — stripping them back out restores byte-identical JSON.
+#[test]
+fn protocol_analytics_are_zero_cost_off_and_purely_additive_on() {
+    let golden = observed(ObsConfig::report(EPOCH));
+    let analytics = observed(ObsConfig { protocol_analytics: true, ..ObsConfig::report(EPOCH) });
+    assert_eq!(
+        golden.outcome.as_ref().expect("golden run completes").metrics,
+        analytics.outcome.as_ref().expect("analytics run completes").metrics,
+        "analytics must not perturb the simulated machine"
+    );
+
+    let record = |run: &ObservedRun| {
+        let mut rec = RunRecord {
+            workload: "hsti".to_owned(),
+            config: "baseline".to_owned(),
+            outcome: "completed".to_owned(),
+            ..RunRecord::default()
+        };
+        rec.attach_obs(&run.obs);
+        rec
+    };
+    let report_of = |rec: RunRecord| {
+        let mut report = RunReport::new("observability-test");
+        report.runs.push(rec);
+        report
+    };
+
+    let off = report_of(record(&golden));
+    assert_eq!(off.schema_version(), REPORT_SCHEMA_VERSION);
+    let off_json = off.to_json_string();
+    for key in ["\"transitions\"", "\"sharing\"", "\"flight_recorder\""] {
+        assert!(!off_json.contains(key), "v1 report must not carry {key}");
+    }
+
+    let on_rec = record(&analytics);
+    let on = report_of(on_rec.clone());
+    assert_eq!(on.schema_version(), REPORT_SCHEMA_VERSION_V2);
+    let on_json = on.to_json_string();
+    assert!(on_json.contains("\"transitions\"") && on_json.contains("\"moesi-l2\""));
+    assert!(on_json.contains("\"sharing\"") && on_json.contains("\"ping_pong\""));
+
+    // The analytics pillar also contributes the `dir.sharers` gauge — it
+    // must appear only when the pillar is on.
+    assert!(on_rec.time_series.iter().any(|s| s.name == "dir.sharers"));
+    assert!(!off_json.contains("dir.sharers"));
+
+    // Strip everything the pillar added (sections plus its gauge): the
+    // rest must be the byte-wise same report, proving the pillar is
+    // purely additive rather than reshaping existing fields.
+    let mut stripped = on_rec;
+    stripped.transitions.clear();
+    stripped.sharing = None;
+    stripped.flight.clear();
+    stripped.time_series.retain(|s| s.name != "dir.sharers");
+    assert_eq!(report_of(stripped).to_json_string(), off_json);
 }
 
 /// The Perfetto export is a valid Chrome-trace JSON object: a
