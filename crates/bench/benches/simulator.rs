@@ -15,7 +15,7 @@ use std::time::Instant;
 
 use hsc_core::{CoherenceConfig, SystemConfig};
 use hsc_mem::{CacheArray, CacheGeometry, LineAddr};
-use hsc_sim::{EventQueue, Tick};
+use hsc_sim::{Tick, WheelQueue};
 use hsc_workloads::{run_workload_on, Hsti, Tq};
 
 fn small_hsti() -> Hsti {
@@ -59,7 +59,7 @@ fn bench_configs() {
 
 fn bench_event_queue() {
     bench("event_queue_push_pop_10k", 100, || {
-        let mut q = EventQueue::new();
+        let mut q = WheelQueue::new();
         for i in 0..10_000u64 {
             q.schedule(Tick(i * 7 % 1000), i);
         }

@@ -4,22 +4,37 @@
 //! Reads all `BENCH_*.json` files (the `hsc-perf-baseline/v1` records
 //! `perf_baseline` writes, one committed per optimization PR), measures
 //! the current tree on the quick workload pair (`tq`, `hsti`), and prints
-//! the events-per-second trajectory. To keep full-suite and `--quick`
-//! baselines comparable, each row's headline rate is recomputed over only
-//! the workloads the fresh run also measured.
+//! the events-per-second trajectory. Every comparison uses
+//! **min-of-reps** wall-clock only (`wall_ms_min`): the minimum is the
+//! run least disturbed by scheduler noise, so it is the only statistic
+//! comparable across records taken with different rep counts. Each row
+//! prints its rep count so a 3-rep quick record is never mistaken for a
+//! committed 5-rep baseline.
 //!
-//! Exits non-zero if the fresh measurement is more than `--threshold`
-//! percent (default 15%) below the **best** committed baseline — strict
-//! enough to flag a real hot-path regression, loose enough for scheduler
-//! noise. CI runs this as a non-gating warning step (shared runners are
-//! too noisy to fail a PR on); locally it is the quickest "did my change
-//! cost throughput?" answer.
+//! Two modes:
+//!
+//! * **Trend (default)** — exits non-zero if the fresh measurement is
+//!   more than `--threshold` percent (default 15%) below the **best**
+//!   committed baseline. Committed baselines come from other machines,
+//!   so CI treats this as a warning; locally it is the quickest "did my
+//!   change cost throughput?" answer.
+//! * **Gate (`--gate <pct> --against <path>`)** — compares the fresh
+//!   measurement against a baseline record produced moments earlier *on
+//!   the same runner* (CI builds the PR's base revision and runs
+//!   `perf_baseline --quick` on it first). Like-for-like hardware makes
+//!   this comparison meaningful, so it is gating: exits non-zero only if
+//!   the fresh min-of-reps rate is more than `<pct>` percent below the
+//!   same-runner baseline. The cross-machine `--threshold` check is
+//!   informational in this mode.
 //!
 //! Flags:
 //!
 //! * `--dir <path>` — where to scan for `BENCH_*.json` (default `.`);
 //! * `--reps <N>` — timed repetitions per workload (default 3);
-//! * `--threshold <pct>` — allowed regression vs the best baseline.
+//! * `--threshold <pct>` — allowed regression vs the best baseline;
+//! * `--gate <pct>` — fail on a same-runner regression beyond this;
+//! * `--against <path>` — the same-runner baseline record `--gate`
+//!   compares to (required with `--gate`).
 
 use std::process::ExitCode;
 use std::time::Instant;
@@ -36,16 +51,34 @@ struct Options {
     dir: String,
     reps: u32,
     threshold_pct: f64,
+    gate_pct: Option<f64>,
+    against: Option<String>,
 }
 
 fn usage_exit(message: &str) -> ! {
     eprintln!("perf_trend: {message}");
-    eprintln!("usage: perf_trend [--dir <path>] [--reps <N>] [--threshold <pct>]");
+    eprintln!(
+        "usage: perf_trend [--dir <path>] [--reps <N>] [--threshold <pct>] \
+         [--gate <pct> --against <baseline.json>]"
+    );
     std::process::exit(2);
 }
 
+fn parse_pct(flag: &str, raw: &str) -> Result<f64, String> {
+    raw.parse::<f64>()
+        .ok()
+        .filter(|p| p.is_finite() && *p >= 0.0)
+        .ok_or_else(|| format!("{flag}: '{raw}' is not a percentage"))
+}
+
 fn parse_args(args: impl Iterator<Item = String>) -> Result<Options, String> {
-    let mut opts = Options { dir: ".".to_owned(), reps: 3, threshold_pct: 15.0 };
+    let mut opts = Options {
+        dir: ".".to_owned(),
+        reps: 3,
+        threshold_pct: 15.0,
+        gate_pct: None,
+        against: None,
+    };
     let mut args = args.peekable();
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -60,23 +93,32 @@ fn parse_args(args: impl Iterator<Item = String>) -> Result<Options, String> {
             }
             "--threshold" => {
                 let raw = args.next().ok_or("--threshold requires a percentage operand")?;
-                opts.threshold_pct = raw
-                    .parse::<f64>()
-                    .ok()
-                    .filter(|p| p.is_finite() && *p >= 0.0)
-                    .ok_or_else(|| format!("--threshold: '{raw}' is not a percentage"))?;
+                opts.threshold_pct = parse_pct("--threshold", &raw)?;
+            }
+            "--gate" => {
+                let raw = args.next().ok_or("--gate requires a percentage operand")?;
+                opts.gate_pct = Some(parse_pct("--gate", &raw)?);
+            }
+            "--against" => {
+                opts.against = Some(args.next().ok_or("--against requires a path operand")?);
             }
             other => return Err(format!("unknown argument '{other}'")),
         }
     }
+    if opts.gate_pct.is_some() != opts.against.is_some() {
+        return Err("--gate and --against must be used together".to_owned());
+    }
     Ok(opts)
 }
 
-/// One baseline row: a committed record or the fresh measurement,
-/// restricted to the quick workload pair.
+/// One baseline row: a committed record, the same-runner gate record, or
+/// the fresh measurement, restricted to the quick workload pair.
 struct Row {
     label: String,
     rev: String,
+    /// Timed reps behind each `wall_ms_min` ("?" for records predating
+    /// the explicit `reps` field).
+    reps: String,
     /// `(events, wall_ms_min)` summed over the quick pair.
     events: u64,
     wall_ms: f64,
@@ -93,9 +135,9 @@ impl Row {
     }
 }
 
-/// Parses one `BENCH_*.json` into a quick-pair row. Returns an error
-/// string naming the problem so a malformed record is reported, not
-/// silently skipped.
+/// Parses one `hsc-perf-baseline/v1` record into a quick-pair row.
+/// Returns an error string naming the problem so a malformed record is
+/// reported, not silently skipped.
 fn parse_baseline(name: &str, text: &str) -> Result<Row, String> {
     let doc = parse(text).map_err(|e| format!("not valid JSON: {e}"))?;
     if doc.get("schema").and_then(Value::as_str) != Some("hsc-perf-baseline/v1") {
@@ -103,6 +145,11 @@ fn parse_baseline(name: &str, text: &str) -> Result<Row, String> {
     }
     let rev =
         doc.get("git").and_then(Value::as_str).ok_or("field 'git' must be a string")?.to_owned();
+    let reps = match doc.get("reps").and_then(Value::as_f64) {
+        Some(r) if r >= 1.0 => format!("{}", r as u64),
+        Some(_) => return Err("field 'reps' must be a positive count".to_owned()),
+        None => "?".to_owned(),
+    };
     let workloads = doc
         .get("workloads")
         .and_then(Value::as_array)
@@ -130,7 +177,7 @@ fn parse_baseline(name: &str, text: &str) -> Result<Row, String> {
     if present == 0 {
         return Err(format!("record contains none of {QUICK_WORKLOADS:?}"));
     }
-    Ok(Row { label: name.to_owned(), rev, events, wall_ms, workloads_present: present })
+    Ok(Row { label: name.to_owned(), rev, reps, events, wall_ms, workloads_present: present })
 }
 
 /// Measures the quick pair on this tree, `reps` timed runs each after one
@@ -161,6 +208,7 @@ fn measure_fresh(reps: u32) -> Row {
     Row {
         label: "(this tree)".to_owned(),
         rev: git_describe(),
+        reps: reps.to_string(),
         events,
         wall_ms,
         workloads_present: QUICK_WORKLOADS.len(),
@@ -202,8 +250,22 @@ fn main() -> ExitCode {
         }
     }
 
+    // The same-runner gate record is mandatory reading when requested: a
+    // missing or malformed gate baseline fails the gate rather than
+    // silently passing it.
+    let gate_row = match &opts.against {
+        Some(path) => match std::fs::read_to_string(path) {
+            Ok(text) => match parse_baseline("(gate baseline)", &text) {
+                Ok(row) => Some(row),
+                Err(e) => usage_exit(&format!("--against {path}: {e}")),
+            },
+            Err(e) => usage_exit(&format!("--against: cannot read {path}: {e}")),
+        },
+        None => None,
+    };
+
     println!(
-        "perf_trend: {} committed baseline(s) in {}, fresh run over {:?} ({} rep(s))",
+        "perf_trend: {} committed baseline(s) in {}, fresh run over {:?} ({} rep(s), min-of-reps)",
         rows.len(),
         opts.dir,
         QUICK_WORKLOADS,
@@ -213,10 +275,10 @@ fn main() -> ExitCode {
     let best = rows.iter().map(Row::events_per_sec).fold(0.0f64, f64::max);
 
     println!(
-        "{:<24} {:<12} {:>9} {:>10} {:>8}  note",
-        "baseline", "rev", "events", "wall_ms", "Mev/s"
+        "{:<24} {:<12} {:>4} {:>9} {:>10} {:>8}  note",
+        "baseline", "rev", "reps", "events", "wall_ms", "Mev/s"
     );
-    for row in rows.iter().chain(std::iter::once(&fresh)) {
+    for row in rows.iter().chain(gate_row.iter()).chain(std::iter::once(&fresh)) {
         let partial =
             if row.workloads_present < QUICK_WORKLOADS.len() { " (partial pair)" } else { "" };
         let note = if row.label == "(this tree)" {
@@ -226,13 +288,16 @@ fn main() -> ExitCode {
                 "no baseline to compare".to_owned()
             };
             format!("{delta}{partial}")
+        } else if row.label == "(gate baseline)" {
+            format!("same runner{partial}")
         } else {
             partial.trim_start().to_owned()
         };
         println!(
-            "{:<24} {:<12} {:>9} {:>10.2} {:>8.2}  {note}",
+            "{:<24} {:<12} {:>4} {:>9} {:>10.2} {:>8.2}  {note}",
             row.label,
             row.rev,
+            row.reps,
             row.events,
             row.wall_ms,
             row.events_per_sec() / 1e6,
@@ -243,23 +308,54 @@ fn main() -> ExitCode {
         println!("perf_trend: FAILED — {malformed} malformed baseline record(s)");
         return ExitCode::FAILURE;
     }
+
+    // Same-runner gate: the only throughput comparison trustworthy enough
+    // to fail CI on.
+    if let (Some(gate_pct), Some(gate)) = (opts.gate_pct, &gate_row) {
+        let (old, new) = (gate.events_per_sec(), fresh.events_per_sec());
+        let delta_pct = if old > 0.0 { 100.0 * (new / old - 1.0) } else { 0.0 };
+        if old > 0.0 && new < old * (1.0 - gate_pct / 100.0) {
+            println!(
+                "perf_trend: GATE FAILED — {:.2} M events/s is {:.1}% below the same-runner baseline {:.2} M events/s (gate: {:.0}%)",
+                new / 1e6,
+                -delta_pct,
+                old / 1e6,
+                gate_pct
+            );
+            return ExitCode::FAILURE;
+        }
+        println!(
+            "perf_trend: gate ok — {:.2} vs {:.2} M events/s same-runner ({:+.1}%, gate {:.0}%)",
+            new / 1e6,
+            old / 1e6,
+            delta_pct,
+            gate_pct
+        );
+    }
+
     if best > 0.0 {
         let floor = best * (1.0 - opts.threshold_pct / 100.0);
         if fresh.events_per_sec() < floor {
+            // Cross-machine trajectory check: gating locally, advisory
+            // when a same-runner gate is in charge.
             println!(
                 "perf_trend: REGRESSION — {:.2} M events/s is more than {:.0}% below the best baseline ({:.2} M events/s)",
                 fresh.events_per_sec() / 1e6,
                 opts.threshold_pct,
                 best / 1e6
             );
-            return ExitCode::FAILURE;
+            if opts.gate_pct.is_none() {
+                return ExitCode::FAILURE;
+            }
+            println!("perf_trend: (informational under --gate: baselines are cross-machine)");
+        } else {
+            println!(
+                "perf_trend: ok — within {:.0}% of the best baseline ({:.2} vs {:.2} M events/s)",
+                opts.threshold_pct,
+                fresh.events_per_sec() / 1e6,
+                best / 1e6
+            );
         }
-        println!(
-            "perf_trend: ok — within {:.0}% of the best baseline ({:.2} vs {:.2} M events/s)",
-            opts.threshold_pct,
-            fresh.events_per_sec() / 1e6,
-            best / 1e6
-        );
     } else {
         println!("perf_trend: ok — no committed baselines to compare against");
     }

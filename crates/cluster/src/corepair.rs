@@ -882,7 +882,7 @@ mod tests {
     use super::*;
     use hsc_mem::{AtomicKind, MainMemory};
     use hsc_noc::{Action, Grant};
-    use hsc_sim::EventQueue;
+    use hsc_sim::WheelQueue;
 
     /// A scripted program for tests.
     #[derive(Debug)]
@@ -921,7 +921,7 @@ mod tests {
             Wake,
             Msg(Message),
         }
-        let mut q: EventQueue<Ev> = EventQueue::new();
+        let mut q: WheelQueue<Ev> = WheelQueue::new();
         q.schedule(Tick(0), Ev::Wake);
         let hop = 10u64;
         let mut steps = 0u64;

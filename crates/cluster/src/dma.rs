@@ -315,7 +315,7 @@ mod tests {
     use super::*;
     use hsc_mem::MainMemory;
     use hsc_noc::Action;
-    use hsc_sim::EventQueue;
+    use hsc_sim::WheelQueue;
 
     fn run_dma(dma: &mut DmaEngine, mem: &mut MainMemory, limit: u64) {
         #[derive(Debug)]
@@ -323,7 +323,7 @@ mod tests {
             Wake,
             Msg(Message),
         }
-        let mut q: EventQueue<Ev> = EventQueue::new();
+        let mut q: WheelQueue<Ev> = WheelQueue::new();
         q.schedule(Tick(0), Ev::Wake);
         let mut steps = 0u64;
         while let Some((now, ev)) = q.pop() {

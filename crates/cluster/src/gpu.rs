@@ -1106,7 +1106,7 @@ mod tests {
     use super::*;
     use hsc_mem::{AtomicKind, MainMemory};
     use hsc_noc::{Action, Grant};
-    use hsc_sim::EventQueue;
+    use hsc_sim::WheelQueue;
 
     #[derive(Debug)]
     struct Script {
@@ -1148,7 +1148,7 @@ mod tests {
             Wake,
             Msg(Message),
         }
-        let mut q: EventQueue<Ev> = EventQueue::new();
+        let mut q: WheelQueue<Ev> = WheelQueue::new();
         q.schedule(Tick(0), Ev::Wake);
         let hop = 10u64;
         let mut steps = 0u64;

@@ -8,7 +8,7 @@ use hsc_cluster::{
 };
 use hsc_mem::{Addr, LineData, MainMemory};
 use hsc_noc::{Action, AgentId, Grant, Message, MsgKind, Outbox, ProbeKind, WordMask};
-use hsc_sim::{EventQueue, Tick};
+use hsc_sim::{Tick, WheelQueue};
 
 fn data(v: u64) -> LineData {
     let mut d = LineData::zeroed();
@@ -34,7 +34,7 @@ fn run_until_request(pair: &mut CorePair, class: &str, limit: u64) -> Message {
 
 /// Like [`run_until_request`] but starting the wake pump at `start`.
 fn run_until_request_from(pair: &mut CorePair, class: &str, limit: u64, start: Tick) -> Message {
-    let mut q: EventQueue<Tick> = EventQueue::new();
+    let mut q: WheelQueue<Tick> = WheelQueue::new();
     q.schedule(start, start);
     let mut steps = 0;
     while let Some((now, _)) = q.pop() {
@@ -170,7 +170,7 @@ fn upgrade_ack_preserves_the_owned_lines_local_stores() {
         &mut out,
     );
     // Let the second store run: O can't write, so an upgrade goes out.
-    let mut q: EventQueue<()> = EventQueue::new();
+    let mut q: WheelQueue<()> = WheelQueue::new();
     q.schedule(Tick(21), ());
     let mut got_upgrade = false;
     while let Some((now, ())) = q.pop() {
@@ -231,7 +231,7 @@ fn wb_tcc_eviction_writes_back_via_write_through() {
         }
     }
     let mut gpu = GpuCluster::new(0, vec![vec![Box::new(Streamer { i: 0 })]], cfg);
-    let mut q: EventQueue<Ev> = EventQueue::new();
+    let mut q: WheelQueue<Ev> = WheelQueue::new();
     #[derive(Debug)]
     enum Ev {
         Wake,
@@ -389,7 +389,7 @@ fn slc_atomic_self_invalidates_cached_copies() {
         Wake,
         Msg(Message),
     }
-    let mut q: EventQueue<Ev> = EventQueue::new();
+    let mut q: WheelQueue<Ev> = WheelQueue::new();
     q.schedule(Tick(0), Ev::Wake);
     let mut mem = MainMemory::new();
     let mut rdblks = 0;

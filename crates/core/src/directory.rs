@@ -5,8 +5,8 @@ use hsc_mem::{CacheArray, CacheGeometry, LineAddr, LineData};
 use hsc_noc::{AgentId, ClassCounters, Grant, Message, MsgKind, Outbox, ProbeKind, WordMask};
 use hsc_obs::SharingTracker;
 use hsc_sim::{
-    CounterId, Counters, EventQueue, Histogram, StatSet, StuckLine, Tick, TransitionMatrix,
-    Watchdog,
+    CounterId, Counters, Histogram, StatSet, StuckLine, Tick, TransitionMatrix, Watchdog,
+    WheelQueue,
 };
 
 use crate::tracking::{
@@ -158,7 +158,7 @@ pub struct Directory {
     entries: CacheArray<DirEntry>,
     txns: BTreeMap<LineAddr, DirTxn>,
     stale_vics: BTreeSet<(LineAddr, AgentId)>,
-    internal: EventQueue<LineAddr>,
+    internal: WheelQueue<LineAddr>,
     watchdog: Watchdog,
     /// Entry-state transition analytics; disabled (and free) unless the
     /// observability layer enables it. Excluded from `hash_state` and
@@ -252,7 +252,7 @@ impl Directory {
             )),
             txns: BTreeMap::new(),
             stale_vics: BTreeSet::new(),
-            internal: EventQueue::new(),
+            internal: WheelQueue::new(),
             watchdog: Watchdog::new(DEFAULT_WATCHDOG_TICKS),
             transitions: TransitionMatrix::new("directory", DIR_STATES, DIR_CAUSES),
             sharing: None,

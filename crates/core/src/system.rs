@@ -6,8 +6,8 @@ use hsc_mem::{Addr, LineAddr, LineData, MainMemory, VictimEntry};
 use hsc_noc::{Action, AgentId, Delivery, FaultyNetwork, Message, MsgKind, Outbox};
 use hsc_obs::{ObsConfig, ObsData, Observer};
 use hsc_sim::{
-    DeadlockSnapshot, EventQueue, FlightEntry, FlightRecorder, Fnv1a, NullTracer, PendingEvent,
-    PendingKind, SimError, StatSet, StderrTracer, Tick, Tracer, TransitionMatrix,
+    DeadlockSnapshot, FlightEntry, FlightRecorder, Fnv1a, NullTracer, PendingEvent, PendingKind,
+    SimError, StatSet, StderrTracer, Tick, Tracer, TransitionMatrix, WheelQueue,
 };
 
 use crate::{Directory, MemoryController, SystemConfig};
@@ -237,7 +237,7 @@ impl SystemBuilder {
                 cfg.uncore.mem_occupancy_ticks,
             ),
             network: FaultyNetwork::new(cfg.network, cfg.faults),
-            queue: EventQueue::new(),
+            queue: WheelQueue::new(),
             now: Tick::ZERO,
             events_processed: 0,
             started: false,
@@ -271,7 +271,7 @@ pub struct System {
     directory: Directory,
     memctl: MemoryController,
     network: FaultyNetwork,
-    queue: EventQueue<Ev>,
+    queue: WheelQueue<Ev>,
     now: Tick,
     events_processed: u64,
     started: bool,

@@ -12,7 +12,7 @@
 //!   VicClean, WT, Atomic, Flush, DMARd, DMAWr, probes, unblocks, …),
 //! * [`Network`] — a fixed-per-hop-latency interconnect that timestamps
 //!   deliveries and counts traffic by message class. Together with the
-//!   FIFO tie-breaking of `hsc_sim::EventQueue`, constant per-pair latency
+//!   FIFO tie-breaking of `hsc_sim::WheelQueue`, constant per-pair latency
 //!   gives point-to-point ordering, which the protocols rely on.
 //!
 //! Figure 7 of the paper ("% reduction in probes sent out from the

@@ -28,7 +28,7 @@ impl std::error::Error for WiringError {}
 /// One-way hop latencies of the system interconnect, in GPU cycles.
 ///
 /// The network is contention-free with constant per-pair latency. Constant
-/// latency plus the FIFO tie-breaking of `hsc_sim::EventQueue` yields
+/// latency plus the FIFO tie-breaking of `hsc_sim::WheelQueue` yields
 /// point-to-point ordering, which both the MOESI and VIPER protocol
 /// implementations rely on (e.g. a VicDirty is never overtaken by the
 /// probe-ack sent after it).

@@ -4,8 +4,9 @@
 //! the workspace:
 //!
 //! * [`Tick`] — the global simulated-time unit (one GPU clock cycle),
-//! * [`EventQueue`] — a priority queue of timestamped events with
-//!   deterministic FIFO tie-breaking,
+//! * [`WheelQueue`] — a hierarchical timing wheel of timestamped events
+//!   with deterministic FIFO tie-breaking and O(1) insert/pop for the
+//!   small fixed deltas the simulator overwhelmingly schedules,
 //! * [`StatSet`] and [`Histogram`] — the statistics containers from which
 //!   every figure of the paper is regenerated,
 //! * [`Counters`] — interned-name counter slots for the per-event hot
@@ -28,9 +29,9 @@
 //! # Examples
 //!
 //! ```
-//! use hsc_sim::{EventQueue, Tick};
+//! use hsc_sim::{Tick, WheelQueue};
 //!
-//! let mut q = EventQueue::new();
+//! let mut q = WheelQueue::new();
 //! q.schedule(Tick(5), "later");
 //! q.schedule(Tick(1), "sooner");
 //! let (t, ev) = q.pop().unwrap();
@@ -44,12 +45,14 @@ mod counters;
 mod flight;
 mod fnv;
 mod outcome;
+#[cfg(test)]
 mod queue;
 mod rng;
 mod stats;
 mod tick;
 mod trace;
 mod transition;
+mod wheel;
 
 pub use counters::{CounterId, Counters};
 pub use flight::{FlightEntry, FlightRecord, FlightRecorder, DEFAULT_FLIGHT_CAPACITY};
@@ -57,12 +60,12 @@ pub use fnv::{fnv1a, Fnv1a};
 pub use outcome::{
     DeadlockSnapshot, PendingEvent, PendingKind, RunOutcome, SimError, StuckLine, Watchdog,
 };
-pub use queue::EventQueue;
 pub use rng::DetRng;
 pub use stats::{Histogram, StatSet};
 pub use tick::Tick;
 pub use trace::{format_trace_line, NullTracer, StderrTracer, Tracer, VecTracer};
 pub use transition::TransitionMatrix;
+pub use wheel::WheelQueue;
 
 // Compile-time proof that campaign job results built from this crate's
 // statistics and outcome types cross threads (`hsc_bench::par`).

@@ -3,29 +3,23 @@ use std::collections::BinaryHeap;
 
 use crate::Tick;
 
-/// A timestamped event queue with deterministic tie-breaking.
+/// The retired binary-heap event queue, kept as the **test oracle** for
+/// [`crate::WheelQueue`] (which replaced it behind the run loop).
 ///
 /// Events scheduled for the same [`Tick`] are delivered in the order they
 /// were scheduled (FIFO). This is what makes whole-system simulation
 /// deterministic: two runs with the same inputs pop events in exactly the
 /// same order, so every statistic the benches report is reproducible.
 ///
-/// # Examples
+/// Its simple heap-ordered semantics are easy to trust, which is exactly
+/// what an oracle needs: the wheel's differential fuzz tests drive both
+/// queues through identical seeded schedule/cancel/pop sequences and
+/// assert identical behaviour. Compiled only under `cfg(test)` — the
+/// simulator itself no longer uses it.
 ///
-/// ```
-/// use hsc_sim::{EventQueue, Tick};
-///
-/// let mut q = EventQueue::new();
-/// q.schedule(Tick(2), 'b');
-/// q.schedule(Tick(2), 'c'); // same tick: FIFO after 'b'
-/// q.schedule(Tick(1), 'a');
-/// let order: Vec<char> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
-/// assert_eq!(order, ['a', 'b', 'c']);
-/// ```
 /// Events live in a slab; the heap orders small `(tick, seq, index)`
 /// entries. Sift operations during push/pop then move 24-byte entries
-/// instead of full event payloads (a delivered message is ~120 bytes),
-/// which is most of the cost of a queue operation on the hot path.
+/// instead of full event payloads (a delivered message is ~120 bytes).
 #[derive(Debug)]
 pub struct EventQueue<E> {
     heap: BinaryHeap<Entry>,

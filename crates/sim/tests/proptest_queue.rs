@@ -6,7 +6,7 @@
 //! the tests need no external dependency and every failure names the seed
 //! that reproduces it.
 
-use hsc_sim::{DetRng, EventQueue, Tick};
+use hsc_sim::{DetRng, Tick, WheelQueue};
 
 const CASES: u64 = 64;
 
@@ -17,7 +17,7 @@ fn pops_are_sorted_and_fifo_stable() {
         let n = rng.next_below(300) as usize;
         let ticks: Vec<u64> = (0..n).map(|_| rng.next_below(50)).collect();
 
-        let mut q = EventQueue::new();
+        let mut q = WheelQueue::new();
         for (seq, &t) in ticks.iter().enumerate() {
             q.schedule(Tick(t), seq);
         }
@@ -39,7 +39,7 @@ fn interleaved_pops_never_go_backwards() {
         // Alternate schedules and pops; popped ticks must be monotonic as
         // long as nothing earlier is scheduled afterwards — model this by
         // scheduling relative to the last popped tick (like a simulator).
-        let mut q = EventQueue::new();
+        let mut q = WheelQueue::new();
         let mut now = 0u64;
         let mut popped = 0usize;
         for _ in 0..n {
