@@ -6,13 +6,13 @@
 //! Runs execute as one parallel campaign (`--jobs <N>` / `HSC_JOBS`);
 //! output order is submission order, identical at any worker count.
 
-use hsc_bench::par::{expect_all, parse_jobs_cli, Campaign};
+use hsc_bench::par::{expect_all, parse_sweep_cli, Campaign};
 use hsc_bench::{mean, pct_saved};
 use hsc_core::{CoherenceConfig, DirReplacementPolicy, SystemConfig};
-use hsc_workloads::{run_workload_on, Cedd, RunResult, Sc, Tq, Trns, Workload};
+use hsc_workloads::{try_run_workload_sharded_on, Cedd, RunResult, Sc, Tq, Trns, Workload};
 
 fn main() {
-    let par = parse_jobs_cli("ablation_dir_repl");
+    let cli = parse_sweep_cli("ablation_dir_repl");
     println!("================================================================");
     println!("Ablation (§VII future work): directory replacement policy");
     println!("Tree-PLRU vs state-aware, 512-entry directory, sharer tracking");
@@ -33,11 +33,12 @@ fn main() {
                 let mut cfg = SystemConfig::scaled(CoherenceConfig::sharer_tracking());
                 cfg.coherence.dir_replacement = policy;
                 cfg.uncore.dir_entries = 512;
-                run_workload_on(w, cfg)
+                try_run_workload_sharded_on(w, cfg, cli.shards)
+                    .unwrap_or_else(|e| panic!("workload {} failed: {e}", w.name()))
             });
         }
     }
-    let results = expect_all("ablation_dir_repl", campaign.run(par));
+    let results = expect_all("ablation_dir_repl", campaign.run(cli.par));
 
     println!(
         "{:8} {:>12} {:>12} {:>10} {:>12} {:>12}",

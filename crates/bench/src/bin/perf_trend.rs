@@ -11,6 +11,14 @@
 //! prints its rep count so a 3-rep quick record is never mistaken for a
 //! committed 5-rep baseline.
 //!
+//! The trend itself is **serial-engine only**: records whose `shards`
+//! field says they were measured on the sharded engine
+//! (`perf_baseline --shards N`) are printed and labelled but excluded
+//! from the best-baseline comparison, because sharded and serial
+//! wall-clock numbers are different quantities. Records predating the
+//! `shards` field were all serial and are treated (and labelled) as
+//! such.
+//!
 //! Two modes:
 //!
 //! * **Trend (default)** — exits non-zero if the fresh measurement is
@@ -119,6 +127,9 @@ struct Row {
     /// Timed reps behind each `wall_ms_min` ("?" for records predating
     /// the explicit `reps` field).
     reps: String,
+    /// Event-wheel count the record was measured with: `None` for
+    /// records predating the `shards` field (all of which were serial).
+    shards: Option<u64>,
     /// `(events, wall_ms_min)` summed over the quick pair.
     events: u64,
     wall_ms: f64,
@@ -150,6 +161,11 @@ fn parse_baseline(name: &str, text: &str) -> Result<Row, String> {
         Some(_) => return Err("field 'reps' must be a positive count".to_owned()),
         None => "?".to_owned(),
     };
+    let shards = match doc.get("shards").and_then(Value::as_f64) {
+        Some(s) if s >= 1.0 => Some(s as u64),
+        Some(_) => return Err("field 'shards' must be a positive count".to_owned()),
+        None => None, // predates the sharded engine: serial by construction
+    };
     let workloads = doc
         .get("workloads")
         .and_then(Value::as_array)
@@ -177,7 +193,15 @@ fn parse_baseline(name: &str, text: &str) -> Result<Row, String> {
     if present == 0 {
         return Err(format!("record contains none of {QUICK_WORKLOADS:?}"));
     }
-    Ok(Row { label: name.to_owned(), rev, reps, events, wall_ms, workloads_present: present })
+    Ok(Row {
+        label: name.to_owned(),
+        rev,
+        reps,
+        shards,
+        events,
+        wall_ms,
+        workloads_present: present,
+    })
 }
 
 /// Measures the quick pair on this tree, `reps` timed runs each after one
@@ -209,6 +233,7 @@ fn measure_fresh(reps: u32) -> Row {
         label: "(this tree)".to_owned(),
         rev: git_describe(),
         reps: reps.to_string(),
+        shards: Some(1),
         events,
         wall_ms,
         workloads_present: QUICK_WORKLOADS.len(),
@@ -256,6 +281,13 @@ fn main() -> ExitCode {
     let gate_row = match &opts.against {
         Some(path) => match std::fs::read_to_string(path) {
             Ok(text) => match parse_baseline("(gate baseline)", &text) {
+                // The fresh measurement is serial, so a sharded gate
+                // record would compare different engines — refuse it
+                // rather than gate on an apples-to-oranges ratio.
+                Ok(row) if row.shards.unwrap_or(1) > 1 => usage_exit(&format!(
+                    "--against {path}: record was measured with {} shards; the gate compares serial throughput",
+                    row.shards.unwrap_or(1)
+                )),
                 Ok(row) => Some(row),
                 Err(e) => usage_exit(&format!("--against {path}: {e}")),
             },
@@ -272,7 +304,13 @@ fn main() -> ExitCode {
         opts.reps
     );
     let fresh = measure_fresh(opts.reps);
-    let best = rows.iter().map(Row::events_per_sec).fold(0.0f64, f64::max);
+    // Only serial records compete for "best": a 4-shard wall clock is a
+    // different quantity, not a faster simulator.
+    let best = rows
+        .iter()
+        .filter(|r| r.shards.unwrap_or(1) == 1)
+        .map(Row::events_per_sec)
+        .fold(0.0f64, f64::max);
 
     println!(
         "{:<24} {:<12} {:>4} {:>9} {:>10} {:>8}  note",
@@ -281,6 +319,11 @@ fn main() -> ExitCode {
     for row in rows.iter().chain(gate_row.iter()).chain(std::iter::once(&fresh)) {
         let partial =
             if row.workloads_present < QUICK_WORKLOADS.len() { " (partial pair)" } else { "" };
+        let engine = match row.shards {
+            Some(1) => "",
+            Some(_) => " (sharded: not in trend)",
+            None => " (pre-shards record)",
+        };
         let note = if row.label == "(this tree)" {
             let delta = if best > 0.0 {
                 format!("{:+.1}% vs best", 100.0 * (row.events_per_sec() / best - 1.0))
@@ -291,7 +334,7 @@ fn main() -> ExitCode {
         } else if row.label == "(gate baseline)" {
             format!("same runner{partial}")
         } else {
-            partial.trim_start().to_owned()
+            format!("{partial}{engine}").trim_start().to_owned()
         };
         println!(
             "{:<24} {:<12} {:>4} {:>9} {:>10.2} {:>8.2}  {note}",

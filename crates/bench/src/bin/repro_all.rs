@@ -21,11 +21,17 @@
 //!   the machine's available parallelism). Forwarded to every sweep
 //!   child binary. Stdout and the report are **byte-identical at any
 //!   worker count**; only wall-clock changes.
+//! * `--shards <N>` — event wheels per run (`System::run_sharded`,
+//!   default 1 = serial), forwarded to every sweep child binary.
+//!   Stdout is byte-identical at any shard count; the `--report` JSON
+//!   drops its (serial-only) epoch time series when `N > 1` but keeps
+//!   counters, latency percentiles, and the agent profile
+//!   byte-identical.
 
 use std::process::Command;
 
 use hsc_bench::par::Campaign;
-use hsc_bench::reporting::{observed_record, parse_cli, write_report, REPORT_EPOCH_TICKS};
+use hsc_bench::reporting::{observed_record_sharded, parse_cli, write_report, REPORT_EPOCH_TICKS};
 use hsc_core::{CoherenceConfig, SystemConfig};
 use hsc_obs::{ObsConfig, RunRecord, RunReport};
 use hsc_workloads::{collaborative_workloads, run_workload_observed, Hsti, Tq, Workload};
@@ -33,9 +39,10 @@ use hsc_workloads::{collaborative_workloads, run_workload_observed, Hsti, Tq, Wo
 fn main() {
     let opts = parse_cli("repro_all");
     let par = opts.parallelism("repro_all");
+    let shards = opts.shards();
 
     if !opts.quick {
-        // (bin, whether it takes the campaign `--jobs` flag)
+        // (bin, whether it takes the campaign `--jobs`/`--shards` flags)
         let bins = [
             ("table2_cache_config", false),
             ("table3_system_config", false),
@@ -55,6 +62,9 @@ fn main() {
             let mut cmd = Command::new(&path);
             if takes_jobs {
                 cmd.args(["--jobs", &par.jobs().to_string()]);
+                if shards > 1 {
+                    cmd.args(["--shards", &shards.to_string()]);
+                }
             }
             let status =
                 cmd.status().unwrap_or_else(|e| panic!("failed to run {}: {e}", path.display()));
@@ -74,12 +84,19 @@ fn main() {
         };
         let mut report = RunReport::new("repro_all");
         report.fingerprint_config(&cfg);
+        // Epoch time-series sampling is serial-only, so a sharded
+        // report uses the sharded-reproducible config (counters,
+        // latency percentiles, agent profile — all byte-identical).
+        let obs = if shards > 1 {
+            ObsConfig::report_sharded()
+        } else {
+            ObsConfig::report(REPORT_EPOCH_TICKS)
+        };
         let mut campaign: Campaign<'_, RunRecord> = Campaign::new("repro_all/report");
         for w in &workloads {
             let w = w.as_ref();
-            campaign.push(w.name(), move || {
-                observed_record(w, "baseline", cfg, ObsConfig::report(REPORT_EPOCH_TICKS))
-            });
+            campaign
+                .push(w.name(), move || observed_record_sharded(w, "baseline", cfg, obs, shards));
         }
         // Records land in submission order, so the report JSON is
         // byte-identical to a serial run's.

@@ -10,7 +10,7 @@
 pub mod par;
 
 use hsc_core::{CoherenceConfig, Metrics, SystemConfig};
-use hsc_workloads::{run_workload_on, Workload};
+use hsc_workloads::{try_run_workload_sharded_on, Workload};
 
 use crate::par::{expect_all, Campaign, Parallelism};
 
@@ -55,12 +55,32 @@ pub fn sweep(
     configs: &[(&'static str, CoherenceConfig)],
     par: Parallelism,
 ) -> Vec<Cell> {
+    sweep_sharded(workloads, configs, par, 1)
+}
+
+/// [`sweep`] with each run driven on `shards` parallel event wheels
+/// ([`hsc_core::System::run_sharded`]); `shards <= 1` is exactly the
+/// serial sweep. Metrics — and therefore every printed table — are
+/// byte-identical at any shard count, so `--shards` composes freely with
+/// `--jobs`: one parallelizes inside a run, the other across runs.
+///
+/// # Panics
+///
+/// Panics naming the `workload/config` job if any run fails.
+#[must_use]
+pub fn sweep_sharded(
+    workloads: &[Box<dyn Workload>],
+    configs: &[(&'static str, CoherenceConfig)],
+    par: Parallelism,
+    shards: usize,
+) -> Vec<Cell> {
     let mut campaign = Campaign::new("sweep");
     for w in workloads {
         for (name, cfg) in configs {
             let w = w.as_ref();
             campaign.push(format!("{}/{name}", w.name()), move || {
-                let r = run_workload_on(w, SystemConfig::scaled(*cfg));
+                let r = try_run_workload_sharded_on(w, SystemConfig::scaled(*cfg), shards)
+                    .unwrap_or_else(|e| panic!("workload {} failed: {e}", w.name()));
                 Cell { workload: r.workload, config: name, metrics: r.metrics }
             });
         }
@@ -105,7 +125,7 @@ pub mod reporting {
     use hsc_core::SystemConfig;
     use hsc_obs::{ObsConfig, RunRecord, RunReport};
     use hsc_sim::SimError;
-    use hsc_workloads::{run_workload_observed, Workload, WorkloadError};
+    use hsc_workloads::{run_workload_observed_sharded, Workload, WorkloadError};
 
     /// Epoch width (ticks) used by report runs: fine enough to show
     /// bursts on the scaled evaluation system (runs are a few million
@@ -123,9 +143,18 @@ pub mod reporting {
         pub trace: Option<PathBuf>,
         /// Explicit `--jobs <N>` campaign worker count.
         pub jobs: Option<usize>,
+        /// Explicit `--shards <N>` parallel event-wheel count for single
+        /// runs (`hsc_core::System::run_sharded`).
+        pub shards: Option<usize>,
     }
 
     impl CliOptions {
+        /// The effective shard count: the `--shards` flag, defaulting to
+        /// 1 (the serial engine).
+        #[must_use]
+        pub fn shards(&self) -> usize {
+            self.shards.unwrap_or(1)
+        }
         /// Resolves the campaign worker count for this invocation:
         /// `--jobs` flag, then `HSC_JOBS`, then the machine's available
         /// parallelism. Exits with usage on an invalid `HSC_JOBS` value.
@@ -135,13 +164,13 @@ pub mod reporting {
         }
     }
 
-    /// Parses `--report <path>`, `--quick`, `--trace <path>` and
-    /// `--jobs <N>` from the process arguments.
+    /// Parses `--report <path>`, `--quick`, `--trace <path>`,
+    /// `--jobs <N>` and `--shards <N>` from the process arguments.
     ///
-    /// An unknown flag, a missing operand, or a non-numeric `--jobs`
-    /// value prints the offending argument plus usage text to stderr and
-    /// exits with status 2 — so a typo fails a CI job with a readable
-    /// message instead of silently dropping the report.
+    /// An unknown flag, a missing operand, or a non-numeric `--jobs` /
+    /// `--shards` value prints the offending argument plus usage text to
+    /// stderr and exits with status 2 — so a typo fails a CI job with a
+    /// readable message instead of silently dropping the report.
     #[must_use]
     pub fn parse_cli(command: &str) -> CliOptions {
         match parse_args(std::env::args().skip(1)) {
@@ -152,8 +181,25 @@ pub mod reporting {
 
     fn cli_usage_exit(command: &str, message: &str) -> ! {
         eprintln!("{command}: {message}");
-        eprintln!("usage: {command} [--quick] [--report <path>] [--trace <path>] [--jobs <N>]");
+        eprintln!(
+            "usage: {command} [--quick] [--report <path>] [--trace <path>] [--jobs <N>] [--shards <N>]"
+        );
         std::process::exit(2);
+    }
+
+    /// Parses the operand of a `--shards` flag (same contract as
+    /// `par::parse_jobs_value`: a positive integer or a usage error).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the bad value if it is not a positive
+    /// integer — `--shards 0` is rejected rather than silently meaning
+    /// "serial"; serial is spelled `--shards 1` (or omitting the flag).
+    pub fn parse_shards_value(raw: &str) -> Result<usize, String> {
+        match raw.parse::<usize>() {
+            Ok(n) if n > 0 => Ok(n),
+            _ => Err(format!("--shards operand {raw:?} is not a positive integer")),
+        }
     }
 
     fn parse_args(args: impl Iterator<Item = String>) -> Result<CliOptions, String> {
@@ -172,6 +218,10 @@ pub mod reporting {
                 "--jobs" => {
                     let raw = args.next().ok_or("--jobs requires a thread count operand")?;
                     opts.jobs = Some(crate::par::parse_jobs_value(&raw)?);
+                }
+                "--shards" => {
+                    let raw = args.next().ok_or("--shards requires a shard count operand")?;
+                    opts.shards = Some(parse_shards_value(&raw)?);
                 }
                 "--quick" => opts.quick = true,
                 other => return Err(format!("unknown argument '{other}'")),
@@ -206,7 +256,23 @@ pub mod reporting {
         cfg: SystemConfig,
         obs: ObsConfig,
     ) -> RunRecord {
-        let run = run_workload_observed(w, cfg, obs);
+        observed_record_sharded(w, config_label, cfg, obs, 1)
+    }
+
+    /// Like [`observed_record`], but runs on `shards` parallel event
+    /// wheels. With `shards > 1` the observability config must be one a
+    /// sharded run reproduces byte-identically (use
+    /// [`ObsConfig::report_sharded`]); `shards <= 1` is exactly the
+    /// serial [`observed_record`] path.
+    #[must_use]
+    pub fn observed_record_sharded(
+        w: &dyn Workload,
+        config_label: &str,
+        cfg: SystemConfig,
+        obs: ObsConfig,
+        shards: usize,
+    ) -> RunRecord {
+        let run = run_workload_observed_sharded(w, cfg, obs, shards);
         let mut rec = RunRecord {
             workload: w.name().to_owned(),
             config: config_label.to_owned(),
@@ -259,12 +325,21 @@ pub mod reporting {
                 "/tmp/t.json",
                 "--jobs",
                 "4",
+                "--shards",
+                "2",
             ])
             .unwrap();
             assert!(o.quick);
             assert_eq!(o.report.unwrap().to_str(), Some("/tmp/r.json"));
             assert_eq!(o.trace.unwrap().to_str(), Some("/tmp/t.json"));
             assert_eq!(o.jobs, Some(4));
+            assert_eq!(o.shards, Some(2));
+        }
+
+        #[test]
+        fn cli_shards_defaults_to_serial() {
+            assert_eq!(parse(&[]).unwrap().shards(), 1);
+            assert_eq!(parse(&["--shards", "4"]).unwrap().shards(), 4);
         }
 
         #[test]
@@ -279,6 +354,7 @@ pub mod reporting {
             assert!(parse(&["--report"]).unwrap_err().contains("--report"));
             assert!(parse(&["--trace"]).unwrap_err().contains("--trace"));
             assert!(parse(&["--jobs"]).unwrap_err().contains("--jobs"));
+            assert!(parse(&["--shards"]).unwrap_err().contains("--shards"));
         }
 
         #[test]
@@ -286,6 +362,18 @@ pub mod reporting {
             assert!(parse(&["--jobs", "0"]).is_err());
             assert!(parse(&["--jobs", "-2"]).is_err());
             assert!(parse(&["--jobs", "many"]).is_err());
+        }
+
+        #[test]
+        fn cli_rejects_bad_shards_values() {
+            // Same contract as --jobs: zero, negatives and non-numbers
+            // all name the offending operand (the caller turns that into
+            // usage text + exit 2).
+            for bad in ["0", "-2", "many", "4.5", ""] {
+                let err = parse(&["--shards", bad]).unwrap_err();
+                assert!(err.contains("--shards"), "error names the flag: {err}");
+                assert!(err.contains("positive integer"), "error explains: {err}");
+            }
         }
     }
 }

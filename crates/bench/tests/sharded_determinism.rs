@@ -1,0 +1,120 @@
+//! Sharded-engine determinism: `System::run_sharded` must be a pure
+//! wall-clock optimization.
+//!
+//! The conservative-PDES engine (`hsc_core::shard`, DESIGN.md "Sharded
+//! PDES") promises that the merged event order — and therefore every
+//! observable artifact — is byte-identical to the serial engine at any
+//! shard count. These tests hold it to that across the five
+//! collaborative workloads: the `RunReport` JSON, the rendered metrics
+//! tables (what the figure binaries print), and every counter must not
+//! move by a byte between `--shards 1`, `2`, and `4`. A fault-injected
+//! deadlock must still come back as a structured snapshot naming the
+//! stuck line, and the model checker's exhaustive state counts — which
+//! never go through the sharded engine — are pinned so a sharded-path
+//! change that leaks into protocol semantics is caught here.
+
+use std::fmt::Write as _;
+
+use hsc_bench::reporting::observed_record_sharded;
+use hsc_check::litmus::Litmus;
+use hsc_check::CheckConfig;
+use hsc_core::{CoherenceConfig, ObsConfig, SystemConfig};
+use hsc_noc::FaultPlan;
+use hsc_obs::RunReport;
+use hsc_sim::SimError;
+use hsc_workloads::{collaborative_workloads, try_run_workload_sharded_on, Tq, WorkloadError};
+
+/// One full pass over the collaborative suite at the given shard count:
+/// the report JSON (counters, latency percentiles, agent profile) plus a
+/// golden-stdout-style metrics table, both as strings so a mismatch is a
+/// byte diff.
+fn suite_artifacts(shards: usize) -> (String, String) {
+    let cfg = SystemConfig::scaled(CoherenceConfig::baseline());
+    let mut report = RunReport::new("sharded_determinism");
+    report.git = "golden".to_owned();
+    report.fingerprint_config(&cfg);
+    let mut table = String::new();
+    for w in &collaborative_workloads() {
+        let rec = observed_record_sharded(
+            w.as_ref(),
+            "baseline",
+            cfg,
+            ObsConfig::report_sharded(),
+            shards,
+        );
+        assert_eq!(rec.outcome, "completed", "{} at {shards} shard(s)", w.name());
+        writeln!(table, "== {} ==", rec.workload).unwrap();
+        writeln!(table, "ticks        {}", rec.ticks).unwrap();
+        writeln!(table, "gpu_cycles   {}", rec.gpu_cycles).unwrap();
+        for (key, value) in &rec.counters {
+            writeln!(table, "{key} {value}").unwrap();
+        }
+        report.runs.push(rec);
+    }
+    (report.to_json_string(), table)
+}
+
+/// Report JSON and metrics tables are byte-identical for shards 1, 2, 4
+/// across all five collaborative workloads. Shard count 1 *is* the
+/// serial engine (`run_sharded` delegates), so this is a direct
+/// serial-vs-sharded comparison, not sharded-vs-sharded.
+#[test]
+fn suite_artifacts_identical_across_shard_counts() {
+    let (serial_json, serial_table) = suite_artifacts(1);
+    assert!(serial_json.contains("\"cedd\""), "report covers the suite");
+    for shards in [2usize, 4] {
+        let (json, table) = suite_artifacts(shards);
+        assert_eq!(serial_table, table, "metrics tables diverged at {shards} shard(s)");
+        assert_eq!(serial_json, json, "report JSON diverged at {shards} shard(s)");
+    }
+}
+
+/// A dropped data response without retries strands its requester
+/// mid-transaction; the sharded engine must diagnose that exactly like
+/// the serial one — a `SimError::Deadlock` whose snapshot names the
+/// stuck line — because the fault-routed mode replays every send on the
+/// one authoritative network in serial order.
+#[test]
+fn sharded_deadlock_snapshot_names_the_stuck_line() {
+    let cfg = SystemConfig::scaled(CoherenceConfig::baseline())
+        .with_faults(FaultPlan::drop_first("Resp"));
+    let deadlock = |shards: usize| match try_run_workload_sharded_on(&Tq::default(), cfg, shards) {
+        Err(WorkloadError::Sim(SimError::Deadlock { snapshot })) => snapshot,
+        other => panic!("expected deadlock at {shards} shard(s), got {other:?}"),
+    };
+    let serial = deadlock(1);
+    assert!(!serial.lines.is_empty(), "serial snapshot names at least one stuck line");
+    for shards in [2usize, 4] {
+        let sharded = deadlock(shards);
+        let addrs =
+            |s: &hsc_sim::DeadlockSnapshot| s.lines.iter().map(|l| l.line).collect::<Vec<_>>();
+        assert_eq!(addrs(&serial), addrs(&sharded), "stuck lines diverged at {shards} shard(s)");
+        assert_eq!(serial.agents, sharded.agents, "busy agents diverged at {shards} shard(s)");
+    }
+}
+
+/// The model checker explores its own serial choice-mode engine, never
+/// `run_sharded`; its distinct-state counts are pinned so any change to
+/// the shared protocol controllers that the sharded refactor touched
+/// shows up as a moved count, not a silent semantic drift.
+#[test]
+fn model_check_state_counts_are_unchanged() {
+    let pins: [(&str, u64, Option<u64>); 2] =
+        [("two_writers", 960, None), ("dup_reply", 960, Some(1888))];
+    for (name, fault_free_states, faulty_states) in pins {
+        let l = Litmus::by_name(name).expect("catalog scenario");
+        let rep = l.check_exhaustive(&CheckConfig::default());
+        assert!(rep.passed(), "{name} found a violation");
+        let ff = rep.fault_free.as_ref().expect("exhaustive scenario");
+        assert!(!ff.truncated, "{name} fault-free exploration truncated");
+        assert_eq!(ff.states, fault_free_states, "{name} fault-free state count moved");
+        match (faulty_states, rep.faulty.as_ref()) {
+            (None, None) => {}
+            (Some(want), Some(got)) => {
+                assert!(!got.truncated, "{name} faulty exploration truncated");
+                assert_eq!(got.states, want, "{name} faulty state count moved");
+            }
+            (want, got) => panic!("{name}: faulty pass mismatch (want {want:?}, got {got:?})"),
+        }
+    }
+}

@@ -65,7 +65,7 @@ impl fmt::Display for CpuOp {
 ///     }
 /// }
 /// ```
-pub trait CoreProgram: fmt::Debug {
+pub trait CoreProgram: fmt::Debug + Send {
     /// The next operation; called when the previous one completed.
     fn next_op(&mut self, last_value: Option<u64>) -> CpuOp;
 
@@ -126,7 +126,7 @@ impl fmt::Display for GpuOp {
 /// `last_value` carries the lane-0 result of the preceding
 /// `VecLoad`/atomic, letting kernels implement flag polling and work-queue
 /// dequeues with SLC atomics, as the CHAI benchmarks do.
-pub trait WavefrontProgram: fmt::Debug {
+pub trait WavefrontProgram: fmt::Debug + Send {
     /// The next operation; called when the previous one completed.
     fn next_op(&mut self, last_value: Option<u64>) -> GpuOp;
 

@@ -1,0 +1,1098 @@
+//! Conservative parallel discrete-event execution of a [`System`].
+//!
+//! [`System::run_sharded`] partitions the controllers into *shards* — the
+//! directory, LLC and memory controller on shard 0 (they share line state
+//! and must stay together), the cluster agents (CorePairs, GPU clusters,
+//! DMA) round-robined over the rest — and advances each shard on its own
+//! [`WheelQueue`] up to a per-round horizon `H = T_min + lookahead`, where
+//! `T_min` is the earliest pending tick anywhere and the lookahead is the
+//! minimum one-way latency of any network edge a shard boundary can cut
+//! ([`hsc_noc::LatencyMap::min_cross_one_way`], or
+//! [`hsc_noc::LatencyMap::min_one_way`] in fault mode where every send is
+//! decided at the barrier). Any message created inside a round therefore
+//! arrives at or after `H`, so rounds have provably disjoint, increasing
+//! tick ranges and no shard can receive a cross-shard message for a tick
+//! it already passed.
+//!
+//! Determinism — the whole point — comes from replaying the *serial*
+//! engine's scheduling order at every barrier:
+//!
+//! * Events scheduled at a barrier carry globally monotone **Pre** keys,
+//!   assigned by one counter while the coordinator walks all shards'
+//!   staged scheduling decisions in [`hsc_sim::pdes::sched_order`] — the
+//!   exact order the serial loop would have made them.
+//! * Events a shard schedules for itself mid-round carry **Mid** keys
+//!   ([`hsc_sim::pdes::mid_key`]); Pre sorts before Mid at equal ticks,
+//!   matching the serial engine's FIFO tie-break. Every Mid event is
+//!   either popped within its round or swept out at round end and
+//!   re-scheduled through the barrier with a Pre key, so no Mid key ever
+//!   crosses a round boundary.
+//!
+//! The result is that merged event order — and with it [`Metrics`], the
+//! run-report JSON, the flight-recorder ring and golden stdout — is
+//! byte-identical to [`System::run`] at any shard count. Error paths
+//! (wiring errors, budget exhaustion, watchdog) abort deterministically
+//! but may observe slightly different partial state than the serial
+//! engine, which stops mid-event; error runs are never goldens.
+
+use std::collections::BTreeMap;
+use std::mem;
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+use std::sync::{Mutex, MutexGuard};
+
+use hsc_cluster::{CorePair, DmaEngine, GpuCluster};
+use hsc_noc::{Action, AgentId, Delivery, FaultyNetwork, Message, Outbox};
+use hsc_obs::{AgentProfile, ObsConfig, ObsData, Observer};
+use hsc_sim::pdes::{
+    cmp_exec, is_mid, mid_key, mid_parts, sched_order, ExecLog, Parent, RoundBarrier, MID_BIT,
+};
+use hsc_sim::{FlightRecorder, SimError, Tick, WheelQueue};
+
+use crate::system::{Ev, WATCHDOG_POLL_EVENTS};
+use crate::{Directory, MemoryController, Metrics, System, SystemConfig};
+
+/// `stop` flag: keep running.
+const RUN: u8 = 0;
+/// `stop` flag: every queue drained, finish cleanly.
+const DONE: u8 = 1;
+/// `stop` flag: abort (error, watchdog, or budget).
+const ABORT: u8 = 2;
+
+/// A raw flight-recorder record staged by a shard: `(tick, agent code,
+/// class index, line)` — pushed into the real ring by the coordinator in
+/// serial exec order.
+type FlightRec = (u64, u8, u8, u64);
+
+/// Static assignment of agents to shards, derived from the topology.
+///
+/// Shard 0 always owns the directory (with its embedded LLC) and the
+/// memory controller: they exchange messages over the cheap `dir_mem`
+/// edge and share the line-state the SLC atomics execute against, so
+/// keeping them together leaves only `cache_dir` edges cut by shard
+/// boundaries — which is what makes the fault-free lookahead the full
+/// `cache_dir` hop rather than the smaller `dir_mem` one.
+#[derive(Debug, Clone)]
+pub struct ShardPlan {
+    /// Shard of each CorePair, by index.
+    cp: Vec<u32>,
+    /// Shard of each GPU cluster, by index.
+    gpu: Vec<u32>,
+    /// Shard of the DMA engine.
+    dma: u32,
+    /// Total shard count (including shard 0).
+    shards: usize,
+    /// Conservative lookahead in ticks added to `T_min` each round.
+    lookahead: u64,
+    /// Whether every send is decided at the barrier (fault mode: the
+    /// fault RNG stream must be drawn in exact serial order).
+    route_all: bool,
+}
+
+impl ShardPlan {
+    /// Computes the plan for `requested` shards. The effective count is
+    /// clamped to `[2, cluster agents + 1]`: below 2 there is nothing to
+    /// parallelize (callers route that to the serial engine), above one
+    /// worker per cluster agent the extra shards would idle.
+    #[must_use]
+    pub fn compute(cfg: &SystemConfig, requested: usize) -> ShardPlan {
+        let ncp = cfg.corepairs;
+        let ngpu = cfg.gpu_clusters.max(1);
+        let cluster_agents = ncp + ngpu + 1; // + the DMA engine
+        let shards = requested.clamp(2, cluster_agents + 1);
+        let workers = u32::try_from(shards - 1).expect("shard count fits in u32");
+        let assign = |k: usize| 1 + (u32::try_from(k).expect("agent rank fits in u32") % workers);
+        let route_all = cfg.faults.is_some();
+        ShardPlan {
+            cp: (0..ncp).map(assign).collect(),
+            gpu: (0..ngpu).map(|g| assign(ncp + g)).collect(),
+            dma: assign(ncp + ngpu),
+            shards,
+            lookahead: if route_all {
+                cfg.network.min_one_way()
+            } else {
+                cfg.network.min_cross_one_way()
+            },
+            route_all,
+        }
+    }
+
+    /// Effective shard count, including the uncore shard 0.
+    #[must_use]
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// The per-round lookahead in ticks.
+    #[must_use]
+    pub fn lookahead(&self) -> u64 {
+        self.lookahead
+    }
+
+    /// Whether every send is deferred to the barrier so the coordinator
+    /// draws the fault RNG stream in serial order.
+    #[must_use]
+    pub fn fault_routed(&self) -> bool {
+        self.route_all
+    }
+
+    /// The shard that owns `agent`.
+    #[must_use]
+    pub fn shard_of(&self, agent: AgentId) -> u32 {
+        match agent {
+            AgentId::CorePairL2(i) => self.cp[i],
+            AgentId::Tcc(g) => self.gpu[g],
+            AgentId::Dma => self.dma,
+            AgentId::Directory | AgentId::Memory => 0,
+        }
+    }
+}
+
+/// One scheduling decision staged for the coordinator: what the serial
+/// engine would have done inline, tagged with the action's provenance
+/// (`parent` exec or start-of-run root, plus the action's index within
+/// that exec) so the walk can recover exact serial order.
+#[derive(Debug)]
+struct Sched {
+    /// Shard that staged this entry (the *sender* — observer `on_send`
+    /// replays route back here in fault mode).
+    src: u32,
+    /// Exec (or start root) whose action this is.
+    parent: Parent,
+    /// Index of the action within its exec's outbox drain.
+    branch: u32,
+    /// What to do at the barrier.
+    kind: SchedKind,
+}
+
+#[derive(Debug)]
+enum SchedKind {
+    /// Delivery/wake already resolved; just needs a Pre key and a bucket.
+    Ready {
+        /// Tick the event fires at.
+        at: u64,
+        /// The event itself.
+        ev: Ev,
+    },
+    /// A send whose delivery outcome must be decided on the single
+    /// authoritative network (fault mode: RNG draws and fault counters
+    /// must happen in serial order).
+    Send {
+        /// Tick the message enters the network.
+        at: u64,
+        /// The message.
+        msg: Message,
+    },
+}
+
+/// Per-shard mailbox the worker and coordinator exchange through. Phases
+/// are barrier-separated, so the mutex is never contended — it exists to
+/// make the handoff sound without `unsafe`.
+#[derive(Debug, Default)]
+struct RoundSlot {
+    /// `(tick, key)` of every exec this round, in pop order.
+    log: ExecLog,
+    /// Scheduling decisions staged this round.
+    sched: Vec<Sched>,
+    /// Flight-recorder records staged this round, tagged by exec index.
+    flight: Vec<(u32, FlightRec)>,
+    /// Profile candidates: this shard's first exec at each new tick.
+    cands: Vec<(u64, u32, AgentId)>,
+    /// Earliest tick still pending locally after survivor extraction.
+    peek_after: Option<u64>,
+    /// Cumulative events this shard has processed.
+    processed_total: u64,
+    /// First wiring-error detail hit by this shard, if any.
+    error: Option<String>,
+    /// Whether shard 0's watchdog poll found an expired transaction.
+    watchdog: bool,
+    /// Events the coordinator scheduled here for the next round, with
+    /// Pre keys in increasing order per tick.
+    bucket: Vec<(u64, u64, Ev)>,
+    /// Fault-mode `on_send` outcomes for this shard's observer to replay
+    /// before the next round.
+    replay: Vec<(u64, Message, Delivery)>,
+}
+
+/// Cross-shard coordination state shared by reference with every worker.
+#[derive(Debug)]
+struct Shared {
+    plan: ShardPlan,
+    barrier: RoundBarrier,
+    slots: Vec<Mutex<RoundSlot>>,
+    /// [`RUN`], [`DONE`] or [`ABORT`]; written only by the coordinator.
+    stop: AtomicU8,
+    /// This round's exclusive tick horizon; written only by the
+    /// coordinator.
+    horizon: AtomicU64,
+    /// Whether per-shard observers collect anything (transaction spans).
+    obs_enabled: bool,
+    /// Whether agent profiling is on.
+    profile_on: bool,
+    /// The run's event budget.
+    max_events: u64,
+}
+
+/// What a shard hands back when the run stops: everything `System`
+/// reassembles, owned so the controller borrows can end inside the
+/// thread scope.
+#[derive(Debug)]
+struct ShardOut {
+    queue: WheelQueue<Ev>,
+    net: FaultyNetwork,
+    observer: Observer,
+    events_total: u64,
+    now: u64,
+    events_by_agent: BTreeMap<AgentId, u64>,
+}
+
+/// One shard's working state: its slice of the controllers, its private
+/// event wheel, its traffic-counting network clone, and the per-round
+/// staging buffers it publishes at each barrier.
+#[derive(Debug)]
+struct ShardCtx<'a> {
+    id: u32,
+    /// Total CorePairs in the system (for start-root ranks).
+    ncp: usize,
+    /// Total GPU clusters in the system (for start-root ranks).
+    ngpu: usize,
+    cps: Vec<(usize, &'a mut CorePair)>,
+    gpus: Vec<(usize, &'a mut GpuCluster)>,
+    dma: Option<&'a mut DmaEngine>,
+    directory: Option<&'a mut Directory>,
+    memctl: Option<&'a mut MemoryController>,
+    /// Global CorePair index → position in `cps` (`u32::MAX` if absent).
+    cp_pos: Vec<u32>,
+    /// Global GPU index → position in `gpus` (`u32::MAX` if absent).
+    gpu_pos: Vec<u32>,
+    /// Fault-free clone of the system network: computes arrival times and
+    /// counts this shard's traffic; folded back at the end of the run.
+    net: FaultyNetwork,
+    queue: WheelQueue<Ev>,
+    observer: Observer,
+    obs_on: bool,
+    route_all: bool,
+    log: ExecLog,
+    sched: Vec<Sched>,
+    flight_pub: Vec<(u32, FlightRec)>,
+    cands: Vec<(u64, u32, AgentId)>,
+    events_by_agent: BTreeMap<AgentId, u64>,
+    events_total: u64,
+    now: u64,
+    last_exec_tick: Option<u64>,
+    error: Option<String>,
+    watchdog: bool,
+    /// Set when this shard must stop executing (error or budget bail);
+    /// it keeps joining barriers so the others can finish the round.
+    dead: bool,
+}
+
+impl<'a> ShardCtx<'a> {
+    fn new(id: u32, plan: &ShardPlan, net: FaultyNetwork, observer: Observer) -> ShardCtx<'a> {
+        let obs_on = observer.is_enabled();
+        ShardCtx {
+            id,
+            ncp: plan.cp.len(),
+            ngpu: plan.gpu.len(),
+            cps: Vec::new(),
+            gpus: Vec::new(),
+            dma: None,
+            directory: None,
+            memctl: None,
+            cp_pos: vec![u32::MAX; plan.cp.len()],
+            gpu_pos: vec![u32::MAX; plan.gpu.len()],
+            net,
+            queue: WheelQueue::new(),
+            observer,
+            obs_on,
+            route_all: plan.route_all,
+            log: ExecLog::default(),
+            sched: Vec::new(),
+            flight_pub: Vec::new(),
+            cands: Vec::new(),
+            events_by_agent: BTreeMap::new(),
+            events_total: 0,
+            now: 0,
+            last_exec_tick: None,
+            error: None,
+            watchdog: false,
+            dead: false,
+        }
+    }
+
+    fn add_cp(&mut self, i: usize, cp: &'a mut CorePair) {
+        self.cp_pos[i] = u32::try_from(self.cps.len()).expect("corepair count fits in u32");
+        self.cps.push((i, cp));
+    }
+
+    fn add_gpu(&mut self, g: usize, gpu: &'a mut GpuCluster) {
+        self.gpu_pos[g] = u32::try_from(self.gpus.len()).expect("gpu count fits in u32");
+        self.gpus.push((g, gpu));
+    }
+
+    fn into_out(self) -> ShardOut {
+        ShardOut {
+            queue: self.queue,
+            net: self.net,
+            observer: self.observer,
+            events_total: self.events_total,
+            now: self.now,
+            events_by_agent: self.events_by_agent,
+        }
+    }
+
+    /// Delivers the start() wake-ups for this shard's agents. *Every*
+    /// resulting action is staged for the barrier under a synthetic root
+    /// ranked in serial start order — round 0 has no execs to key Mid
+    /// events against.
+    fn start_local(&mut self, out: &mut Outbox, sh: &Shared) {
+        for k in 0..self.cps.len() {
+            let i = self.cps[k].0;
+            out.reset(Tick::ZERO);
+            self.cps[k].1.start(out);
+            let root = Parent::Root(u32::try_from(i).expect("rank fits in u32"));
+            self.start_actions(root, AgentId::CorePairL2(i), out, sh);
+        }
+        for k in 0..self.gpus.len() {
+            let g = self.gpus[k].0;
+            out.reset(Tick::ZERO);
+            self.gpus[k].1.start(out);
+            let root = Parent::Root(u32::try_from(self.ncp + g).expect("rank fits in u32"));
+            self.start_actions(root, AgentId::Tcc(g), out, sh);
+        }
+        if self.dma.is_some() {
+            out.reset(Tick::ZERO);
+            self.dma.as_mut().expect("checked above").start(out);
+            let root = Parent::Root(u32::try_from(self.ncp + self.ngpu).expect("rank fits in u32"));
+            self.start_actions(root, AgentId::Dma, out, sh);
+        }
+    }
+
+    fn start_actions(&mut self, root: Parent, agent: AgentId, out: &mut Outbox, sh: &Shared) {
+        for (i, act) in out.drain_actions().enumerate() {
+            let branch = u32::try_from(i).expect("action index fits in u32");
+            match act {
+                Action::Send(m) => self.start_send(Tick::ZERO, m, root, branch),
+                Action::SendLater(t, m) => self.start_send(t, m, root, branch),
+                Action::Wake(t) => self.sched.push(Sched {
+                    src: self.id,
+                    parent: root,
+                    branch,
+                    kind: SchedKind::Ready { at: t.0, ev: Ev::Wake(agent) },
+                }),
+            }
+        }
+        let _ = sh;
+    }
+
+    fn start_send(&mut self, at: Tick, m: Message, root: Parent, branch: u32) {
+        if self.route_all {
+            self.sched.push(Sched {
+                src: self.id,
+                parent: root,
+                branch,
+                kind: SchedKind::Send { at: at.0, msg: m },
+            });
+            return;
+        }
+        match self.net.send(at, &m) {
+            Err(e) => {
+                if self.error.is_none() {
+                    self.error = Some(e.to_string());
+                }
+                self.dead = true;
+            }
+            Ok(delivery) => {
+                if self.obs_on {
+                    self.observer.on_send(at, &m, &delivery);
+                }
+                let Delivery::Deliver(td) = delivery else {
+                    unreachable!("fault-free sibling network delivers exactly once")
+                };
+                self.sched.push(Sched {
+                    src: self.id,
+                    parent: root,
+                    branch,
+                    kind: SchedKind::Ready { at: td.0, ev: Ev::Deliver(m) },
+                });
+            }
+        }
+    }
+
+    /// Absorbs the coordinator's output for this shard: replays deferred
+    /// `on_send` outcomes into the local observer (serial order per
+    /// sender), then inserts the bucket of Pre-keyed events.
+    fn phase_a(&mut self, sh: &Shared) {
+        let (replay, bucket) = {
+            let mut slot = sh.slots[self.id as usize].lock().expect("slot mutex poisoned");
+            (mem::take(&mut slot.replay), mem::take(&mut slot.bucket))
+        };
+        for (at, msg, delivery) in replay {
+            self.observer.on_send(Tick(at), &msg, &delivery);
+        }
+        for (t, seq, ev) in bucket {
+            self.queue.schedule_keyed(Tick(t), seq, ev);
+        }
+    }
+
+    /// Executes every pending local event strictly below the horizon.
+    fn phase_e(&mut self, h: u64, sh: &Shared, out: &mut Outbox) {
+        while !self.dead && self.queue.peek_tick().is_some_and(|t| t.0 < h) {
+            let (t, key, ev) = self.queue.pop_keyed().expect("peeked event pops");
+            debug_assert!(t.0 >= self.now, "time went backwards");
+            self.now = t.0;
+            self.events_total += 1;
+            if self.events_total > sh.max_events {
+                // Local count is a lower bound on the global count, so
+                // exceeding it here proves the budget is blown. It also
+                // kills same-tick livelocks the horizon can't outrun.
+                self.dead = true;
+                break;
+            }
+            if self.id == 0
+                && self.events_total.is_multiple_of(WATCHDOG_POLL_EVENTS)
+                && self
+                    .directory
+                    .as_ref()
+                    .expect("directory lives on shard 0")
+                    .watchdog()
+                    .expired(t)
+            {
+                self.watchdog = true;
+                self.dead = true;
+                break;
+            }
+            let exec_idx = self.log.push(t.0, key);
+            let agent = match &ev {
+                Ev::Deliver(m) => m.dst,
+                Ev::Wake(a) => *a,
+            };
+            if sh.profile_on {
+                if self.last_exec_tick != Some(t.0) {
+                    // Local exec ticks are nondecreasing and rounds are
+                    // disjoint, so the first exec at each new local tick
+                    // is this shard's candidate for the globally-first
+                    // exec at that tick; the coordinator picks the real
+                    // one with `cmp_exec` and attributes the time delta.
+                    self.last_exec_tick = Some(t.0);
+                    self.cands.push((t.0, exec_idx, agent));
+                }
+                *self.events_by_agent.entry(agent).or_insert(0) += 1;
+            }
+            out.reset(t);
+            self.handle(t, exec_idx, ev, out);
+            self.apply(exec_idx, agent, out, sh);
+        }
+    }
+
+    /// Routes one event to its controller — the sharded mirror of the
+    /// serial `System::handle`.
+    fn handle(&mut self, t: Tick, exec_idx: u32, ev: Ev, out: &mut Outbox) {
+        match ev {
+            Ev::Deliver(msg) => {
+                self.flight_pub.push((
+                    exec_idx,
+                    (t.0, msg.dst.flight_code(), msg.kind.class_index() as u8, msg.line.0),
+                ));
+                if self.obs_on {
+                    self.observer.on_deliver(t, &msg);
+                }
+                match msg.dst {
+                    AgentId::CorePairL2(i) => {
+                        let p = self.cp_pos[i] as usize;
+                        self.cps[p].1.on_message(t, &msg, out);
+                    }
+                    AgentId::Tcc(g) => {
+                        let p = self.gpu_pos[g] as usize;
+                        self.gpus[p].1.on_message(t, &msg, out);
+                    }
+                    AgentId::Dma => {
+                        self.dma.as_mut().expect("DMA owned here").on_message(t, &msg, out);
+                    }
+                    AgentId::Directory => {
+                        self.directory
+                            .as_mut()
+                            .expect("directory lives on shard 0")
+                            .on_message(t, &msg, out);
+                    }
+                    AgentId::Memory => {
+                        self.memctl
+                            .as_mut()
+                            .expect("memctl lives on shard 0")
+                            .on_message(t, &msg, out);
+                    }
+                }
+            }
+            Ev::Wake(agent) => match agent {
+                AgentId::CorePairL2(i) => {
+                    let p = self.cp_pos[i] as usize;
+                    self.cps[p].1.on_wake(t, out);
+                }
+                AgentId::Tcc(g) => {
+                    let p = self.gpu_pos[g] as usize;
+                    self.gpus[p].1.on_wake(t, out);
+                }
+                AgentId::Dma => self.dma.as_mut().expect("DMA owned here").on_wake(t, out),
+                AgentId::Directory => {
+                    self.directory.as_mut().expect("directory lives on shard 0").on_wake(t, out);
+                }
+                AgentId::Memory => {}
+            },
+        }
+    }
+
+    /// Drains the exec's staged actions — the sharded mirror of the
+    /// serial `System::apply`. Wakes are always local; sends go through
+    /// [`ShardCtx::dispatch`].
+    fn apply(&mut self, exec_idx: u32, agent: AgentId, out: &mut Outbox, sh: &Shared) {
+        for (i, act) in out.drain_actions().enumerate() {
+            if self.dead {
+                break;
+            }
+            let branch = u32::try_from(i).expect("action index fits in u32");
+            match act {
+                Action::Send(m) => self.dispatch(Tick(self.now), m, exec_idx, branch, sh),
+                Action::SendLater(t, m) => self.dispatch(t, m, exec_idx, branch, sh),
+                Action::Wake(t) => {
+                    self.queue.schedule_keyed(t, mid_key(exec_idx, branch), Ev::Wake(agent));
+                }
+            }
+        }
+    }
+
+    fn dispatch(&mut self, at: Tick, m: Message, exec_idx: u32, branch: u32, sh: &Shared) {
+        let parent = Parent::Exec { shard: self.id, idx: exec_idx };
+        if self.route_all {
+            // Fault mode: the delivery outcome consumes the fault RNG, so
+            // it must be decided on the one authoritative network at the
+            // barrier, in serial action order.
+            self.sched.push(Sched {
+                src: self.id,
+                parent,
+                branch,
+                kind: SchedKind::Send { at: at.0, msg: m },
+            });
+            return;
+        }
+        match self.net.send(at, &m) {
+            Err(e) => {
+                if self.error.is_none() {
+                    self.error = Some(e.to_string());
+                }
+                self.dead = true;
+            }
+            Ok(delivery) => {
+                if self.obs_on {
+                    self.observer.on_send(at, &m, &delivery);
+                }
+                let Delivery::Deliver(td) = delivery else {
+                    unreachable!("fault-free sibling network delivers exactly once")
+                };
+                if sh.plan.shard_of(m.dst) == self.id {
+                    self.queue.schedule_keyed(td, mid_key(exec_idx, branch), Ev::Deliver(m));
+                } else {
+                    self.sched.push(Sched {
+                        src: self.id,
+                        parent,
+                        branch,
+                        kind: SchedKind::Ready { at: td.0, ev: Ev::Deliver(m) },
+                    });
+                }
+            }
+        }
+    }
+
+    /// Sweeps every Mid-keyed event still pending out of the wheel and
+    /// stages it for barrier re-scheduling under a Pre key. After this,
+    /// the wheel holds only Pre keys — the invariant that makes both the
+    /// next round's bucket inserts and end-of-run reassembly exact.
+    fn extract_survivors(&mut self) {
+        for (t, key, ev) in self.queue.extract_keyed_at_or_above(MID_BIT) {
+            let (idx, branch) = mid_parts(key);
+            self.sched.push(Sched {
+                src: self.id,
+                parent: Parent::Exec { shard: self.id, idx },
+                branch,
+                kind: SchedKind::Ready { at: t.0, ev },
+            });
+        }
+    }
+
+    /// Hands this round's log, staged decisions and status to the
+    /// coordinator.
+    fn publish(&mut self, sh: &Shared) {
+        let mut slot = sh.slots[self.id as usize].lock().expect("slot mutex poisoned");
+        slot.log = mem::take(&mut self.log);
+        slot.sched = mem::take(&mut self.sched);
+        slot.flight = mem::take(&mut self.flight_pub);
+        slot.cands = mem::take(&mut self.cands);
+        slot.peek_after = self.queue.peek_tick().map(|t| t.0);
+        slot.processed_total = self.events_total;
+        slot.error = self.error.take();
+        slot.watchdog = self.watchdog;
+    }
+}
+
+/// Why the coordinator stopped the run.
+#[derive(Debug)]
+enum Abort {
+    /// A wiring error (first in deterministic order).
+    Error(String),
+    /// Shard 0's watchdog poll found an expired directory transaction.
+    Watchdog,
+    /// The global event budget ran out.
+    Budget,
+}
+
+/// Coordinator state: the single Pre-key sequence counter, the merged
+/// profile clock, and exclusive access to the authoritative network and
+/// flight recorder. Lives on the main thread (which doubles as shard 0).
+#[derive(Debug)]
+struct Coord<'a> {
+    next_seq: u64,
+    /// Tick of the globally-latest exec already attributed to the
+    /// profile (the sharded mirror of the observer's `last_event_tick`).
+    last_tick: u64,
+    profile_ticks: BTreeMap<AgentId, u64>,
+    abort: Option<Abort>,
+    flight: &'a mut FlightRecorder,
+    network: &'a mut FaultyNetwork,
+}
+
+impl Coord<'_> {
+    /// The serial barrier walk: merges every shard's round output in
+    /// exact serial order — flight records and profile deltas by
+    /// [`cmp_exec`], scheduling decisions by [`sched_order`] with Pre
+    /// keys from the one global counter — then decides the next horizon
+    /// or stops the run. Runs strictly between barrier B (all shards
+    /// published) and barrier A (no shard reads its bucket), so the slot
+    /// locks are uncontended.
+    fn walk(&mut self, sh: &Shared) {
+        let mut guards: Vec<MutexGuard<'_, RoundSlot>> =
+            sh.slots.iter().map(|m| m.lock().expect("slot mutex poisoned")).collect();
+
+        let mut logs = Vec::with_capacity(guards.len());
+        let mut scheds = Vec::new();
+        let mut flights: Vec<(u32, u32, FlightRec)> = Vec::new();
+        let mut cands: Vec<(u64, u32, u32, AgentId)> = Vec::new();
+        let mut processed = 0u64;
+        let mut min_next: Option<u64> = None;
+        let mut error: Option<String> = None;
+        let mut watchdog = false;
+        for (i, g) in guards.iter_mut().enumerate() {
+            let shard = u32::try_from(i).expect("shard count fits in u32");
+            logs.push(mem::take(&mut g.log));
+            scheds.append(&mut g.sched);
+            for (idx, rec) in g.flight.drain(..) {
+                flights.push((shard, idx, rec));
+            }
+            for (t, idx, agent) in g.cands.drain(..) {
+                cands.push((t, shard, idx, agent));
+            }
+            processed += g.processed_total;
+            if let Some(p) = g.peek_after {
+                min_next = Some(min_next.map_or(p, |m| m.min(p)));
+            }
+            watchdog |= g.watchdog;
+            if let Some(e) = g.error.take() {
+                if error.is_none() {
+                    error = Some(e);
+                }
+            }
+        }
+
+        // Flight-recorder ring: push this round's deliveries in serial
+        // exec order so the post-mortem tail matches the serial engine.
+        flights.sort_unstable_by(|a, b| cmp_exec(&logs, (a.0, a.1), (b.0, b.1)));
+        for &(_, _, (at, agent, kind, line)) in &flights {
+            self.flight.push(Tick(at), agent, kind, line);
+        }
+
+        // Agent profile: the globally-first exec at each distinct tick is
+        // charged the time advanced since the previous distinct tick —
+        // exactly the serial observer's `on_event` attribution.
+        if sh.profile_on {
+            cands.sort_unstable_by(|a, b| {
+                a.0.cmp(&b.0).then_with(|| cmp_exec(&logs, (a.1, a.2), (b.1, b.2)))
+            });
+            let mut prev = None;
+            for &(t, _, _, agent) in &cands {
+                if prev == Some(t) {
+                    continue;
+                }
+                prev = Some(t);
+                *self.profile_ticks.entry(agent).or_insert(0) += t - self.last_tick;
+                self.last_tick = t;
+            }
+        }
+
+        // Scheduling decisions in the order the serial loop would have
+        // made them; each consumes Pre keys exactly as `dispatch` would
+        // consume queue sequence numbers.
+        scheds.sort_unstable_by(|a, b| {
+            sched_order(&logs, (a.parent, a.branch), (b.parent, b.branch))
+        });
+        for s in scheds {
+            match s.kind {
+                SchedKind::Ready { at, ev } => {
+                    let dst = match &ev {
+                        Ev::Deliver(m) => m.dst,
+                        Ev::Wake(a) => *a,
+                    };
+                    self.bucket(sh, &mut guards, &mut min_next, at, dst, ev);
+                }
+                SchedKind::Send { at, msg } => match self.network.send(Tick(at), &msg) {
+                    Err(e) => {
+                        if error.is_none() {
+                            error = Some(e.to_string());
+                        }
+                    }
+                    Ok(delivery) => {
+                        if sh.obs_enabled {
+                            guards[s.src as usize].replay.push((at, msg, delivery));
+                        }
+                        match delivery {
+                            Delivery::Deliver(t) => {
+                                self.bucket(
+                                    sh,
+                                    &mut guards,
+                                    &mut min_next,
+                                    t.0,
+                                    msg.dst,
+                                    Ev::Deliver(msg),
+                                );
+                            }
+                            Delivery::Twice(t1, t2) => {
+                                self.bucket(
+                                    sh,
+                                    &mut guards,
+                                    &mut min_next,
+                                    t1.0,
+                                    msg.dst,
+                                    Ev::Deliver(msg),
+                                );
+                                self.bucket(
+                                    sh,
+                                    &mut guards,
+                                    &mut min_next,
+                                    t2.0,
+                                    msg.dst,
+                                    Ev::Deliver(msg),
+                                );
+                            }
+                            Delivery::Dropped => {}
+                        }
+                    }
+                },
+            }
+        }
+
+        let abort = if let Some(detail) = error {
+            Some(Abort::Error(detail))
+        } else if watchdog {
+            Some(Abort::Watchdog)
+        } else if processed > sh.max_events {
+            Some(Abort::Budget)
+        } else {
+            None
+        };
+        if let Some(a) = abort {
+            self.abort = Some(a);
+            sh.stop.store(ABORT, Ordering::SeqCst);
+        } else if let Some(t) = min_next {
+            sh.horizon.store(t + sh.plan.lookahead, Ordering::SeqCst);
+        } else {
+            sh.stop.store(DONE, Ordering::SeqCst);
+        }
+    }
+
+    /// Assigns the next Pre key and drops the event into its owner
+    /// shard's bucket.
+    fn bucket(
+        &mut self,
+        sh: &Shared,
+        guards: &mut [MutexGuard<'_, RoundSlot>],
+        min_next: &mut Option<u64>,
+        at: u64,
+        dst: AgentId,
+        ev: Ev,
+    ) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        *min_next = Some(min_next.map_or(at, |m| m.min(at)));
+        guards[sh.plan.shard_of(dst) as usize].bucket.push((at, seq, ev));
+    }
+}
+
+/// One shard's round loop. The coordinator (shard 0, on the main thread)
+/// passes `Some(coord)` and runs the barrier walk between publishing (B)
+/// and absorbing (A); workers just wait.
+fn shard_loop(ctx: &mut ShardCtx<'_>, sh: &Shared, mut coord: Option<&mut Coord<'_>>) {
+    let mut out = Outbox::new(Tick::ZERO);
+    ctx.start_local(&mut out, sh);
+    ctx.publish(sh);
+    sh.barrier.wait(); // B: round 0 (start actions) published everywhere
+    if let Some(c) = coord.as_deref_mut() {
+        c.walk(sh);
+    }
+    loop {
+        sh.barrier.wait(); // A: buckets and replays are ready
+        ctx.phase_a(sh);
+        if sh.stop.load(Ordering::SeqCst) != RUN {
+            break;
+        }
+        let h = sh.horizon.load(Ordering::SeqCst);
+        ctx.phase_e(h, sh, &mut out);
+        ctx.extract_survivors();
+        ctx.publish(sh);
+        sh.barrier.wait(); // B: this round published everywhere
+        if let Some(c) = coord.as_deref_mut() {
+            c.walk(sh);
+        }
+    }
+}
+
+impl System {
+    /// Runs to completion like [`System::run`], but advances the
+    /// controllers on `shards` parallel event wheels under a conservative
+    /// horizon. Merged event order — and therefore [`Metrics`], report
+    /// JSON, the flight recorder and golden stdout — is byte-identical to
+    /// the serial engine at any shard count; `shards <= 1` *is* the
+    /// serial engine.
+    ///
+    /// The effective shard count is capped at one worker per cluster
+    /// agent plus the uncore shard (see [`ShardPlan::compute`]).
+    ///
+    /// # Errors
+    ///
+    /// The same failure modes as [`System::run`] — [`SimError::Deadlock`],
+    /// [`SimError::EventBudgetExceeded`], [`SimError::Wiring`] — detected
+    /// deterministically at round barriers. Error paths may observe
+    /// slightly different partial state than the serial engine (which
+    /// stops mid-event); successful runs are identical.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the system was already started (run or stepped), if
+    /// choice mode flattened network latency (the lookahead would be 0),
+    /// or if the observability config demands pillars a distributed run
+    /// cannot reproduce (epoch sampling, Perfetto) — use
+    /// [`ObsConfig::report_sharded`]. Per-line tracing is serial-only.
+    pub fn run_sharded(&mut self, max_events: u64, shards: usize) -> Result<Metrics, SimError> {
+        if shards <= 1 {
+            return self.run(max_events);
+        }
+        assert!(!self.started, "run_sharded requires a freshly built system");
+        assert!(
+            self.trace_line.is_none(),
+            "per-line tracing is serial-only (ordering of trace output is a side effect)"
+        );
+        assert!(
+            !self.network.immediate_delivery(),
+            "choice mode flattens latency; the sharded engine needs real lookahead"
+        );
+        let cfg = self.obs_cfg;
+        assert!(
+            cfg.sample_epoch_ticks.is_none(),
+            "epoch sampling reads global instantaneous state; use ObsConfig::report_sharded"
+        );
+        assert!(!cfg.perfetto, "perfetto capture is serial-only; use ObsConfig::report_sharded");
+        self.started = true;
+
+        let plan = ShardPlan::compute(self.config(), shards);
+        assert!(plan.lookahead() > 0, "sharded execution requires nonzero network latency");
+        let n = plan.shards();
+        let shard_cfg =
+            ObsConfig { track_transactions: cfg.track_transactions, ..ObsConfig::off() };
+
+        let mut ctxs: Vec<ShardCtx<'_>> = (0..n)
+            .map(|i| {
+                ShardCtx::new(
+                    u32::try_from(i).expect("shard count fits in u32"),
+                    &plan,
+                    self.network.sibling(),
+                    Observer::new(shard_cfg),
+                )
+            })
+            .collect();
+        for (i, cp) in self.corepairs.iter_mut().enumerate() {
+            ctxs[plan.cp[i] as usize].add_cp(i, cp);
+        }
+        for (g, gpu) in self.gpus.iter_mut().enumerate() {
+            ctxs[plan.gpu[g] as usize].add_gpu(g, gpu);
+        }
+        ctxs[plan.dma as usize].dma = Some(&mut self.dma);
+        ctxs[0].directory = Some(&mut self.directory);
+        ctxs[0].memctl = Some(&mut self.memctl);
+
+        let shared = Shared {
+            obs_enabled: shard_cfg.track_transactions,
+            profile_on: cfg.profile_agents,
+            max_events,
+            plan,
+            barrier: RoundBarrier::new(n),
+            slots: (0..n).map(|_| Mutex::new(RoundSlot::default())).collect(),
+            stop: AtomicU8::new(RUN),
+            horizon: AtomicU64::new(0),
+        };
+        let mut coord = Coord {
+            next_seq: 0,
+            last_tick: 0,
+            profile_ticks: BTreeMap::new(),
+            abort: None,
+            flight: &mut self.flight,
+            network: &mut self.network,
+        };
+
+        let mut outs: Vec<ShardOut> = Vec::with_capacity(n);
+        {
+            let sh = &shared;
+            let coord = &mut coord;
+            let outs = &mut outs;
+            std::thread::scope(move |s| {
+                let mut it = ctxs.into_iter();
+                let mut ctx0 = it.next().expect("shard 0 exists");
+                let handles: Vec<_> = it
+                    .map(|mut ctx| {
+                        s.spawn(move || {
+                            shard_loop(&mut ctx, sh, None);
+                            ctx.into_out()
+                        })
+                    })
+                    .collect();
+                shard_loop(&mut ctx0, sh, Some(coord));
+                outs.push(ctx0.into_out());
+                for h in handles {
+                    outs.push(h.join().expect("shard thread panicked"));
+                }
+            });
+        }
+        let abort = coord.abort.take();
+        let profile_ticks = mem::take(&mut coord.profile_ticks);
+        drop(coord);
+
+        // Reassemble the serial-equivalent pending queue: after survivor
+        // extraction every wheel holds only Pre keys, so a global sort by
+        // (tick, key) is the exact serial pending order.
+        let mut pending: Vec<(u64, u64, Ev)> = Vec::new();
+        for o in &mut outs {
+            while let Some((t, key, ev)) = o.queue.pop_keyed() {
+                debug_assert!(!is_mid(key), "mid-round key survived a barrier");
+                pending.push((t.0, key, ev));
+            }
+        }
+        pending.sort_unstable_by_key(|&(t, key, _)| (t, key));
+        for (t, _, ev) in pending {
+            self.queue.schedule(Tick(t), ev);
+        }
+        self.now = Tick(outs.iter().map(|o| o.now).max().unwrap_or(0));
+        self.events_processed = outs.iter().map(|o| o.events_total).sum();
+        for o in &outs {
+            self.network.absorb(&o.net);
+        }
+
+        let mut data = ObsData::default();
+        let mut events_by_agent: BTreeMap<AgentId, u64> = BTreeMap::new();
+        for o in outs {
+            let d = o.observer.into_data();
+            data.absorb(&d);
+            for (a, count) in o.events_by_agent {
+                *events_by_agent.entry(a).or_insert(0) += count;
+            }
+        }
+        if cfg.profile_agents {
+            data.agents = events_by_agent
+                .into_iter()
+                .map(|(agent, events_handled)| AgentProfile {
+                    agent: agent.to_string(),
+                    events_handled,
+                    ticks_advanced: profile_ticks.get(&agent).copied().unwrap_or(0),
+                })
+                .collect();
+        }
+        self.sharded_obs = Some(data);
+
+        match abort {
+            Some(Abort::Error(detail)) => Err(SimError::Wiring { detail }),
+            Some(Abort::Budget) => {
+                Err(SimError::EventBudgetExceeded { budget: max_events, now: self.now })
+            }
+            Some(Abort::Watchdog) => {
+                Err(SimError::Deadlock { snapshot: Box::new(self.deadlock_snapshot()) })
+            }
+            None if self.is_done() => Ok(self.metrics()),
+            None => Err(SimError::Deadlock { snapshot: Box::new(self.deadlock_snapshot()) }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SystemBuilder;
+    use hsc_cluster::DmaCommand;
+    use hsc_mem::Addr;
+    use hsc_noc::FaultPlan;
+
+    #[test]
+    fn plan_keeps_uncore_on_shard_zero_and_round_robins_the_rest() {
+        let cfg = SystemConfig::default(); // 4 CorePairs, 1 GPU cluster, DMA
+        let plan = ShardPlan::compute(&cfg, 4);
+        assert_eq!(plan.shards(), 4);
+        assert_eq!(plan.shard_of(AgentId::Directory), 0);
+        assert_eq!(plan.shard_of(AgentId::Memory), 0);
+        // Agent ranks 0..=5 round-robin over workers 1..=3.
+        assert_eq!(plan.shard_of(AgentId::CorePairL2(0)), 1);
+        assert_eq!(plan.shard_of(AgentId::CorePairL2(1)), 2);
+        assert_eq!(plan.shard_of(AgentId::CorePairL2(2)), 3);
+        assert_eq!(plan.shard_of(AgentId::CorePairL2(3)), 1);
+        assert_eq!(plan.shard_of(AgentId::Tcc(0)), 2);
+        assert_eq!(plan.shard_of(AgentId::Dma), 3);
+    }
+
+    #[test]
+    fn plan_clamps_to_available_agents() {
+        let cfg = SystemConfig::default(); // 6 cluster agents
+        assert_eq!(ShardPlan::compute(&cfg, 64).shards(), 7);
+        assert_eq!(ShardPlan::compute(&cfg, 0).shards(), 2);
+        assert_eq!(ShardPlan::compute(&cfg, 2).shards(), 2);
+    }
+
+    #[test]
+    fn lookahead_tracks_fault_mode() {
+        let mut cfg = SystemConfig::default();
+        let plan = ShardPlan::compute(&cfg, 4);
+        assert!(!plan.fault_routed());
+        assert_eq!(plan.lookahead(), cfg.network.min_cross_one_way());
+        cfg.faults = Some(FaultPlan::drop_first("RdBlk"));
+        let plan = ShardPlan::compute(&cfg, 4);
+        assert!(plan.fault_routed());
+        assert_eq!(plan.lookahead(), cfg.network.min_one_way());
+    }
+
+    #[test]
+    fn empty_system_completes_sharded() {
+        let mut serial = SystemBuilder::new(SystemConfig::default()).build();
+        let ms = serial.run(1_000_000).expect("serial run completes");
+        let mut sharded = SystemBuilder::new(SystemConfig::default()).build();
+        let mp = sharded.run_sharded(1_000_000, 4).expect("sharded run completes");
+        assert_eq!(ms, mp);
+    }
+
+    #[test]
+    fn dma_smoke_run_matches_serial_exactly() {
+        fn build() -> System {
+            let mut b = SystemBuilder::new(SystemConfig::default());
+            b.init_word(Addr(0x40), 7);
+            b.add_dma(DmaCommand::Read { base: Addr(0), lines: 8, at: Tick(10) });
+            b.build()
+        }
+        let mut serial = build();
+        let ms = serial.run(1_000_000).expect("serial run completes");
+        for shards in [2, 4, 7] {
+            let mut sharded = build();
+            let mp = sharded.run_sharded(1_000_000, shards).expect("sharded run completes");
+            assert_eq!(ms, mp, "metrics diverged at {shards} shards");
+            assert_eq!(serial.events_processed(), sharded.events_processed());
+        }
+    }
+}

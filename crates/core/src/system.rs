@@ -15,7 +15,7 @@ use crate::{Directory, MemoryController, SystemConfig};
 /// How often (in processed events) the run loop polls the directory
 /// watchdog. Purely an inspection cadence — it schedules no events, so it
 /// cannot perturb simulated behaviour.
-const WATCHDOG_POLL_EVENTS: u64 = 1024;
+pub(crate) const WATCHDOG_POLL_EVENTS: u64 = 1024;
 
 /// Message tracing for the event loop, configured through the builder.
 ///
@@ -246,12 +246,14 @@ impl SystemBuilder {
             observer: Observer::new(self.obs),
             flight: FlightRecorder::default(),
             gauge_labels: GaugeLabels::new(cfg.corepairs, n_gpus),
+            obs_cfg: self.obs,
+            sharded_obs: None,
         }
     }
 }
 
 #[derive(Debug)]
-enum Ev {
+pub(crate) enum Ev {
     Deliver(Message),
     Wake(AgentId),
 }
@@ -265,23 +267,31 @@ enum Ev {
 #[derive(Debug)]
 pub struct System {
     config: SystemConfig,
-    corepairs: Vec<CorePair>,
-    gpus: Vec<GpuCluster>,
-    dma: DmaEngine,
-    directory: Directory,
-    memctl: MemoryController,
-    network: FaultyNetwork,
-    queue: WheelQueue<Ev>,
-    now: Tick,
-    events_processed: u64,
-    started: bool,
-    trace_line: Option<u64>,
+    pub(crate) corepairs: Vec<CorePair>,
+    pub(crate) gpus: Vec<GpuCluster>,
+    pub(crate) dma: DmaEngine,
+    pub(crate) directory: Directory,
+    pub(crate) memctl: MemoryController,
+    pub(crate) network: FaultyNetwork,
+    pub(crate) queue: WheelQueue<Ev>,
+    pub(crate) now: Tick,
+    pub(crate) events_processed: u64,
+    pub(crate) started: bool,
+    pub(crate) trace_line: Option<u64>,
     tracer: Box<dyn Tracer>,
-    observer: Observer,
+    pub(crate) observer: Observer,
     /// Always-on post-mortem ring of the last delivered events: two plain
     /// stores per delivery, rendered only when a run fails.
-    flight: FlightRecorder,
+    pub(crate) flight: FlightRecorder,
     gauge_labels: GaugeLabels,
+    /// The observability config the system was built with; the sharded
+    /// run engine reads it to configure per-shard observers and reject
+    /// pillars that cannot be reproduced distributed.
+    pub(crate) obs_cfg: ObsConfig,
+    /// Merged observer output stashed by a sharded run; consumed by
+    /// [`System::take_obs_data`] in place of the (then-inert) serial
+    /// observer.
+    pub(crate) sharded_obs: Option<ObsData>,
 }
 
 /// Per-agent gauge label strings for the epoch sampler, formatted once at
@@ -484,7 +494,16 @@ impl System {
                 Err(i) => out.insert(i, m.clone()),
             }
         }
-        let mut data = std::mem::take(&mut self.observer).into_data();
+        let mut data = match self.sharded_obs.take() {
+            // A sharded run already merged its per-shard observers; the
+            // serial observer never collected anything, but take it anyway
+            // so repeated calls stay consistent with the serial contract.
+            Some(d) => {
+                let _ = std::mem::take(&mut self.observer);
+                d
+            }
+            None => std::mem::take(&mut self.observer).into_data(),
+        };
         let mut transitions = Vec::new();
         for cp in &self.corepairs {
             add_matrix(&mut transitions, cp.transitions());
