@@ -9,13 +9,19 @@
 //! single run. The per-workload runs execute as one parallel campaign
 //! (`--jobs <N>` / `HSC_JOBS`); tables and the report are assembled in
 //! submission order, identical at any worker count.
+//!
+//! With `--trace <file>` (replay an `hsc-trace v1` file) or
+//! `--trace-gen <spec>` (generate one from a traffic spec, see
+//! `trace_gen --list`), the campaign characterizes that single traced
+//! workload instead of the CHAI suite — same tables, same report schema,
+//! same byte-identity guarantees under `--jobs`/`--shards`.
 
 use hsc_bench::par::{expect_all, Campaign};
 use hsc_bench::reporting::{parse_cli, write_report, REPORT_EPOCH_TICKS};
 use hsc_core::{CoherenceConfig, ObsConfig, SystemConfig};
 use hsc_obs::{RunRecord, RunReport};
 use hsc_sim::StatSet;
-use hsc_workloads::{all_workloads, run_workload_observed_sharded};
+use hsc_workloads::{all_workloads, run_workload_observed_sharded, Workload};
 
 struct Row {
     workload: &'static str,
@@ -38,7 +44,10 @@ fn main() {
         (Some(_), _) => ObsConfig::report_sharded(),
     };
 
-    let workloads = all_workloads();
+    let workloads: Vec<Box<dyn Workload>> = match opts.trace_workload("characterize") {
+        Some(t) => vec![Box::new(t)],
+        None => all_workloads(),
+    };
     let mut campaign: Campaign<'_, Row> = Campaign::new("characterize");
     for w in &workloads {
         let w = w.as_ref();

@@ -2,8 +2,10 @@
 //! the protocol watchdog.
 //!
 //! Sweeps message-drop rates over two collaborative workloads (`hsti`,
-//! `tq`) with requester-side retries enabled. Every run must end in one
-//! of exactly two ways:
+//! `tq`) with requester-side retries enabled — or, with `--trace <file>`
+//! / `--trace-gen <spec>`, over a single replayed `hsc-trace v1`
+//! workload, whose self-computed expected final memory plays the role of
+//! the golden answer. Every run must end in one of exactly two ways:
 //!
 //! * **completed** — the run reached quiescence and the workload's
 //!   functional verification passed, i.e. final memory matches the
@@ -69,8 +71,10 @@ fn main() -> ExitCode {
     } else {
         ObsConfig::off()
     };
-    let workloads: Vec<Box<dyn Workload>> =
-        vec![Box::new(Hsti::default()), Box::new(Tq::default())];
+    let workloads: Vec<Box<dyn Workload>> = match opts.trace_workload("fault_campaign") {
+        Some(t) => vec![Box::new(t)],
+        None => vec![Box::new(Hsti::default()), Box::new(Tq::default())],
+    };
     let base = SystemConfig::scaled(CoherenceConfig::sharer_tracking());
     let mut report = RunReport::new("fault_campaign");
     report.fingerprint_config(&base);

@@ -14,8 +14,8 @@
 //! including the per-scenario distinct-state counts — CI compares those
 //! across runs to pin down state-hash determinism. On a violation the
 //! minimized counterexample is printed as a numbered event sequence and
-//! exported as a Perfetto trace under `target/check/` (or the `--trace`
-//! directory), then the process exits non-zero.
+//! exported as a Perfetto trace under `target/check/` (or the
+//! `--perfetto` directory), then the process exits non-zero.
 //!
 //! `--quick` shrinks the sweep seed range.
 
@@ -38,9 +38,12 @@ enum ModeResult {
 
 fn main() -> ExitCode {
     let opts = parse_cli("model_check");
+    // Litmus scenarios are fixed protocol stressors; replay traces have
+    // no meaning here.
+    opts.forbid_trace("model_check");
     let par = opts.parallelism("model_check");
     let sweep_seeds = if opts.quick { SWEEP_SEEDS_QUICK } else { SWEEP_SEEDS };
-    let trace_dir = opts.trace.clone().unwrap_or_else(|| PathBuf::from("target/check"));
+    let trace_dir = opts.perfetto.clone().unwrap_or_else(|| PathBuf::from("target/check"));
 
     let catalog = Litmus::catalog();
     println!("model_check: {} scenarios, {} sweep seeds each", catalog.len(), sweep_seeds);

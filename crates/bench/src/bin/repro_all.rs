@@ -13,8 +13,13 @@
 //!   once with observability on and write a versioned machine-readable
 //!   [`hsc_obs::RunReport`] (counters, per-class latency percentiles,
 //!   sampled time series, per-agent profile).
-//! * `--trace <path>` — write a Chrome-trace JSON of one seeded `tq` run,
-//!   loadable in `ui.perfetto.dev`.
+//! * `--perfetto <path>` — write a Chrome-trace JSON of one seeded `tq`
+//!   run, loadable in `ui.perfetto.dev`.
+//! * `--trace <file>` / `--trace-gen <spec>` — replay an `hsc-trace v1`
+//!   file (or generate one from a traffic spec) instead of the paper
+//!   suite: the figure/table child binaries are skipped (they are defined
+//!   over the fixed benchmarks) and the replayed trace becomes the report
+//!   set.
 //! * `--quick` — skip the figure/table child binaries and run only a
 //!   reduced report set (`tq`, `hsti`); this is what CI uses.
 //! * `--jobs <N>` — campaign worker threads (default: `HSC_JOBS`, then
@@ -34,14 +39,17 @@ use hsc_bench::par::Campaign;
 use hsc_bench::reporting::{observed_record_sharded, parse_cli, write_report, REPORT_EPOCH_TICKS};
 use hsc_core::{CoherenceConfig, SystemConfig};
 use hsc_obs::{ObsConfig, RunRecord, RunReport};
-use hsc_workloads::{collaborative_workloads, run_workload_observed, Hsti, Tq, Workload};
+use hsc_workloads::{
+    collaborative_workloads, run_workload_observed, try_run_workload_sharded_on, Hsti, Tq, Workload,
+};
 
 fn main() {
     let opts = parse_cli("repro_all");
     let par = opts.parallelism("repro_all");
     let shards = opts.shards();
+    let traced = opts.trace_workload("repro_all");
 
-    if !opts.quick {
+    if !opts.quick && traced.is_none() {
         // (bin, whether it takes the campaign `--jobs`/`--shards` flags)
         let bins = [
             ("table2_cache_config", false),
@@ -76,8 +84,21 @@ fn main() {
 
     let cfg = SystemConfig::scaled(CoherenceConfig::baseline());
 
+    if let Some(tw) = &traced {
+        // Replay the trace once on the evaluation system so `--trace`
+        // has a visible outcome even without `--report`.
+        let r = try_run_workload_sharded_on(tw, cfg, shards)
+            .unwrap_or_else(|e| panic!("trace replay failed: {e}"));
+        println!(
+            "trace replayed and verified: {} ticks, {} GPU cycles",
+            r.metrics.ticks, r.metrics.gpu_cycles
+        );
+    }
+
     if let Some(path) = &opts.report {
-        let workloads: Vec<Box<dyn Workload>> = if opts.quick {
+        let workloads: Vec<Box<dyn Workload>> = if let Some(tw) = &traced {
+            vec![Box::new(tw.clone())]
+        } else if opts.quick {
             vec![Box::new(Tq::default()), Box::new(Hsti::default())]
         } else {
             collaborative_workloads()
@@ -109,10 +130,10 @@ fn main() {
         write_report(&report, path);
     }
 
-    if let Some(path) = &opts.trace {
+    if let Some(path) = &opts.perfetto {
         let run = run_workload_observed(&Tq::default(), cfg, ObsConfig::full(REPORT_EPOCH_TICKS));
         if let Err(e) = &run.outcome {
-            panic!("trace run failed: {e}");
+            panic!("perfetto run failed: {e}");
         }
         let trace = run.obs.perfetto.expect("perfetto enabled for trace run");
         trace

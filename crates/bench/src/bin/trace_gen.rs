@@ -1,0 +1,100 @@
+//! Emits `hsc-trace v1` corpus files from the seeded traffic generator.
+//!
+//! ```text
+//! trace_gen --list                          # describe the presets
+//! trace_gen --spec hotspot,seed=9 --out h.trace
+//! trace_gen --corpus <dir>                  # one file per preset
+//! ```
+//!
+//! Every emitted file is the canonical serialization of the generated
+//! program: `trace_gen` re-parses what it wrote and asserts the result is
+//! identical before exiting, so a corpus file on disk is always
+//! replayable (`characterize --trace <file>`) and re-serializes
+//! byte-identically. The spec grammar is
+//! `preset[,key=value,...]` — see `hsc_workloads::trace::TrafficSpec`.
+
+use std::path::{Path, PathBuf};
+
+use hsc_workloads::trace::{presets, TraceProgram, TrafficSpec};
+
+struct Args {
+    spec: Option<String>,
+    out: Option<PathBuf>,
+    corpus: Option<PathBuf>,
+    list: bool,
+}
+
+fn usage_exit(message: &str) -> ! {
+    eprintln!("trace_gen: {message}");
+    eprintln!("usage: trace_gen --list | --spec <spec> --out <file> | --corpus <dir>");
+    std::process::exit(2);
+}
+
+fn parse_args(mut raw: impl Iterator<Item = String>) -> Result<Args, String> {
+    let mut args = Args { spec: None, out: None, corpus: None, list: false };
+    while let Some(arg) = raw.next() {
+        match arg.as_str() {
+            "--spec" => args.spec = Some(raw.next().ok_or("--spec requires a spec operand")?),
+            "--out" => {
+                args.out = Some(PathBuf::from(raw.next().ok_or("--out requires a file operand")?));
+            }
+            "--corpus" => {
+                args.corpus =
+                    Some(PathBuf::from(raw.next().ok_or("--corpus requires a dir operand")?));
+            }
+            "--list" => args.list = true,
+            other => return Err(format!("unknown argument '{other}'")),
+        }
+    }
+    if args.spec.is_some() != args.out.is_some() {
+        return Err("--spec and --out go together".into());
+    }
+    if !args.list && args.spec.is_none() && args.corpus.is_none() {
+        return Err("nothing to do".into());
+    }
+    Ok(args)
+}
+
+/// Writes the canonical text of `spec`'s program to `path` and proves the
+/// file replays: re-parse, compare, re-serialize, compare bytes.
+fn emit(spec: &TrafficSpec, path: &Path) {
+    let program = spec.generate();
+    let text = program.to_text();
+    let reparsed = TraceProgram::parse(&text)
+        .unwrap_or_else(|e| panic!("generated trace does not re-parse ({e}) — generator bug"));
+    assert_eq!(reparsed, program, "re-parsed program differs — serializer bug");
+    assert_eq!(reparsed.to_text(), text, "re-serialization is not byte-identical");
+    std::fs::write(path, &text)
+        .unwrap_or_else(|e| usage_exit(&format!("cannot write {}: {e}", path.display())));
+    println!(
+        "{}: {} streams, {} ops, {} bytes ({spec})",
+        path.display(),
+        program.streams.len(),
+        program.streams.iter().map(|s| s.ops.len()).sum::<usize>(),
+        text.len(),
+    );
+}
+
+fn main() {
+    let args = match parse_args(std::env::args().skip(1)) {
+        Ok(a) => a,
+        Err(msg) => usage_exit(&msg),
+    };
+    if args.list {
+        println!("{:10} {:50} spec", "preset", "stresses");
+        for (name, what, spec) in presets() {
+            println!("{name:10} {what:50} {spec}");
+        }
+    }
+    if let (Some(spec), Some(out)) = (&args.spec, &args.out) {
+        let spec = TrafficSpec::parse(spec).unwrap_or_else(|e| usage_exit(&e));
+        emit(&spec, out);
+    }
+    if let Some(dir) = &args.corpus {
+        std::fs::create_dir_all(dir)
+            .unwrap_or_else(|e| usage_exit(&format!("cannot create {}: {e}", dir.display())));
+        for (name, _, spec) in presets() {
+            emit(&spec, &dir.join(format!("{name}.trace")));
+        }
+    }
+}

@@ -125,6 +125,7 @@ pub mod reporting {
     use hsc_core::SystemConfig;
     use hsc_obs::{ObsConfig, RunRecord, RunReport};
     use hsc_sim::SimError;
+    use hsc_workloads::trace::{StreamKind, TraceProgram, TraceWorkload, TrafficSpec};
     use hsc_workloads::{run_workload_observed_sharded, Workload, WorkloadError};
 
     /// Epoch width (ticks) used by report runs: fine enough to show
@@ -140,7 +141,13 @@ pub mod reporting {
         /// Skip the expensive full regeneration, keep the report runs.
         pub quick: bool,
         /// Write a Perfetto (Chrome-trace) JSON of one seeded run here.
+        pub perfetto: Option<PathBuf>,
+        /// Replay this `hsc-trace v1` file instead of the built-in
+        /// benchmarks (`--trace <file>`).
         pub trace: Option<PathBuf>,
+        /// Generate-and-replay a synthetic trace from this traffic spec
+        /// (`--trace-gen <spec>`, see `hsc_workloads::trace::TrafficSpec`).
+        pub trace_gen: Option<String>,
         /// Explicit `--jobs <N>` campaign worker count.
         pub jobs: Option<usize>,
         /// Explicit `--shards <N>` parallel event-wheel count for single
@@ -162,10 +169,55 @@ pub mod reporting {
         pub fn parallelism(&self, command: &str) -> Parallelism {
             Parallelism::resolve(self.jobs).unwrap_or_else(|msg| cli_usage_exit(command, &msg))
         }
+
+        /// Resolves `--trace` / `--trace-gen` into the replay workload,
+        /// or `None` when neither was given.
+        ///
+        /// Any way the trace can be unusable — an unreadable path, a
+        /// malformed file (reported with its line number), a bad spec, or
+        /// a program that needs more CPU streams than the evaluation
+        /// system has — prints usage text and exits with status 2, the
+        /// same contract as every other operand error.
+        #[must_use]
+        pub fn trace_workload(&self, command: &str) -> Option<TraceWorkload> {
+            let program = match (&self.trace, &self.trace_gen) {
+                (None, None) => return None,
+                (Some(path), _) => {
+                    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+                        cli_usage_exit(command, &format!("--trace {}: {e}", path.display()))
+                    });
+                    TraceProgram::parse(&text).unwrap_or_else(|e| {
+                        cli_usage_exit(command, &format!("--trace {}: {e}", path.display()))
+                    })
+                }
+                (None, Some(spec)) => TrafficSpec::parse(spec)
+                    .unwrap_or_else(|e| cli_usage_exit(command, &format!("--trace-gen: {e}")))
+                    .generate(),
+            };
+            let cpu_cap = SystemConfig::default().corepairs * 2;
+            let cpu = program.stream_count(StreamKind::Cpu);
+            if cpu > cpu_cap {
+                cli_usage_exit(
+                    command,
+                    &format!("trace has {cpu} cpu streams; the system hosts at most {cpu_cap}"),
+                );
+            }
+            Some(TraceWorkload::new(program))
+        }
+
+        /// Exits with usage if `--trace`/`--trace-gen` was given — for
+        /// binaries whose experiment is defined over the paper's fixed
+        /// benchmark suite and cannot meaningfully replay a trace.
+        pub fn forbid_trace(&self, command: &str) {
+            if self.trace.is_some() || self.trace_gen.is_some() {
+                cli_usage_exit(command, "--trace/--trace-gen are not supported by this command");
+            }
+        }
     }
 
-    /// Parses `--report <path>`, `--quick`, `--trace <path>`,
-    /// `--jobs <N>` and `--shards <N>` from the process arguments.
+    /// Parses `--report <path>`, `--quick`, `--perfetto <path>`,
+    /// `--trace <file>`, `--trace-gen <spec>`, `--jobs <N>` and
+    /// `--shards <N>` from the process arguments.
     ///
     /// An unknown flag, a missing operand, or a non-numeric `--jobs` /
     /// `--shards` value prints the offending argument plus usage text to
@@ -182,7 +234,7 @@ pub mod reporting {
     fn cli_usage_exit(command: &str, message: &str) -> ! {
         eprintln!("{command}: {message}");
         eprintln!(
-            "usage: {command} [--quick] [--report <path>] [--trace <path>] [--jobs <N>] [--shards <N>]"
+            "usage: {command} [--quick] [--report <path>] [--perfetto <path>] [--trace <file>] [--trace-gen <spec>] [--jobs <N>] [--shards <N>]"
         );
         std::process::exit(2);
     }
@@ -211,9 +263,17 @@ pub mod reporting {
                     let path = args.next().ok_or("--report requires a path operand")?;
                     opts.report = Some(PathBuf::from(path));
                 }
+                "--perfetto" => {
+                    let path = args.next().ok_or("--perfetto requires a path operand")?;
+                    opts.perfetto = Some(PathBuf::from(path));
+                }
                 "--trace" => {
-                    let path = args.next().ok_or("--trace requires a path operand")?;
+                    let path = args.next().ok_or("--trace requires a trace file operand")?;
                     opts.trace = Some(PathBuf::from(path));
+                }
+                "--trace-gen" => {
+                    let spec = args.next().ok_or("--trace-gen requires a spec operand")?;
+                    opts.trace_gen = Some(spec);
                 }
                 "--jobs" => {
                     let raw = args.next().ok_or("--jobs requires a thread count operand")?;
@@ -226,6 +286,9 @@ pub mod reporting {
                 "--quick" => opts.quick = true,
                 other => return Err(format!("unknown argument '{other}'")),
             }
+        }
+        if opts.trace.is_some() && opts.trace_gen.is_some() {
+            return Err("--trace and --trace-gen are mutually exclusive".into());
         }
         Ok(opts)
     }
@@ -321,8 +384,10 @@ pub mod reporting {
                 "--quick",
                 "--report",
                 "/tmp/r.json",
+                "--perfetto",
+                "/tmp/p.json",
                 "--trace",
-                "/tmp/t.json",
+                "/tmp/t.trace",
                 "--jobs",
                 "4",
                 "--shards",
@@ -331,9 +396,18 @@ pub mod reporting {
             .unwrap();
             assert!(o.quick);
             assert_eq!(o.report.unwrap().to_str(), Some("/tmp/r.json"));
-            assert_eq!(o.trace.unwrap().to_str(), Some("/tmp/t.json"));
+            assert_eq!(o.perfetto.unwrap().to_str(), Some("/tmp/p.json"));
+            assert_eq!(o.trace.unwrap().to_str(), Some("/tmp/t.trace"));
             assert_eq!(o.jobs, Some(4));
             assert_eq!(o.shards, Some(2));
+        }
+
+        #[test]
+        fn cli_parses_trace_gen_and_rejects_the_combination() {
+            let o = parse(&["--trace-gen", "hotspot,seed=7"]).unwrap();
+            assert_eq!(o.trace_gen.as_deref(), Some("hotspot,seed=7"));
+            let err = parse(&["--trace", "a.trace", "--trace-gen", "hotspot"]).unwrap_err();
+            assert!(err.contains("mutually exclusive"), "{err}");
         }
 
         #[test]
@@ -352,7 +426,9 @@ pub mod reporting {
         #[test]
         fn cli_rejects_missing_operands() {
             assert!(parse(&["--report"]).unwrap_err().contains("--report"));
+            assert!(parse(&["--perfetto"]).unwrap_err().contains("--perfetto"));
             assert!(parse(&["--trace"]).unwrap_err().contains("--trace"));
+            assert!(parse(&["--trace-gen"]).unwrap_err().contains("--trace-gen"));
             assert!(parse(&["--jobs"]).unwrap_err().contains("--jobs"));
             assert!(parse(&["--shards"]).unwrap_err().contains("--shards"));
         }

@@ -1,0 +1,121 @@
+//! Trace replay determinism: a traced run is as reproducible as the
+//! built-in benchmarks.
+//!
+//! The trace pipeline (generate → replay → report) must keep the same
+//! byte-identity guarantees the figure binaries give: the `RunReport`
+//! JSON and the rendered metrics table for a traced run must not move by
+//! a byte between `--shards 1`, `2`, and `4`, nor between campaign
+//! worker counts 1 and 4 (`--jobs`). And the five generator presets must
+//! all replay to a **verified** final memory — the self-computed
+//! expectation from the trace alone matches what the coherent system
+//! actually did. A separate process-level test pins the `--trace`
+//! operand contract: a nonexistent path is usage text + exit 2, not a
+//! panic.
+
+use std::fmt::Write as _;
+
+use hsc_bench::par::{expect_all, Campaign, Parallelism};
+use hsc_bench::reporting::observed_record_sharded;
+use hsc_core::{CoherenceConfig, ObsConfig, SystemConfig};
+use hsc_obs::RunReport;
+use hsc_workloads::trace::{presets, TraceWorkload, TrafficSpec};
+use hsc_workloads::try_run_workload_sharded_on;
+
+fn preset_workload(name: &str) -> TraceWorkload {
+    TraceWorkload::new(TrafficSpec::parse(name).expect("preset spec").generate())
+}
+
+/// One traced-run pass at the given shard and worker count: report JSON
+/// plus a golden-stdout-style metrics table, both strings so a mismatch
+/// is a byte diff.
+fn traced_artifacts(shards: usize, jobs: usize) -> (String, String) {
+    let cfg = SystemConfig::scaled(CoherenceConfig::baseline());
+    let mut report = RunReport::new("trace_determinism");
+    report.git = "golden".to_owned();
+    report.fingerprint_config(&cfg);
+    let w = preset_workload("pingpong");
+    let mut campaign: Campaign<'_, _> = Campaign::new("trace_determinism");
+    // Two instances of the traced workload so worker count >1 actually
+    // schedules concurrently; records land in submission order.
+    for _ in 0..2 {
+        let w = &w;
+        campaign.push("trace", move || {
+            observed_record_sharded(w, "baseline", cfg, ObsConfig::report_sharded(), shards)
+        });
+    }
+    let mut table = String::new();
+    for rec in expect_all("trace_determinism", campaign.run(Parallelism::of(jobs))) {
+        assert_eq!(rec.outcome, "completed", "traced run at {shards} shard(s)");
+        writeln!(table, "== {} ==", rec.workload).unwrap();
+        writeln!(table, "ticks        {}", rec.ticks).unwrap();
+        writeln!(table, "gpu_cycles   {}", rec.gpu_cycles).unwrap();
+        for (key, value) in &rec.counters {
+            writeln!(table, "{key} {value}").unwrap();
+        }
+        report.runs.push(rec);
+    }
+    (report.to_json_string(), table)
+}
+
+/// Report JSON and metrics tables for a traced run are byte-identical at
+/// shards 1, 2, 4 and at campaign worker counts 1 vs 4.
+#[test]
+fn traced_artifacts_identical_across_shards_and_jobs() {
+    let (ref_json, ref_table) = traced_artifacts(1, 1);
+    assert!(ref_json.contains("\"trace\""), "report carries the traced workload");
+    for (shards, jobs) in [(1usize, 4usize), (2, 1), (2, 4), (4, 1)] {
+        let (json, table) = traced_artifacts(shards, jobs);
+        assert_eq!(ref_table, table, "metrics diverged at shards={shards} jobs={jobs}");
+        assert_eq!(ref_json, json, "report JSON diverged at shards={shards} jobs={jobs}");
+    }
+}
+
+/// Every generator preset replays through the coherent system and passes
+/// its own self-verification (`TraceWorkload::verify`), serial and
+/// sharded.
+#[test]
+fn all_presets_replay_and_verify() {
+    let cfg = SystemConfig::scaled(CoherenceConfig::baseline());
+    for (name, _, spec) in presets() {
+        let w = TraceWorkload::new(spec.generate());
+        for shards in [1usize, 2] {
+            let r = try_run_workload_sharded_on(&w, cfg, shards)
+                .unwrap_or_else(|e| panic!("preset {name} at {shards} shard(s): {e}"));
+            assert!(r.metrics.ticks > 0, "preset {name} actually ran");
+        }
+    }
+}
+
+/// `--trace` on a nonexistent path is a usage error (exit 2 with the
+/// path named), matching the `--shards`/`--jobs` operand convention —
+/// not a panic, not a silent fallback to the benchmark suite.
+#[test]
+fn characterize_rejects_unreadable_trace_path_with_usage() {
+    let out = std::process::Command::new(env!("CARGO_BIN_EXE_characterize"))
+        .args(["--trace", "/nonexistent/corpus/missing.trace"])
+        .output()
+        .expect("characterize spawns");
+    assert_eq!(out.status.code(), Some(2), "usage errors exit 2");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("missing.trace"), "stderr names the path: {stderr}");
+    assert!(stderr.contains("usage: characterize"), "stderr shows usage: {stderr}");
+    assert!(out.stdout.is_empty(), "no tables are printed on a usage error");
+}
+
+/// A malformed trace file is rejected the same way, with the parse
+/// error's line number surfaced to the operator.
+#[test]
+fn characterize_rejects_malformed_trace_with_line_number() {
+    let dir = std::env::temp_dir().join("hsc_trace_cli_test");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join("bad.trace");
+    std::fs::write(&path, "hsc-trace v1\nstream cpu\nread 0x1001\n").expect("write trace");
+    let out = std::process::Command::new(env!("CARGO_BIN_EXE_characterize"))
+        .args(["--trace", path.to_str().unwrap()])
+        .output()
+        .expect("characterize spawns");
+    assert_eq!(out.status.code(), Some(2), "parse errors exit 2");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("line 3"), "stderr carries the line number: {stderr}");
+    assert!(stderr.contains("not 8-byte aligned"), "stderr carries the cause: {stderr}");
+}

@@ -1,0 +1,524 @@
+//! Seeded synthetic traffic generator: a traffic model that emits
+//! `hsc-trace v1` programs, so scenario count is unbounded.
+//!
+//! The model follows the knobs the memory-system literature uses for
+//! synthetic stimulus (zipf-skewed addresses, read/write/atomic mix,
+//! sharing degree, ping-pong): each stream interleaves accesses to
+//!
+//! * a **shared region** sampled through a [`Zipf`] rank distribution —
+//!   plain stores go to odd words and `add` atomics to even words of the
+//!   sampled line, so every shared word stays exactly or
+//!   membership-verifiable (see `TraceProgram::expected_final`);
+//! * a **private region** per stream — single-writer, so the generator
+//!   tracks a shadow value and annotates every private read/atomic with
+//!   `expect`, exercising the replay-time expectation machinery;
+//! * an optional **ping-pong line** — stream `i` hammers word `i % 8`
+//!   with `add 1`, migrating the line between owners all run long.
+//!
+//! DMA streams read zipf-sampled shared lines and write their own
+//! private span. Everything is drawn from one [`DetRng`] seed with one
+//! split child per stream, so a [`TrafficSpec`] is a complete, portable
+//! description of a workload: same spec, same bytes.
+
+use std::fmt;
+
+use hsc_mem::Addr;
+use hsc_sim::DetRng;
+
+use crate::util::synth_value;
+
+use super::format::{StreamKind, TraceOp, TraceProgram, TraceStream, RESERVED_WORDS};
+use super::zipf::Zipf;
+
+/// First byte address of the generated shared region.
+const SHARED_BASE: u64 = 0x0100_0000;
+/// Lines in each stream's private span.
+const PRIV_LINES: u64 = 8;
+/// Lines in each DMA stream's write span.
+const DMA_LINES: u64 = 4;
+
+/// The traffic model: every knob of the generator, parseable from a
+/// `preset[,key=value,...]` spec string (the `--trace-gen` operand).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrafficSpec {
+    /// RNG seed; everything else equal, the seed alone selects the trace.
+    pub seed: u64,
+    /// Number of CPU streams (placed two-per-CorePair at replay).
+    pub cpu: usize,
+    /// Number of GPU wavefront streams.
+    pub gpu: usize,
+    /// Number of DMA streams.
+    pub dma: usize,
+    /// Operations per stream.
+    pub ops: usize,
+    /// Shared-region size in cache lines (the zipf rank space).
+    pub lines: u64,
+    /// Zipf skew θ over the shared lines (0 = uniform).
+    pub zipf: f64,
+    /// Relative weight of reads in the op mix.
+    pub reads: u32,
+    /// Relative weight of writes in the op mix.
+    pub writes: u32,
+    /// Relative weight of atomics in the op mix.
+    pub atomics: u32,
+    /// Percent of CPU/GPU accesses that target the shared region
+    /// (the sharing-degree knob); the rest go to the stream's private span.
+    pub shared_pct: u32,
+    /// Percent of CPU/GPU accesses diverted to the ping-pong line.
+    pub pingpong_pct: u32,
+}
+
+impl Default for TrafficSpec {
+    fn default() -> Self {
+        TrafficSpec {
+            seed: 1,
+            cpu: 4,
+            gpu: 4,
+            dma: 0,
+            ops: 96,
+            lines: 128,
+            zipf: 0.8,
+            reads: 60,
+            writes: 25,
+            atomics: 15,
+            shared_pct: 50,
+            pingpong_pct: 0,
+        }
+    }
+}
+
+impl fmt::Display for TrafficSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "seed={},cpu={},gpu={},dma={},ops={},lines={},zipf={},reads={},writes={},atomics={},shared={},pingpong={}",
+            self.seed,
+            self.cpu,
+            self.gpu,
+            self.dma,
+            self.ops,
+            self.lines,
+            self.zipf,
+            self.reads,
+            self.writes,
+            self.atomics,
+            self.shared_pct,
+            self.pingpong_pct
+        )
+    }
+}
+
+/// The five named generator presets: `(name, what it stresses)`.
+#[must_use]
+pub fn presets() -> Vec<(&'static str, &'static str, TrafficSpec)> {
+    vec![
+        (
+            "uniform",
+            "uniform addresses, balanced mix, half shared",
+            TrafficSpec { zipf: 0.0, reads: 60, writes: 30, atomics: 10, ..TrafficSpec::default() },
+        ),
+        (
+            "hotspot",
+            "zipf 1.2 skew onto a few hot shared lines, read-mostly",
+            TrafficSpec {
+                seed: 2,
+                lines: 256,
+                zipf: 1.2,
+                reads: 70,
+                writes: 20,
+                atomics: 10,
+                shared_pct: 80,
+                ..TrafficSpec::default()
+            },
+        ),
+        (
+            "pingpong",
+            "one line migrating between every CPU and GPU owner",
+            TrafficSpec {
+                seed: 3,
+                ops: 64,
+                pingpong_pct: 60,
+                shared_pct: 20,
+                ..TrafficSpec::default()
+            },
+        ),
+        (
+            "private",
+            "no sharing: single-writer spans with expect on every read",
+            TrafficSpec {
+                seed: 4,
+                ops: 128,
+                shared_pct: 0,
+                reads: 50,
+                writes: 40,
+                atomics: 10,
+                ..TrafficSpec::default()
+            },
+        ),
+        (
+            "atomics",
+            "atomic-heavy shared contention plus DMA cross-traffic",
+            TrafficSpec {
+                seed: 5,
+                ops: 64,
+                dma: 2,
+                zipf: 0.9,
+                reads: 20,
+                writes: 10,
+                atomics: 70,
+                shared_pct: 90,
+                ..TrafficSpec::default()
+            },
+        ),
+    ]
+}
+
+impl TrafficSpec {
+    /// Parses a spec string: a preset name (`uniform`, `hotspot`,
+    /// `pingpong`, `private`, `atomics`), `key=value` pairs, or a preset
+    /// followed by overriding pairs — e.g. `hotspot,seed=9,cpu=2`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the offending token: an unknown preset or
+    /// key, a malformed value, or a combination the generator rejects
+    /// (see [`TrafficSpec::validate`]).
+    pub fn parse(spec: &str) -> Result<TrafficSpec, String> {
+        let mut out = TrafficSpec::default();
+        for (i, tok) in spec.split(',').enumerate() {
+            let tok = tok.trim();
+            if tok.is_empty() {
+                return Err(format!("empty field in trace-gen spec {spec:?}"));
+            }
+            match tok.split_once('=') {
+                None if i == 0 => {
+                    out = presets()
+                        .into_iter()
+                        .find(|(name, _, _)| *name == tok)
+                        .map(|(_, _, s)| s)
+                        .ok_or_else(|| {
+                            format!(
+                                "unknown trace-gen preset {tok:?} (expected one of {})",
+                                preset_names().join("|")
+                            )
+                        })?;
+                }
+                None => {
+                    return Err(format!(
+                        "trace-gen field {tok:?} is not key=value (presets go first)"
+                    ))
+                }
+                Some((key, value)) => apply_key(&mut out, key, value)?,
+            }
+        }
+        out.validate()?;
+        Ok(out)
+    }
+
+    /// Rejects combinations the generator cannot emit a valid trace for.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message describing the first violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.cpu + self.gpu + self.dma == 0 {
+            return Err("trace-gen spec declares no streams (cpu+gpu+dma = 0)".into());
+        }
+        if (self.cpu + self.gpu + self.dma) as u64 > RESERVED_WORDS {
+            return Err(format!("trace-gen spec exceeds {RESERVED_WORDS} streams"));
+        }
+        if self.ops == 0 {
+            return Err("trace-gen spec has ops=0".into());
+        }
+        if self.lines == 0 || self.lines > 1 << 16 {
+            return Err(format!("trace-gen lines={} out of range [1, 65536]", self.lines));
+        }
+        if !(self.zipf.is_finite() && self.zipf >= 0.0) {
+            return Err(format!("trace-gen zipf={} must be finite and >= 0", self.zipf));
+        }
+        if self.reads + self.writes + self.atomics == 0 {
+            return Err("trace-gen op mix is all-zero (reads+writes+atomics)".into());
+        }
+        if self.shared_pct > 100 || self.pingpong_pct > 100 {
+            return Err("trace-gen shared/pingpong percentages must be <= 100".into());
+        }
+        Ok(())
+    }
+
+    /// Emits the trace program this spec describes. Deterministic: the
+    /// spec (seed included) fully selects the output bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spec fails [`TrafficSpec::validate`] — parse-derived
+    /// specs are always valid.
+    #[must_use]
+    pub fn generate(&self) -> TraceProgram {
+        self.validate().expect("generate requires a validated spec");
+        let mut rng = DetRng::new(self.seed);
+        let zipf = Zipf::new(self.lines, self.zipf);
+        let pingpong_line = Addr(SHARED_BASE + self.lines * 64);
+        let priv_base = pingpong_line.0 + 64;
+        let dma_base = priv_base + (self.cpu + self.gpu) as u64 * PRIV_LINES * 64;
+
+        let mut program = TraceProgram::default();
+        // Initial contents: shared words and private spans carry distinct
+        // seed-derived values so "reads return the initial value" checks
+        // are non-trivial.
+        for l in 0..self.lines {
+            for w in 0..8 {
+                let a = Addr(SHARED_BASE + l * 64).word(w);
+                program.init.push((a, synth_value(self.seed, l * 8 + w) % 100_000));
+            }
+        }
+        let worker_streams = self.cpu + self.gpu;
+        for s in 0..worker_streams as u64 {
+            for i in 0..PRIV_LINES * 8 {
+                let a = Addr(priv_base + s * PRIV_LINES * 64).word(i);
+                program.init.push((a, synth_value(self.seed ^ 0xABCD, s * 1000 + i) % 100_000));
+            }
+        }
+
+        for s in 0..worker_streams {
+            let kind = if s < self.cpu { StreamKind::Cpu } else { StreamKind::Gpu };
+            let mut r = rng.split();
+            let ops = self.worker_stream(s, &mut r, &zipf, pingpong_line, priv_base);
+            program.streams.push(TraceStream { kind, ops });
+        }
+        for d in 0..self.dma {
+            let mut r = rng.split();
+            let ops = self.dma_stream(d, &mut r, &zipf, dma_base);
+            program.streams.push(TraceStream { kind: StreamKind::Dma, ops });
+        }
+        program
+    }
+
+    fn worker_stream(
+        &self,
+        s: usize,
+        r: &mut DetRng,
+        zipf: &Zipf,
+        pingpong_line: Addr,
+        priv_base: u64,
+    ) -> Vec<TraceOp> {
+        let my_priv = Addr(priv_base + s as u64 * PRIV_LINES * 64);
+        // Shadow of this stream's private span: single-writer, so the
+        // generator knows every intermediate value and can assert it.
+        let mut shadow: Vec<u64> = (0..PRIV_LINES * 8)
+            .map(|i| synth_value(self.seed ^ 0xABCD, s as u64 * 1000 + i) % 100_000)
+            .collect();
+        let mix = self.reads + self.writes + self.atomics;
+        let mut ops = Vec::with_capacity(self.ops);
+        for _ in 0..self.ops {
+            if r.chance(u64::from(self.pingpong_pct), 100) {
+                // Ping-pong: stream-owned word of the one hot line keeps
+                // the line migrating; `add` keeps every word exactly
+                // verifiable even when two streams fold onto one word.
+                ops.push(TraceOp::Atomic {
+                    addr: pingpong_line.word(s as u64 % 8),
+                    kind: hsc_mem::AtomicKind::FetchAdd(1),
+                    expect: None,
+                });
+                continue;
+            }
+            let roll = r.next_below(u64::from(mix)) as u32;
+            if r.chance(u64::from(self.shared_pct), 100) {
+                // Shared region: zipf line, disciplined word parity so no
+                // shared word ever mixes stores with atomics.
+                let line = Addr(SHARED_BASE + zipf.sample(r) * 64);
+                let word = r.next_below(8);
+                if roll < self.reads {
+                    ops.push(TraceOp::Read { addr: line.word(word), expect: None });
+                } else if roll < self.reads + self.writes {
+                    ops.push(TraceOp::Write {
+                        addr: line.word(word | 1),
+                        value: r.next_below(100_000),
+                    });
+                } else {
+                    ops.push(TraceOp::Atomic {
+                        addr: line.word(word & !1),
+                        kind: hsc_mem::AtomicKind::FetchAdd(1 + r.next_below(9)),
+                        expect: None,
+                    });
+                }
+            } else {
+                // Private span: single-writer, fully predicted.
+                let w = r.next_below(PRIV_LINES * 8);
+                let addr = my_priv.word(w);
+                let old = shadow[w as usize];
+                if roll < self.reads {
+                    ops.push(TraceOp::Read { addr, expect: Some(old) });
+                } else if roll < self.reads + self.writes {
+                    let value = r.next_below(100_000);
+                    shadow[w as usize] = value;
+                    ops.push(TraceOp::Write { addr, value });
+                } else {
+                    let kind = match r.next_below(4) {
+                        0 => hsc_mem::AtomicKind::FetchAdd(1 + r.next_below(9)),
+                        1 => hsc_mem::AtomicKind::FetchMax(r.next_below(100_000)),
+                        2 => hsc_mem::AtomicKind::FetchOr(r.next_below(256)),
+                        _ => hsc_mem::AtomicKind::FetchXor(r.next_below(256)),
+                    };
+                    shadow[w as usize] = kind.next(old);
+                    ops.push(TraceOp::Atomic { addr, kind, expect: Some(old) });
+                }
+            }
+        }
+        ops
+    }
+
+    fn dma_stream(&self, d: usize, r: &mut DetRng, zipf: &Zipf, dma_base: u64) -> Vec<TraceOp> {
+        let my_span = Addr(dma_base + d as u64 * DMA_LINES * 64);
+        let mix = self.reads + self.writes + self.atomics;
+        let mut ops = Vec::with_capacity(self.ops);
+        for _ in 0..self.ops {
+            let roll = r.next_below(u64::from(mix)) as u32;
+            if roll < self.reads {
+                // DMA reads pull zipf-hot shared lines through the
+                // directory's DMARd path.
+                ops.push(TraceOp::Read {
+                    addr: Addr(SHARED_BASE + zipf.sample(r) * 64),
+                    expect: None,
+                });
+            } else {
+                // Writes (atomic weight folds in: DMA has no atomics) land
+                // in the stream's own span: single-writer, exact verify.
+                ops.push(TraceOp::Write {
+                    addr: my_span.word(r.next_below(DMA_LINES * 8)),
+                    value: r.next_below(100_000),
+                });
+            }
+        }
+        ops
+    }
+}
+
+fn preset_names() -> Vec<&'static str> {
+    presets().into_iter().map(|(name, _, _)| name).collect()
+}
+
+fn apply_key(spec: &mut TrafficSpec, key: &str, value: &str) -> Result<(), String> {
+    let bad = |what: &str| format!("trace-gen {key}={value}: {what}");
+    let as_u64 = |s: &str| s.parse::<u64>().map_err(|_| bad("not a u64"));
+    let as_usize = |s: &str| s.parse::<usize>().map_err(|_| bad("not an integer"));
+    let as_u32 = |s: &str| s.parse::<u32>().map_err(|_| bad("not an integer"));
+    match key {
+        "seed" => spec.seed = as_u64(value)?,
+        "cpu" => spec.cpu = as_usize(value)?,
+        "gpu" => spec.gpu = as_usize(value)?,
+        "dma" => spec.dma = as_usize(value)?,
+        "ops" => spec.ops = as_usize(value)?,
+        "lines" => spec.lines = as_u64(value)?,
+        "zipf" => spec.zipf = value.parse::<f64>().map_err(|_| bad("not a number"))?,
+        "reads" => spec.reads = as_u32(value)?,
+        "writes" => spec.writes = as_u32(value)?,
+        "atomics" => spec.atomics = as_u32(value)?,
+        "shared" => spec.shared_pct = as_u32(value)?,
+        "pingpong" => spec.pingpong_pct = as_u32(value)?,
+        other => {
+            return Err(format!(
+                "unknown trace-gen key {other:?} (expected seed|cpu|gpu|dma|ops|lines|zipf|reads|writes|atomics|shared|pingpong)"
+            ))
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_spec_round_trips_through_display_and_parse() {
+        let spec = TrafficSpec::default();
+        let parsed = TrafficSpec::parse(&spec.to_string()).expect("display form parses");
+        assert_eq!(spec, parsed);
+    }
+
+    #[test]
+    fn presets_parse_and_accept_overrides() {
+        for (name, _, spec) in presets() {
+            assert_eq!(TrafficSpec::parse(name).unwrap(), spec, "preset {name}");
+        }
+        let s = TrafficSpec::parse("hotspot,seed=99,cpu=2").unwrap();
+        assert_eq!(s.seed, 99);
+        assert_eq!(s.cpu, 2);
+        assert_eq!(s.zipf, 1.2, "non-overridden preset fields survive");
+    }
+
+    #[test]
+    fn bad_specs_name_the_offender() {
+        for (spec, needle) in [
+            ("warp9", "unknown trace-gen preset"),
+            ("seed=abc", "not a u64"),
+            ("cpu=4,warp9", "not key=value"),
+            ("frobs=3", "unknown trace-gen key"),
+            ("zipf=minus", "not a number"),
+            ("zipf=-1", "must be finite and >= 0"),
+            ("cpu=0,gpu=0,dma=0", "no streams"),
+            ("ops=0", "ops=0"),
+            ("lines=0", "out of range"),
+            ("reads=0,writes=0,atomics=0", "all-zero"),
+            ("shared=101", "<= 100"),
+            ("", "empty field"),
+        ] {
+            let err = TrafficSpec::parse(spec).expect_err(spec);
+            assert!(err.contains(needle), "{spec:?} -> {err}");
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let spec = TrafficSpec::parse("atomics").unwrap();
+        let a = spec.generate();
+        let b = spec.generate();
+        assert_eq!(a, b, "same spec, same program");
+        assert_eq!(a.to_text(), b.to_text(), "same spec, same bytes");
+        let other = TrafficSpec::parse("atomics,seed=999").unwrap().generate();
+        assert_ne!(a, other, "seed selects the trace");
+    }
+
+    #[test]
+    fn generated_programs_have_the_declared_shape() {
+        let spec = TrafficSpec::parse("atomics").unwrap();
+        let p = spec.generate();
+        assert_eq!(p.stream_count(StreamKind::Cpu), spec.cpu);
+        assert_eq!(p.stream_count(StreamKind::Gpu), spec.gpu);
+        assert_eq!(p.stream_count(StreamKind::Dma), spec.dma);
+        for s in &p.streams {
+            assert_eq!(s.ops.len(), spec.ops);
+        }
+    }
+
+    #[test]
+    fn generated_traces_avoid_unconstrained_words() {
+        // The word-parity discipline (stores to odd, atomics to even
+        // shared words) plus single-writer private/DMA spans means every
+        // generated word is verifiable — nothing falls into the
+        // `Unconstrained` bucket.
+        use crate::trace::Expectation;
+        for (name, _, spec) in presets() {
+            let p = spec.generate();
+            let unconstrained =
+                p.expected_final().values().filter(|e| **e == Expectation::Unconstrained).count();
+            assert_eq!(unconstrained, 0, "preset {name} generated unverifiable words");
+        }
+    }
+
+    #[test]
+    fn private_preset_annotates_expectations() {
+        let p = TrafficSpec::parse("private").unwrap().generate();
+        let expects = p
+            .streams
+            .iter()
+            .flat_map(|s| &s.ops)
+            .filter(|op| {
+                matches!(
+                    op,
+                    TraceOp::Read { expect: Some(_), .. } | TraceOp::Atomic { expect: Some(_), .. }
+                )
+            })
+            .count();
+        assert!(expects > 100, "private traffic should be expect-annotated (got {expects})");
+    }
+}

@@ -1,0 +1,58 @@
+//! Malformed-trace corpus: every checked-in bad trace must be rejected
+//! with a `TraceError` naming the right line.
+//!
+//! Each file under `tests/corpus/` declares its own expectation in
+//! leading comment directives (comments are ignored by the parser, so
+//! they do not perturb the line numbering they assert):
+//!
+//! ```text
+//! # expect-error-line: 5
+//! # expect-error-contains: not 8-byte aligned
+//! ```
+//!
+//! The walker fails if a corpus file is missing a directive, parses
+//! cleanly, or errors on a different line — so adding a rejection case is
+//! just dropping a new `.trace` file in the directory.
+
+use std::path::PathBuf;
+
+use hsc_workloads::trace::TraceProgram;
+
+fn corpus_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/corpus")
+}
+
+fn directive<'a>(text: &'a str, key: &str) -> Option<&'a str> {
+    text.lines().find_map(|l| l.strip_prefix(&format!("# {key}: ")).map(str::trim))
+}
+
+#[test]
+fn every_corpus_file_is_rejected_on_its_declared_line() {
+    let mut paths: Vec<PathBuf> = std::fs::read_dir(corpus_dir())
+        .expect("tests/corpus exists")
+        .map(|e| e.expect("readable dir entry").path())
+        .filter(|p| p.extension().is_some_and(|e| e == "trace"))
+        .collect();
+    paths.sort();
+    assert!(paths.len() >= 10, "corpus holds the rejection cases (found {})", paths.len());
+
+    for path in paths {
+        let name = path.file_name().unwrap().to_string_lossy().into_owned();
+        let text = std::fs::read_to_string(&path).expect("readable corpus file");
+        let line: usize = directive(&text, "expect-error-line")
+            .unwrap_or_else(|| panic!("{name}: missing '# expect-error-line: N' directive"))
+            .parse()
+            .unwrap_or_else(|_| panic!("{name}: expect-error-line is not a number"));
+        let needle = directive(&text, "expect-error-contains")
+            .unwrap_or_else(|| panic!("{name}: missing '# expect-error-contains:' directive"));
+
+        let err = TraceProgram::parse(&text)
+            .expect_err(&format!("{name}: corpus file unexpectedly parsed"));
+        assert_eq!(err.line, line, "{name}: error named the wrong line ({err})");
+        assert!(err.message.contains(needle), "{name}: error {err:?} does not contain {needle:?}");
+        assert!(
+            err.to_string().starts_with(&format!("line {line}:")),
+            "{name}: Display form must lead with the line number, got {err}"
+        );
+    }
+}
